@@ -1,0 +1,95 @@
+// Attack-surface report (the VulSAN-style analysis §3.2 cites): enumerates
+// every installed binary on both systems and classifies the privilege an
+// unprivileged invoker's input can reach — the concrete before/after
+// picture behind Table 1's "eliminate the setuid bit" claim.
+
+#include <cstdio>
+#include <vector>
+
+#include "src/sim/system.h"
+
+namespace protego {
+namespace {
+
+struct SurfaceEntry {
+  std::string path;
+  uint32_t mode = 0;
+  bool setuid_root = false;
+  bool setgid_nonroot = false;
+};
+
+void Walk(SimSystem& sys, Task& root, const std::string& dir,
+          std::vector<SurfaceEntry>* out) {
+  auto names = sys.kernel().ReadDir(root, dir);
+  if (!names.ok()) {
+    return;
+  }
+  for (const std::string& name : names.value()) {
+    std::string path = (dir == "/" ? "" : dir) + "/" + name;
+    auto st = sys.kernel().Stat(root, path);
+    if (!st.ok()) {
+      continue;
+    }
+    if (IsDirMode(st.value().mode)) {
+      Walk(sys, root, path, out);
+      continue;
+    }
+    if (!IsRegMode(st.value().mode) || (st.value().mode & 0111) == 0) {
+      continue;
+    }
+    SurfaceEntry e;
+    e.path = path;
+    e.mode = st.value().mode;
+    e.setuid_root = (st.value().mode & kSetUidBit) != 0 && st.value().uid == kRootUid;
+    e.setgid_nonroot = (st.value().mode & kSetGidBit) != 0 && st.value().gid != kRootGid;
+    out->push_back(std::move(e));
+  }
+}
+
+void Report(SimMode mode) {
+  SimSystem sys(mode);
+  Task& root = sys.Login("root");
+  std::vector<SurfaceEntry> entries;
+  for (const char* top : {"/bin", "/sbin", "/usr"}) {
+    Walk(sys, root, top, &entries);
+  }
+
+  int setuid_root = 0;
+  int setgid_nonroot = 0;
+  std::string setuid_list;
+  for (const SurfaceEntry& e : entries) {
+    if (e.setuid_root) {
+      ++setuid_root;
+      setuid_list += "    " + e.path + "  (" + ModeString(e.mode) + ")\n";
+    }
+    if (e.setgid_nonroot) {
+      ++setgid_nonroot;
+    }
+  }
+
+  std::printf("--- %s ---\n", mode == SimMode::kLinux ? "stock Linux 3.6 + AppArmor"
+                                                      : "Protego");
+  std::printf("  executables installed:      %zu\n", entries.size());
+  std::printf("  setuid-ROOT binaries:       %d\n", setuid_root);
+  std::printf("  setgid-nonroot binaries:    %d (the benign §3.1 technique)\n",
+              setgid_nonroot);
+  if (setuid_root > 0) {
+    std::printf("  every one of these runs attacker-reachable parsers with euid 0:\n%s",
+                setuid_list.c_str());
+  } else {
+    std::printf("  => no attacker input ever reaches code running with euid 0 via the\n");
+    std::printf("     setuid bit; the remaining trusted surface is the kernel policy\n");
+    std::printf("     code plus two auditable services (Table 2).\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace protego
+
+int main() {
+  std::printf("=== Attack-surface report: setuid exposure before/after Protego ===\n\n");
+  protego::Report(protego::SimMode::kLinux);
+  protego::Report(protego::SimMode::kProtego);
+  return 0;
+}

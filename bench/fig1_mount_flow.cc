@@ -1,0 +1,82 @@
+// Figure 1: comparison of the mount system call on Linux and Protego.
+// Executes the two flows on live systems and narrates each step, marking
+// trusted components, exactly as the paper's figure does.
+
+#include <cstdio>
+
+#include "src/base/strings.h"
+#include "src/sim/system.h"
+
+namespace protego {
+namespace {
+
+void LinuxFlow() {
+  std::printf("--- Linux (stock): trust lives in the setuid /bin/mount binary ---\n\n");
+  SimSystem sys(SimMode::kLinux);
+  Task& alice = sys.Login("alice");
+
+  auto st = sys.kernel().Stat(alice, "/bin/mount");
+  std::printf("  [untrusted] alice runs /bin/mount (mode %04o -> process gains euid 0)\n",
+              st.value().mode & kPermMask);
+  std::printf("  [TRUSTED]   /bin/mount reads /etc/fstab and checks the 'user' option "
+              "ITSELF\n");
+  std::printf("  [TRUSTED]   /bin/mount issues mount(2) with CAP_SYS_ADMIN\n");
+  std::printf("  [kernel]    mount(2): capable(CAP_SYS_ADMIN)? yes -> mounted\n");
+  auto out = sys.RunCapture(alice, "/bin/mount", {"mount", "/dev/cdrom"});
+  std::printf("  result: exit=%d, %s", out.exit_code, out.out.c_str());
+  std::printf("  exposure: a parsing bug in /bin/mount executes WITH euid 0\n\n");
+
+  Task& alice2 = sys.Login("alice");
+  auto direct = sys.kernel().Mount(alice2, "/dev/cdrom", "/media/usb", "iso9660", {"ro"});
+  std::printf("  control: alice calling mount(2) directly -> %s\n\n",
+              direct.ok() ? "ALLOWED (?!)" : direct.error().ToString().c_str());
+}
+
+void ProtegoFlow() {
+  std::printf("--- Protego: trust lives in the kernel policy + trusted daemon ---\n\n");
+  SimSystem sys(SimMode::kProtego);
+  Task& alice = sys.Login("alice");
+
+  std::printf("  [TRUSTED]   monitoring daemon read /etc/fstab and wrote the whitelist to\n");
+  std::printf("              /proc/protego/mounts (%llu syncs so far)\n",
+              static_cast<unsigned long long>(sys.daemon()->sync_count()));
+  Task& root = sys.Login("root");
+  auto policy = sys.kernel().ReadWholeFile(root, "/proc/protego/mounts");
+  for (const auto& line : Split(policy.value_or(""), '\n')) {
+    if (!line.empty()) {
+      std::printf("              | %s\n", line.c_str());
+    }
+  }
+  auto st = sys.kernel().Stat(alice, "/bin/mount");
+  std::printf("  [untrusted] alice runs /bin/mount (mode %04o -> NO privilege gained)\n",
+              st.value().mode & kPermMask);
+  std::printf("  [untrusted] /bin/mount issues mount(2) with alice's own credentials\n");
+  std::printf("  [kernel]    mount(2) -> security_sb_mount() -> Protego LSM checks the\n");
+  std::printf("              whitelist -> ALLOW\n");
+  auto out = sys.RunCapture(alice, "/bin/mount", {"mount", "/dev/cdrom"});
+  std::printf("  result: exit=%d, %s", out.exit_code, out.out.c_str());
+  std::printf("  exposure: a parsing bug in /bin/mount executes with alice's privileges "
+              "only\n\n");
+
+  std::printf("  stats: mount hook decisions so far: allowed=%llu denied=%llu\n",
+              static_cast<unsigned long long>(sys.lsm()->stats().mount_allowed),
+              static_cast<unsigned long long>(sys.lsm()->stats().mount_denied));
+
+  // And ANY binary may now perform the whitelisted mount - the policy is in
+  // the kernel, not in a blessed binary.
+  Task& bob = sys.Login("bob");
+  (void)sys.RunCapture(sys.Login("alice"), "/bin/umount", {"umount", "/media/cdrom"});
+  auto direct = sys.kernel().Mount(bob, "/dev/cdrom", "/media/cdrom", "iso9660", {"ro"});
+  std::printf("  bonus: bob calling mount(2) directly (no /bin/mount at all) -> %s\n",
+              direct.ok() ? "allowed by kernel policy" : direct.error().ToString().c_str());
+}
+
+}  // namespace
+}  // namespace protego
+
+int main() {
+  std::printf("=== Figure 1 reproduction: the mount flow on both systems ===\n\n");
+  protego::LinuxFlow();
+  protego::ProtegoFlow();
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Shared measurement harness for the Table 5 reproduction and ablations.
+//
+// Methodology: each row measures the SAME operation on two freshly booted
+// systems whose only difference is the LSM stack ("Linux + AppArmor" vs
+// "+ Protego"), reporting mean ns/op and relative overhead. Iteration
+// counts auto-scale until a row accumulates a minimum wall-clock budget,
+// then the run is repeated to report a spread (the paper's +/- column).
+
+#ifndef BENCH_HARNESS_H_
+#define BENCH_HARNESS_H_
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/system.h"
+
+namespace protego {
+
+struct Measurement {
+  double mean_ns = 0;
+  double best_ns = 0;    // fastest repeat — the stable cross-boot comparator
+  double spread_ns = 0;  // half-width of min..max across repeats
+  uint64_t iterations = 0;
+};
+
+// Times `op` (already bound to its system/state). `op` should perform ONE
+// operation per call.
+inline Measurement MeasureNs(const std::function<void()>& op, int repeats = 5,
+                             double min_batch_ms = 10.0) {
+  using Clock = std::chrono::steady_clock;
+  // Warm-up + batch sizing.
+  uint64_t batch = 1;
+  for (;;) {
+    auto start = Clock::now();
+    for (uint64_t i = 0; i < batch; ++i) {
+      op();
+    }
+    double ms = std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+    if (ms >= min_batch_ms || batch >= (1u << 22)) {
+      break;
+    }
+    batch *= 4;
+  }
+  double best = 1e300;
+  double worst = 0;
+  double total = 0;
+  for (int r = 0; r < repeats; ++r) {
+    auto start = Clock::now();
+    for (uint64_t i = 0; i < batch; ++i) {
+      op();
+    }
+    double ns = std::chrono::duration<double, std::nano>(Clock::now() - start).count() /
+                static_cast<double>(batch);
+    best = std::min(best, ns);
+    worst = std::max(worst, ns);
+    total += ns;
+  }
+  Measurement m;
+  m.mean_ns = total / repeats;
+  m.best_ns = best;
+  m.spread_ns = (worst - best) / 2.0;
+  m.iterations = batch * static_cast<uint64_t>(repeats);
+  return m;
+}
+
+// One comparison row: the op factory receives the system and its session
+// task and returns the operation closure.
+using OpFactory = std::function<std::function<void()>(SimSystem&, Task&)>;
+
+struct ComparisonRow {
+  std::string name;
+  Measurement linux_m;
+  Measurement protego_m;
+
+  double OverheadPct() const {
+    if (linux_m.mean_ns <= 0) {
+      return 0;
+    }
+    return 100.0 * (protego_m.mean_ns - linux_m.mean_ns) / linux_m.mean_ns;
+  }
+};
+
+inline ComparisonRow CompareModes(const std::string& name, const OpFactory& factory,
+                                  const std::string& session_user = "root") {
+  ComparisonRow row;
+  row.name = name;
+  {
+    SimSystem sys(SimMode::kLinux);
+    Task& session = sys.Login(session_user);
+    auto op = factory(sys, session);
+    row.linux_m = MeasureNs(op);
+  }
+  {
+    SimSystem sys(SimMode::kProtego);
+    Task& session = sys.Login(session_user);
+    auto op = factory(sys, session);
+    row.protego_m = MeasureNs(op);
+  }
+  return row;
+}
+
+inline void PrintComparisonHeader(const char* unit) {
+  std::printf("%-18s %12s %8s %12s %8s %8s\n", "Test", (std::string("Linux ") + unit).c_str(),
+              "+/-", (std::string("Protego ") + unit).c_str(), "+/-", "% OH");
+  std::printf("%s\n", std::string(72, '-').c_str());
+}
+
+inline void PrintComparisonRow(const ComparisonRow& row, double scale = 1e-3) {
+  // scale 1e-3: ns -> us, matching lmbench's microsecond reporting.
+  std::printf("%-18s %12.3f %8.3f %12.3f %8.3f %7.2f%%\n", row.name.c_str(),
+              row.linux_m.mean_ns * scale, row.linux_m.spread_ns * scale,
+              row.protego_m.mean_ns * scale, row.protego_m.spread_ns * scale,
+              row.OverheadPct());
+}
+
+}  // namespace protego
+
+#endif  // BENCH_HARNESS_H_

@@ -1,0 +1,52 @@
+// Table 3: setuid-package installation statistics — exact recomputation of
+// the weighted averages from the survey data, plus an end-to-end synthetic
+// re-survey over a sampled population.
+
+#include <cstdio>
+
+#include "src/study/popularity.h"
+
+namespace protego {
+namespace {
+
+void Run() {
+  std::printf("=== Table 3 reproduction: setuid package popularity ===\n");
+  std::printf("(surveys: %llu Ubuntu + %llu Debian systems)\n\n",
+              static_cast<unsigned long long>(kUbuntuSystems),
+              static_cast<unsigned long long>(kDebianSystems));
+
+  std::printf("%-20s %10s %10s %10s | %10s %10s %10s\n", "Package", "Ubuntu%", "Debian%",
+              "Wt.Avg%", "synUbu%", "synDeb%", "synAvg%");
+  std::printf("%s\n", std::string(92, '-').c_str());
+
+  // Synthetic population: 1% sample of each survey, same ratios.
+  const uint64_t n_ubuntu = kUbuntuSystems / 100;
+  const uint64_t n_debian = kDebianSystems / 100;
+  SyntheticSurveyResult synth = RunSyntheticSurvey(n_ubuntu, n_debian, /*seed=*/20140413);
+
+  const auto& table = PopularityTable();
+  for (size_t i = 0; i < table.size(); ++i) {
+    const PopularityRow& row = table[i];
+    const PopularityRow& srow = synth.rows[i];
+    double synth_avg = (srow.ubuntu_pct * static_cast<double>(kUbuntuSystems) +
+                        srow.debian_pct * static_cast<double>(kDebianSystems)) /
+                       static_cast<double>(kUbuntuSystems + kDebianSystems);
+    std::printf("%-20s %10.2f %10.2f %10.2f | %10.2f %10.2f %10.2f%s\n", row.package.c_str(),
+                row.ubuntu_pct, row.debian_pct, WeightedAverage(row), srow.ubuntu_pct,
+                srow.debian_pct, synth_avg, row.investigated ? "" : "  (uninvestigated)");
+  }
+  std::printf("%s\n", std::string(92, '-').c_str());
+  std::printf("Synthetic population sampled: %llu systems\n",
+              static_cast<unsigned long long>(synth.systems_sampled));
+  std::printf("Study coverage (systems fully covered by the 28-binary study): %.1f%% "
+              "(paper: 89.5%%)\n",
+              StudyCoveragePercent());
+}
+
+}  // namespace
+}  // namespace protego
+
+int main() {
+  protego::Run();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Credential-database walkthrough (§4.4): the fragmented per-user database,
+// record-level access control via plain file permissions, and the
+// monitoring daemon keeping the legacy shared files in sync.
+//
+//   $ ./build/examples/account_management
+
+#include <cstdio>
+
+#include "src/base/strings.h"
+#include "src/sim/system.h"
+
+using namespace protego;
+
+int main() {
+  SimSystem sys(SimMode::kProtego);
+  Kernel& kernel = sys.kernel();
+
+  std::printf("The password database is fragmented per account:\n");
+  Task& root = sys.Login("root");
+  auto fragment_names = kernel.ReadDir(root, "/etc/passwds");
+  for (const std::string& name : fragment_names.value()) {
+    auto st = kernel.Stat(root, "/etc/passwds/" + name);
+    std::printf("  /etc/passwds/%-10s owner uid=%-5u mode %04o\n", name.c_str(),
+                st.value().uid, st.value().mode & kPermMask);
+  }
+
+  // alice edits her own record with an ordinary, unprivileged tool.
+  Task& alice = sys.Login("alice");
+  auto chsh = sys.RunCapture(alice, "/usr/bin/chsh", {"chsh", "/bin/bash"});
+  std::printf("\n$ chsh /bin/bash (as alice)\n%s(exit %d)\n", chsh.out.c_str(),
+              chsh.exit_code);
+
+  // ...but cannot touch bob's record: DAC on the fragment refuses.
+  auto direct = kernel.WriteWholeFile(alice, "/etc/passwds/bob",
+                                      "bob:x:0:0:owned:/root:/bin/sh\n");
+  std::printf("\n$ echo 'bob:x:0:0:...' > /etc/passwds/bob (as alice)\n  -> %s\n",
+              direct.ok() ? "allowed?!" : direct.error().ToString().c_str());
+
+  // The monitoring daemon regenerated the LEGACY /etc/passwd for programs
+  // that still read the shared file.
+  auto legacy = kernel.ReadWholeFile(root, "/etc/passwd");
+  std::printf("\nLegacy /etc/passwd (kept in sync by the monitoring daemon):\n");
+  for (const std::string& line : Split(legacy.value_or(""), '\n')) {
+    if (line.find("alice") != std::string::npos) {
+      std::printf("  %s   <-- shell updated\n", line.c_str());
+    }
+  }
+
+  // Password change: the kernel's reauthentication gate replaces passwd's
+  // own current-password check.
+  Task& bob = sys.Login("bob");
+  bob.terminal->QueueInput("bobpw");       // for the kernel's reauth gate
+  bob.terminal->QueueInput("s3cret!");     // the new password
+  auto passwd = sys.RunCapture(bob, "/usr/bin/passwd", {"passwd"});
+  std::printf("\n$ passwd (as bob)\n%s(exit %d)\n", passwd.out.c_str(), passwd.exit_code);
+
+  // And reading someone ELSE's shadow fragment is simply impossible.
+  auto peek = kernel.ReadWholeFile(alice, "/etc/shadows/bob");
+  std::printf("\n$ cat /etc/shadows/bob (as alice)\n  -> %s\n",
+              peek.ok() ? "allowed?!" : peek.error().ToString().c_str());
+  return 0;
+}

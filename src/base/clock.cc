@@ -1,0 +1,3 @@
+#include "src/base/clock.h"
+
+// Header-only today; this TU anchors the library target.

@@ -1,0 +1,35 @@
+// Deterministic virtual time for the simulated system.
+//
+// All authentication-recency decisions (the paper's 5-minute sudo window,
+// §4.3) and file mtimes run off this clock so that tests can advance time
+// explicitly and replays are reproducible.
+
+#ifndef SRC_BASE_CLOCK_H_
+#define SRC_BASE_CLOCK_H_
+
+#include <cstdint>
+
+namespace protego {
+
+// Monotonic virtual clock with second granularity (matches the granularity
+// sudo uses for its timestamp files).
+class Clock {
+ public:
+  Clock() = default;
+
+  // Current virtual time in seconds since simulation boot.
+  uint64_t Now() const { return now_; }
+
+  // Advances virtual time; never goes backwards.
+  void Advance(uint64_t seconds) { now_ += seconds; }
+
+  // Resets to boot time. Only tests should call this.
+  void Reset() { now_ = 0; }
+
+ private:
+  uint64_t now_ = 0;
+};
+
+}  // namespace protego
+
+#endif  // SRC_BASE_CLOCK_H_

@@ -1,0 +1,53 @@
+#include "src/base/hash.h"
+
+#include <vector>
+
+#include "src/base/strings.h"
+
+namespace protego {
+
+uint64_t Fnv1a(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string MakeSalt(uint64_t seed) {
+  static const char kAlphabet[] =
+      "./0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+  std::string salt;
+  uint64_t state = seed * 0x9e3779b97f4a7c15ULL + 1;
+  for (int i = 0; i < 8; ++i) {
+    state ^= state >> 30;
+    state *= 0xbf58476d1ce4e5b9ULL;
+    state ^= state >> 27;
+    salt.push_back(kAlphabet[state % 64]);
+  }
+  return salt;
+}
+
+std::string CryptPassword(std::string_view password, std::string_view salt) {
+  // Iterated FNV over salt||password; iteration makes the structure of a
+  // KDF visible in traces without pretending to be one.
+  std::string material = std::string(salt) + "$" + std::string(password);
+  uint64_t h = Fnv1a(material);
+  for (int round = 0; round < 1000; ++round) {
+    h = Fnv1a(StrFormat("%016llx", static_cast<unsigned long long>(h)) + material);
+  }
+  return StrFormat("$sim$%s$%016llx", std::string(salt).c_str(),
+                   static_cast<unsigned long long>(h));
+}
+
+bool VerifyPassword(std::string_view password, std::string_view hash) {
+  // Expected layout: $sim$<salt>$<hex>
+  auto parts = Split(std::string(hash), '$');
+  if (parts.size() != 4 || !parts[0].empty() || parts[1] != "sim") {
+    return false;
+  }
+  return CryptPassword(password, parts[2]) == hash;
+}
+
+}  // namespace protego

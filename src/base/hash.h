@@ -1,0 +1,33 @@
+// Hashing utilities: FNV-1a for table keys and a salted iterated hash used
+// as the simulated crypt(3) for /etc/shadow entries.
+//
+// The password hash is NOT cryptographically strong; the simulation only
+// needs the structural properties of crypt() — deterministic, salted,
+// one-way-shaped — so that authentication flows (login, sudo recency,
+// password-protected groups) behave like the real system.
+
+#ifndef SRC_BASE_HASH_H_
+#define SRC_BASE_HASH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace protego {
+
+// 64-bit FNV-1a.
+uint64_t Fnv1a(std::string_view data);
+
+// Produces a shadow-style hash string "$sim$<salt>$<hex>".
+std::string CryptPassword(std::string_view password, std::string_view salt);
+
+// Verifies `password` against a "$sim$..." hash produced by CryptPassword.
+// Returns false for malformed hashes.
+bool VerifyPassword(std::string_view password, std::string_view hash);
+
+// Derives a printable 8-char salt from a seed (deterministic).
+std::string MakeSalt(uint64_t seed);
+
+}  // namespace protego
+
+#endif  // SRC_BASE_HASH_H_

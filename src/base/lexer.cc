@@ -1,0 +1,113 @@
+#include "src/base/lexer.h"
+
+#include <cctype>
+
+#include "src/base/strings.h"
+
+namespace protego {
+
+std::vector<ConfigLine> LexConfig(std::string_view content) {
+  std::vector<ConfigLine> out;
+  std::string pending;
+  int pending_start = 0;
+  int line_number = 0;
+
+  auto flush = [&]() {
+    std::string_view trimmed = Trim(pending);
+    if (!trimmed.empty()) {
+      out.push_back(ConfigLine{pending_start, std::string(trimmed)});
+    }
+    pending.clear();
+  };
+
+  size_t pos = 0;
+  while (pos <= content.size()) {
+    size_t eol = content.find('\n', pos);
+    std::string_view raw = (eol == std::string_view::npos) ? content.substr(pos)
+                                                           : content.substr(pos, eol - pos);
+    ++line_number;
+
+    // Strip comment: first '#' not inside double quotes.
+    bool in_quotes = false;
+    size_t comment = raw.size();
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] == '"') {
+        in_quotes = !in_quotes;
+      } else if (raw[i] == '#' && !in_quotes) {
+        comment = i;
+        break;
+      }
+    }
+    std::string_view line = raw.substr(0, comment);
+
+    bool continued = false;
+    std::string_view body = Trim(line);
+    if (!body.empty() && body.back() == '\\') {
+      continued = true;
+      body = Trim(body.substr(0, body.size() - 1));
+    }
+
+    if (pending.empty()) {
+      pending_start = line_number;
+    }
+    if (!body.empty()) {
+      if (!pending.empty()) {
+        pending.push_back(' ');
+      }
+      pending.append(body);
+    }
+    if (!continued) {
+      flush();
+    }
+
+    if (eol == std::string_view::npos) {
+      break;
+    }
+    pos = eol + 1;
+  }
+  flush();
+  return out;
+}
+
+std::vector<std::string> LexFields(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  bool have_field = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '\\' && i + 1 < line.size()) {
+        current.push_back(line[++i]);
+        continue;
+      }
+      if (c == '"') {
+        in_quotes = false;
+        continue;
+      }
+      current.push_back(c);
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      have_field = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (have_field) {
+        fields.push_back(current);
+        current.clear();
+        have_field = false;
+      }
+      continue;
+    }
+    current.push_back(c);
+    have_field = true;
+  }
+  if (have_field) {
+    fields.push_back(current);
+  }
+  return fields;
+}
+
+}  // namespace protego

@@ -1,0 +1,33 @@
+// Line-oriented lexer shared by every configuration-file parser (fstab,
+// sudoers, /etc/bind, ppp options, the /proc/protego grammars).
+//
+// Handles the conventions those formats share: '#' comments, blank lines,
+// trailing-backslash continuation (sudoers), and field splitting.
+
+#ifndef SRC_BASE_LEXER_H_
+#define SRC_BASE_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace protego {
+
+// One logical (continuation-joined) line of a config file.
+struct ConfigLine {
+  int line_number = 0;  // 1-based line of the first physical line
+  std::string text;     // comment-stripped, trimmed
+};
+
+// Splits file `content` into logical config lines. Comments begin at an
+// unquoted '#' and run to end of line. A line ending in '\' is joined with
+// the next. Blank (post-strip) lines are dropped.
+std::vector<ConfigLine> LexConfig(std::string_view content);
+
+// Splits a logical line into whitespace-separated fields, honoring double
+// quotes ("two words" is one field) and backslash escapes within quotes.
+std::vector<std::string> LexFields(std::string_view line);
+
+}  // namespace protego
+
+#endif  // SRC_BASE_LEXER_H_

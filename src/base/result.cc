@@ -1,0 +1,129 @@
+#include "src/base/result.h"
+
+namespace protego {
+
+const char* ErrnoName(Errno e) {
+  switch (e) {
+    case Errno::kOk: return "OK";
+    case Errno::kEPERM: return "EPERM";
+    case Errno::kENOENT: return "ENOENT";
+    case Errno::kESRCH: return "ESRCH";
+    case Errno::kEINTR: return "EINTR";
+    case Errno::kEIO: return "EIO";
+    case Errno::kENXIO: return "ENXIO";
+    case Errno::kE2BIG: return "E2BIG";
+    case Errno::kENOEXEC: return "ENOEXEC";
+    case Errno::kEBADF: return "EBADF";
+    case Errno::kECHILD: return "ECHILD";
+    case Errno::kEAGAIN: return "EAGAIN";
+    case Errno::kENOMEM: return "ENOMEM";
+    case Errno::kEACCES: return "EACCES";
+    case Errno::kEFAULT: return "EFAULT";
+    case Errno::kEBUSY: return "EBUSY";
+    case Errno::kEEXIST: return "EEXIST";
+    case Errno::kEXDEV: return "EXDEV";
+    case Errno::kENODEV: return "ENODEV";
+    case Errno::kENOTDIR: return "ENOTDIR";
+    case Errno::kEISDIR: return "EISDIR";
+    case Errno::kEINVAL: return "EINVAL";
+    case Errno::kENFILE: return "ENFILE";
+    case Errno::kEMFILE: return "EMFILE";
+    case Errno::kENOTTY: return "ENOTTY";
+    case Errno::kETXTBSY: return "ETXTBSY";
+    case Errno::kEFBIG: return "EFBIG";
+    case Errno::kENOSPC: return "ENOSPC";
+    case Errno::kESPIPE: return "ESPIPE";
+    case Errno::kEROFS: return "EROFS";
+    case Errno::kEMLINK: return "EMLINK";
+    case Errno::kEPIPE: return "EPIPE";
+    case Errno::kERANGE: return "ERANGE";
+    case Errno::kENAMETOOLONG: return "ENAMETOOLONG";
+    case Errno::kENOSYS: return "ENOSYS";
+    case Errno::kENOTEMPTY: return "ENOTEMPTY";
+    case Errno::kELOOP: return "ELOOP";
+    case Errno::kENOPROTOOPT: return "ENOPROTOOPT";
+    case Errno::kEPROTONOSUPPORT: return "EPROTONOSUPPORT";
+    case Errno::kEOPNOTSUPP: return "EOPNOTSUPP";
+    case Errno::kEAFNOSUPPORT: return "EAFNOSUPPORT";
+    case Errno::kEADDRINUSE: return "EADDRINUSE";
+    case Errno::kEADDRNOTAVAIL: return "EADDRNOTAVAIL";
+    case Errno::kENETUNREACH: return "ENETUNREACH";
+    case Errno::kECONNRESET: return "ECONNRESET";
+    case Errno::kEISCONN: return "EISCONN";
+    case Errno::kENOTCONN: return "ENOTCONN";
+    case Errno::kETIMEDOUT: return "ETIMEDOUT";
+    case Errno::kECONNREFUSED: return "ECONNREFUSED";
+    case Errno::kEHOSTUNREACH: return "EHOSTUNREACH";
+  }
+  return "E???";
+}
+
+const char* ErrnoMessage(Errno e) {
+  switch (e) {
+    case Errno::kOk: return "Success";
+    case Errno::kEPERM: return "Operation not permitted";
+    case Errno::kENOENT: return "No such file or directory";
+    case Errno::kESRCH: return "No such process";
+    case Errno::kEINTR: return "Interrupted system call";
+    case Errno::kEIO: return "Input/output error";
+    case Errno::kENXIO: return "No such device or address";
+    case Errno::kE2BIG: return "Argument list too long";
+    case Errno::kENOEXEC: return "Exec format error";
+    case Errno::kEBADF: return "Bad file descriptor";
+    case Errno::kECHILD: return "No child processes";
+    case Errno::kEAGAIN: return "Resource temporarily unavailable";
+    case Errno::kENOMEM: return "Cannot allocate memory";
+    case Errno::kEACCES: return "Permission denied";
+    case Errno::kEFAULT: return "Bad address";
+    case Errno::kEBUSY: return "Device or resource busy";
+    case Errno::kEEXIST: return "File exists";
+    case Errno::kEXDEV: return "Invalid cross-device link";
+    case Errno::kENODEV: return "No such device";
+    case Errno::kENOTDIR: return "Not a directory";
+    case Errno::kEISDIR: return "Is a directory";
+    case Errno::kEINVAL: return "Invalid argument";
+    case Errno::kENFILE: return "Too many open files in system";
+    case Errno::kEMFILE: return "Too many open files";
+    case Errno::kENOTTY: return "Inappropriate ioctl for device";
+    case Errno::kETXTBSY: return "Text file busy";
+    case Errno::kEFBIG: return "File too large";
+    case Errno::kENOSPC: return "No space left on device";
+    case Errno::kESPIPE: return "Illegal seek";
+    case Errno::kEROFS: return "Read-only file system";
+    case Errno::kEMLINK: return "Too many links";
+    case Errno::kEPIPE: return "Broken pipe";
+    case Errno::kERANGE: return "Numerical result out of range";
+    case Errno::kENAMETOOLONG: return "File name too long";
+    case Errno::kENOSYS: return "Function not implemented";
+    case Errno::kENOTEMPTY: return "Directory not empty";
+    case Errno::kELOOP: return "Too many levels of symbolic links";
+    case Errno::kENOPROTOOPT: return "Protocol not available";
+    case Errno::kEPROTONOSUPPORT: return "Protocol not supported";
+    case Errno::kEOPNOTSUPP: return "Operation not supported";
+    case Errno::kEAFNOSUPPORT: return "Address family not supported by protocol";
+    case Errno::kEADDRINUSE: return "Address already in use";
+    case Errno::kEADDRNOTAVAIL: return "Cannot assign requested address";
+    case Errno::kENETUNREACH: return "Network is unreachable";
+    case Errno::kECONNRESET: return "Connection reset by peer";
+    case Errno::kEISCONN: return "Transport endpoint is already connected";
+    case Errno::kENOTCONN: return "Transport endpoint is not connected";
+    case Errno::kETIMEDOUT: return "Connection timed out";
+    case Errno::kECONNREFUSED: return "Connection refused";
+    case Errno::kEHOSTUNREACH: return "No route to host";
+  }
+  return "Unknown error";
+}
+
+std::string Error::ToString() const {
+  std::string out = ErrnoName(code_);
+  out += " (";
+  out += ErrnoMessage(code_);
+  out += ")";
+  if (!context_.empty()) {
+    out += ": ";
+    out += context_;
+  }
+  return out;
+}
+
+}  // namespace protego

@@ -1,0 +1,165 @@
+// Error model shared by every layer of the simulated system.
+//
+// The simulated kernel mirrors the Linux syscall contract: a call either
+// succeeds with a value or fails with an errno. `Result<T>` is the C++
+// carrier for that contract; `Errno` enumerates the subset of Linux error
+// numbers the simulation uses, with their real numeric values so that traces
+// and tests read like strace output.
+
+#ifndef SRC_BASE_RESULT_H_
+#define SRC_BASE_RESULT_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace protego {
+
+// Linux errno values used by the simulated syscall surface.
+enum class Errno : int {
+  kOk = 0,
+  kEPERM = 1,    // Operation not permitted
+  kENOENT = 2,   // No such file or directory
+  kESRCH = 3,    // No such process
+  kEINTR = 4,    // Interrupted system call
+  kEIO = 5,      // I/O error
+  kENXIO = 6,    // No such device or address
+  kE2BIG = 7,    // Argument list too long
+  kENOEXEC = 8,  // Exec format error
+  kEBADF = 9,    // Bad file number
+  kECHILD = 10,  // No child processes
+  kEAGAIN = 11,  // Try again
+  kENOMEM = 12,  // Out of memory
+  kEACCES = 13,  // Permission denied
+  kEFAULT = 14,  // Bad address
+  kEBUSY = 16,   // Device or resource busy
+  kEEXIST = 17,  // File exists
+  kEXDEV = 18,   // Cross-device link
+  kENODEV = 19,  // No such device
+  kENOTDIR = 20,   // Not a directory
+  kEISDIR = 21,    // Is a directory
+  kEINVAL = 22,    // Invalid argument
+  kENFILE = 23,    // File table overflow
+  kEMFILE = 24,    // Too many open files
+  kENOTTY = 25,    // Not a typewriter
+  kETXTBSY = 26,   // Text file busy
+  kEFBIG = 27,     // File too large
+  kENOSPC = 28,    // No space left on device
+  kESPIPE = 29,    // Illegal seek
+  kEROFS = 30,     // Read-only file system
+  kEMLINK = 31,    // Too many links
+  kEPIPE = 32,     // Broken pipe
+  kERANGE = 34,    // Math result not representable
+  kENAMETOOLONG = 36,  // File name too long
+  kENOSYS = 38,        // Function not implemented
+  kENOTEMPTY = 39,     // Directory not empty
+  kELOOP = 40,         // Too many symbolic links encountered
+  kENOPROTOOPT = 92,   // Protocol not available
+  kEPROTONOSUPPORT = 93,  // Protocol not supported
+  kEOPNOTSUPP = 95,       // Operation not supported
+  kEAFNOSUPPORT = 97,     // Address family not supported
+  kEADDRINUSE = 98,       // Address already in use
+  kEADDRNOTAVAIL = 99,    // Cannot assign requested address
+  kENETUNREACH = 101,     // Network is unreachable
+  kECONNRESET = 104,      // Connection reset by peer
+  kEISCONN = 106,         // Socket is already connected
+  kENOTCONN = 107,        // Socket is not connected
+  kETIMEDOUT = 110,       // Connection timed out
+  kECONNREFUSED = 111,    // Connection refused
+  kEHOSTUNREACH = 113,    // No route to host
+};
+
+// Short symbolic name ("EPERM") for an errno; used in traces and messages.
+const char* ErrnoName(Errno e);
+
+// Human-readable description mirroring strerror().
+const char* ErrnoMessage(Errno e);
+
+// A failed operation: errno plus optional context describing what failed.
+class Error {
+ public:
+  explicit Error(Errno code) : code_(code) {}
+  Error(Errno code, std::string context) : code_(code), context_(std::move(context)) {}
+
+  Errno code() const { return code_; }
+  const std::string& context() const { return context_; }
+
+  // "EPERM (Operation not permitted): <context>"
+  std::string ToString() const;
+
+ private:
+  Errno code_;
+  std::string context_;
+};
+
+// Value-or-error carrier for syscall-shaped APIs. Modeled on std::expected
+// (unavailable in C++20). `Result<void>` is expressed as Result<Unit>.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit construction from a success value or an Error keeps call sites
+  // syscall-shaped: `return fd;` / `return Error(Errno::kEBADF);`.
+  Result(T value) : state_(std::move(value)) {}
+  Result(Error error) : state_(std::move(error)) {}
+  Result(Errno code) : state_(Error(code)) {}
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T& value() {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T take() {
+    assert(ok());
+    return std::move(std::get<T>(state_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(state_);
+  }
+  Errno code() const { return ok() ? Errno::kOk : error().code(); }
+
+  // Value if present, otherwise `fallback`.
+  T value_or(T fallback) const { return ok() ? std::get<T>(state_) : std::move(fallback); }
+
+ private:
+  std::variant<T, Error> state_;
+};
+
+// Unit type for operations that succeed with no payload.
+struct Unit {
+  friend bool operator==(Unit, Unit) { return true; }
+};
+
+// Canonical success value for Result<Unit> returns.
+inline Result<Unit> OkUnit() { return Unit{}; }
+
+// Propagate an error from a nested Result call. Usage:
+//   ASSIGN_OR_RETURN(int fd, sys.Open(...));
+#define PROTEGO_CONCAT_INNER(a, b) a##b
+#define PROTEGO_CONCAT(a, b) PROTEGO_CONCAT_INNER(a, b)
+#define ASSIGN_OR_RETURN(decl, expr)                       \
+  auto PROTEGO_CONCAT(result_, __LINE__) = (expr);         \
+  if (!PROTEGO_CONCAT(result_, __LINE__).ok()) {           \
+    return PROTEGO_CONCAT(result_, __LINE__).error();      \
+  }                                                        \
+  decl = PROTEGO_CONCAT(result_, __LINE__).take()
+
+#define RETURN_IF_ERROR(expr)                              \
+  do {                                                     \
+    auto result_tmp_ = (expr);                             \
+    if (!result_tmp_.ok()) {                               \
+      return result_tmp_.error();                          \
+    }                                                      \
+  } while (0)
+
+}  // namespace protego
+
+#endif  // SRC_BASE_RESULT_H_

@@ -1,0 +1,42 @@
+// Small string utilities shared by the config parsers, the VFS path walker,
+// and report formatting. Kept dependency-free (only <string>/<vector>).
+
+#ifndef SRC_BASE_STRINGS_H_
+#define SRC_BASE_STRINGS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace protego {
+
+// Splits `s` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Splits on runs of ASCII whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Parses a non-negative decimal integer; nullopt on any non-digit or empty.
+std::optional<uint64_t> ParseUint(std::string_view s);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Simple glob match supporting '*' (any run, including '/') and '?'.
+// Used by sudoers command specs and AppArmor-style path profiles.
+bool GlobMatch(std::string_view pattern, std::string_view text);
+
+}  // namespace protego
+
+#endif  // SRC_BASE_STRINGS_H_

@@ -1,0 +1,56 @@
+#include "src/config/bindconf.h"
+
+#include <set>
+
+#include "src/base/lexer.h"
+#include "src/base/strings.h"
+
+namespace protego {
+
+std::string BindConfEntry::ToString() const {
+  return StrFormat("%u %s %u", port, binary.c_str(), uid);
+}
+
+Result<std::vector<BindConfEntry>> ParseBindConf(std::string_view content) {
+  std::vector<BindConfEntry> entries;
+  std::set<uint16_t> seen;
+  for (const ConfigLine& line : LexConfig(content)) {
+    std::vector<std::string> fields = LexFields(line.text);
+    if (fields.size() != 3) {
+      return Error(Errno::kEINVAL,
+                   StrFormat("/etc/bind line %d: expected <port> <binary> <uid>",
+                             line.line_number));
+    }
+    auto port = ParseUint(fields[0]);
+    auto uid = ParseUint(fields[2]);
+    if (!port || *port == 0 || *port >= 1024) {
+      return Error(Errno::kEINVAL,
+                   StrFormat("/etc/bind line %d: port must be 1..1023", line.line_number));
+    }
+    if (fields[1].empty() || fields[1][0] != '/') {
+      return Error(Errno::kEINVAL,
+                   StrFormat("/etc/bind line %d: binary must be absolute", line.line_number));
+    }
+    if (!uid) {
+      return Error(Errno::kEINVAL, StrFormat("/etc/bind line %d: bad uid", line.line_number));
+    }
+    if (!seen.insert(static_cast<uint16_t>(*port)).second) {
+      return Error(Errno::kEINVAL,
+                   StrFormat("/etc/bind line %d: duplicate port %llu", line.line_number,
+                             static_cast<unsigned long long>(*port)));
+    }
+    entries.push_back(BindConfEntry{static_cast<uint16_t>(*port), fields[1],
+                                    static_cast<Uid>(*uid)});
+  }
+  return entries;
+}
+
+std::string SerializeBindConf(const std::vector<BindConfEntry>& entries) {
+  std::string out = "# <port> <binary> <uid>\n";
+  for (const BindConfEntry& e : entries) {
+    out += e.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace protego

@@ -1,0 +1,37 @@
+// /etc/bind parser (§4.1.3): maps each TCP/UDP port below 1024 to exactly
+// one application instance, identified by (binary path, uid).
+//
+// Grammar, one mapping per line:
+//   <port> <binary-path> <uid>
+//   25 /usr/sbin/exim4 0
+//   80 /usr/sbin/httpd 33
+
+#ifndef SRC_CONFIG_BINDCONF_H_
+#define SRC_CONFIG_BINDCONF_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/vfs/types.h"
+
+namespace protego {
+
+struct BindConfEntry {
+  uint16_t port = 0;
+  std::string binary;
+  Uid uid = 0;
+
+  std::string ToString() const;
+};
+
+// Parses /etc/bind. Rejects ports >= 1024, relative binary paths, and
+// duplicate port allocations ("each port may map to only one application
+// instance").
+Result<std::vector<BindConfEntry>> ParseBindConf(std::string_view content);
+
+std::string SerializeBindConf(const std::vector<BindConfEntry>& entries);
+
+}  // namespace protego
+
+#endif  // SRC_CONFIG_BINDCONF_H_

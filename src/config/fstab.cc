@@ -1,0 +1,54 @@
+#include "src/config/fstab.h"
+
+#include <algorithm>
+
+#include "src/base/lexer.h"
+#include "src/base/strings.h"
+
+namespace protego {
+
+bool FstabEntry::HasOption(const std::string& opt) const {
+  return std::find(options.begin(), options.end(), opt) != options.end();
+}
+
+bool FstabEntry::UserMountable() const { return HasOption("user") || HasOption("users"); }
+
+bool FstabEntry::AnyUserMayUnmount() const { return HasOption("users"); }
+
+std::string FstabEntry::ToString() const {
+  return StrFormat("%s %s %s %s", device.c_str(), mountpoint.c_str(), fstype.c_str(),
+                   Join(options, ",").c_str());
+}
+
+Result<std::vector<FstabEntry>> ParseFstab(std::string_view content) {
+  std::vector<FstabEntry> entries;
+  for (const ConfigLine& line : LexConfig(content)) {
+    std::vector<std::string> fields = LexFields(line.text);
+    // device mountpoint fstype options [dump [pass]]
+    if (fields.size() < 4 || fields.size() > 6) {
+      return Error(Errno::kEINVAL,
+                   StrFormat("fstab line %d: expected 4-6 fields", line.line_number));
+    }
+    FstabEntry entry;
+    entry.device = fields[0];
+    entry.mountpoint = fields[1];
+    entry.fstype = fields[2];
+    entry.options = Split(fields[3], ',');
+    if (entry.mountpoint.empty() || entry.mountpoint[0] != '/') {
+      return Error(Errno::kEINVAL,
+                   StrFormat("fstab line %d: mountpoint must be absolute", line.line_number));
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::string SerializeFstab(const std::vector<FstabEntry>& entries) {
+  std::string out = "# <device> <mountpoint> <fstype> <options>\n";
+  for (const FstabEntry& e : entries) {
+    out += e.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace protego

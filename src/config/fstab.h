@@ -1,0 +1,40 @@
+// /etc/fstab parser. The "user"/"users" options are the operational
+// constraints administrators set for unprivileged mounting (§2): an fstab
+// entry carrying them may be mounted by a non-root user ("user": only the
+// mounting user may unmount; "users": anyone may unmount).
+
+#ifndef SRC_CONFIG_FSTAB_H_
+#define SRC_CONFIG_FSTAB_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+
+namespace protego {
+
+struct FstabEntry {
+  std::string device;      // e.g. /dev/cdrom
+  std::string mountpoint;  // e.g. /media/cdrom
+  std::string fstype;      // e.g. iso9660
+  std::vector<std::string> options;
+
+  bool HasOption(const std::string& opt) const;
+  // True when "user" or "users" is present.
+  bool UserMountable() const;
+  // True when "users" (anyone may unmount) is present.
+  bool AnyUserMayUnmount() const;
+
+  std::string ToString() const;
+};
+
+// Parses fstab content. Malformed lines fail the whole parse (the paper's
+// proc-interface uses parse-validate-swap semantics; a bad file must not be
+// half-applied).
+Result<std::vector<FstabEntry>> ParseFstab(std::string_view content);
+
+std::string SerializeFstab(const std::vector<FstabEntry>& entries);
+
+}  // namespace protego
+
+#endif  // SRC_CONFIG_FSTAB_H_

@@ -1,0 +1,195 @@
+#include "src/config/passwd_db.h"
+
+#include "src/base/strings.h"
+
+namespace protego {
+
+std::string PasswdEntry::ToLine() const {
+  return StrFormat("%s:x:%u:%u:%s:%s:%s", name.c_str(), uid, gid, gecos.c_str(), home.c_str(),
+                   shell.c_str());
+}
+
+std::string ShadowEntry::ToLine() const {
+  return StrFormat("%s:%s:%llu:::::", name.c_str(), hash.c_str(),
+                   static_cast<unsigned long long>(last_change));
+}
+
+std::string GroupEntry::ToLine() const {
+  return StrFormat("%s:%s:%u:%s", name.c_str(), password_hash.c_str(), gid,
+                   Join(members, ",").c_str());
+}
+
+Result<PasswdEntry> ParsePasswdLine(std::string_view line) {
+  std::vector<std::string> f = Split(line, ':');
+  if (f.size() != 7) {
+    return Error(Errno::kEINVAL, "passwd record: " + std::string(line));
+  }
+  auto uid = ParseUint(f[2]);
+  auto gid = ParseUint(f[3]);
+  if (f[0].empty() || !uid || !gid) {
+    return Error(Errno::kEINVAL, "passwd record: " + std::string(line));
+  }
+  PasswdEntry e;
+  e.name = f[0];
+  e.uid = static_cast<Uid>(*uid);
+  e.gid = static_cast<Gid>(*gid);
+  e.gecos = f[4];
+  e.home = f[5];
+  e.shell = f[6];
+  return e;
+}
+
+Result<std::vector<PasswdEntry>> ParsePasswd(std::string_view content) {
+  std::vector<PasswdEntry> entries;
+  for (const std::string& line : Split(content, '\n')) {
+    if (Trim(line).empty()) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(PasswdEntry e, ParsePasswdLine(line));
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+std::string SerializePasswd(const std::vector<PasswdEntry>& entries) {
+  std::string out;
+  for (const PasswdEntry& e : entries) {
+    out += e.ToLine() + "\n";
+  }
+  return out;
+}
+
+Result<ShadowEntry> ParseShadowLine(std::string_view line) {
+  std::vector<std::string> f = Split(line, ':');
+  if (f.size() < 3 || f[0].empty()) {
+    return Error(Errno::kEINVAL, "shadow record: " + std::string(line));
+  }
+  ShadowEntry e;
+  e.name = f[0];
+  e.hash = f[1];
+  e.last_change = ParseUint(f[2]).value_or(0);
+  return e;
+}
+
+Result<std::vector<ShadowEntry>> ParseShadow(std::string_view content) {
+  std::vector<ShadowEntry> entries;
+  for (const std::string& line : Split(content, '\n')) {
+    if (Trim(line).empty()) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(ShadowEntry e, ParseShadowLine(line));
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+std::string SerializeShadow(const std::vector<ShadowEntry>& entries) {
+  std::string out;
+  for (const ShadowEntry& e : entries) {
+    out += e.ToLine() + "\n";
+  }
+  return out;
+}
+
+Result<GroupEntry> ParseGroupLine(std::string_view line) {
+  std::vector<std::string> f = Split(line, ':');
+  if (f.size() != 4 || f[0].empty()) {
+    return Error(Errno::kEINVAL, "group record: " + std::string(line));
+  }
+  auto gid = ParseUint(f[2]);
+  if (!gid) {
+    return Error(Errno::kEINVAL, "group record: " + std::string(line));
+  }
+  GroupEntry e;
+  e.name = f[0];
+  e.password_hash = f[1];
+  e.gid = static_cast<Gid>(*gid);
+  if (!f[3].empty()) {
+    e.members = Split(f[3], ',');
+  }
+  return e;
+}
+
+Result<std::vector<GroupEntry>> ParseGroup(std::string_view content) {
+  std::vector<GroupEntry> entries;
+  for (const std::string& line : Split(content, '\n')) {
+    if (Trim(line).empty()) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(GroupEntry e, ParseGroupLine(line));
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+std::string SerializeGroup(const std::vector<GroupEntry>& entries) {
+  std::string out;
+  for (const GroupEntry& e : entries) {
+    out += e.ToLine() + "\n";
+  }
+  return out;
+}
+
+UserDb::UserDb(std::vector<PasswdEntry> users, std::vector<ShadowEntry> shadows,
+               std::vector<GroupEntry> groups)
+    : users_(std::move(users)), shadows_(std::move(shadows)), groups_(std::move(groups)) {}
+
+const PasswdEntry* UserDb::FindUser(const std::string& name) const {
+  for (const PasswdEntry& e : users_) {
+    if (e.name == name) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+const PasswdEntry* UserDb::FindUid(Uid uid) const {
+  for (const PasswdEntry& e : users_) {
+    if (e.uid == uid) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+const ShadowEntry* UserDb::FindShadow(const std::string& name) const {
+  for (const ShadowEntry& e : shadows_) {
+    if (e.name == name) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+const GroupEntry* UserDb::FindGroup(const std::string& name) const {
+  for (const GroupEntry& e : groups_) {
+    if (e.name == name) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+const GroupEntry* UserDb::FindGid(Gid gid) const {
+  for (const GroupEntry& e : groups_) {
+    if (e.gid == gid) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> UserDb::GroupsOf(const std::string& user) const {
+  std::vector<std::string> out;
+  for (const GroupEntry& g : groups_) {
+    for (const std::string& m : g.members) {
+      if (m == user) {
+        out.push_back(g.name);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace protego

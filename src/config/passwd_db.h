@@ -1,0 +1,86 @@
+// Credential-database records and (de)serialization: /etc/passwd,
+// /etc/shadow, /etc/group — both the legacy shared files and the per-record
+// fragmented layout Protego introduces (§4.4: /etc/passwds/<user>, etc.).
+
+#ifndef SRC_CONFIG_PASSWD_DB_H_
+#define SRC_CONFIG_PASSWD_DB_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/vfs/types.h"
+
+namespace protego {
+
+struct PasswdEntry {
+  std::string name;
+  Uid uid = 0;
+  Gid gid = 0;
+  std::string gecos;  // full name / office ("chfn" edits this)
+  std::string home;
+  std::string shell;  // "chsh" edits this
+
+  std::string ToLine() const;  // "name:x:uid:gid:gecos:home:shell"
+};
+
+struct ShadowEntry {
+  std::string name;
+  std::string hash;  // "$sim$salt$hex", "!" = locked, "" = no password
+  uint64_t last_change = 0;
+
+  std::string ToLine() const;  // "name:hash:lastchg:::::"
+};
+
+struct GroupEntry {
+  std::string name;
+  Gid gid = 0;
+  std::string password_hash;  // newgrp password-protected groups
+  std::vector<std::string> members;
+
+  std::string ToLine() const;  // "name:hash:gid:member1,member2"
+};
+
+Result<std::vector<PasswdEntry>> ParsePasswd(std::string_view content);
+Result<PasswdEntry> ParsePasswdLine(std::string_view line);
+std::string SerializePasswd(const std::vector<PasswdEntry>& entries);
+
+Result<std::vector<ShadowEntry>> ParseShadow(std::string_view content);
+Result<ShadowEntry> ParseShadowLine(std::string_view line);
+std::string SerializeShadow(const std::vector<ShadowEntry>& entries);
+
+Result<std::vector<GroupEntry>> ParseGroup(std::string_view content);
+Result<GroupEntry> ParseGroupLine(std::string_view line);
+std::string SerializeGroup(const std::vector<GroupEntry>& entries);
+
+// An in-memory view over the three databases with the lookups the
+// delegation and authentication machinery needs.
+class UserDb {
+ public:
+  UserDb() = default;
+  UserDb(std::vector<PasswdEntry> users, std::vector<ShadowEntry> shadows,
+         std::vector<GroupEntry> groups);
+
+  const PasswdEntry* FindUser(const std::string& name) const;
+  const PasswdEntry* FindUid(Uid uid) const;
+  const ShadowEntry* FindShadow(const std::string& name) const;
+  const GroupEntry* FindGroup(const std::string& name) const;
+  const GroupEntry* FindGid(Gid gid) const;
+
+  // All group names listing `user` as a member.
+  std::vector<std::string> GroupsOf(const std::string& user) const;
+
+  const std::vector<PasswdEntry>& users() const { return users_; }
+  const std::vector<ShadowEntry>& shadows() const { return shadows_; }
+  const std::vector<GroupEntry>& groups() const { return groups_; }
+
+ private:
+  std::vector<PasswdEntry> users_;
+  std::vector<ShadowEntry> shadows_;
+  std::vector<GroupEntry> groups_;
+};
+
+}  // namespace protego
+
+#endif  // SRC_CONFIG_PASSWD_DB_H_

@@ -1,0 +1,52 @@
+#include "src/config/ppp_options.h"
+
+#include <algorithm>
+
+#include "src/base/lexer.h"
+#include "src/base/strings.h"
+
+namespace protego {
+
+bool PppOptions::IsSafeOption(const std::string& opt) const {
+  // "mtu 1400" style options match on the keyword.
+  std::string keyword = SplitWhitespace(opt).empty() ? opt : SplitWhitespace(opt)[0];
+  return std::find(safe_options.begin(), safe_options.end(), keyword) != safe_options.end();
+}
+
+Result<PppOptions> ParsePppOptions(std::string_view content) {
+  PppOptions options;
+  for (const ConfigLine& line : LexConfig(content)) {
+    std::vector<std::string> fields = LexFields(line.text);
+    if (fields.empty()) {
+      continue;
+    }
+    if (fields[0] == "userroutes") {
+      options.user_routes = true;
+    } else if (fields[0] == "nouserroutes") {
+      options.user_routes = false;
+    } else if (fields[0] == "userdialout") {
+      options.user_dialout = true;
+    } else if (fields[0] == "nouserdialout") {
+      options.user_dialout = false;
+    } else if (fields[0] == "safeopt" && fields.size() == 2) {
+      options.safe_options.push_back(fields[1]);
+    } else {
+      return Error(Errno::kEINVAL,
+                   StrFormat("ppp options line %d: unknown directive '%s'", line.line_number,
+                             fields[0].c_str()));
+    }
+  }
+  return options;
+}
+
+std::string SerializePppOptions(const PppOptions& options) {
+  std::string out;
+  out += options.user_routes ? "userroutes\n" : "nouserroutes\n";
+  out += options.user_dialout ? "userdialout\n" : "nouserdialout\n";
+  for (const std::string& opt : options.safe_options) {
+    out += "safeopt " + opt + "\n";
+  }
+  return out;
+}
+
+}  // namespace protego

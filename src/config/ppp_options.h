@@ -1,0 +1,35 @@
+// /etc/ppp/options parser (§4.1.2). Declares which pppd behaviours the
+// administrator permits for unprivileged users: safe session options are
+// always fine; route additions need the "userroutes" grant.
+
+#ifndef SRC_CONFIG_PPP_OPTIONS_H_
+#define SRC_CONFIG_PPP_OPTIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+
+namespace protego {
+
+struct PppOptions {
+  // Options any user may set on an unused modem (compression, congestion
+  // control, etc.). Defaults mirror pppd's "safe when non-root" list.
+  std::vector<std::string> safe_options = {"novj", "bsdcomp", "deflate", "noccp", "mtu", "mru"};
+
+  // May unprivileged users add non-conflicting routes over a ppp link?
+  bool user_routes = false;
+
+  // May unprivileged users bring up a link at all (defaultroute excluded)?
+  bool user_dialout = true;
+
+  bool IsSafeOption(const std::string& opt) const;
+};
+
+Result<PppOptions> ParsePppOptions(std::string_view content);
+
+std::string SerializePppOptions(const PppOptions& options);
+
+}  // namespace protego
+
+#endif  // SRC_CONFIG_PPP_OPTIONS_H_

@@ -1,0 +1,212 @@
+#include "src/config/sudoers.h"
+
+#include <algorithm>
+
+#include "src/base/lexer.h"
+#include "src/base/strings.h"
+
+namespace protego {
+
+bool SudoRule::RunasMatches(const std::string& target) const {
+  for (const std::string& r : runas) {
+    if (r == "ALL" || r == target) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SudoRule::CommandMatches(const std::string& command_line) const {
+  for (const std::string& c : commands) {
+    if (c == "ALL" || GlobMatch(c, command_line)) {
+      return true;
+    }
+    // A bare binary path also matches an invocation with no arguments and
+    // any invocation of that binary followed by arguments.
+    if (!c.empty() && c.find('*') == std::string::npos &&
+        StartsWith(command_line, c + " ")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string SudoRule::ToString() const {
+  const char* tag = nopasswd ? "NOPASSWD: " : (targetpw ? "TARGETPW: " : "");
+  return StrFormat("%s ALL=(%s) %s%s", user.c_str(), Join(runas, ",").c_str(), tag,
+                   Join(commands, ", ").c_str());
+}
+
+namespace {
+
+Result<Unit> ParseLine(const ConfigLine& line, SudoersPolicy* policy) {
+  std::vector<std::string> fields = LexFields(line.text);
+  if (fields.empty()) {
+    return OkUnit();
+  }
+
+  if (fields[0] == "Defaults") {
+    // Defaults key=value[, key=value]...
+    std::string rest(Trim(line.text.substr(8)));
+    for (const std::string& clause : Split(rest, ',')) {
+      std::string_view c = Trim(clause);
+      if (StartsWith(c, "timestamp_timeout=")) {
+        auto v = ParseUint(c.substr(18));
+        if (!v) {
+          return Error(Errno::kEINVAL,
+                       StrFormat("sudoers line %d: bad timestamp_timeout", line.line_number));
+        }
+        policy->timestamp_timeout_sec = *v * 60;  // sudo expresses it in minutes
+      } else if (StartsWith(c, "env_keep=")) {
+        std::string val(c.substr(9));
+        if (val.size() >= 2 && val.front() == '"' && val.back() == '"') {
+          val = val.substr(1, val.size() - 2);
+        }
+        policy->env_keep = SplitWhitespace(val);
+      }
+      // Unknown Defaults clauses are ignored, as sudo does for plugins.
+    }
+    return OkUnit();
+  }
+
+  if (fields[0] == "Group_Auth") {
+    if (fields.size() != 2) {
+      return Error(Errno::kEINVAL, StrFormat("sudoers line %d: Group_Auth <group>",
+                                             line.line_number));
+    }
+    policy->password_groups.push_back(fields[1]);
+    return OkUnit();
+  }
+
+  if (fields[0] == "File_Delegate") {
+    if (fields.size() != 4 || (fields[3] != "r" && fields[3] != "rw" && fields[3] != "w")) {
+      return Error(Errno::kEINVAL,
+                   StrFormat("sudoers line %d: File_Delegate <binary> <glob> <r|w|rw>",
+                             line.line_number));
+    }
+    FileDelegation d;
+    d.binary = fields[1];
+    d.path_glob = fields[2];
+    if (fields[3].find('r') != std::string::npos) {
+      d.allow_may |= kMayRead;
+    }
+    if (fields[3].find('w') != std::string::npos) {
+      d.allow_may |= kMayWrite;
+    }
+    policy->file_delegations.push_back(std::move(d));
+    return OkUnit();
+  }
+
+  if (fields[0] == "Reauth_Read") {
+    if (fields.size() != 2) {
+      return Error(Errno::kEINVAL,
+                   StrFormat("sudoers line %d: Reauth_Read <glob>", line.line_number));
+    }
+    policy->reauth_read_globs.push_back(fields[1]);
+    return OkUnit();
+  }
+
+  // Classic rule: user HOST=(runas) [NOPASSWD:] cmd[, cmd]...
+  SudoRule rule;
+  rule.user = fields[0];
+  size_t eq = line.text.find('=');
+  if (eq == std::string::npos) {
+    return Error(Errno::kEINVAL, StrFormat("sudoers line %d: missing '='", line.line_number));
+  }
+  // Keep the backing string alive: every later string_view slices into it.
+  std::string_view rest = Trim(std::string_view(line.text).substr(eq + 1));
+  if (!rest.empty() && rest[0] == '(') {
+    size_t close = rest.find(')');
+    if (close == std::string_view::npos) {
+      return Error(Errno::kEINVAL, StrFormat("sudoers line %d: unclosed runas list",
+                                             line.line_number));
+    }
+    for (const std::string& r : Split(rest.substr(1, close - 1), ',')) {
+      rule.runas.push_back(std::string(Trim(r)));
+    }
+    rest = Trim(rest.substr(close + 1));
+  } else {
+    rule.runas = {"root"};  // sudo's default runas
+  }
+  if (StartsWith(rest, "NOPASSWD:")) {
+    rule.nopasswd = true;
+    rest = Trim(rest.substr(9));
+  } else if (StartsWith(rest, "TARGETPW:")) {
+    rule.targetpw = true;
+    rest = Trim(rest.substr(9));
+  } else if (StartsWith(rest, "PASSWD:")) {
+    rest = Trim(rest.substr(7));
+  }
+  if (rest.empty()) {
+    return Error(Errno::kEINVAL, StrFormat("sudoers line %d: no commands", line.line_number));
+  }
+  for (const std::string& c : Split(rest, ',')) {
+    std::string cmd(Trim(c));
+    if (!cmd.empty()) {
+      rule.commands.push_back(std::move(cmd));
+    }
+  }
+  policy->rules.push_back(std::move(rule));
+  return OkUnit();
+}
+
+}  // namespace
+
+Result<SudoersPolicy> ParseSudoers(std::string_view content) {
+  SudoersPolicy policy;
+  for (const ConfigLine& line : LexConfig(content)) {
+    RETURN_IF_ERROR(ParseLine(line, &policy));
+  }
+  return policy;
+}
+
+Result<SudoersPolicy> ParseSudoersWithFragments(std::string_view main_content,
+                                                const std::vector<std::string>& fragments) {
+  ASSIGN_OR_RETURN(SudoersPolicy policy, ParseSudoers(main_content));
+  for (const std::string& fragment : fragments) {
+    ASSIGN_OR_RETURN(SudoersPolicy extra, ParseSudoers(fragment));
+    for (auto& r : extra.rules) {
+      policy.rules.push_back(std::move(r));
+    }
+    for (auto& g : extra.password_groups) {
+      policy.password_groups.push_back(std::move(g));
+    }
+    for (auto& d : extra.file_delegations) {
+      policy.file_delegations.push_back(std::move(d));
+    }
+    for (auto& g : extra.reauth_read_globs) {
+      policy.reauth_read_globs.push_back(std::move(g));
+    }
+  }
+  return policy;
+}
+
+std::string SerializeSudoers(const SudoersPolicy& policy) {
+  std::string out;
+  out += StrFormat("Defaults timestamp_timeout=%llu\n",
+                   static_cast<unsigned long long>(policy.timestamp_timeout_sec / 60));
+  out += "Defaults env_keep=\"" + Join(policy.env_keep, " ") + "\"\n";
+  for (const std::string& g : policy.password_groups) {
+    out += "Group_Auth " + g + "\n";
+  }
+  for (const FileDelegation& d : policy.file_delegations) {
+    std::string may;
+    if (d.allow_may & kMayRead) {
+      may += "r";
+    }
+    if (d.allow_may & kMayWrite) {
+      may += "w";
+    }
+    out += StrFormat("File_Delegate %s %s %s\n", d.binary.c_str(), d.path_glob.c_str(),
+                     may.c_str());
+  }
+  for (const std::string& g : policy.reauth_read_globs) {
+    out += "Reauth_Read " + g + "\n";
+  }
+  for (const SudoRule& r : policy.rules) {
+    out += r.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace protego

@@ -1,0 +1,63 @@
+// /etc/sudoers parser, plus the Protego extensions (§4.3) that explicate
+// policies previously hard-coded in other setuid binaries:
+//
+//   Classic rules:    alice ALL=(bob) NOPASSWD: /usr/bin/lpr *
+//   su-style rules:   ALL ALL=(ALL) TARGETPW: ALL
+//                     (authenticate with the TARGET user's password, as su does)
+//   Defaults:         Defaults timestamp_timeout=5, env_keep="PATH TERM"
+//   Group auth:       Group_Auth staff            (newgrp: password-protected group)
+//   File delegation:  File_Delegate /usr/bin/ssh-keysign /etc/ssh/host_key r
+//                     (grants ONE binary access to ONE sensitive file)
+//   Reauth files:     Reauth_Read /etc/shadows/*  (reading requires recent auth)
+
+#ifndef SRC_CONFIG_SUDOERS_H_
+#define SRC_CONFIG_SUDOERS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/vfs/types.h"
+
+namespace protego {
+
+// One classic sudoers rule: who may run what as whom.
+struct SudoRule {
+  std::string user;                  // username, "%group", or "ALL"
+  std::vector<std::string> runas;    // target users, or {"ALL"}
+  std::vector<std::string> commands; // command globs (argv joined), or {"ALL"}
+  bool nopasswd = false;
+  bool targetpw = false;  // authenticate the target user, not the invoker (su)
+
+  bool RunasMatches(const std::string& target) const;
+  bool CommandMatches(const std::string& command_line) const;
+  std::string ToString() const;
+};
+
+// Protego extension: one binary granted access to one sensitive file.
+struct FileDelegation {
+  std::string binary;
+  std::string path_glob;
+  int allow_may = 0;  // kMayRead / kMayWrite bits
+};
+
+struct SudoersPolicy {
+  std::vector<SudoRule> rules;
+  std::vector<std::string> password_groups;   // Group_Auth entries
+  std::vector<FileDelegation> file_delegations;
+  std::vector<std::string> reauth_read_globs; // Reauth_Read entries
+  uint64_t timestamp_timeout_sec = 300;       // sudo's 5-minute default
+  std::vector<std::string> env_keep = {"PATH", "TERM", "HOME", "USER", "LANG"};
+};
+
+Result<SudoersPolicy> ParseSudoers(std::string_view content);
+
+// Parses a main file plus the contents of sudoers.d fragments, in order.
+Result<SudoersPolicy> ParseSudoersWithFragments(std::string_view main_content,
+                                                const std::vector<std::string>& fragments);
+
+std::string SerializeSudoers(const SudoersPolicy& policy);
+
+}  // namespace protego
+
+#endif  // SRC_CONFIG_SUDOERS_H_

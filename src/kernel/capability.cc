@@ -1,0 +1,64 @@
+#include "src/kernel/capability.h"
+
+namespace protego {
+
+const char* CapabilityName(Capability cap) {
+  switch (cap) {
+    case Capability::kChown: return "CAP_CHOWN";
+    case Capability::kDacOverride: return "CAP_DAC_OVERRIDE";
+    case Capability::kDacReadSearch: return "CAP_DAC_READ_SEARCH";
+    case Capability::kFowner: return "CAP_FOWNER";
+    case Capability::kFsetid: return "CAP_FSETID";
+    case Capability::kKill: return "CAP_KILL";
+    case Capability::kSetgid: return "CAP_SETGID";
+    case Capability::kSetuid: return "CAP_SETUID";
+    case Capability::kSetpcap: return "CAP_SETPCAP";
+    case Capability::kLinuxImmutable: return "CAP_LINUX_IMMUTABLE";
+    case Capability::kNetBindService: return "CAP_NET_BIND_SERVICE";
+    case Capability::kNetBroadcast: return "CAP_NET_BROADCAST";
+    case Capability::kNetAdmin: return "CAP_NET_ADMIN";
+    case Capability::kNetRaw: return "CAP_NET_RAW";
+    case Capability::kIpcLock: return "CAP_IPC_LOCK";
+    case Capability::kIpcOwner: return "CAP_IPC_OWNER";
+    case Capability::kSysModule: return "CAP_SYS_MODULE";
+    case Capability::kSysRawio: return "CAP_SYS_RAWIO";
+    case Capability::kSysChroot: return "CAP_SYS_CHROOT";
+    case Capability::kSysPtrace: return "CAP_SYS_PTRACE";
+    case Capability::kSysPacct: return "CAP_SYS_PACCT";
+    case Capability::kSysAdmin: return "CAP_SYS_ADMIN";
+    case Capability::kSysBoot: return "CAP_SYS_BOOT";
+    case Capability::kSysNice: return "CAP_SYS_NICE";
+    case Capability::kSysResource: return "CAP_SYS_RESOURCE";
+    case Capability::kSysTime: return "CAP_SYS_TIME";
+    case Capability::kSysTtyConfig: return "CAP_SYS_TTY_CONFIG";
+    case Capability::kMknod: return "CAP_MKNOD";
+    case Capability::kLease: return "CAP_LEASE";
+    case Capability::kAuditWrite: return "CAP_AUDIT_WRITE";
+    case Capability::kAuditControl: return "CAP_AUDIT_CONTROL";
+    case Capability::kSetfcap: return "CAP_SETFCAP";
+    case Capability::kMacOverride: return "CAP_MAC_OVERRIDE";
+    case Capability::kMacAdmin: return "CAP_MAC_ADMIN";
+    case Capability::kSyslog: return "CAP_SYSLOG";
+    case Capability::kWakeAlarm: return "CAP_WAKE_ALARM";
+    case Capability::kBlockSuspend: return "CAP_BLOCK_SUSPEND";
+  }
+  return "CAP_?";
+}
+
+std::string CapSet::ToString() const {
+  if (Empty()) {
+    return "-";
+  }
+  std::string out;
+  for (int i = 0; i < kNumCapabilities; ++i) {
+    if ((bits_ >> i) & 1) {
+      if (!out.empty()) {
+        out += "|";
+      }
+      out += CapabilityName(static_cast<Capability>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace protego

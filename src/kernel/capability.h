@@ -1,0 +1,94 @@
+// Linux file-system capabilities (the coarse fragmentation of root privilege
+// discussed in §3.2 of the paper). Values match include/uapi/linux/capability.h
+// so that audit traces are comparable with real systems.
+
+#ifndef SRC_KERNEL_CAPABILITY_H_
+#define SRC_KERNEL_CAPABILITY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace protego {
+
+enum class Capability : int {
+  kChown = 0,
+  kDacOverride = 1,
+  kDacReadSearch = 2,
+  kFowner = 3,
+  kFsetid = 4,
+  kKill = 5,
+  kSetgid = 6,
+  kSetuid = 7,
+  kSetpcap = 8,
+  kLinuxImmutable = 9,
+  kNetBindService = 10,
+  kNetBroadcast = 11,
+  kNetAdmin = 12,
+  kNetRaw = 13,
+  kIpcLock = 14,
+  kIpcOwner = 15,
+  kSysModule = 16,
+  kSysRawio = 17,
+  kSysChroot = 18,
+  kSysPtrace = 19,
+  kSysPacct = 20,
+  kSysAdmin = 21,
+  kSysBoot = 22,
+  kSysNice = 23,
+  kSysResource = 24,
+  kSysTime = 25,
+  kSysTtyConfig = 26,
+  kMknod = 27,
+  kLease = 28,
+  kAuditWrite = 29,
+  kAuditControl = 30,
+  kSetfcap = 31,
+  kMacOverride = 32,
+  kMacAdmin = 33,
+  kSyslog = 34,
+  kWakeAlarm = 35,
+  kBlockSuspend = 36,
+};
+
+inline constexpr int kNumCapabilities = 37;
+
+// "CAP_SYS_ADMIN" style name.
+const char* CapabilityName(Capability cap);
+
+// A set of capabilities (one of the effective/permitted/inheritable sets).
+class CapSet {
+ public:
+  CapSet() = default;
+
+  static CapSet All() {
+    CapSet s;
+    s.bits_ = (uint64_t{1} << kNumCapabilities) - 1;
+    return s;
+  }
+  static CapSet Of(std::initializer_list<Capability> caps) {
+    CapSet s;
+    for (Capability c : caps) {
+      s.Add(c);
+    }
+    return s;
+  }
+
+  bool Has(Capability cap) const { return (bits_ >> static_cast<int>(cap)) & 1; }
+  void Add(Capability cap) { bits_ |= uint64_t{1} << static_cast<int>(cap); }
+  void Remove(Capability cap) { bits_ &= ~(uint64_t{1} << static_cast<int>(cap)); }
+  void Clear() { bits_ = 0; }
+  bool Empty() const { return bits_ == 0; }
+  uint64_t bits() const { return bits_; }
+
+  // "CAP_SETUID|CAP_SETGID" for audit messages; "-" when empty.
+  std::string ToString() const;
+
+  friend bool operator==(const CapSet&, const CapSet&) = default;
+
+ private:
+  uint64_t bits_ = 0;
+};
+
+}  // namespace protego
+
+#endif  // SRC_KERNEL_CAPABILITY_H_

@@ -1,0 +1,23 @@
+#include "src/kernel/cred.h"
+
+#include "src/base/strings.h"
+
+namespace protego {
+
+std::string Cred::ToString() const {
+  std::string out = StrFormat("uid=%u euid=%u suid=%u gid=%u egid=%u", ruid, euid, suid, rgid,
+                              egid);
+  if (!groups.empty()) {
+    out += " groups=";
+    for (size_t i = 0; i < groups.size(); ++i) {
+      if (i != 0) {
+        out += ",";
+      }
+      out += StrFormat("%u", groups[i]);
+    }
+  }
+  out += " caps=" + effective.ToString();
+  return out;
+}
+
+}  // namespace protego

@@ -1,0 +1,825 @@
+#include "src/kernel/kernel.h"
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+
+namespace protego {
+
+void ProcessContext::Out(std::string_view text) {
+  task.stdout_buf.append(text);
+  if (task.terminal != nullptr) {
+    task.terminal->Write(text);
+  }
+}
+
+void ProcessContext::Err(std::string_view text) {
+  task.stderr_buf.append(text);
+  if (task.terminal != nullptr) {
+    task.terminal->Write(text);
+  }
+}
+
+std::optional<std::string> ProcessContext::ReadLine() {
+  if (task.terminal == nullptr) {
+    return std::nullopt;
+  }
+  return task.terminal->ReadLine();
+}
+
+std::optional<std::string> ProcessContext::Flag(std::string_view name) const {
+  std::string prefix = "--" + std::string(name) + "=";
+  for (const std::string& arg : argv) {
+    if (StartsWith(arg, prefix)) {
+      return arg.substr(prefix.size());
+    }
+  }
+  return std::nullopt;
+}
+
+bool ProcessContext::HasFlag(std::string_view name) const {
+  std::string flag = "--" + std::string(name);
+  for (const std::string& arg : argv) {
+    if (arg == flag) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Kernel::Kernel() : vfs_(&clock_) {}
+
+Task& Kernel::CreateTask(std::string comm, Cred cred, Terminal* terminal, int ppid) {
+  auto task = std::make_unique<Task>();
+  task->pid = next_pid_++;
+  task->ppid = ppid;
+  task->comm = std::move(comm);
+  task->cred = std::move(cred);
+  task->terminal = terminal;
+  Task* raw = task.get();
+  tasks_.emplace(raw->pid, std::move(task));
+  return *raw;
+}
+
+Task* Kernel::FindTask(int pid) {
+  auto it = tasks_.find(pid);
+  return it == tasks_.end() ? nullptr : it->second.get();
+}
+
+void Kernel::ReapTask(int pid) {
+  auto it = tasks_.find(pid);
+  if (it == tasks_.end()) {
+    return;
+  }
+  // Process exit closes its descriptors; socket endpoints (and their port
+  // bindings) must not outlive the task.
+  for (const auto& [fd, entry] : it->second->fds.entries()) {
+    if (entry.kind == FdEntry::Kind::kSocket) {
+      net_.DestroySocket(entry.socket_id);
+    }
+  }
+  tasks_.erase(it);
+}
+
+Result<Unit> Kernel::InstallBinary(const std::string& path, uint32_t mode, Uid uid, Gid gid,
+                                   ProgramMain main) {
+  std::string normalized = Vfs::Normalize(path);
+  size_t slash = normalized.find_last_of('/');
+  if (slash > 0) {
+    RETURN_IF_ERROR(vfs_.EnsureDirs(normalized.substr(0, slash)));
+  }
+  ASSIGN_OR_RETURN(Vnode * node,
+                   vfs_.CreateFile(normalized, mode, uid, gid, "\177ELF " + normalized));
+  node->inode().mode = (node->inode().mode & kIfMask) | (mode & kPermMask);
+  binaries_[normalized] = BinaryEntry{std::move(main), CapSet{}};
+  return OkUnit();
+}
+
+void Kernel::SetFileCaps(const std::string& path, CapSet caps) {
+  auto it = binaries_.find(Vfs::Normalize(path));
+  if (it != binaries_.end()) {
+    it->second.file_caps = caps;
+  }
+}
+
+bool Kernel::HasBinary(const std::string& path) const {
+  return binaries_.count(Vfs::Normalize(path)) != 0;
+}
+
+std::string Kernel::JoinPath(const Task& task, const std::string& path) {
+  if (!path.empty() && path[0] == '/') {
+    return Vfs::Normalize(path);
+  }
+  return Vfs::Normalize(task.cwd + "/" + path);
+}
+
+bool Kernel::Capable(const Task& task, Capability cap) const { return lsm_.Capable(task, cap); }
+
+void Kernel::Audit(std::string message) {
+  constexpr size_t kAuditRing = 512;
+  if (audit_log_.size() >= kAuditRing) {
+    audit_log_.erase(audit_log_.begin());
+  }
+  audit_log_.push_back(message);
+  LogAudit(std::move(message));
+}
+
+bool Kernel::Authenticate(Task& task, Uid account) {
+  return AuthenticateAny(task, {account}).has_value();
+}
+
+std::optional<Uid> Kernel::AuthenticateAny(Task& task, const std::vector<Uid>& accounts) {
+  if (!auth_agent_) {
+    return std::nullopt;
+  }
+  return auth_agent_(task, accounts);
+}
+
+Result<Unit> Kernel::CheckPermission(Task& task, const std::string& path, const Inode& inode,
+                                     int may) {
+  HookVerdict verdict = lsm_.InodePermission(task, path, inode, may);
+  if (verdict == HookVerdict::kDeny) {
+    return Error(Errno::kEACCES, path);
+  }
+  if (verdict == HookVerdict::kAllow) {
+    return OkUnit();  // delegation rule bypasses DAC (e.g. ssh-keysign host key)
+  }
+  const Cred& cred = task.cred;
+  auto in_group = [&cred](Gid gid) { return cred.InGroup(gid); };
+  if (DacPermits(inode, cred.fsuid, in_group, may)) {
+    return OkUnit();
+  }
+  // CAP_DAC_OVERRIDE bypasses rw checks; exec still needs some x bit.
+  if (Capable(task, Capability::kDacOverride)) {
+    if (!(may & kMayExec) || (inode.mode & 0111) != 0 || inode.IsDir()) {
+      return OkUnit();
+    }
+  }
+  if ((may & (kMayWrite | kMayExec)) == 0 && Capable(task, Capability::kDacReadSearch)) {
+    return OkUnit();
+  }
+  return Error(Errno::kEACCES, path);
+}
+
+// --- Files -------------------------------------------------------------------
+
+Result<int> Kernel::Open(Task& task, const std::string& path, int flags, uint32_t mode) {
+  std::string full = JoinPath(task, path);
+  auto resolved = vfs_.Resolve(full);
+  Vnode* node = nullptr;
+  if (!resolved.ok()) {
+    if (resolved.code() != Errno::kENOENT || !(flags & kOCreat)) {
+      return resolved.error();
+    }
+    // Create: need write permission on the parent directory.
+    ASSIGN_OR_RETURN(auto parent_leaf, vfs_.ResolveParent(full));
+    auto [parent, leaf] = parent_leaf;
+    RETURN_IF_ERROR(CheckPermission(task, vfs_.PathOf(parent), parent->inode(), kMayWrite));
+    ASSIGN_OR_RETURN(node, vfs_.CreateFile(full, mode, task.cred.fsuid, task.cred.fsgid));
+  } else {
+    node = resolved.value();
+    if ((flags & kOCreat) && (flags & kOExcl)) {
+      return Error(Errno::kEEXIST, full);
+    }
+  }
+  if (node->inode().IsDir() && (flags & kOAccMode) != kORdOnly) {
+    return Error(Errno::kEISDIR, full);
+  }
+  int may = 0;
+  switch (flags & kOAccMode) {
+    case kORdOnly: may = kMayRead; break;
+    case kOWrOnly: may = kMayWrite; break;
+    default: may = kMayRead | kMayWrite; break;
+  }
+  RETURN_IF_ERROR(CheckPermission(task, full, node->inode(), may));
+  if ((flags & kOTrunc) && (may & kMayWrite) && node->inode().IsReg() &&
+      node->inode().synthetic == nullptr) {
+    RETURN_IF_ERROR(vfs_.WriteNode(node, "", /*append=*/false));
+  }
+  FdEntry entry;
+  entry.kind = FdEntry::Kind::kFile;
+  entry.file = std::make_shared<OpenFile>(OpenFile{node, flags, 0});
+  entry.cloexec = (flags & kOCloExec) != 0;
+  return task.fds.Install(std::move(entry));
+}
+
+Result<Unit> Kernel::Close(Task& task, int fd) {
+  FdEntry* entry = task.fds.Get(fd);
+  if (entry == nullptr) {
+    return Error(Errno::kEBADF);
+  }
+  if (entry->kind == FdEntry::Kind::kSocket) {
+    net_.DestroySocket(entry->socket_id);
+  }
+  return task.fds.Close(fd);
+}
+
+Result<std::string> Kernel::Read(Task& task, int fd) {
+  FdEntry* entry = task.fds.Get(fd);
+  if (entry == nullptr || entry->kind != FdEntry::Kind::kFile) {
+    return Error(Errno::kEBADF);
+  }
+  if ((entry->file->flags & kOAccMode) == kOWrOnly) {
+    return Error(Errno::kEBADF, "write-only fd");
+  }
+  ASSIGN_OR_RETURN(std::string data, vfs_.ReadNode(entry->file->node));
+  if (entry->file->offset >= data.size()) {
+    return std::string();
+  }
+  std::string out = data.substr(entry->file->offset);
+  entry->file->offset = data.size();
+  return out;
+}
+
+Result<Unit> Kernel::Write(Task& task, int fd, std::string_view data) {
+  FdEntry* entry = task.fds.Get(fd);
+  if (entry == nullptr || entry->kind != FdEntry::Kind::kFile) {
+    return Error(Errno::kEBADF);
+  }
+  if ((entry->file->flags & kOAccMode) == kORdOnly) {
+    return Error(Errno::kEBADF, "read-only fd");
+  }
+  bool append = (entry->file->flags & kOAppend) != 0 || entry->file->offset > 0;
+  RETURN_IF_ERROR(vfs_.WriteNode(entry->file->node, data, append));
+  entry->file->offset += data.size();
+  return OkUnit();
+}
+
+Result<KernelStat> Kernel::Stat(Task& task, const std::string& path) {
+  std::string full = JoinPath(task, path);
+  ASSIGN_OR_RETURN(Vnode * node, vfs_.Resolve(full));
+  const Inode& inode = node->inode();
+  KernelStat st;
+  st.ino = inode.ino;
+  st.mode = inode.mode;
+  st.uid = inode.uid;
+  st.gid = inode.gid;
+  st.size = inode.data.size();
+  st.mtime = inode.mtime;
+  st.rdev_major = inode.rdev_major;
+  st.rdev_minor = inode.rdev_minor;
+  return st;
+}
+
+Result<Unit> Kernel::Chmod(Task& task, const std::string& path, uint32_t mode) {
+  std::string full = JoinPath(task, path);
+  ASSIGN_OR_RETURN(Vnode * node, vfs_.Resolve(full));
+  if (task.cred.fsuid != node->inode().uid && !Capable(task, Capability::kFowner)) {
+    return Error(Errno::kEPERM, full);
+  }
+  node->inode().mode = (node->inode().mode & kIfMask) | (mode & kPermMask);
+  return OkUnit();
+}
+
+Result<Unit> Kernel::Chown(Task& task, const std::string& path, Uid uid, Gid gid) {
+  std::string full = JoinPath(task, path);
+  ASSIGN_OR_RETURN(Vnode * node, vfs_.Resolve(full));
+  if (!Capable(task, Capability::kChown)) {
+    return Error(Errno::kEPERM, full);
+  }
+  node->inode().uid = uid;
+  node->inode().gid = gid;
+  // Ownership change clears the setuid/setgid bits, as on Linux.
+  node->inode().mode &= ~(kSetUidBit | kSetGidBit);
+  return OkUnit();
+}
+
+Result<Unit> Kernel::Mkdir(Task& task, const std::string& path, uint32_t mode) {
+  std::string full = JoinPath(task, path);
+  ASSIGN_OR_RETURN(auto parent_leaf, vfs_.ResolveParent(full));
+  auto [parent, leaf] = parent_leaf;
+  RETURN_IF_ERROR(CheckPermission(task, vfs_.PathOf(parent), parent->inode(), kMayWrite));
+  RETURN_IF_ERROR(vfs_.CreateDir(full, mode, task.cred.fsuid, task.cred.fsgid));
+  return OkUnit();
+}
+
+Result<Unit> Kernel::Unlink(Task& task, const std::string& path) {
+  std::string full = JoinPath(task, path);
+  ASSIGN_OR_RETURN(auto parent_leaf, vfs_.ResolveParent(full));
+  auto [parent, leaf] = parent_leaf;
+  RETURN_IF_ERROR(CheckPermission(task, vfs_.PathOf(parent), parent->inode(), kMayWrite));
+  return vfs_.Unlink(full);
+}
+
+Result<Unit> Kernel::Rename(Task& task, const std::string& from, const std::string& to) {
+  std::string from_full = JoinPath(task, from);
+  std::string to_full = JoinPath(task, to);
+  ASSIGN_OR_RETURN(auto from_pl, vfs_.ResolveParent(from_full));
+  RETURN_IF_ERROR(
+      CheckPermission(task, vfs_.PathOf(from_pl.first), from_pl.first->inode(), kMayWrite));
+  ASSIGN_OR_RETURN(auto to_pl, vfs_.ResolveParent(to_full));
+  RETURN_IF_ERROR(CheckPermission(task, vfs_.PathOf(to_pl.first), to_pl.first->inode(), kMayWrite));
+  return vfs_.Rename(from_full, to_full);
+}
+
+Result<std::vector<std::string>> Kernel::ReadDir(Task& task, const std::string& path) {
+  std::string full = JoinPath(task, path);
+  ASSIGN_OR_RETURN(Vnode * node, vfs_.Resolve(full));
+  if (!node->inode().IsDir()) {
+    return Error(Errno::kENOTDIR, full);
+  }
+  RETURN_IF_ERROR(CheckPermission(task, full, node->inode(), kMayRead));
+  return node->ListNames();
+}
+
+Result<Unit> Kernel::Access(Task& task, const std::string& path, int may) {
+  std::string full = JoinPath(task, path);
+  ASSIGN_OR_RETURN(Vnode * node, vfs_.Resolve(full));
+  return CheckPermission(task, full, node->inode(), may);
+}
+
+Result<std::string> Kernel::ReadWholeFile(Task& task, const std::string& path) {
+  ASSIGN_OR_RETURN(int fd, Open(task, path, kORdOnly));
+  auto data = Read(task, fd);
+  (void)Close(task, fd);
+  return data;
+}
+
+Result<Unit> Kernel::WriteWholeFile(Task& task, const std::string& path, std::string_view data,
+                                    bool append, uint32_t create_mode) {
+  int flags = kOWrOnly | kOCreat | (append ? kOAppend : kOTrunc);
+  ASSIGN_OR_RETURN(int fd, Open(task, path, flags, create_mode));
+  auto r = Write(task, fd, data);
+  (void)Close(task, fd);
+  if (!r.ok()) {
+    return r.error();
+  }
+  return OkUnit();
+}
+
+// --- Mounts --------------------------------------------------------------------
+
+void Kernel::RegisterFsType(const std::string& fstype, FsTypeFactory factory) {
+  fs_types_[fstype] = std::move(factory);
+}
+
+Result<Unit> Kernel::Mount(Task& task, const std::string& source, const std::string& target,
+                           const std::string& fstype, std::vector<std::string> options) {
+  std::string full_target = JoinPath(task, target);
+  MountRequest req{source, full_target, fstype, options};
+  HookVerdict verdict = lsm_.SbMount(task, req);
+  if (verdict == HookVerdict::kDeny) {
+    Audit(StrFormat("mount denied by LSM: %s on %s (uid=%u)", source.c_str(),
+                       full_target.c_str(), task.cred.euid));
+    return Error(Errno::kEPERM, "mount " + full_target);
+  }
+  if (verdict == HookVerdict::kDefault && !Capable(task, Capability::kSysAdmin)) {
+    return Error(Errno::kEPERM, "mount requires CAP_SYS_ADMIN");
+  }
+  auto it = fs_types_.find(fstype);
+  if (it == fs_types_.end()) {
+    return Error(Errno::kENODEV, "unknown filesystem type " + fstype);
+  }
+  ASSIGN_OR_RETURN(MountPopulator populate, it->second(source));
+  return vfs_.AddMount(full_target, source, fstype, std::move(options), task.cred.ruid, populate);
+}
+
+Result<Unit> Kernel::Umount(Task& task, const std::string& target) {
+  std::string full_target = JoinPath(task, target);
+  if (vfs_.FindMount(full_target) == nullptr) {
+    return Error(Errno::kEINVAL, "not mounted: " + full_target);
+  }
+  HookVerdict verdict = lsm_.SbUmount(task, full_target);
+  if (verdict == HookVerdict::kDeny) {
+    return Error(Errno::kEPERM, "umount " + full_target);
+  }
+  if (verdict == HookVerdict::kDefault && !Capable(task, Capability::kSysAdmin)) {
+    return Error(Errno::kEPERM, "umount requires CAP_SYS_ADMIN");
+  }
+  return vfs_.RemoveMount(full_target);
+}
+
+// --- Namespaces --------------------------------------------------------------------
+
+Result<Unit> Kernel::Unshare(Task& task, int flags) {
+  if ((flags & ~(kCloneNewUser | kCloneNewNet)) != 0) {
+    return Error(Errno::kEINVAL, "unsupported unshare flags");
+  }
+  bool want_user = (flags & kCloneNewUser) != 0;
+  bool want_net = (flags & kCloneNewNet) != 0;
+  if (!want_user && !want_net) {
+    return OkUnit();
+  }
+  if (!unprivileged_userns_enabled_) {
+    // Pre-3.8: every namespace type requires CAP_SYS_ADMIN — which is why
+    // chromium-sandbox had to be setuid root (§4.6).
+    if (!Capable(task, Capability::kSysAdmin)) {
+      return Error(Errno::kEPERM, "unshare requires CAP_SYS_ADMIN");
+    }
+  } else if (want_net && !want_user && task.ns.user_ns == 0 &&
+             !Capable(task, Capability::kSysAdmin)) {
+    // 3.8+: user namespaces are free; other namespaces need CAP_SYS_ADMIN
+    // in the current user namespace (i.e. ride along with CLONE_NEWUSER).
+    return Error(Errno::kEPERM, "network namespace requires a user namespace");
+  }
+  if (want_user) {
+    task.ns.user_ns = next_userns_++;
+  }
+  if (want_net) {
+    task.ns.net_ns = net_.NewNetNamespace();
+  }
+  Audit(StrFormat("unshare: pid=%d uid=%u user_ns=%d net_ns=%d", task.pid, task.cred.ruid,
+                     task.ns.user_ns, task.ns.net_ns));
+  return OkUnit();
+}
+
+// --- Credentials -----------------------------------------------------------------
+
+void Kernel::RecomputeCapsAfterSetuid(Cred& cred, Uid old_euid) {
+  if (old_euid == kRootUid && cred.euid != kRootUid) {
+    cred.effective.Clear();
+    if (cred.ruid != kRootUid && cred.suid != kRootUid) {
+      cred.permitted.Clear();
+    }
+  }
+  if (old_euid != kRootUid && cred.euid == kRootUid) {
+    cred.effective = cred.permitted;
+  }
+}
+
+Result<Unit> Kernel::Setuid(Task& task, Uid uid) {
+  SetuidRequest req;
+  req.target_uid = uid;
+  SetuidDisposition disposition;
+  HookVerdict verdict = lsm_.TaskFixSetuid(task, req, &disposition);
+  if (verdict == HookVerdict::kDeny) {
+    Audit(StrFormat("setuid(%u) denied by LSM for uid=%u", uid, task.cred.ruid));
+    return Error(Errno::kEPERM, "setuid");
+  }
+  Uid old_euid = task.cred.euid;
+  if (verdict == HookVerdict::kAllow) {
+    if (disposition.defer_to_exec) {
+      // Protego setuid-on-exec: report success now, transition at execve.
+      task.pending_setuid.active = true;
+      task.pending_setuid.target_uid = uid;
+      task.pending_setuid.has_gid = false;
+      return OkUnit();
+    }
+    task.cred.ruid = task.cred.euid = task.cred.suid = task.cred.fsuid = uid;
+    if (disposition.has_gid) {
+      task.cred.rgid = task.cred.egid = task.cred.sgid = task.cred.fsgid = disposition.gid;
+    }
+    if (uid == kRootUid) {
+      task.cred.effective = CapSet::All();
+      task.cred.permitted = CapSet::All();
+    } else {
+      RecomputeCapsAfterSetuid(task.cred, old_euid);
+    }
+    return OkUnit();
+  }
+  // Legacy rule (stock Linux).
+  if (Capable(task, Capability::kSetuid)) {
+    task.cred.ruid = task.cred.euid = task.cred.suid = task.cred.fsuid = uid;
+    RecomputeCapsAfterSetuid(task.cred, old_euid);
+    return OkUnit();
+  }
+  if (uid == task.cred.ruid || uid == task.cred.suid) {
+    task.cred.euid = task.cred.fsuid = uid;
+    RecomputeCapsAfterSetuid(task.cred, old_euid);
+    return OkUnit();
+  }
+  return Error(Errno::kEPERM, "setuid");
+}
+
+Result<Unit> Kernel::Seteuid(Task& task, Uid uid) {
+  if (Capable(task, Capability::kSetuid) || uid == task.cred.ruid || uid == task.cred.suid) {
+    Uid old_euid = task.cred.euid;
+    task.cred.euid = task.cred.fsuid = uid;
+    RecomputeCapsAfterSetuid(task.cred, old_euid);
+    return OkUnit();
+  }
+  return Error(Errno::kEPERM, "seteuid");
+}
+
+Result<Unit> Kernel::Setgid(Task& task, Gid gid) {
+  SetuidRequest req;
+  req.is_gid = true;
+  req.target_gid = gid;
+  SetuidDisposition disposition;
+  HookVerdict verdict = lsm_.TaskFixSetuid(task, req, &disposition);
+  if (verdict == HookVerdict::kDeny) {
+    return Error(Errno::kEPERM, "setgid");
+  }
+  if (verdict == HookVerdict::kAllow) {
+    if (disposition.defer_to_exec) {
+      task.pending_setuid.active = true;
+      task.pending_setuid.target_uid = task.cred.ruid;
+      task.pending_setuid.has_gid = true;
+      task.pending_setuid.target_gid = gid;
+      return OkUnit();
+    }
+    task.cred.rgid = task.cred.egid = task.cred.sgid = task.cred.fsgid = gid;
+    return OkUnit();
+  }
+  if (Capable(task, Capability::kSetgid)) {
+    task.cred.rgid = task.cred.egid = task.cred.sgid = task.cred.fsgid = gid;
+    return OkUnit();
+  }
+  if (gid == task.cred.rgid || gid == task.cred.sgid) {
+    task.cred.egid = task.cred.fsgid = gid;
+    return OkUnit();
+  }
+  return Error(Errno::kEPERM, "setgid");
+}
+
+Result<Unit> Kernel::Setgroups(Task& task, std::vector<Gid> groups) {
+  if (!Capable(task, Capability::kSetgid)) {
+    return Error(Errno::kEPERM, "setgroups");
+  }
+  task.cred.groups = std::move(groups);
+  return OkUnit();
+}
+
+// --- exec ------------------------------------------------------------------------
+
+Result<int> Kernel::Spawn(Task& parent, const std::string& path, std::vector<std::string> argv,
+                          std::map<std::string, std::string> env) {
+  // fork(): child inherits credentials, cwd, terminal, fds, and the Protego
+  // security metadata (auth recency and any pending setuid-on-exec).
+  Task& child = CreateTask(parent.comm, parent.cred, parent.terminal, parent.pid);
+  child.cwd = parent.cwd;
+  child.exe_path = parent.exe_path;
+  child.ns = parent.ns;
+  child.auth_times = parent.auth_times;
+  child.pending_setuid = parent.pending_setuid;
+  for (const auto& [fd, entry] : parent.fds.entries()) {
+    if (entry.kind == FdEntry::Kind::kSocket) {
+      net_.RefSocket(entry.socket_id);
+    }
+    child.fds.Install(entry);
+  }
+  // The parent's pending transition is consumed by the child's exec, as when
+  // sudo execs the target in-process; clear it on the parent.
+  parent.pending_setuid = PendingSetuid{};
+
+  auto status = Execve(child, path, std::move(argv), std::move(env));
+  // waitpid(): surface the child's output on the parent, then reap.
+  parent.stdout_buf += child.stdout_buf;
+  parent.stderr_buf += child.stderr_buf;
+  int child_pid = child.pid;
+  if (!status.ok()) {
+    ReapTask(child_pid);
+    return status.error();
+  }
+  int code = status.value();
+  ReapTask(child_pid);
+  return code;
+}
+
+Result<int> Kernel::Execve(Task& task, const std::string& path, std::vector<std::string> argv,
+                           std::map<std::string, std::string> env) {
+  std::string full = JoinPath(task, path);
+  ASSIGN_OR_RETURN(Vnode * node, vfs_.Resolve(full));
+  const Inode& inode = node->inode();
+  if (!inode.IsReg()) {
+    return Error(Errno::kEACCES, full);
+  }
+  RETURN_IF_ERROR(CheckPermission(task, full, inode, kMayExec));
+  auto bin_it = binaries_.find(full);
+  if (bin_it == binaries_.end()) {
+    return Error(Errno::kENOEXEC, full);
+  }
+
+  // Provisional post-exec credentials: the setuid/setgid bits (the exact
+  // mechanism this paper is about) are applied here.
+  Cred new_cred = task.cred;
+  if (inode.IsSetUid()) {
+    new_cred.euid = inode.uid;
+  }
+  if (inode.IsSetGid()) {
+    new_cred.egid = inode.gid;
+  }
+  new_cred.suid = new_cred.euid;
+  new_cred.sgid = new_cred.egid;
+  new_cred.fsuid = new_cred.euid;
+  new_cred.fsgid = new_cred.egid;
+  if (new_cred.euid == kRootUid) {
+    new_cred.permitted = CapSet::All();
+    new_cred.effective = CapSet::All();
+  } else {
+    new_cred.permitted = bin_it->second.file_caps;
+    new_cred.effective = bin_it->second.file_caps;
+  }
+
+  ExecControl control;
+  control.cred = &new_cred;
+  control.env = &env;
+  HookVerdict verdict = lsm_.BprmCheck(task, full, inode, argv, &control);
+  if (verdict == HookVerdict::kDeny) {
+    // Deferred setuid-on-exec failures surface here as EACCES (§4.3's
+    // documented error-behaviour change).
+    task.pending_setuid = PendingSetuid{};
+    Audit(StrFormat("exec of %s denied by LSM for uid=%u", full.c_str(), task.cred.ruid));
+    return Error(Errno::kEACCES, "exec " + full);
+  }
+  task.pending_setuid = PendingSetuid{};
+
+  task.cred = new_cred;
+  task.exe_path = full;
+  size_t slash = full.find_last_of('/');
+  task.comm = full.substr(slash + 1);
+  // Dropped descriptors must release their network endpoints (ports) too.
+  for (const auto& [fd, fd_entry] : task.fds.entries()) {
+    if (fd_entry.kind == FdEntry::Kind::kSocket &&
+        (fd_entry.cloexec || control.close_non_std_fds)) {
+      net_.DestroySocket(fd_entry.socket_id);
+    }
+  }
+  task.fds.CloseOnExec();
+  if (control.close_non_std_fds) {
+    task.fds.CloseAll();
+  }
+
+  ProcessContext ctx{*this, task, std::move(argv), std::move(env)};
+  return bin_it->second.main(ctx);
+}
+
+// --- Network -----------------------------------------------------------------------
+
+Result<int> Kernel::SocketCall(Task& task, int family, int type, int protocol) {
+  SocketRequest req{family, type, protocol};
+  HookVerdict verdict = lsm_.SocketCreate(task, req);
+  if (verdict == HookVerdict::kDeny) {
+    return Error(Errno::kEACCES, "socket");
+  }
+  bool raw = (type == kSockRaw || family == kAfPacket);
+  if (raw && verdict == HookVerdict::kDefault && !Capable(task, Capability::kNetRaw)) {
+    // Inside a sandbox created via a user namespace the task holds
+    // CAP_NET_RAW over ITS OWN fake network (§6) — but only there.
+    if (task.ns.net_ns == 0 || task.ns.user_ns == 0) {
+      return Error(Errno::kEPERM, "raw socket requires CAP_NET_RAW");
+    }
+  }
+  Socket& sock =
+      net_.CreateSocket(family, type, protocol, task.cred.euid, task.exe_path, task.ns.net_ns);
+  FdEntry entry;
+  entry.kind = FdEntry::Kind::kSocket;
+  entry.socket_id = sock.id;
+  return task.fds.Install(std::move(entry));
+}
+
+Result<Unit> Kernel::BindCall(Task& task, int fd, uint16_t port) {
+  FdEntry* entry = task.fds.Get(fd);
+  if (entry == nullptr || entry->kind != FdEntry::Kind::kSocket) {
+    return Error(Errno::kEBADF);
+  }
+  Socket* sock = net_.FindSocket(entry->socket_id);
+  if (sock == nullptr) {
+    return Error(Errno::kEBADF);
+  }
+  BindRequest req{port, task.exe_path, task.ns.net_ns};
+  HookVerdict verdict = lsm_.SocketBind(task, req);
+  if (verdict == HookVerdict::kDeny) {
+    Audit(StrFormat("bind(%u) denied by LSM for %s uid=%u", port, task.exe_path.c_str(),
+                       task.cred.euid));
+    return Error(Errno::kEACCES, "bind");
+  }
+  if (port < 1024 && verdict == HookVerdict::kDefault &&
+      !Capable(task, Capability::kNetBindService)) {
+    // Low ports inside a user-namespace sandbox are the sandbox's own.
+    if (task.ns.net_ns == 0 || task.ns.user_ns == 0) {
+      return Error(Errno::kEACCES, "privileged port requires CAP_NET_BIND_SERVICE");
+    }
+  }
+  return net_.Bind(*sock, port);
+}
+
+Result<Unit> Kernel::ListenCall(Task& task, int fd) {
+  FdEntry* entry = task.fds.Get(fd);
+  if (entry == nullptr || entry->kind != FdEntry::Kind::kSocket) {
+    return Error(Errno::kEBADF);
+  }
+  Socket* sock = net_.FindSocket(entry->socket_id);
+  if (sock == nullptr) {
+    return Error(Errno::kEBADF);
+  }
+  return net_.Listen(*sock);
+}
+
+Result<Unit> Kernel::ConnectCall(Task& task, int fd, Ipv4 ip, uint16_t port) {
+  FdEntry* entry = task.fds.Get(fd);
+  if (entry == nullptr || entry->kind != FdEntry::Kind::kSocket) {
+    return Error(Errno::kEBADF);
+  }
+  Socket* sock = net_.FindSocket(entry->socket_id);
+  if (sock == nullptr) {
+    return Error(Errno::kEBADF);
+  }
+  return net_.Connect(*sock, ip, port);
+}
+
+Result<Unit> Kernel::SendCall(Task& task, int fd, Packet packet) {
+  FdEntry* entry = task.fds.Get(fd);
+  if (entry == nullptr || entry->kind != FdEntry::Kind::kSocket) {
+    return Error(Errno::kEBADF);
+  }
+  Socket* sock = net_.FindSocket(entry->socket_id);
+  if (sock == nullptr) {
+    return Error(Errno::kEBADF);
+  }
+  return net_.Send(*sock, std::move(packet));
+}
+
+Result<std::optional<Packet>> Kernel::RecvCall(Task& task, int fd) {
+  FdEntry* entry = task.fds.Get(fd);
+  if (entry == nullptr || entry->kind != FdEntry::Kind::kSocket) {
+    return Error(Errno::kEBADF);
+  }
+  Socket* sock = net_.FindSocket(entry->socket_id);
+  if (sock == nullptr) {
+    return Error(Errno::kEBADF);
+  }
+  return net_.Receive(*sock);
+}
+
+// --- ioctl --------------------------------------------------------------------------
+
+void Kernel::RegisterIoctlHandler(uint32_t major, uint32_t minor, IoctlHandler handler) {
+  ioctl_handlers_[(static_cast<uint64_t>(major) << 32) | minor] = std::move(handler);
+}
+
+Result<std::string> Kernel::Ioctl(Task& task, int fd, uint32_t request, const std::string& arg) {
+  FdEntry* entry = task.fds.Get(fd);
+  if (entry == nullptr) {
+    return Error(Errno::kEBADF);
+  }
+
+  if (entry->kind == FdEntry::Kind::kSocket) {
+    IoctlRequest ireq{"socket", request, arg};
+    HookVerdict verdict = lsm_.FileIoctl(task, ireq);
+    if (verdict == HookVerdict::kDeny) {
+      return Error(Errno::kEPERM, "ioctl");
+    }
+    switch (request) {
+      case kSiocAddRt: {
+        if (verdict == HookVerdict::kDefault && !Capable(task, Capability::kNetAdmin)) {
+          return Error(Errno::kEPERM, "SIOCADDRT requires CAP_NET_ADMIN");
+        }
+        ASSIGN_OR_RETURN(RouteEntry route, ParseRouteSpec(arg));
+        route.added_by = task.cred.ruid;
+        RETURN_IF_ERROR(net_.routes().Add(route));
+        return std::string("route added");
+      }
+      case kSiocDelRt: {
+        if (verdict == HookVerdict::kDefault && !Capable(task, Capability::kNetAdmin)) {
+          return Error(Errno::kEPERM, "SIOCDELRT requires CAP_NET_ADMIN");
+        }
+        auto fields = SplitWhitespace(arg);
+        if (fields.empty()) {
+          return Error(Errno::kEINVAL, "route spec: " + arg);
+        }
+        ASSIGN_OR_RETURN(auto dst, ParseDstSpec(fields[0]));
+        RETURN_IF_ERROR(net_.routes().Remove(dst.first, dst.second));
+        return std::string("route removed");
+      }
+      case kSiocNfAppend: {
+        // The iptables control path (the paper's 175-line extension).
+        if (verdict == HookVerdict::kDefault && !Capable(task, Capability::kNetAdmin)) {
+          return Error(Errno::kEPERM, "netfilter changes require CAP_NET_ADMIN");
+        }
+        ASSIGN_OR_RETURN(NfRule rule, ParseNfRule(arg));
+        net_.netfilter().Append(std::move(rule));
+        Audit(StrFormat("iptables: uid=%u appended rule: %s", task.cred.ruid, arg.c_str()));
+        return std::string("rule appended");
+      }
+      case kSiocNfDelete: {
+        if (verdict == HookVerdict::kDefault && !Capable(task, Capability::kNetAdmin)) {
+          return Error(Errno::kEPERM, "netfilter changes require CAP_NET_ADMIN");
+        }
+        int removed = net_.netfilter().DeleteByComment(arg);
+        if (removed == 0) {
+          return Error(Errno::kESRCH, "no rules tagged: " + arg);
+        }
+        Audit(StrFormat("iptables: uid=%u deleted %d rule(s) tagged %s", task.cred.ruid,
+                        removed, arg.c_str()));
+        return StrFormat("%d rule(s) deleted", removed);
+      }
+      case kSiocNfList: {
+        if (verdict == HookVerdict::kDefault && !Capable(task, Capability::kNetAdmin)) {
+          return Error(Errno::kEPERM, "netfilter listing requires CAP_NET_ADMIN");
+        }
+        return net_.netfilter().ListRules();
+      }
+      default:
+        return Error(Errno::kENOTTY);
+    }
+  }
+
+  // Device ioctl: dispatch by device number.
+  const Inode& inode = entry->file->node->inode();
+  if (!inode.IsDevice()) {
+    return Error(Errno::kENOTTY);
+  }
+  IoctlRequest ireq{vfs_.PathOf(entry->file->node), request, arg};
+  HookVerdict verdict = lsm_.FileIoctl(task, ireq);
+  if (verdict == HookVerdict::kDeny) {
+    return Error(Errno::kEPERM, "ioctl " + ireq.target);
+  }
+  auto it =
+      ioctl_handlers_.find((static_cast<uint64_t>(inode.rdev_major) << 32) | inode.rdev_minor);
+  if (it == ioctl_handlers_.end()) {
+    return Error(Errno::kENOTTY, ireq.target);
+  }
+  return it->second(task, request, arg, verdict);
+}
+
+}  // namespace protego

@@ -1,0 +1,243 @@
+// The simulated kernel: syscall surface, process table, binary registry,
+// execve with real setuid-bit semantics, and the integration of DAC,
+// capability checks, and the LSM stack at each decision point.
+//
+// Policy layering mirrors Linux: each syscall consults the LSM stack first;
+// a kDeny refuses, a kAllow grants past the legacy capability check (the
+// Protego kernel change), and kDefault falls back to the hard-coded
+// capability test that stock Linux 3.6 applies.
+
+#ifndef SRC_KERNEL_KERNEL_H_
+#define SRC_KERNEL_KERNEL_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/base/result.h"
+#include "src/kernel/task.h"
+#include "src/lsm/stack.h"
+#include "src/net/ioctl_codes.h"
+#include "src/net/network.h"
+#include "src/vfs/vfs.h"
+
+namespace protego {
+
+class Kernel;
+
+// Execution context handed to a simulated userspace program.
+struct ProcessContext {
+  Kernel& kernel;
+  Task& task;
+  std::vector<std::string> argv;
+  std::map<std::string, std::string> env;
+
+  // Writes to the program's stdout/stderr (mirrored to the terminal).
+  void Out(std::string_view text);
+  void Err(std::string_view text);
+  // Reads a line from the controlling terminal (password prompts).
+  std::optional<std::string> ReadLine();
+  // First argv value for a "--flag=value" style option, if present.
+  std::optional<std::string> Flag(std::string_view name) const;
+  bool HasFlag(std::string_view name) const;
+};
+
+// Entry point of a simulated userspace binary.
+using ProgramMain = std::function<int(ProcessContext&)>;
+
+// stat(2) result.
+struct KernelStat {
+  uint64_t ino = 0;
+  uint32_t mode = 0;
+  Uid uid = 0;
+  Gid gid = 0;
+  size_t size = 0;
+  uint64_t mtime = 0;
+  uint32_t rdev_major = 0;
+  uint32_t rdev_minor = 0;
+};
+
+// Per-device ioctl handler (e.g. /dev/ppp, /dev/mapper/control). Receives
+// the combined LSM verdict so drivers can honor policy-granted access.
+using IoctlHandler =
+    std::function<Result<std::string>(Task&, uint32_t request, const std::string& arg,
+                                      HookVerdict lsm_verdict)>;
+
+// Produces the content populator for mounting `source` with some fstype.
+using FsTypeFactory = std::function<Result<MountPopulator>(const std::string& source)>;
+
+// Trusted user-session authenticator, installed by the authentication
+// service. Asks the human (via the task's terminal) for a password and
+// verifies it against any of the candidate accounts (e.g. the invoker for
+// a sudo-style rule OR the target for a su-style rule); returns the account
+// that authenticated and stamps task.auth_times.
+using AuthAgent =
+    std::function<std::optional<Uid>(Task& task, const std::vector<Uid>& accounts)>;
+
+class Kernel {
+ public:
+  Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  Clock& clock() { return clock_; }
+  Vfs& vfs() { return vfs_; }
+  LsmStack& lsm() { return lsm_; }
+  Network& net() { return net_; }
+
+  // --- Processes -------------------------------------------------------------
+
+  Task& CreateTask(std::string comm, Cred cred, Terminal* terminal, int ppid = 0);
+
+  // getpid(2) analog: the cheapest possible syscall, used to measure bare
+  // syscall-entry cost in the Table 5 reproduction.
+  int GetPid(const Task& task) const { return task.pid; }
+  Task* FindTask(int pid);
+  void ReapTask(int pid);
+
+  // --- Binaries --------------------------------------------------------------
+
+  // Installs a program: creates its VFS inode (mode decides the setuid bit)
+  // and registers the entry point.
+  Result<Unit> InstallBinary(const std::string& path, uint32_t mode, Uid uid, Gid gid,
+                             ProgramMain main);
+  // setcap analog: file capabilities granted at exec when not setuid-root.
+  void SetFileCaps(const std::string& path, CapSet caps);
+  bool HasBinary(const std::string& path) const;
+
+  // fork + execve + waitpid in one step: runs `path` as a child of `parent`
+  // and returns its exit status. This is how all simulated programs launch
+  // other programs.
+  Result<int> Spawn(Task& parent, const std::string& path, std::vector<std::string> argv,
+                    std::map<std::string, std::string> env);
+
+  // execve(2) semantics applied to `task` itself (setuid bit, capability
+  // recomputation, bprm LSM hook, close-on-exec), then runs the new image
+  // to completion and returns its exit status.
+  Result<int> Execve(Task& task, const std::string& path, std::vector<std::string> argv,
+                     std::map<std::string, std::string> env);
+
+  // --- Files -----------------------------------------------------------------
+
+  Result<int> Open(Task& task, const std::string& path, int flags, uint32_t mode = 0644);
+  Result<Unit> Close(Task& task, int fd);
+  Result<std::string> Read(Task& task, int fd);
+  Result<Unit> Write(Task& task, int fd, std::string_view data);
+  Result<KernelStat> Stat(Task& task, const std::string& path);
+  Result<Unit> Chmod(Task& task, const std::string& path, uint32_t mode);
+  Result<Unit> Chown(Task& task, const std::string& path, Uid uid, Gid gid);
+  Result<Unit> Mkdir(Task& task, const std::string& path, uint32_t mode);
+  Result<Unit> Unlink(Task& task, const std::string& path);
+  Result<Unit> Rename(Task& task, const std::string& from, const std::string& to);
+  Result<std::vector<std::string>> ReadDir(Task& task, const std::string& path);
+  Result<Unit> Access(Task& task, const std::string& path, int may);
+
+  // Whole-file conveniences used heavily by utilities (open+read+close).
+  Result<std::string> ReadWholeFile(Task& task, const std::string& path);
+  Result<Unit> WriteWholeFile(Task& task, const std::string& path, std::string_view data,
+                              bool append = false, uint32_t create_mode = 0644);
+
+  // --- Mounts ----------------------------------------------------------------
+
+  Result<Unit> Mount(Task& task, const std::string& source, const std::string& target,
+                     const std::string& fstype, std::vector<std::string> options);
+  Result<Unit> Umount(Task& task, const std::string& target);
+  void RegisterFsType(const std::string& fstype, FsTypeFactory factory);
+
+  // --- Credentials -----------------------------------------------------------
+
+  // --- Namespaces (§4.6: unprivileged sandboxing since Linux 3.8) -----------
+
+  // unshare(2) flags (Linux values).
+  static constexpr int kCloneNewUser = 0x10000000;
+  static constexpr int kCloneNewNet = 0x40000000;
+
+  // Creates fresh namespaces for `task`. Pre-3.8 semantics (see
+  // set_unprivileged_userns_enabled) require CAP_SYS_ADMIN for everything;
+  // 3.8+ lets any user create a user namespace, and a network namespace
+  // when combined with (or already inside) one.
+  Result<Unit> Unshare(Task& task, int flags);
+
+  // Models the kernel version: false = pre-3.8 (sandboxing utilities must
+  // be setuid root), true (default) = 3.8+.
+  void set_unprivileged_userns_enabled(bool enabled) {
+    unprivileged_userns_enabled_ = enabled;
+  }
+  bool unprivileged_userns_enabled() const { return unprivileged_userns_enabled_; }
+
+  Result<Unit> Setuid(Task& task, Uid uid);
+  Result<Unit> Seteuid(Task& task, Uid uid);
+  Result<Unit> Setgid(Task& task, Gid gid);
+  Result<Unit> Setgroups(Task& task, std::vector<Gid> groups);
+
+  // --- Network ---------------------------------------------------------------
+
+  Result<int> SocketCall(Task& task, int family, int type, int protocol);
+  Result<Unit> BindCall(Task& task, int fd, uint16_t port);
+  Result<Unit> ListenCall(Task& task, int fd);
+  Result<Unit> ConnectCall(Task& task, int fd, Ipv4 ip, uint16_t port);
+  Result<Unit> SendCall(Task& task, int fd, Packet packet);
+  Result<std::optional<Packet>> RecvCall(Task& task, int fd);
+
+  // --- ioctl -----------------------------------------------------------------
+
+  Result<std::string> Ioctl(Task& task, int fd, uint32_t request, const std::string& arg);
+  void RegisterIoctlHandler(uint32_t major, uint32_t minor, IoctlHandler handler);
+
+  // --- Capability and authentication services ---------------------------------
+
+  // security_capable() over the LSM stack.
+  bool Capable(const Task& task, Capability cap) const;
+
+  // Invokes the installed trusted authentication agent for `account`.
+  bool Authenticate(Task& task, Uid account);
+
+  // Multi-candidate variant: one password prompt, verified against every
+  // candidate; returns the account that matched.
+  std::optional<Uid> AuthenticateAny(Task& task, const std::vector<Uid>& accounts);
+  void SetAuthAgent(AuthAgent agent) { auth_agent_ = std::move(agent); }
+
+  // Appends a security-audit record to the kernel's ring buffer (also
+  // forwarded to the process logger). Exposed at /proc/protego/audit.
+  void Audit(std::string message);
+  const std::vector<std::string>& audit_log() const { return audit_log_; }
+
+  // Resolves a possibly-relative path against the task's cwd.
+  static std::string JoinPath(const Task& task, const std::string& path);
+
+  // DAC + LSM inode permission check used by every file syscall; public so
+  // trusted services can probe policy.
+  Result<Unit> CheckPermission(Task& task, const std::string& path, const Inode& inode, int may);
+
+ private:
+  struct BinaryEntry {
+    ProgramMain main;
+    CapSet file_caps;
+  };
+
+  // Applies Linux's capability recomputation when uids change via setuid().
+  static void RecomputeCapsAfterSetuid(Cred& cred, Uid old_euid);
+
+  Clock clock_;
+  Vfs vfs_;
+  LsmStack lsm_;
+  Network net_;
+  std::map<int, std::unique_ptr<Task>> tasks_;
+  std::map<std::string, BinaryEntry> binaries_;
+  std::map<std::string, FsTypeFactory> fs_types_;
+  std::map<uint64_t, IoctlHandler> ioctl_handlers_;  // (major<<32)|minor
+  AuthAgent auth_agent_;
+  std::vector<std::string> audit_log_;
+  int next_pid_ = 1;
+  int next_userns_ = 1;
+  bool unprivileged_userns_enabled_ = true;
+};
+
+}  // namespace protego
+
+#endif  // SRC_KERNEL_KERNEL_H_

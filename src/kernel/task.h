@@ -1,0 +1,164 @@
+// Task (process) state: credentials, fd table, controlling terminal, and the
+// two pieces of security metadata Protego adds to task_struct —
+// authentication recency and the pending setuid-on-exec record (§4.3).
+
+#ifndef SRC_KERNEL_TASK_H_
+#define SRC_KERNEL_TASK_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/base/result.h"
+#include "src/kernel/cred.h"
+#include "src/vfs/vfs.h"
+
+namespace protego {
+
+// The controlling terminal of a session. The simulated "human" queues input
+// lines (passwords, editor content); programs and the trusted authentication
+// utility read them.
+class Terminal {
+ public:
+  // Authentication recency per account for this terminal session — the
+  // state behind sudo's "no password if entered on this terminal within
+  // the last 5 minutes" behaviour. Stamped by the trusted authentication
+  // utility alongside the per-task record.
+  std::map<Uid, uint64_t> auth_times;
+
+  void QueueInput(std::string line) { input_.push_back(std::move(line)); }
+
+  // Next queued line, or nullopt if the human has nothing more to type.
+  std::optional<std::string> ReadLine() {
+    if (input_.empty()) {
+      return std::nullopt;
+    }
+    std::string line = std::move(input_.front());
+    input_.pop_front();
+    return line;
+  }
+
+  void Write(std::string_view text) { output_.append(text); }
+  const std::string& output() const { return output_; }
+  void ClearOutput() { output_.clear(); }
+
+ private:
+  std::deque<std::string> input_;
+  std::string output_;
+};
+
+// One open file description (shared across dup'ed fds).
+struct OpenFile {
+  Vnode* node = nullptr;
+  int flags = 0;
+  size_t offset = 0;
+};
+
+// A file descriptor table entry: either a VFS file or a socket handle.
+struct FdEntry {
+  enum class Kind { kFile, kSocket };
+  Kind kind = Kind::kFile;
+  std::shared_ptr<OpenFile> file;
+  int socket_id = -1;
+  bool cloexec = false;
+};
+
+class FdTable {
+ public:
+  int Install(FdEntry entry) {
+    int fd = next_fd_++;
+    table_.emplace(fd, std::move(entry));
+    return fd;
+  }
+
+  FdEntry* Get(int fd) {
+    auto it = table_.find(fd);
+    return it == table_.end() ? nullptr : &it->second;
+  }
+
+  Result<Unit> Close(int fd) {
+    if (table_.erase(fd) == 0) {
+      return Error(Errno::kEBADF);
+    }
+    return OkUnit();
+  }
+
+  // Drops close-on-exec entries (called during execve).
+  void CloseOnExec() {
+    for (auto it = table_.begin(); it != table_.end();) {
+      if (it->second.cloexec) {
+        it = table_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void CloseAll() { table_.clear(); }
+  size_t size() const { return table_.size(); }
+  const std::map<int, FdEntry>& entries() const { return table_; }
+
+ private:
+  std::map<int, FdEntry> table_;
+  int next_fd_ = 3;  // 0/1/2 are the terminal
+};
+
+// Namespace membership (§4.6/§6: Linux >= 3.8 lets unprivileged processes
+// create sandboxed namespaces). Id 0 is the init namespace.
+struct NamespaceSet {
+  int net_ns = 0;
+  int user_ns = 0;
+};
+
+// Pending deferred uid/gid transition: setuid() under a Protego delegation
+// rule returns 0 but records the target here; the switch is validated and
+// applied at the next execve (§4.3, "setuid-on-exec").
+struct PendingSetuid {
+  bool active = false;
+  Uid target_uid = 0;
+  bool has_gid = false;
+  Gid target_gid = 0;
+};
+
+// A process.
+struct Task {
+  int pid = 0;
+  int ppid = 0;
+  std::string comm;      // short program name
+  std::string exe_path;  // binary that is executing
+  Cred cred;
+  std::string cwd = "/";
+  FdTable fds;
+  Terminal* terminal = nullptr;
+
+  // Namespace membership (copied across fork, kept across exec).
+  NamespaceSet ns;
+
+  // --- Protego security metadata (the paper's task_struct additions) ---
+  // Last successful authentication time, per authenticated identity.
+  std::map<Uid, uint64_t> auth_times;
+  PendingSetuid pending_setuid;
+
+  // Captured standard streams (also mirrored to the terminal if any).
+  std::string stdout_buf;
+  std::string stderr_buf;
+
+  bool RecentlyAuthenticated(Uid uid, uint64_t now, uint64_t window) const {
+    auto it = auth_times.find(uid);
+    if (it != auth_times.end() && now - it->second <= window) {
+      return true;
+    }
+    if (terminal != nullptr) {
+      auto tit = terminal->auth_times.find(uid);
+      return tit != terminal->auth_times.end() && now - tit->second <= window;
+    }
+    return false;
+  }
+};
+
+}  // namespace protego
+
+#endif  // SRC_KERNEL_TASK_H_

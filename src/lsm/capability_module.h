@@ -1,0 +1,23 @@
+// The commoncap module: Linux's default capability semantics, always first
+// in the stack. A capability is permitted iff it is in the task's effective
+// set (root tasks get the full set at exec time; see Kernel::Execve).
+
+#ifndef SRC_LSM_CAPABILITY_MODULE_H_
+#define SRC_LSM_CAPABILITY_MODULE_H_
+
+#include "src/lsm/module.h"
+
+namespace protego {
+
+class CapabilityModule : public SecurityModule {
+ public:
+  const char* name() const override { return "capability"; }
+
+  bool CapablePermitted(const Task& task, Capability cap) override {
+    return task.cred.effective.Has(cap);
+  }
+};
+
+}  // namespace protego
+
+#endif  // SRC_LSM_CAPABILITY_MODULE_H_

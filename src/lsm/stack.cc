@@ -1,0 +1,115 @@
+#include "src/lsm/stack.h"
+
+#include <cstring>
+
+namespace protego {
+
+const char* HookVerdictName(HookVerdict v) {
+  switch (v) {
+    case HookVerdict::kDefault: return "DEFAULT";
+    case HookVerdict::kAllow: return "ALLOW";
+    case HookVerdict::kDeny: return "DENY";
+  }
+  return "?";
+}
+
+void LsmStack::Register(std::unique_ptr<SecurityModule> module) {
+  modules_.push_back(std::move(module));
+}
+
+SecurityModule* LsmStack::Find(const char* name) {
+  for (const auto& m : modules_) {
+    if (std::strcmp(m->name(), name) == 0) {
+      return m.get();
+    }
+  }
+  return nullptr;
+}
+
+bool LsmStack::Capable(const Task& task, Capability cap) const {
+  for (const auto& m : modules_) {
+    if (!m->CapablePermitted(task, cap)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+HookVerdict LsmStack::Combine(HookVerdict acc, HookVerdict v) {
+  if (acc == HookVerdict::kDeny || v == HookVerdict::kDeny) {
+    return HookVerdict::kDeny;
+  }
+  if (acc == HookVerdict::kAllow || v == HookVerdict::kAllow) {
+    return HookVerdict::kAllow;
+  }
+  return HookVerdict::kDefault;
+}
+
+HookVerdict LsmStack::InodePermission(Task& task, const std::string& path,
+                                      const Inode& inode, int may) const {
+  HookVerdict acc = HookVerdict::kDefault;
+  for (const auto& m : modules_) {
+    acc = Combine(acc, m->InodePermission(task, path, inode, may));
+  }
+  return acc;
+}
+
+HookVerdict LsmStack::SbMount(const Task& task, const MountRequest& req) const {
+  HookVerdict acc = HookVerdict::kDefault;
+  for (const auto& m : modules_) {
+    acc = Combine(acc, m->SbMount(task, req));
+  }
+  return acc;
+}
+
+HookVerdict LsmStack::SbUmount(const Task& task, const std::string& mountpoint) const {
+  HookVerdict acc = HookVerdict::kDefault;
+  for (const auto& m : modules_) {
+    acc = Combine(acc, m->SbUmount(task, mountpoint));
+  }
+  return acc;
+}
+
+HookVerdict LsmStack::SocketCreate(const Task& task, const SocketRequest& req) const {
+  HookVerdict acc = HookVerdict::kDefault;
+  for (const auto& m : modules_) {
+    acc = Combine(acc, m->SocketCreate(task, req));
+  }
+  return acc;
+}
+
+HookVerdict LsmStack::SocketBind(const Task& task, const BindRequest& req) const {
+  HookVerdict acc = HookVerdict::kDefault;
+  for (const auto& m : modules_) {
+    acc = Combine(acc, m->SocketBind(task, req));
+  }
+  return acc;
+}
+
+HookVerdict LsmStack::TaskFixSetuid(Task& task, const SetuidRequest& req,
+                                    SetuidDisposition* disposition) const {
+  HookVerdict acc = HookVerdict::kDefault;
+  for (const auto& m : modules_) {
+    acc = Combine(acc, m->TaskFixSetuid(task, req, disposition));
+  }
+  return acc;
+}
+
+HookVerdict LsmStack::BprmCheck(Task& task, const std::string& path, const Inode& inode,
+                                const std::vector<std::string>& argv, ExecControl* control) const {
+  HookVerdict acc = HookVerdict::kDefault;
+  for (const auto& m : modules_) {
+    acc = Combine(acc, m->BprmCheck(task, path, inode, argv, control));
+  }
+  return acc;
+}
+
+HookVerdict LsmStack::FileIoctl(const Task& task, const IoctlRequest& req) const {
+  HookVerdict acc = HookVerdict::kDefault;
+  for (const auto& m : modules_) {
+    acc = Combine(acc, m->FileIoctl(task, req));
+  }
+  return acc;
+}
+
+}  // namespace protego

@@ -1,0 +1,50 @@
+// Ordered composition of security modules, mirroring how Linux stacks the
+// capability module ahead of the loaded LSM. The stack is what the kernel's
+// syscall layer consults; swapping the stack is how the benchmarks compare
+// "Linux + AppArmor" against "Linux + AppArmor + Protego".
+
+#ifndef SRC_LSM_STACK_H_
+#define SRC_LSM_STACK_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/lsm/module.h"
+
+namespace protego {
+
+class LsmStack {
+ public:
+  // Appends a module; earlier modules are consulted first.
+  void Register(std::unique_ptr<SecurityModule> module);
+
+  // Module by name, or nullptr. Used by /proc plumbing and tests.
+  SecurityModule* Find(const char* name);
+
+  // AND over modules: every module must permit the capability.
+  bool Capable(const Task& task, Capability cap) const;
+
+  // Combine per-hook verdicts: kDeny wins, then kAllow, then kDefault.
+  HookVerdict InodePermission(Task& task, const std::string& path, const Inode& inode,
+                              int may) const;
+  HookVerdict SbMount(const Task& task, const MountRequest& req) const;
+  HookVerdict SbUmount(const Task& task, const std::string& mountpoint) const;
+  HookVerdict SocketCreate(const Task& task, const SocketRequest& req) const;
+  HookVerdict SocketBind(const Task& task, const BindRequest& req) const;
+  HookVerdict TaskFixSetuid(Task& task, const SetuidRequest& req,
+                            SetuidDisposition* disposition) const;
+  HookVerdict BprmCheck(Task& task, const std::string& path, const Inode& inode,
+                        const std::vector<std::string>& argv, ExecControl* control) const;
+  HookVerdict FileIoctl(const Task& task, const IoctlRequest& req) const;
+
+  size_t size() const { return modules_.size(); }
+
+ private:
+  static HookVerdict Combine(HookVerdict acc, HookVerdict v);
+
+  std::vector<std::unique_ptr<SecurityModule>> modules_;
+};
+
+}  // namespace protego
+
+#endif  // SRC_LSM_STACK_H_

@@ -1,0 +1,36 @@
+// ioctl request codes used by the simulation, with Linux's numeric values
+// where they exist so traces read naturally.
+
+#ifndef SRC_NET_IOCTL_CODES_H_
+#define SRC_NET_IOCTL_CODES_H_
+
+#include <cstdint>
+
+namespace protego {
+
+// Routing-table ioctls (on sockets).
+inline constexpr uint32_t kSiocAddRt = 0x890B;  // SIOCADDRT
+inline constexpr uint32_t kSiocDelRt = 0x890C;  // SIOCDELRT
+
+// Interface configuration.
+inline constexpr uint32_t kSiocSifFlags = 0x8914;  // SIOCSIFFLAGS (up/down)
+inline constexpr uint32_t kSiocSifAddr = 0x8916;   // SIOCSIFADDR
+
+// PPP channel configuration (on /dev/ppp).
+inline constexpr uint32_t kPppIocSFlags = 0x40047459;   // PPPIOCSFLAGS
+inline constexpr uint32_t kPppIocSCompress = 0x4010744d; // PPPIOCSCOMPRESS
+inline constexpr uint32_t kPppIocNewUnit = 0xc004743e;  // PPPIOCNEWUNIT
+inline constexpr uint32_t kPppIocConnect = 0x4004743a;  // PPPIOCCONNECT
+
+// Netfilter control (the iptables path; simulation-local codes).
+inline constexpr uint32_t kSiocNfAppend = 0x89F0;
+inline constexpr uint32_t kSiocNfDelete = 0x89F1;  // arg: comment tag
+inline constexpr uint32_t kSiocNfList = 0x89F2;
+
+// Device-mapper (on /dev/mapper/control): the problematic interface that
+// returns both the underlying device AND the encryption key (§4 Table 4).
+inline constexpr uint32_t kDmTableStatus = 0xc138fd0c;  // DM_TABLE_STATUS
+
+}  // namespace protego
+
+#endif  // SRC_NET_IOCTL_CODES_H_

@@ -1,0 +1,67 @@
+// Packet and address-family model for the simulated network stack.
+
+#ifndef SRC_NET_PACKET_H_
+#define SRC_NET_PACKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/vfs/types.h"
+
+namespace protego {
+
+// Address families (Linux values).
+inline constexpr int kAfInet = 2;
+inline constexpr int kAfPacket = 17;
+
+// Socket types (Linux values).
+inline constexpr int kSockStream = 1;
+inline constexpr int kSockDgram = 2;
+inline constexpr int kSockRaw = 3;
+
+// L4 protocols (Linux IPPROTO_*).
+inline constexpr int kProtoIcmp = 1;
+inline constexpr int kProtoTcp = 6;
+inline constexpr int kProtoUdp = 17;
+// Pseudo-protocol for AF_PACKET ARP frames.
+inline constexpr int kProtoArp = 0x0806;
+
+// ICMP message types used by the ping/traceroute family.
+inline constexpr int kIcmpEchoReply = 0;
+inline constexpr int kIcmpDestUnreachable = 3;
+inline constexpr int kIcmpEchoRequest = 8;
+inline constexpr int kIcmpTimeExceeded = 11;
+
+// IPv4 address as host-order u32. 10.0.0.x is the simulated LAN.
+using Ipv4 = uint32_t;
+
+constexpr Ipv4 MakeIp(uint32_t a, uint32_t b, uint32_t c, uint32_t d) {
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+inline constexpr Ipv4 kLocalhostIp = MakeIp(127, 0, 0, 1);
+
+std::string IpToString(Ipv4 ip);
+
+// A simulated network packet carrying the header fields policy cares about,
+// plus the sender metadata the netfilter owner/raw-socket extensions match.
+struct Packet {
+  int l4_proto = 0;  // kProtoIcmp/Tcp/Udp/Arp
+  Ipv4 src_ip = 0;
+  Ipv4 dst_ip = 0;
+  uint16_t src_port = 0;  // TCP/UDP only
+  uint16_t dst_port = 0;
+  int icmp_type = -1;  // ICMP only
+  uint8_t ttl = 64;
+  std::string payload;
+
+  // Sender metadata (conntrack-style, consulted by netfilter matches).
+  Uid sender_uid = 0;
+  bool from_raw_socket = false;  // built by a SOCK_RAW/AF_PACKET socket
+
+  std::string ToString() const;
+};
+
+}  // namespace protego
+
+#endif  // SRC_NET_PACKET_H_

@@ -1,0 +1,60 @@
+#include "src/protego/default_rules.h"
+
+namespace protego {
+
+void InstallDefaultRawSocketRules(Netfilter* netfilter) {
+  auto raw_rule = [](NfMatch match, NfVerdict verdict) {
+    match.from_raw_socket = true;
+    NfRule rule;
+    rule.chain = NfChain::kOutput;
+    rule.match = std::move(match);
+    rule.verdict = verdict;
+    rule.comment = kProtegoRawRuleTag;
+    return rule;
+  };
+
+  // 1. Spoofed source ports are never acceptable.
+  {
+    NfMatch m;
+    m.src_port_owned_by_other = true;
+    netfilter->Append(raw_rule(std::move(m), NfVerdict::kDrop));
+  }
+  // 2. ICMP echo request/reply are the classic safe raw packets.
+  {
+    NfMatch m;
+    m.l4_proto = kProtoIcmp;
+    m.icmp_type = kIcmpEchoRequest;
+    netfilter->Append(raw_rule(std::move(m), NfVerdict::kAccept));
+  }
+  {
+    NfMatch m;
+    m.l4_proto = kProtoIcmp;
+    m.icmp_type = kIcmpEchoReply;
+    netfilter->Append(raw_rule(std::move(m), NfVerdict::kAccept));
+  }
+  // 3. Traceroute's high-port UDP probes.
+  {
+    NfMatch m;
+    m.l4_proto = kProtoUdp;
+    m.dst_port_min = 33434;
+    netfilter->Append(raw_rule(std::move(m), NfVerdict::kAccept));
+  }
+  // 4. ARP requests (arping).
+  {
+    NfMatch m;
+    m.l4_proto = kProtoArp;
+    netfilter->Append(raw_rule(std::move(m), NfVerdict::kAccept));
+  }
+  // 5. Everything else raw is unsafe by default.
+  for (int proto : {kProtoTcp, kProtoUdp, kProtoIcmp}) {
+    NfMatch m;
+    m.l4_proto = proto;
+    netfilter->Append(raw_rule(std::move(m), NfVerdict::kDrop));
+  }
+}
+
+void RemoveDefaultRawSocketRules(Netfilter* netfilter) {
+  netfilter->DeleteByComment(kProtegoRawRuleTag);
+}
+
+}  // namespace protego

@@ -1,0 +1,32 @@
+// Protego's default netfilter ruleset for unprivileged raw sockets (§4.1.1).
+//
+// With Protego, ANY user may create a raw or packet socket; these rules
+// define which packets such sockets may emit. The defaults encode the safe
+// packets exported by the studied setuid binaries (ping, traceroute,
+// arping, mtr); the administrator may change them via iptables.
+
+#ifndef SRC_PROTEGO_DEFAULT_RULES_H_
+#define SRC_PROTEGO_DEFAULT_RULES_H_
+
+#include "src/net/netfilter.h"
+
+namespace protego {
+
+// Comment tag on every default rule, so `iptables -D` can manage them.
+inline constexpr char kProtegoRawRuleTag[] = "protego-raw-default";
+
+// Appends the default OUTPUT-chain rules:
+//   1. DROP  raw packets whose TCP/UDP source port belongs to another uid
+//            (spoofing a socket owned by another process)
+//   2. ACCEPT raw ICMP echo-request / echo-reply        (ping, mtr)
+//   3. ACCEPT raw UDP with dst port >= 33434            (traceroute probes)
+//   4. ACCEPT raw ARP                                   (arping)
+//   5. DROP  all remaining raw TCP / UDP / ICMP packets
+void InstallDefaultRawSocketRules(Netfilter* netfilter);
+
+// Removes the default rules (used by ablation benchmarks).
+void RemoveDefaultRawSocketRules(Netfilter* netfilter);
+
+}  // namespace protego
+
+#endif  // SRC_PROTEGO_DEFAULT_RULES_H_

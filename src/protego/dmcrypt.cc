@@ -1,0 +1,64 @@
+#include "src/protego/dmcrypt.h"
+
+#include "src/base/strings.h"
+#include "src/kernel/kernel.h"
+
+namespace protego {
+
+namespace {
+constexpr uint32_t kDmMajor = 10;
+constexpr uint32_t kDmControlMinor = 236;
+}  // namespace
+
+const DmCryptVolume* DmCryptTable::Find(const std::string& name) const {
+  for (const DmCryptVolume& v : volumes_) {
+    if (v.name == name) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+Result<Unit> InstallDmCrypt(Kernel* kernel, std::shared_ptr<DmCryptTable> table) {
+  Vfs& vfs = kernel->vfs();
+  RETURN_IF_ERROR(vfs.EnsureDirs("/dev/mapper"));
+  RETURN_IF_ERROR(vfs.CreateDevice("/dev/mapper/control", 0600, kRootUid, kRootGid,
+                                   /*block=*/false, kDmMajor, kDmControlMinor));
+
+  // Legacy interface: one ioctl returns device + key, so the whole thing is
+  // root-only. A deprivileged dmcrypt-get-device cannot use it.
+  kernel->RegisterIoctlHandler(
+      kDmMajor, kDmControlMinor,
+      [kernel, table](Task& task, uint32_t request, const std::string& arg,
+                      HookVerdict verdict) -> Result<std::string> {
+        if (request != kDmTableStatus) {
+          return Error(Errno::kENOTTY);
+        }
+        if (verdict != HookVerdict::kAllow && !kernel->Capable(task, Capability::kSysAdmin)) {
+          return Error(Errno::kEPERM, "DM_TABLE_STATUS requires CAP_SYS_ADMIN");
+        }
+        const DmCryptVolume* volume = table->Find(arg);
+        if (volume == nullptr) {
+          return Error(Errno::kENXIO, "no such dm volume: " + arg);
+        }
+        // The interface-design flaw, faithfully reproduced: public and
+        // secret data come back in one blob.
+        return StrFormat("device=%s key=%s", volume->underlying.c_str(),
+                         volume->key_hex.c_str());
+      });
+
+  // Protego interface: /sys exposes only the public portion, world-readable.
+  for (const DmCryptVolume& volume : table->volumes()) {
+    std::string name = volume.name;
+    SyntheticOps ops;
+    ops.read = [table, name]() {
+      const DmCryptVolume* v = table->Find(name);
+      return v == nullptr ? std::string() : v->underlying + "\n";
+    };
+    RETURN_IF_ERROR(
+        vfs.CreateSynthetic("/sys/block/" + name + "/slaves", 0444, std::move(ops)));
+  }
+  return OkUnit();
+}
+
+}  // namespace protego

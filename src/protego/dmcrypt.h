@@ -1,0 +1,47 @@
+// dm-crypt device metadata and the two interfaces to it (§4, Table 4):
+//
+//   * The legacy DM_TABLE_STATUS ioctl on /dev/mapper/control discloses the
+//     underlying device AND the encryption key in one blob, so it must stay
+//     CAP_SYS_ADMIN-only. This is the interface-design flaw that forced
+//     dmcrypt-get-device to be setuid root.
+//   * Protego's replacement: a world-readable /sys/block/<name>/slaves file
+//     exposing only the public portion (the underlying device), so
+//     dmcrypt-get-device needs no privilege at all (the paper's 4-line fix).
+
+#ifndef SRC_PROTEGO_DMCRYPT_H_
+#define SRC_PROTEGO_DMCRYPT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+
+namespace protego {
+
+class Kernel;
+
+struct DmCryptVolume {
+  std::string name;        // e.g. "dm-0"
+  std::string underlying;  // e.g. "/dev/sda3" — public
+  std::string key_hex;     // encryption key — secret
+};
+
+class DmCryptTable {
+ public:
+  void AddVolume(DmCryptVolume volume) { volumes_.push_back(std::move(volume)); }
+  const DmCryptVolume* Find(const std::string& name) const;
+  const std::vector<DmCryptVolume>& volumes() const { return volumes_; }
+
+ private:
+  std::vector<DmCryptVolume> volumes_;
+};
+
+// Installs /dev/mapper/control (char 10:236) with the legacy ioctl handler,
+// and one /sys/block/<name>/slaves file per volume. `table` is shared with
+// the handlers.
+Result<Unit> InstallDmCrypt(Kernel* kernel, std::shared_ptr<DmCryptTable> table);
+
+}  // namespace protego
+
+#endif  // SRC_PROTEGO_DMCRYPT_H_

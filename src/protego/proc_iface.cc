@@ -1,0 +1,130 @@
+#include "src/protego/proc_iface.h"
+
+#include "src/base/strings.h"
+#include "src/config/passwd_db.h"
+#include "src/kernel/kernel.h"
+#include "src/protego/protego_lsm.h"
+
+namespace protego {
+
+std::string SerializeUserDbSections(const UserDb& db) {
+  std::string out = "[passwd]\n";
+  out += SerializePasswd(db.users());
+  out += "[shadow]\n";
+  out += SerializeShadow(db.shadows());
+  out += "[group]\n";
+  out += SerializeGroup(db.groups());
+  return out;
+}
+
+Result<UserDb> ParseUserDbSections(std::string_view content) {
+  std::string passwd_part, shadow_part, group_part;
+  std::string* current = nullptr;
+  for (const std::string& line : Split(content, '\n')) {
+    std::string_view trimmed = Trim(line);
+    if (trimmed == "[passwd]") {
+      current = &passwd_part;
+    } else if (trimmed == "[shadow]") {
+      current = &shadow_part;
+    } else if (trimmed == "[group]") {
+      current = &group_part;
+    } else if (!trimmed.empty()) {
+      if (current == nullptr) {
+        return Error(Errno::kEINVAL, "userdb: content before section header");
+      }
+      current->append(trimmed);
+      current->push_back('\n');
+    }
+  }
+  ASSIGN_OR_RETURN(auto users, ParsePasswd(passwd_part));
+  ASSIGN_OR_RETURN(auto shadows, ParseShadow(shadow_part));
+  ASSIGN_OR_RETURN(auto groups, ParseGroup(group_part));
+  return UserDb(std::move(users), std::move(shadows), std::move(groups));
+}
+
+Result<Unit> InstallProtegoProcFiles(Kernel* kernel, ProtegoLsm* lsm) {
+  Vfs& vfs = kernel->vfs();
+
+  SyntheticOps mounts_ops;
+  mounts_ops.read = [lsm]() { return SerializeFstab(lsm->mount_policy()); };
+  mounts_ops.write = [lsm](std::string_view data) -> Result<Unit> {
+    ASSIGN_OR_RETURN(auto entries, ParseFstab(data));
+    lsm->SetMountPolicy(std::move(entries));
+    return OkUnit();
+  };
+  RETURN_IF_ERROR(vfs.CreateSynthetic("/proc/protego/mounts", 0600, std::move(mounts_ops)));
+
+  SyntheticOps ports_ops;
+  ports_ops.read = [lsm]() { return SerializeBindConf(lsm->bind_table()); };
+  ports_ops.write = [lsm](std::string_view data) -> Result<Unit> {
+    ASSIGN_OR_RETURN(auto entries, ParseBindConf(data));
+    lsm->SetBindTable(std::move(entries));
+    return OkUnit();
+  };
+  RETURN_IF_ERROR(vfs.CreateSynthetic("/proc/protego/ports", 0600, std::move(ports_ops)));
+
+  SyntheticOps sudoers_ops;
+  sudoers_ops.read = [lsm]() { return SerializeSudoers(lsm->delegation()); };
+  sudoers_ops.write = [lsm](std::string_view data) -> Result<Unit> {
+    ASSIGN_OR_RETURN(auto policy, ParseSudoers(data));
+    lsm->SetDelegation(std::move(policy));
+    return OkUnit();
+  };
+  RETURN_IF_ERROR(vfs.CreateSynthetic("/proc/protego/sudoers", 0600, std::move(sudoers_ops)));
+
+  SyntheticOps ppp_ops;
+  ppp_ops.read = [lsm]() { return SerializePppOptions(lsm->ppp_options()); };
+  ppp_ops.write = [lsm](std::string_view data) -> Result<Unit> {
+    ASSIGN_OR_RETURN(auto options, ParsePppOptions(data));
+    lsm->SetPppOptions(std::move(options));
+    return OkUnit();
+  };
+  RETURN_IF_ERROR(vfs.CreateSynthetic("/proc/protego/ppp", 0600, std::move(ppp_ops)));
+
+  SyntheticOps userdb_ops;
+  userdb_ops.read = [lsm]() { return SerializeUserDbSections(lsm->user_db()); };
+  userdb_ops.write = [lsm](std::string_view data) -> Result<Unit> {
+    ASSIGN_OR_RETURN(UserDb db, ParseUserDbSections(data));
+    lsm->SetUserDb(std::move(db));
+    return OkUnit();
+  };
+  RETURN_IF_ERROR(vfs.CreateSynthetic("/proc/protego/userdb", 0600, std::move(userdb_ops)));
+
+  SyntheticOps status_ops;
+  status_ops.read = [lsm]() {
+    const ProtegoStats& s = lsm->stats();
+    std::string out;
+    out += StrFormat("mount_allowed %llu\n", (unsigned long long)s.mount_allowed);
+    out += StrFormat("mount_denied %llu\n", (unsigned long long)s.mount_denied);
+    out += StrFormat("bind_allowed %llu\n", (unsigned long long)s.bind_allowed);
+    out += StrFormat("bind_denied %llu\n", (unsigned long long)s.bind_denied);
+    out += StrFormat("setuid_allowed %llu\n", (unsigned long long)s.setuid_allowed);
+    out += StrFormat("setuid_deferred %llu\n", (unsigned long long)s.setuid_deferred);
+    out += StrFormat("setuid_denied %llu\n", (unsigned long long)s.setuid_denied);
+    out += StrFormat("exec_transitions %llu\n", (unsigned long long)s.exec_transitions);
+    out += StrFormat("exec_denied %llu\n", (unsigned long long)s.exec_denied);
+    out += StrFormat("raw_sockets_allowed %llu\n", (unsigned long long)s.raw_sockets_allowed);
+    out += StrFormat("route_allowed %llu\n", (unsigned long long)s.route_allowed);
+    out += StrFormat("route_denied %llu\n", (unsigned long long)s.route_denied);
+    out += StrFormat("file_delegations %llu\n", (unsigned long long)s.file_delegations);
+    out += StrFormat("reauth_reads %llu\n", (unsigned long long)s.reauth_reads);
+    return out;
+  };
+  RETURN_IF_ERROR(vfs.CreateSynthetic("/proc/protego/status", 0444, std::move(status_ops)));
+
+  // Audit trail: the kernel's security-decision ring buffer, root-only.
+  SyntheticOps audit_ops;
+  audit_ops.read = [kernel]() {
+    std::string out;
+    for (const std::string& record : kernel->audit_log()) {
+      out += record;
+      out += "\n";
+    }
+    return out;
+  };
+  RETURN_IF_ERROR(vfs.CreateSynthetic("/proc/protego/audit", 0400, std::move(audit_ops)));
+
+  return OkUnit();
+}
+
+}  // namespace protego

@@ -1,0 +1,35 @@
+// The /proc/protego configuration interface (§2, Figure 1).
+//
+// Five root-owned synthetic files with simple grammars configure the
+// Protego LSM; the monitoring daemon (or the administrator directly)
+// writes them. Writes are parse-validate-swap: a malformed table is
+// rejected with EINVAL and the previous policy stays in force.
+//
+//   /proc/protego/mounts  — fstab grammar, user-mountable whitelist
+//   /proc/protego/ports   — /etc/bind grammar, port -> (binary, uid)
+//   /proc/protego/sudoers — sudoers grammar (incl. Protego extensions)
+//   /proc/protego/ppp     — ppp options grammar
+//   /proc/protego/userdb  — sectioned passwd/shadow/group snapshot
+//   /proc/protego/status  — read-only decision counters
+
+#ifndef SRC_PROTEGO_PROC_IFACE_H_
+#define SRC_PROTEGO_PROC_IFACE_H_
+
+#include "src/base/result.h"
+
+namespace protego {
+
+class Kernel;
+class ProtegoLsm;
+
+// Creates the /proc/protego files in `kernel`'s VFS, wired to `lsm`.
+// Both must outlive the filesystem.
+Result<Unit> InstallProtegoProcFiles(Kernel* kernel, ProtegoLsm* lsm);
+
+// Serializes / parses the /proc/protego/userdb sectioned format.
+std::string SerializeUserDbSections(const class UserDb& db);
+Result<class UserDb> ParseUserDbSections(std::string_view content);
+
+}  // namespace protego
+
+#endif  // SRC_PROTEGO_PROC_IFACE_H_

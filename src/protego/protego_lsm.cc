@@ -1,0 +1,507 @@
+#include "src/protego/protego_lsm.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+#include "src/kernel/kernel.h"
+#include "src/net/routing.h"
+
+namespace protego {
+
+namespace {
+
+// Mount options a user may add beyond what the whitelist entry grants;
+// each strictly reduces privilege.
+const char* kSafeExtraMountOptions[] = {"ro", "nosuid", "nodev", "noexec"};
+
+bool IsSafeExtraOption(const std::string& opt) {
+  for (const char* safe : kSafeExtraMountOptions) {
+    if (opt == safe) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void ProtegoLsm::SetMountPolicy(std::vector<FstabEntry> whitelist) {
+  mount_whitelist_ = std::move(whitelist);
+}
+
+void ProtegoLsm::SetBindTable(std::vector<BindConfEntry> table) { bind_table_ = std::move(table); }
+
+void ProtegoLsm::SetDelegation(SudoersPolicy policy) { delegation_ = std::move(policy); }
+
+void ProtegoLsm::SetUserDb(UserDb db) { user_db_ = std::move(db); }
+
+void ProtegoLsm::SetPppOptions(PppOptions options) { ppp_options_ = std::move(options); }
+
+// --- Mount (§4.2) ---------------------------------------------------------------
+
+HookVerdict ProtegoLsm::SbMount(const Task& task, const MountRequest& req) {
+  if (kernel_->Capable(task, Capability::kSysAdmin)) {
+    return HookVerdict::kDefault;  // administrator path is unchanged
+  }
+  for (const FstabEntry& entry : mount_whitelist_) {
+    // Policy entries may use globs (e.g. "fuse /home/*/mnt fuse user");
+    // literal fstab entries match exactly.
+    if (!entry.UserMountable() || !GlobMatch(entry.device, req.source) ||
+        !GlobMatch(entry.mountpoint, req.mountpoint) || !GlobMatch(entry.fstype, req.fstype)) {
+      continue;
+    }
+    // Every requested option must be granted by the entry or be a
+    // privilege-reducing extra.
+    bool options_ok = true;
+    for (const std::string& opt : req.options) {
+      if (!entry.HasOption(opt) && !IsSafeExtraOption(opt)) {
+        options_ok = false;
+        break;
+      }
+    }
+    // Glob entries ("fuse /home/*/mnt fuse user") grant per-user
+    // mountpoints: the actual directory must belong to the requester, or
+    // anyone could graft a filesystem into someone else's home.
+    if (entry.mountpoint.find('*') != std::string::npos) {
+      auto target = kernel_->vfs().Resolve(req.mountpoint);
+      if (!target.ok() || target.value()->inode().uid != task.cred.ruid) {
+        continue;
+      }
+    }
+    if (options_ok) {
+      ++stats_.mount_allowed;
+      kernel_->Audit(StrFormat("protego: user mount %s on %s allowed (uid=%u)", req.source.c_str(),
+                         req.mountpoint.c_str(), task.cred.ruid));
+      return HookVerdict::kAllow;
+    }
+  }
+  ++stats_.mount_denied;
+  return HookVerdict::kDefault;  // falls through to the CAP_SYS_ADMIN refusal
+}
+
+HookVerdict ProtegoLsm::SbUmount(const Task& task, const std::string& mountpoint) {
+  if (kernel_->Capable(task, Capability::kSysAdmin)) {
+    return HookVerdict::kDefault;
+  }
+  const MountEntry* mount = kernel_->vfs().FindMount(mountpoint);
+  if (mount == nullptr) {
+    return HookVerdict::kDefault;
+  }
+  for (const FstabEntry& entry : mount_whitelist_) {
+    if (!entry.UserMountable() || !GlobMatch(entry.mountpoint, mountpoint)) {
+      continue;
+    }
+    if (entry.AnyUserMayUnmount() || mount->mounter == task.cred.ruid) {
+      ++stats_.mount_allowed;
+      return HookVerdict::kAllow;
+    }
+  }
+  ++stats_.mount_denied;
+  return HookVerdict::kDefault;
+}
+
+// --- Raw sockets (§4.1.1) ---------------------------------------------------------
+
+HookVerdict ProtegoLsm::SocketCreate(const Task& task, const SocketRequest& req) {
+  (void)task;
+  if (req.type == kSockRaw || req.family == kAfPacket) {
+    // Any user may create a raw or packet socket; what they can SEND is
+    // constrained by the default netfilter rules (see default_rules.cc).
+    ++stats_.raw_sockets_allowed;
+    return HookVerdict::kAllow;
+  }
+  return HookVerdict::kDefault;
+}
+
+// --- Bind (§4.1.3) -----------------------------------------------------------------
+
+HookVerdict ProtegoLsm::SocketBind(const Task& task, const BindRequest& req) {
+  if (req.netns != 0) {
+    // A port inside a sandbox namespace is not the system's well-known
+    // port; allocations do not apply there.
+    return HookVerdict::kDefault;
+  }
+  if (req.port >= 1024) {
+    return HookVerdict::kDefault;
+  }
+  for (const BindConfEntry& entry : bind_table_) {
+    if (entry.port != req.port) {
+      continue;
+    }
+    // The port is allocated: ONLY the configured (binary, uid) instance may
+    // bind it — root privilege does not override an allocation, which is
+    // what stops a compromised web server from becoming a mail server.
+    if (entry.binary == req.binary_path && entry.uid == task.cred.euid) {
+      ++stats_.bind_allowed;
+      return HookVerdict::kAllow;
+    }
+    ++stats_.bind_denied;
+    kernel_->Audit(StrFormat("protego: bind(%u) denied: port allocated to %s uid=%u, requested by "
+                       "%s uid=%u",
+                       req.port, entry.binary.c_str(), entry.uid, req.binary_path.c_str(),
+                       task.cred.euid));
+    return HookVerdict::kDeny;
+  }
+  return HookVerdict::kDefault;  // unallocated port: legacy CAP_NET_BIND_SERVICE rule
+}
+
+// --- setuid/setgid delegation (§4.3) -------------------------------------------------
+
+bool ProtegoLsm::RuleSubjectMatches(const SudoRule& rule, const std::string& user_name) const {
+  if (rule.user == "ALL" || rule.user == user_name) {
+    return true;
+  }
+  if (!rule.user.empty() && rule.user[0] == '%') {
+    const GroupEntry* group = user_db_.FindGroup(rule.user.substr(1));
+    if (group != nullptr) {
+      return std::find(group->members.begin(), group->members.end(), user_name) !=
+             group->members.end();
+    }
+  }
+  return false;
+}
+
+std::vector<const SudoRule*> ProtegoLsm::MatchingRules(Uid invoking_uid,
+                                                       const std::string& target) const {
+  std::vector<const SudoRule*> matches;
+  const PasswdEntry* invoker = user_db_.FindUid(invoking_uid);
+  if (invoker == nullptr) {
+    return matches;
+  }
+  for (const SudoRule& rule : delegation_.rules) {
+    if (RuleSubjectMatches(rule, invoker->name) && rule.RunasMatches(target)) {
+      matches.push_back(&rule);
+    }
+  }
+  return matches;
+}
+
+bool ProtegoLsm::EnsureAuthenticated(Task& task, Uid account) const {
+  uint64_t now = kernel_->clock().Now();
+  if (task.RecentlyAuthenticated(account, now, delegation_.timestamp_timeout_sec)) {
+    return true;
+  }
+  // The kernel launches the trusted authentication utility on the task's
+  // terminal; success stamps task.auth_times.
+  return kernel_->Authenticate(task, account);
+}
+
+HookVerdict ProtegoLsm::TaskFixSetuid(Task& task, const SetuidRequest& req,
+                                      SetuidDisposition* disposition) {
+  if (req.is_gid) {
+    if (kernel_->Capable(task, Capability::kSetgid)) {
+      return HookVerdict::kDefault;
+    }
+    if (req.target_gid == task.cred.rgid || req.target_gid == task.cred.sgid) {
+      return HookVerdict::kDefault;  // always legal; legacy path handles it
+    }
+    const GroupEntry* group = user_db_.FindGid(req.target_gid);
+    const PasswdEntry* user = user_db_.FindUid(task.cred.ruid);
+    if (group == nullptr || user == nullptr) {
+      return HookVerdict::kDefault;
+    }
+    // Listed members may join without a password (newgrp semantics).
+    if (std::find(group->members.begin(), group->members.end(), user->name) !=
+        group->members.end()) {
+      ++stats_.setuid_allowed;
+      return HookVerdict::kAllow;
+    }
+    // Password-protected groups: authenticate against the group password.
+    bool password_protected =
+        std::find(delegation_.password_groups.begin(), delegation_.password_groups.end(),
+                  group->name) != delegation_.password_groups.end();
+    if (password_protected && !group->password_hash.empty()) {
+      if (EnsureAuthenticated(task, kGroupAuthBase + req.target_gid)) {
+        ++stats_.setuid_allowed;
+        return HookVerdict::kAllow;
+      }
+      ++stats_.setuid_denied;
+      return HookVerdict::kDeny;
+    }
+    return HookVerdict::kDefault;
+  }
+
+  // uid case.
+  if (kernel_->Capable(task, Capability::kSetuid)) {
+    return HookVerdict::kDefault;  // privileged path unchanged
+  }
+  if (req.target_uid == task.cred.ruid || req.target_uid == task.cred.suid) {
+    return HookVerdict::kDefault;  // legal under stock rules
+  }
+  const PasswdEntry* target = user_db_.FindUid(req.target_uid);
+  if (target == nullptr) {
+    return HookVerdict::kDefault;
+  }
+  std::vector<const SudoRule*> rules = MatchingRules(task.cred.ruid, target->name);
+  if (rules.empty()) {
+    return HookVerdict::kDefault;  // no delegation: legacy EPERM
+  }
+
+  std::vector<const SudoRule*> all_command_rules;
+  bool restricted_rule_exists = false;
+  for (const SudoRule* rule : rules) {
+    bool is_all = false;
+    for (const std::string& c : rule->commands) {
+      if (c == "ALL") {
+        is_all = true;
+        break;
+      }
+    }
+    if (is_all) {
+      all_command_rules.push_back(rule);
+    } else {
+      restricted_rule_exists = true;
+    }
+  }
+
+  if (restricted_rule_exists || all_command_rules.empty()) {
+    // Command-restricted delegation exists: privilege must not change
+    // before exec, so report success, record the pending transition, and
+    // enforce (including any ALL rules) at execve, where the command is
+    // known. This is the paper's setuid-on-exec mechanism.
+    disposition->defer_to_exec = true;
+    ++stats_.setuid_deferred;
+    return HookVerdict::kAllow;
+  }
+
+  // Authentication requirement across the granting rules: NOPASSWD needs
+  // nothing; TARGETPW rules accept the target's password (su); plain rules
+  // accept the invoker's (sudo). When several rules grant, any candidate
+  // password satisfies — ONE prompt, verified against the candidate set.
+  bool authenticated = false;
+  std::vector<Uid> candidates;
+  for (const SudoRule* rule : all_command_rules) {
+    if (rule->nopasswd) {
+      authenticated = true;
+      break;
+    }
+    Uid account = rule->targetpw ? req.target_uid : task.cred.ruid;
+    if (std::find(candidates.begin(), candidates.end(), account) == candidates.end()) {
+      candidates.push_back(account);
+    }
+  }
+  if (!authenticated) {
+    uint64_t now = kernel_->clock().Now();
+    for (Uid account : candidates) {
+      if (task.RecentlyAuthenticated(account, now, delegation_.timestamp_timeout_sec)) {
+        authenticated = true;
+        break;
+      }
+    }
+  }
+  if (!authenticated) {
+    authenticated = kernel_->AuthenticateAny(task, candidates).has_value();
+  }
+  if (authenticated) {
+    // Immediate full transition, including the target's primary group
+    // (what stock su/login did with setgid while still root).
+    disposition->has_gid = true;
+    disposition->gid = target->gid;
+    ++stats_.setuid_allowed;
+    kernel_->Audit(StrFormat("protego: setuid %u -> %u allowed by delegation", task.cred.ruid,
+                       req.target_uid));
+    return HookVerdict::kAllow;
+  }
+  ++stats_.setuid_denied;
+  kernel_->Audit(StrFormat("protego: setuid(%u) denied: authentication failed for uid=%u",
+                     req.target_uid, task.cred.ruid));
+  return HookVerdict::kDeny;
+}
+
+HookVerdict ProtegoLsm::BprmCheck(Task& task, const std::string& path, const Inode& inode,
+                                  const std::vector<std::string>& argv, ExecControl* control) {
+  (void)inode;
+  if (!task.pending_setuid.active) {
+    return HookVerdict::kDefault;
+  }
+  const PendingSetuid& pending = task.pending_setuid;
+
+  if (pending.has_gid) {
+    // Deferred setgid (password-protected group joins are immediate; this
+    // path exists for symmetric gid delegation rules).
+    control->cred->rgid = control->cred->egid = control->cred->sgid = control->cred->fsgid =
+        pending.target_gid;
+    ++stats_.exec_transitions;
+    return HookVerdict::kAllow;
+  }
+
+  const PasswdEntry* target = user_db_.FindUid(pending.target_uid);
+  if (target == nullptr) {
+    ++stats_.exec_denied;
+    return HookVerdict::kDeny;
+  }
+  std::string command_line = path;
+  for (size_t i = 1; i < argv.size(); ++i) {
+    command_line += " " + argv[i];
+  }
+  std::vector<const SudoRule*> rules = MatchingRules(task.cred.ruid, target->name);
+  std::vector<const SudoRule*> granting;
+  for (const SudoRule* rule : rules) {
+    if (rule->CommandMatches(command_line)) {
+      granting.push_back(rule);
+    }
+  }
+  if (granting.empty()) {
+    ++stats_.exec_denied;
+    kernel_->Audit(StrFormat("protego: exec '%s' as %s denied for uid=%u (no matching rule)",
+                       command_line.c_str(), target->name.c_str(), task.cred.ruid));
+    return HookVerdict::kDeny;
+  }
+  // Same one-prompt/any-candidate authentication as the immediate path.
+  bool authenticated = false;
+  std::vector<Uid> candidates;
+  for (const SudoRule* rule : granting) {
+    if (rule->nopasswd) {
+      authenticated = true;
+      break;
+    }
+    Uid account = rule->targetpw ? pending.target_uid : task.cred.ruid;
+    if (std::find(candidates.begin(), candidates.end(), account) == candidates.end()) {
+      candidates.push_back(account);
+    }
+  }
+  if (!authenticated) {
+    uint64_t now = kernel_->clock().Now();
+    for (Uid account : candidates) {
+      if (task.RecentlyAuthenticated(account, now, delegation_.timestamp_timeout_sec)) {
+        authenticated = true;
+        break;
+      }
+    }
+  }
+  if (!authenticated) {
+    authenticated = kernel_->AuthenticateAny(task, candidates).has_value();
+  }
+  if (!authenticated) {
+    ++stats_.exec_denied;
+    return HookVerdict::kDeny;
+  }
+
+  // All checks passed: apply the full transition to the new image only.
+  Cred& cred = *control->cred;
+  cred.ruid = cred.euid = cred.suid = cred.fsuid = pending.target_uid;
+  cred.rgid = cred.egid = cred.sgid = cred.fsgid = target->gid;
+  cred.groups.clear();
+  if (pending.target_uid == kRootUid) {
+    cred.permitted = CapSet::All();
+    cred.effective = CapSet::All();
+  } else {
+    cred.permitted.Clear();
+    cred.effective.Clear();
+  }
+
+  // Restrict inheritance into the delegated command: sanitize the
+  // environment to the env_keep whitelist and drop non-standard fds.
+  if (control->env != nullptr) {
+    for (auto it = control->env->begin(); it != control->env->end();) {
+      bool keep = std::find(delegation_.env_keep.begin(), delegation_.env_keep.end(),
+                            it->first) != delegation_.env_keep.end();
+      it = keep ? std::next(it) : control->env->erase(it);
+    }
+  }
+  control->close_non_std_fds = true;
+
+  ++stats_.exec_transitions;
+  kernel_->Audit(StrFormat("protego: exec '%s' as %s (uid %u -> %u)", command_line.c_str(),
+                     target->name.c_str(), task.cred.ruid, pending.target_uid));
+  return HookVerdict::kAllow;
+}
+
+// --- File delegations and reauthentication-gated reads (§4.4/§4.6) -------------------
+
+HookVerdict ProtegoLsm::InodePermission(Task& task, const std::string& path, const Inode& inode,
+                                        int may) {
+  // Per-binary file delegations first (also how the trusted authentication
+  // utility and monitoring daemon read shadow files without recursion).
+  for (const FileDelegation& d : delegation_.file_delegations) {
+    if (d.binary == task.exe_path && GlobMatch(d.path_glob, path) &&
+        (may & ~d.allow_may) == 0) {
+      ++stats_.file_delegations;
+      return HookVerdict::kAllow;
+    }
+  }
+  if ((may & kMayRead) != 0) {
+    for (const std::string& glob : delegation_.reauth_read_globs) {
+      if (GlobMatch(glob, path)) {
+        ++stats_.reauth_reads;
+        if (EnsureAuthenticated(task, inode.uid)) {
+          return HookVerdict::kDefault;  // recency satisfied; DAC still applies
+        }
+        kernel_->Audit(StrFormat("protego: read of %s denied: reauthentication failed (uid=%u)",
+                           path.c_str(), task.cred.ruid));
+        return HookVerdict::kDeny;
+      }
+    }
+  }
+  return HookVerdict::kDefault;
+}
+
+// --- pppd ioctls: routes and modem options (§4.1.2) -----------------------------------
+
+HookVerdict ProtegoLsm::FileIoctl(const Task& task, const IoctlRequest& req) {
+  if (req.target == "socket") {
+    switch (req.request) {
+      case kSiocAddRt: {
+        if (kernel_->Capable(task, Capability::kNetAdmin)) {
+          return HookVerdict::kDefault;
+        }
+        if (!ppp_options_.user_routes) {
+          return HookVerdict::kDefault;  // legacy EPERM
+        }
+        auto route = ParseRouteSpec(req.arg);
+        if (!route.ok()) {
+          return HookVerdict::kDefault;
+        }
+        if (kernel_->net().routes().Conflicts(route.value())) {
+          ++stats_.route_denied;
+          kernel_->Audit(StrFormat("protego: route %s denied: conflicts with existing route (uid=%u)",
+                             route.value().ToString().c_str(), task.cred.ruid));
+          return HookVerdict::kDeny;
+        }
+        ++stats_.route_allowed;
+        return HookVerdict::kAllow;
+      }
+      case kSiocDelRt: {
+        if (kernel_->Capable(task, Capability::kNetAdmin)) {
+          return HookVerdict::kDefault;
+        }
+        auto fields = SplitWhitespace(req.arg);
+        if (fields.empty()) {
+          return HookVerdict::kDefault;
+        }
+        auto dst = ParseDstSpec(fields[0]);
+        if (!dst.ok()) {
+          return HookVerdict::kDefault;
+        }
+        // A user may remove only routes she added.
+        for (const RouteEntry& e : kernel_->net().routes().entries()) {
+          if (e.dst == dst.value().first && e.prefix_len == dst.value().second &&
+              e.added_by == task.cred.ruid) {
+            return HookVerdict::kAllow;
+          }
+        }
+        return HookVerdict::kDefault;
+      }
+      default:
+        return HookVerdict::kDefault;
+    }
+  }
+
+  if (req.target == "/dev/ppp") {
+    if (kernel_->Capable(task, Capability::kNetAdmin)) {
+      return HookVerdict::kDefault;
+    }
+    if (!ppp_options_.user_dialout) {
+      return HookVerdict::kDefault;  // legacy EPERM in the driver
+    }
+    // Fine-grained option/in-use checks happen in the ppp driver, which
+    // receives this verdict (see sim/devices.cc).
+    return HookVerdict::kAllow;
+  }
+
+  // dm-crypt control and anything else: Protego's approach for dmcrypt is
+  // the /sys interface, not relaxing the privileged ioctl (§4, Table 4).
+  return HookVerdict::kDefault;
+}
+
+}  // namespace protego

@@ -1,0 +1,122 @@
+// The Protego security module (the paper's core contribution, §2/§4).
+//
+// Protego migrates the policies previously encoded in setuid-to-root
+// binaries into the kernel:
+//   * mount/umount  — whitelist of user-mountable fstab entries (§4.2)
+//   * socket        — any user may create raw/packet sockets; outgoing
+//                     packets are filtered by netfilter rules (§4.1.1)
+//   * bind          — low ports allocated to (binary, uid) pairs (§4.1.3)
+//   * setuid/setgid — delegation rules from /etc/sudoers, with deferred
+//                     setuid-on-exec and authentication recency (§4.3)
+//   * ioctl         — non-conflicting user routes and safe modem options
+//                     for pppd (§4.1.2)
+//   * files         — per-binary file delegations (ssh-keysign) and
+//                     reauthentication-gated reads (shadow files) (§4.4/4.6)
+//
+// Policy tables are replaced wholesale (parse-validate-swap) through the
+// /proc/protego interface (src/protego/proc_iface.h) by the administrator
+// or the monitoring daemon.
+
+#ifndef SRC_PROTEGO_PROTEGO_LSM_H_
+#define SRC_PROTEGO_PROTEGO_LSM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/config/bindconf.h"
+#include "src/config/fstab.h"
+#include "src/config/passwd_db.h"
+#include "src/config/ppp_options.h"
+#include "src/config/sudoers.h"
+#include "src/lsm/module.h"
+
+namespace protego {
+
+class Kernel;
+
+// Authentication-recency key for a password-protected group: group
+// authentications share the per-task auth_times map with user
+// authentications, offset so gids cannot collide with uids.
+inline constexpr Uid kGroupAuthBase = 0x40000000;
+
+// Per-hook decision counters, exported via /proc/protego/status.
+struct ProtegoStats {
+  uint64_t mount_allowed = 0;
+  uint64_t mount_denied = 0;
+  uint64_t bind_allowed = 0;
+  uint64_t bind_denied = 0;
+  uint64_t setuid_deferred = 0;
+  uint64_t setuid_allowed = 0;
+  uint64_t setuid_denied = 0;
+  uint64_t exec_transitions = 0;
+  uint64_t exec_denied = 0;
+  uint64_t raw_sockets_allowed = 0;
+  uint64_t route_allowed = 0;
+  uint64_t route_denied = 0;
+  uint64_t file_delegations = 0;
+  uint64_t reauth_reads = 0;
+};
+
+class ProtegoLsm : public SecurityModule {
+ public:
+  // `kernel` is used for mount-table lookups, routing state, and invoking
+  // the trusted authentication utility. Must outlive the module.
+  explicit ProtegoLsm(Kernel* kernel) : kernel_(kernel) {}
+
+  const char* name() const override { return "protego"; }
+
+  // --- Policy configuration (called by the /proc interface) -----------------
+
+  void SetMountPolicy(std::vector<FstabEntry> whitelist);
+  void SetBindTable(std::vector<BindConfEntry> table);
+  void SetDelegation(SudoersPolicy policy);
+  void SetUserDb(UserDb db);
+  void SetPppOptions(PppOptions options);
+
+  const std::vector<FstabEntry>& mount_policy() const { return mount_whitelist_; }
+  const std::vector<BindConfEntry>& bind_table() const { return bind_table_; }
+  const SudoersPolicy& delegation() const { return delegation_; }
+  const UserDb& user_db() const { return user_db_; }
+  const PppOptions& ppp_options() const { return ppp_options_; }
+  const ProtegoStats& stats() const { return stats_; }
+
+  // --- LSM hooks -------------------------------------------------------------
+
+  HookVerdict SbMount(const Task& task, const MountRequest& req) override;
+  HookVerdict SbUmount(const Task& task, const std::string& mountpoint) override;
+  HookVerdict SocketCreate(const Task& task, const SocketRequest& req) override;
+  HookVerdict SocketBind(const Task& task, const BindRequest& req) override;
+  HookVerdict TaskFixSetuid(Task& task, const SetuidRequest& req,
+                            SetuidDisposition* disposition) override;
+  HookVerdict BprmCheck(Task& task, const std::string& path, const Inode& inode,
+                        const std::vector<std::string>& argv, ExecControl* control) override;
+  HookVerdict InodePermission(Task& task, const std::string& path, const Inode& inode,
+                              int may) override;
+  HookVerdict FileIoctl(const Task& task, const IoctlRequest& req) override;
+
+ private:
+  // Names matching `user` in a sudoers rule subject: exact name, %group
+  // membership, or ALL.
+  bool RuleSubjectMatches(const SudoRule& rule, const std::string& user_name) const;
+
+  // All delegation rules applying to (invoking user, target user).
+  std::vector<const SudoRule*> MatchingRules(Uid invoking_uid, const std::string& target) const;
+
+  // Enforces the recency requirement: recent auth of the invoking user, or
+  // a fresh password exchange via the kernel-launched authentication
+  // utility. Non-const task: a successful exchange stamps auth_times.
+  bool EnsureAuthenticated(Task& task, Uid account) const;
+
+  Kernel* kernel_;
+  std::vector<FstabEntry> mount_whitelist_;
+  std::vector<BindConfEntry> bind_table_;
+  SudoersPolicy delegation_;
+  UserDb user_db_;
+  PppOptions ppp_options_;
+  mutable ProtegoStats stats_;
+};
+
+}  // namespace protego
+
+#endif  // SRC_PROTEGO_PROTEGO_LSM_H_

@@ -1,0 +1,219 @@
+#include "src/services/monitor_daemon.h"
+
+#include <algorithm>
+
+#include "src/base/log.h"
+#include "src/base/strings.h"
+#include "src/config/bindconf.h"
+#include "src/config/fstab.h"
+#include "src/config/ppp_options.h"
+#include "src/config/sudoers.h"
+#include "src/protego/proc_iface.h"
+
+namespace protego {
+
+MonitorDaemon::~MonitorDaemon() { Stop(); }
+
+Result<Unit> MonitorDaemon::Start() {
+  if (!kernel_->HasBinary(kBinaryPath)) {
+    RETURN_IF_ERROR(kernel_->InstallBinary(kBinaryPath, 0755, kRootUid, kRootGid,
+                                           [](ProcessContext&) { return 0; }));
+  }
+  task_ = &kernel_->CreateTask("protego-monitord", Cred::Root(), nullptr);
+  task_->exe_path = kBinaryPath;
+
+  const char* watched[] = {
+      "/etc/fstab",   "/etc/sudoers", "/etc/sudoers.d", "/etc/bind",
+      "/etc/ppp",     "/etc/passwds", "/etc/shadows",   "/etc/groups",
+  };
+  for (const char* path : watched) {
+    watch_ids_.push_back(kernel_->vfs().AddWatch(
+        path, [this](FsEvent event, const std::string& p) { OnEvent(event, p); }));
+  }
+  return SyncAll();
+}
+
+void MonitorDaemon::Stop() {
+  for (int id : watch_ids_) {
+    kernel_->vfs().RemoveWatch(id);
+  }
+  watch_ids_.clear();
+}
+
+void MonitorDaemon::RecordError(const Error& error, const std::string& what) {
+  std::string message = "monitord: " + what + ": " + error.ToString();
+  errors_.push_back(message);
+  LogWarn(message);
+}
+
+void MonitorDaemon::OnEvent(FsEvent event, const std::string& path) {
+  (void)event;
+  if (syncing_) {
+    return;  // triggered by our own legacy-file regeneration
+  }
+  syncing_ = true;
+  Result<Unit> r = OkUnit();
+  if (path == "/etc/fstab") {
+    r = SyncMounts();
+  } else if (StartsWith(path, "/etc/sudoers")) {
+    r = SyncSudoers();
+  } else if (path == "/etc/bind") {
+    r = SyncPorts();
+  } else if (StartsWith(path, "/etc/ppp")) {
+    r = SyncPpp();
+  } else if (StartsWith(path, "/etc/passwds") || StartsWith(path, "/etc/shadows") ||
+             StartsWith(path, "/etc/groups")) {
+    r = SyncUserDb();
+    if (r.ok()) {
+      r = SyncLegacy();
+    }
+  }
+  if (!r.ok()) {
+    RecordError(r.error(), "event sync for " + path);
+  }
+  syncing_ = false;
+}
+
+Result<Unit> MonitorDaemon::SyncAll() {
+  syncing_ = true;
+  Result<Unit> result = OkUnit();
+  struct Step {
+    const char* what;
+    Result<Unit> (MonitorDaemon::*fn)();
+  };
+  const Step steps[] = {
+      {"mounts", &MonitorDaemon::SyncMounts},   {"sudoers", &MonitorDaemon::SyncSudoers},
+      {"ports", &MonitorDaemon::SyncPorts},     {"ppp", &MonitorDaemon::SyncPpp},
+      {"userdb", &MonitorDaemon::SyncUserDb},   {"legacy", &MonitorDaemon::SyncLegacy},
+  };
+  for (const Step& step : steps) {
+    Result<Unit> r = (this->*step.fn)();
+    if (!r.ok()) {
+      RecordError(r.error(), step.what);
+      result = r;
+    }
+  }
+  syncing_ = false;
+  return result;
+}
+
+Result<Unit> MonitorDaemon::SyncMounts() {
+  ASSIGN_OR_RETURN(std::string content, kernel_->ReadWholeFile(*task_, "/etc/fstab"));
+  if (Trim(content).empty()) {
+    return OkUnit();  // transient truncate-before-write state; wait for the write
+  }
+  // Validate before pushing so a bad fstab leaves kernel policy untouched.
+  RETURN_IF_ERROR(ParseFstab(content));
+  RETURN_IF_ERROR(kernel_->WriteWholeFile(*task_, "/proc/protego/mounts", content));
+  ++sync_count_;
+  return OkUnit();
+}
+
+Result<Unit> MonitorDaemon::SyncSudoers() {
+  ASSIGN_OR_RETURN(std::string main_content, kernel_->ReadWholeFile(*task_, "/etc/sudoers"));
+  if (Trim(main_content).empty()) {
+    return OkUnit();  // transient truncate-before-write state
+  }
+  std::vector<std::string> fragments;
+  auto names = kernel_->ReadDir(*task_, "/etc/sudoers.d");
+  if (names.ok()) {
+    std::vector<std::string> sorted = names.value();
+    std::sort(sorted.begin(), sorted.end());
+    for (const std::string& name : sorted) {
+      ASSIGN_OR_RETURN(std::string frag,
+                       kernel_->ReadWholeFile(*task_, "/etc/sudoers.d/" + name));
+      fragments.push_back(std::move(frag));
+    }
+  }
+  ASSIGN_OR_RETURN(SudoersPolicy policy, ParseSudoersWithFragments(main_content, fragments));
+  RETURN_IF_ERROR(
+      kernel_->WriteWholeFile(*task_, "/proc/protego/sudoers", SerializeSudoers(policy)));
+  ++sync_count_;
+  return OkUnit();
+}
+
+Result<Unit> MonitorDaemon::SyncPorts() {
+  ASSIGN_OR_RETURN(std::string content, kernel_->ReadWholeFile(*task_, "/etc/bind"));
+  if (Trim(content).empty()) {
+    return OkUnit();  // transient truncate-before-write state
+  }
+  RETURN_IF_ERROR(ParseBindConf(content));
+  RETURN_IF_ERROR(kernel_->WriteWholeFile(*task_, "/proc/protego/ports", content));
+  ++sync_count_;
+  return OkUnit();
+}
+
+Result<Unit> MonitorDaemon::SyncPpp() {
+  ASSIGN_OR_RETURN(std::string content, kernel_->ReadWholeFile(*task_, "/etc/ppp/options"));
+  if (Trim(content).empty()) {
+    return OkUnit();  // transient truncate-before-write state
+  }
+  RETURN_IF_ERROR(ParsePppOptions(content));
+  RETURN_IF_ERROR(kernel_->WriteWholeFile(*task_, "/proc/protego/ppp", content));
+  ++sync_count_;
+  return OkUnit();
+}
+
+Result<UserDb> MonitorDaemon::ReadFragments() {
+  std::vector<PasswdEntry> users;
+  std::vector<ShadowEntry> shadows;
+  std::vector<GroupEntry> groups;
+  // A fragment being rewritten is briefly empty (truncate, then write, two
+  // inotify events); skip the transient state — the write event follows.
+  auto user_names = kernel_->ReadDir(*task_, "/etc/passwds");
+  if (user_names.ok()) {
+    for (const std::string& name : user_names.value()) {
+      ASSIGN_OR_RETURN(std::string line, kernel_->ReadWholeFile(*task_, "/etc/passwds/" + name));
+      if (Trim(line).empty()) {
+        continue;
+      }
+      ASSIGN_OR_RETURN(PasswdEntry entry, ParsePasswdLine(Trim(line)));
+      users.push_back(std::move(entry));
+    }
+  }
+  auto shadow_names = kernel_->ReadDir(*task_, "/etc/shadows");
+  if (shadow_names.ok()) {
+    for (const std::string& name : shadow_names.value()) {
+      ASSIGN_OR_RETURN(std::string line, kernel_->ReadWholeFile(*task_, "/etc/shadows/" + name));
+      if (Trim(line).empty()) {
+        continue;
+      }
+      ASSIGN_OR_RETURN(ShadowEntry entry, ParseShadowLine(Trim(line)));
+      shadows.push_back(std::move(entry));
+    }
+  }
+  auto group_names = kernel_->ReadDir(*task_, "/etc/groups");
+  if (group_names.ok()) {
+    for (const std::string& name : group_names.value()) {
+      ASSIGN_OR_RETURN(std::string line, kernel_->ReadWholeFile(*task_, "/etc/groups/" + name));
+      if (Trim(line).empty()) {
+        continue;
+      }
+      ASSIGN_OR_RETURN(GroupEntry entry, ParseGroupLine(Trim(line)));
+      groups.push_back(std::move(entry));
+    }
+  }
+  return UserDb(std::move(users), std::move(shadows), std::move(groups));
+}
+
+Result<Unit> MonitorDaemon::SyncUserDb() {
+  ASSIGN_OR_RETURN(UserDb db, ReadFragments());
+  RETURN_IF_ERROR(
+      kernel_->WriteWholeFile(*task_, "/proc/protego/userdb", SerializeUserDbSections(db)));
+  ++sync_count_;
+  return OkUnit();
+}
+
+Result<Unit> MonitorDaemon::SyncLegacy() {
+  ASSIGN_OR_RETURN(UserDb db, ReadFragments());
+  RETURN_IF_ERROR(kernel_->WriteWholeFile(*task_, "/etc/passwd", SerializePasswd(db.users()),
+                                          /*append=*/false, /*create_mode=*/0644));
+  RETURN_IF_ERROR(kernel_->WriteWholeFile(*task_, "/etc/shadow", SerializeShadow(db.shadows()),
+                                          /*append=*/false, /*create_mode=*/0600));
+  RETURN_IF_ERROR(kernel_->WriteWholeFile(*task_, "/etc/group", SerializeGroup(db.groups()),
+                                          /*append=*/false, /*create_mode=*/0644));
+  ++sync_count_;
+  return OkUnit();
+}
+
+}  // namespace protego

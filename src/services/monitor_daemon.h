@@ -1,0 +1,68 @@
+// The monitoring daemon (§2): a trusted root process that watches the
+// legacy, policy-relevant configuration files and keeps the kernel policy
+// (the /proc/protego files) synchronized with them. It also regenerates the
+// legacy shared credential databases (/etc/passwd, /etc/shadow, /etc/group)
+// from Protego's fragmented per-account files, for backward compatibility
+// with applications that still read the shared files.
+//
+// The daemon is only required for backward compatibility: an administrator
+// may instead write the /proc/protego files directly.
+
+#ifndef SRC_SERVICES_MONITOR_DAEMON_H_
+#define SRC_SERVICES_MONITOR_DAEMON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/config/passwd_db.h"
+#include "src/kernel/kernel.h"
+
+namespace protego {
+
+class MonitorDaemon {
+ public:
+  static constexpr const char* kBinaryPath = "/sbin/protego-monitord";
+
+  explicit MonitorDaemon(Kernel* kernel) : kernel_(kernel) {}
+  ~MonitorDaemon();
+
+  // Installs the trusted binary, creates the daemon task, registers
+  // filesystem watches, and performs an initial full synchronization.
+  Result<Unit> Start();
+
+  // Unregisters watches (the daemon "exits").
+  void Stop();
+
+  // Re-reads every watched file and pushes all policy tables.
+  Result<Unit> SyncAll();
+
+  uint64_t sync_count() const { return sync_count_; }
+  const std::vector<std::string>& errors() const { return errors_; }
+
+  // Individual sync steps (also used by tests).
+  Result<Unit> SyncMounts();
+  Result<Unit> SyncSudoers();
+  Result<Unit> SyncPorts();
+  Result<Unit> SyncPpp();
+  Result<Unit> SyncUserDb();   // fragments -> /proc/protego/userdb
+  Result<Unit> SyncLegacy();   // fragments -> /etc/passwd, /etc/shadow, /etc/group
+
+ private:
+  void OnEvent(FsEvent event, const std::string& path);
+  void RecordError(const Error& error, const std::string& what);
+
+  // Reads the fragmented credential directories into a UserDb.
+  Result<UserDb> ReadFragments();
+
+  Kernel* kernel_ = nullptr;
+  Task* task_ = nullptr;
+  std::vector<int> watch_ids_;
+  uint64_t sync_count_ = 0;
+  bool syncing_ = false;  // suppress events caused by our own writes
+  std::vector<std::string> errors_;
+};
+
+}  // namespace protego
+
+#endif  // SRC_SERVICES_MONITOR_DAEMON_H_

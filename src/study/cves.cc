@@ -1,0 +1,150 @@
+#include "src/study/cves.h"
+
+#include "src/base/strings.h"
+#include "src/userland/daemon_utils.h"
+
+namespace protego {
+
+const std::vector<CveEntry>& CveCorpus() {
+  static const std::vector<CveEntry> kCorpus = [] {
+    std::vector<CveEntry> corpus;
+    auto add = [&corpus](std::string id, std::string package, std::string binary,
+                         std::vector<std::string> argv, std::string invoker_linux = "alice",
+                         std::string invoker_protego = "alice") {
+      CveEntry e;
+      e.cve_id = std::move(id);
+      e.package = std::move(package);
+      e.binary = std::move(binary);
+      e.extra_argv = std::move(argv);
+      e.invoker_linux = std::move(invoker_linux);
+      e.invoker_protego = std::move(invoker_protego);
+      corpus.push_back(std::move(e));
+    };
+
+    // ping: reply-parsing overflows.
+    for (const char* id :
+         {"CVE-1999-1208", "CVE-2000-1213", "CVE-2000-1214", "CVE-2001-0499"}) {
+      add(id, "ping", "/bin/ping", {"10.0.0.2", "1"});
+    }
+    // traceroute.
+    for (const char* id : {"CVE-2005-2071", "CVE-2011-0765"}) {
+      add(id, "traceroute", "/usr/bin/traceroute", {"10.0.0.2"});
+    }
+    // mount/umount option parsing.
+    add("CVE-2006-2183", "mount,umount", "/bin/mount",
+        {"/dev/cdrom", "--options=AAAA%n%n%n"});
+    add("CVE-2007-5191", "mount,umount", "/bin/mount",
+        {"/dev/cdrom", "--options=overflow"});
+    // mtr.
+    for (const char* id : {"CVE-2000-0172", "CVE-2002-0497", "CVE-2004-1224"}) {
+      add(id, "mtr", "/usr/bin/mtr", {"10.0.0.2"});
+    }
+    // sendmail (modeled by the simulated MTA): remote input reaches the
+    // daemon, which runs as root on stock systems.
+    for (const char* id : {"CVE-1999-0130", "CVE-1999-0203"}) {
+      // Modeled on the system's active MTA binary; the vulnerable surface
+      // (message parsing with delivery privilege) is the same.
+      add(id, "sendmail", "/usr/sbin/eximd", {"--deliver=alice:<evil>"}, "root", "exim");
+    }
+    // exim.
+    for (const char* id : {"CVE-2010-2023", "CVE-2010-2024"}) {
+      add(id, "exim", "/usr/sbin/eximd", {"--deliver=alice:<evil>"}, "root", "exim");
+    }
+    // sudo environment/argument handling.
+    for (const char* id : {"CVE-2001-0279", "CVE-2002-0043", "CVE-2002-0184", "CVE-2009-0034",
+                           "CVE-2010-2956"}) {
+      add(id, "sudo", "/usr/bin/sudo", {"/usr/bin/id"});
+    }
+    add("CVE-2004-1689", "sudoedit", "/usr/bin/sudoedit", {"/etc/motd"});
+    // newgrp.
+    for (const char* id : {"CVE-1999-0050", "CVE-2000-0730", "CVE-2000-0755", "CVE-2001-0379",
+                           "CVE-2004-1328", "CVE-2005-0816"}) {
+      add(id, "newgrp", "/usr/bin/newgrp", {"staff"});
+    }
+    // passwd / su / chsh / chfn.
+    add("CVE-2006-3378", "passwd", "/usr/bin/passwd", {});
+    add("CVE-2003-0784", "passwd,su", "/usr/bin/passwd", {});
+    add("CVE-2000-0996", "su", "/bin/su", {"bob"});
+    add("CVE-2002-0816", "su", "/bin/su", {"bob"});
+    add("CVE-2002-1616", "chsh,chfn,su,passwd", "/usr/bin/chsh", {"/bin/sh"});
+    add("CVE-2005-1335", "chsh,chfn", "/usr/bin/chfn", {"Evil Name"});
+    add("CVE-2011-0721", "chsh,chfn", "/usr/bin/chsh", {"/bin/sh"});
+    // dbus / policykit helpers.
+    add("CVE-2012-3524", "dbus", "/usr/lib/dbus-daemon-launch-helper", {"/usr/bin/id"});
+    add("CVE-2011-1485", "pkexec,policykit", "/usr/bin/pkexec", {"/usr/bin/id"});
+    add("CVE-2011-4945", "pkexec,policykit", "/usr/bin/pkexec", {"/usr/bin/id"});
+    // X server.
+    add("CVE-2002-0517", "X", "/usr/bin/xserver", {"--mode=800x600"});
+    add("CVE-2006-4447", "X", "/usr/bin/xserver", {"--mode=800x600"});
+    // Capability-handling bug (historically hit sendmail).
+    add("CVE-2000-0506", "capabilities", "/usr/sbin/eximd", {"--deliver=alice:<evil>"},
+        "root", "exim");
+    return corpus;
+  }();
+  return kCorpus;
+}
+
+const std::vector<CveTotalsRow>& CveTotals() {
+  static const std::vector<CveTotalsRow> kTotals = {
+      {"ping", 84},          {"traceroute", 26},
+      {"mount,umount", 114}, {"mtr", 4},
+      {"sendmail", 84},      {"exim", 21},
+      {"sudo", 61},          {"sudoedit", 3},
+      {"newgrp", 7},         {"passwd", 87},
+      {"passwd,su", 0},      {"su", 31},
+      {"chsh,chfn,su,passwd", 0},
+      {"chsh,chfn", 10},     {"dbus", 22},
+      {"pkexec,policykit", 24},
+      {"X", 33},             {"capabilities", 7},
+  };
+  return kTotals;
+}
+
+ExploitOutcome RunExploit(SimSystem& sys, const CveEntry& entry) {
+  ExploitOutcome outcome;
+  outcome.cve_id = entry.cve_id;
+
+  const std::string& invoker =
+      sys.mode() == SimMode::kLinux ? entry.invoker_linux : entry.invoker_protego;
+  Task& session = sys.Login(invoker);
+
+  std::vector<std::string> argv = {entry.binary};
+  for (const std::string& a : entry.extra_argv) {
+    argv.push_back(a);
+  }
+  argv.push_back("--exploit=" + entry.cve_id);
+  auto out = sys.RunCapture(session, entry.binary, argv);
+
+  // Actions that require root: succeeding at any of them from hijacked code
+  // is a privilege escalation (the attacker starts unprivileged).
+  static const char* kEscalationActions[] = {"overwrite_shadow", "install_rootkit",
+                                             "tamper_etc", "setuid_root", "mount_over_etc",
+                                             "hijack_route"};
+  for (const std::string& line : Split(out.out, '\n')) {
+    if (!StartsWith(line, "EXPLOIT ")) {
+      continue;
+    }
+    outcome.triggered = true;
+    auto kv = Split(line.substr(8), '=');
+    if (kv.size() == 2 && kv[1] == "ok") {
+      outcome.succeeded_actions.push_back(kv[0]);
+      for (const char* action : kEscalationActions) {
+        if (kv[0] == action) {
+          outcome.escalated = true;
+        }
+      }
+    }
+  }
+  sys.kernel().ReapTask(session.pid);
+  return outcome;
+}
+
+std::vector<ExploitOutcome> RunCorpus(SimSystem& sys) {
+  std::vector<ExploitOutcome> outcomes;
+  for (const CveEntry& entry : CveCorpus()) {
+    outcomes.push_back(RunExploit(sys, entry));
+  }
+  return outcomes;
+}
+
+}  // namespace protego

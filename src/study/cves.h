@@ -1,0 +1,63 @@
+// Table 6: the historical-vulnerability corpus — the 40 CVEs the paper
+// identifies as privilege-escalation bugs in setuid-to-root binaries — and
+// the harness that replays each one against both system configurations.
+//
+// Each corpus entry models the CVE's class (buffer overflow, env-var
+// injection, format string, race) as a control-hijack at the utility's
+// documented vulnerable point; the hijacked code then runs the attacker
+// payload (src/userland/util.h) with whatever credentials the utility holds
+// at that point. The question the harness answers per CVE is the paper's:
+// does the vulnerable code still run with privilege?
+
+#ifndef SRC_STUDY_CVES_H_
+#define SRC_STUDY_CVES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sim/system.h"
+
+namespace protego {
+
+struct CveEntry {
+  std::string cve_id;
+  std::string package;       // Table 6 row label
+  std::string binary;        // simulated binary carrying the bug
+  std::vector<std::string> extra_argv;  // arguments reaching the bug
+  // Who launches the vulnerable program. Utilities are launched by the
+  // unprivileged attacker ("alice"); daemons (exim) are launched by init
+  // (root) in stock mode and by their service account under Protego, with
+  // the attacker supplying only the malicious input.
+  std::string invoker_linux = "alice";
+  std::string invoker_protego = "alice";
+};
+
+// All 40 privilege-escalation CVEs from Table 6.
+const std::vector<CveEntry>& CveCorpus();
+
+// Table 6's "Total CVEs" column: lifetime CVE counts per utility row
+// (618 total across the 28 studied binaries, §5.2). "-" rows in the paper
+// (CVEs spanning multiple packages) carry 0 here.
+struct CveTotalsRow {
+  std::string package;
+  int total_cves = 0;  // 0 renders as "-"
+};
+const std::vector<CveTotalsRow>& CveTotals();
+
+// One replayed exploit.
+struct ExploitOutcome {
+  std::string cve_id;
+  bool triggered = false;        // the payload ran (vulnerable point reached)
+  bool escalated = false;        // a root-only action succeeded
+  std::vector<std::string> succeeded_actions;
+};
+
+// Runs one corpus entry against `sys`.
+ExploitOutcome RunExploit(SimSystem& sys, const CveEntry& entry);
+
+// Runs the whole corpus; returns outcomes in corpus order.
+std::vector<ExploitOutcome> RunCorpus(SimSystem& sys);
+
+}  // namespace protego
+
+#endif  // SRC_STUDY_CVES_H_

@@ -1,0 +1,83 @@
+#include "src/study/loc_accounting.h"
+
+#include <fstream>
+
+#include "src/base/strings.h"
+
+namespace protego {
+
+const std::vector<LocRow>& LocLedger() {
+  static const std::vector<LocRow> kLedger = {
+      {"Kernel", "Linux", "Additional LSM hooks, /proc filesystem interface.", 415,
+       {"src/lsm/module.h", "src/lsm/stack.h", "src/lsm/stack.cc", "src/protego/proc_iface.h",
+        "src/protego/proc_iface.cc"}},
+      {"Kernel", "Protego LSM module",
+       "Implement security policies, called by additional LSM hooks in Linux.", 200,
+       {"src/protego/protego_lsm.h", "src/protego/protego_lsm.cc"}},
+      {"Kernel", "Netfilter", "Extensions for raw sockets.", 100,
+       {"src/protego/default_rules.h", "src/protego/default_rules.cc"}},
+      {"Trusted Services", "Monitoring daemon",
+       "Trusted process that monitors changes in policy-relevant configuration files. "
+       "Required only for backwards compatibility.",
+       400, {"src/services/monitor_daemon.h", "src/services/monitor_daemon.cc"}},
+      {"Trusted Services", "Authentication utility",
+       "Trusted binary launched by the kernel to authenticate user sessions, password "
+       "protected groups. Code refactored from login and newgrp.",
+       1200, {"src/services/auth_service.h", "src/services/auth_service.cc"}},
+      {"Utilities", "iptables", "Extension for raw sockets.", 175,
+       {"src/net/netfilter.h", "src/net/netfilter.cc"}},
+      {"Utilities", "vipw", "Modified to edit per-user files instead of a shared database "
+       "file.", 40, {}},
+      {"Utilities", "dmcrypt-get-device", "Switch to /sys to read underlying device "
+       "information.", 4, {}},
+      {"Utilities", "mount/umount, sudo, pppd", "Disable hard-coded root uid checks.", -25,
+       {}},
+  };
+  return kLedger;
+}
+
+int CountLines(const std::string& source_root, const std::string& relative_path) {
+  std::ifstream in(source_root + "/" + relative_path);
+  if (!in.is_open()) {
+    return 0;
+  }
+  int count = 0;
+  std::string line;
+  bool in_block_comment = false;
+  while (std::getline(in, line)) {
+    std::string_view body = Trim(line);
+    if (body.empty()) {
+      continue;
+    }
+    if (in_block_comment) {
+      if (body.find("*/") != std::string_view::npos) {
+        in_block_comment = false;
+      }
+      continue;
+    }
+    if (StartsWith(body, "//") || StartsWith(body, "#")) {
+      continue;  // comments and preprocessor noise both excluded, as the
+                 // paper's conservative counting does
+    }
+    if (StartsWith(body, "/*")) {
+      if (body.find("*/") == std::string_view::npos) {
+        in_block_comment = true;
+      }
+      continue;
+    }
+    ++count;
+  }
+  return count;
+}
+
+int CountRow(const std::string& source_root, const LocRow& row) {
+  int total = 0;
+  for (const std::string& file : row.files) {
+    total += CountLines(source_root, file);
+  }
+  return total;
+}
+
+TcbSummary PaperSummary() { return TcbSummary{}; }
+
+}  // namespace protego

@@ -1,0 +1,40 @@
+// Table 4: the setuid policy study — for each privileged interface, the
+// kernel policy, the system policy administrators actually want, the
+// security concern, and Protego's approach. Each row also carries an
+// executable check pair: a scenario the SYSTEM POLICY permits (must succeed
+// for an unprivileged user on Protego) and one it forbids (must fail on
+// both systems).
+
+#ifndef SRC_STUDY_POLICY_MATRIX_H_
+#define SRC_STUDY_POLICY_MATRIX_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/sim/system.h"
+
+namespace protego {
+
+struct PolicyScenarioResult {
+  bool permitted_case_ok = false;  // safe subset works for users on Protego
+  bool forbidden_case_ok = false;  // unsafe operation still refused
+  std::string detail;
+};
+
+struct PolicyMatrixRow {
+  std::string interface_name;
+  std::string used_by;
+  std::string kernel_policy;
+  std::string system_policy;
+  std::string security_concern;
+  std::string protego_approach;
+  // Runs both cases against a Protego-mode system.
+  std::function<PolicyScenarioResult(SimSystem&)> check;
+};
+
+const std::vector<PolicyMatrixRow>& PolicyMatrix();
+
+}  // namespace protego
+
+#endif  // SRC_STUDY_POLICY_MATRIX_H_

@@ -1,0 +1,55 @@
+// Table 3: setuid-package installation statistics from the Debian and
+// Ubuntu popularity-contest surveys (§3.3).
+//
+// Two reproductions:
+//   * exact — the survey percentages embedded as data; the weighted average
+//     and the 89.5% coverage claim are recomputed arithmetically.
+//   * synthetic — a population of simulated systems is sampled with the
+//     per-distribution install probabilities and the table is re-derived
+//     from the sample, reproducing the survey pipeline end to end.
+
+#ifndef SRC_STUDY_POPULARITY_H_
+#define SRC_STUDY_POPULARITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace protego {
+
+struct PopularityRow {
+  std::string package;
+  double ubuntu_pct = 0;  // % of surveyed Ubuntu systems installing it
+  double debian_pct = 0;
+  bool investigated = false;  // in the paper's fully-studied set ("through
+                              // ecryptfs-utils")
+};
+
+// Survey sizes reported in §3.3.
+inline constexpr uint64_t kUbuntuSystems = 2502647;
+inline constexpr uint64_t kDebianSystems = 134020;
+
+// The paper's 20 most-installed setuid packages, with survey percentages.
+const std::vector<PopularityRow>& PopularityTable();
+
+// Weighted average across both surveys for one row.
+double WeightedAverage(const PopularityRow& row);
+
+// Fraction of systems fully covered by the study — the paper's 89.5%:
+// one minus the weighted share of systems carrying at least one
+// uninvestigated setuid package, approximated as the paper does by the
+// most popular uninvestigated package.
+double StudyCoveragePercent();
+
+// Synthetic survey: samples `n_ubuntu` + `n_debian` simulated systems with
+// the table's install probabilities (deterministic for a given seed) and
+// recomputes the per-package weighted averages.
+struct SyntheticSurveyResult {
+  std::vector<PopularityRow> rows;  // recomputed percentages
+  uint64_t systems_sampled = 0;
+};
+SyntheticSurveyResult RunSyntheticSurvey(uint64_t n_ubuntu, uint64_t n_debian, uint64_t seed);
+
+}  // namespace protego
+
+#endif  // SRC_STUDY_POPULARITY_H_

@@ -1,0 +1,38 @@
+#include "src/study/remaining.h"
+
+namespace protego {
+
+const std::vector<RemainingGroup>& RemainingBinaries() {
+  static const std::vector<RemainingGroup> kGroups = {
+      {"socket", 14, true, "raw/packet sockets: covered by the netfilter extension (§4.1.1)"},
+      {"bind", 23, true, "low ports: covered by /etc/bind allocations (§4.1.3)"},
+      {"mount", 3, true, "covered by the mount whitelist (§4.2)"},
+      {"setuid, setgid", 24, true, "covered by kernel delegation rules (§4.3)"},
+      {"video driver control state", 13, true, "obviated by KMS (§4.5)"},
+      {"chroot/namespace", 6, false,
+       "unprivileged namespaces in Linux >= 3.8 remove the need (§4.6)"},
+      {"miscellaneous", 8, false,
+       "3 system administration (reboot/modules/network), 5 VirtualBox custom device"},
+  };
+  return kGroups;
+}
+
+int RemainingTotal() {
+  int total = 0;
+  for (const RemainingGroup& g : RemainingBinaries()) {
+    total += g.binary_count;
+  }
+  return total;
+}
+
+int RemainingAddressed() {
+  int total = 0;
+  for (const RemainingGroup& g : RemainingBinaries()) {
+    if (g.addressed_by_protego) {
+      total += g.binary_count;
+    }
+  }
+  return total;
+}
+
+}  // namespace protego

@@ -1,0 +1,29 @@
+// Table 8: the long tail — the 67 Ubuntu packages (91 binaries) containing
+// setuid-to-root binaries that §4's study did not cover, grouped by the
+// interface that requires privilege, and whether Protego's existing
+// abstractions already address that interface (§5.4).
+
+#ifndef SRC_STUDY_REMAINING_H_
+#define SRC_STUDY_REMAINING_H_
+
+#include <string>
+#include <vector>
+
+namespace protego {
+
+struct RemainingGroup {
+  std::string interface_name;
+  int binary_count = 0;
+  bool addressed_by_protego = false;  // below the table's double line if false
+  std::string notes;
+};
+
+const std::vector<RemainingGroup>& RemainingBinaries();
+
+// Totals the paper reports: 91 binaries, 77 already addressed.
+int RemainingTotal();
+int RemainingAddressed();
+
+}  // namespace protego
+
+#endif  // SRC_STUDY_REMAINING_H_

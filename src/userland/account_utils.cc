@@ -1,0 +1,440 @@
+#include "src/userland/account_utils.h"
+
+#include "src/base/hash.h"
+#include "src/base/strings.h"
+#include "src/config/passwd_db.h"
+#include "src/userland/coverage.h"
+#include "src/userland/util.h"
+
+namespace protego {
+
+namespace {
+
+std::vector<std::string> Positionals(const ProcessContext& ctx) {
+  std::vector<std::string> out;
+  for (size_t i = 1; i < ctx.argv.size(); ++i) {
+    if (!StartsWith(ctx.argv[i], "--")) {
+      out.push_back(ctx.argv[i]);
+    }
+  }
+  return out;
+}
+
+// Rewrites one user's record inside the shared /etc/passwd (stock path).
+Result<Unit> StockUpdatePasswdRecord(ProcessContext& ctx, const std::string& user,
+                                     const std::function<void(PasswdEntry*)>& edit) {
+  ASSIGN_OR_RETURN(std::string content, ctx.kernel.ReadWholeFile(ctx.task, "/etc/passwd"));
+  ASSIGN_OR_RETURN(auto entries, ParsePasswd(content));
+  bool found = false;
+  for (PasswdEntry& e : entries) {
+    if (e.name == user) {
+      edit(&e);
+      found = true;
+    }
+  }
+  if (!found) {
+    return Error(Errno::kENOENT, user);
+  }
+  return ctx.kernel.WriteWholeFile(ctx.task, "/etc/passwd", SerializePasswd(entries));
+}
+
+// Edits the user's own fragment (Protego path).
+Result<Unit> FragmentUpdatePasswdRecord(ProcessContext& ctx, const std::string& user,
+                                        const std::function<void(PasswdEntry*)>& edit) {
+  std::string path = "/etc/passwds/" + user;
+  ASSIGN_OR_RETURN(std::string line, ctx.kernel.ReadWholeFile(ctx.task, path));
+  ASSIGN_OR_RETURN(PasswdEntry entry, ParsePasswdLine(Trim(line)));
+  edit(&entry);
+  return ctx.kernel.WriteWholeFile(ctx.task, path, entry.ToLine() + "\n");
+}
+
+bool ValidShell(ProcessContext& ctx, const std::string& shell) {
+  auto shells = ctx.kernel.ReadWholeFile(ctx.task, "/etc/shells");
+  if (!shells.ok()) {
+    return false;
+  }
+  for (const std::string& line : Split(shells.value(), '\n')) {
+    if (Trim(line) == shell) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void DeclareAccountCoverage() {
+  Coverage::Get().Declare("passwd", {"parse_args", "resolve_target", "check_self_or_root",
+                                     "verify_old", "prompt_new", "hash_new", "write_db",
+                                     "report_ok", "err_no_user", "err_not_permitted",
+                                     "err_auth", "err_write", "exploit_gecos"});
+  Coverage::Get().Declare("chsh", {"parse_args", "resolve_target", "check_self_or_root",
+                                   "validate_shell", "write_db", "report_ok", "err_usage",
+                                   "err_bad_shell", "err_not_permitted", "err_write",
+                                   "exploit_arg"});
+  Coverage::Get().Declare("chfn", {"parse_args", "resolve_target", "check_self_or_root",
+                                   "write_db", "report_ok", "err_usage", "err_not_permitted",
+                                   "err_write", "exploit_gecos"});
+  Coverage::Get().Declare("gpasswd", {"parse_args", "resolve_group", "admin_check",
+                                      "hash_new", "write_db", "report_ok", "err_usage",
+                                      "err_no_group", "err_not_permitted", "err_write"});
+}
+
+ProgramMain MakePasswdMain(bool protego_mode) {
+  return [protego_mode](ProcessContext& ctx) -> int {
+    Cov("passwd", "parse_args");
+    std::vector<std::string> args = Positionals(ctx);
+    // GECOS/argument parsing — passwd's historical soft spot (CVE-2006-3378).
+    if (ExploitTriggered(ctx, "CVE-2006-3378") || ExploitTriggered(ctx, "CVE-2003-0784")) {
+      Cov("passwd", "exploit_gecos");
+      return ExploitPayload(ctx);
+    }
+    Cov("passwd", "resolve_target");
+    auto self = LookupUserByUid(ctx, ctx.task.cred.ruid);
+    if (!self.has_value()) {
+      Cov("passwd", "err_no_user");
+      ctx.Err("passwd: cannot determine your user name\n");
+      return 1;
+    }
+    std::string target_name = args.empty() ? self->name : args[0];
+    Cov("passwd", "check_self_or_root");
+    if (target_name != self->name && ctx.task.cred.ruid != kRootUid) {
+      Cov("passwd", "err_not_permitted");
+      ctx.Err("passwd: You may not view or modify password information for " + target_name +
+              ".\n");
+      return 1;
+    }
+
+    if (!protego_mode) {
+      if (ctx.task.cred.euid != kRootUid) {
+        ctx.Err("passwd: must be setuid root\n");
+        return 1;
+      }
+      // Verify the current password (root skips).
+      auto shadow = ctx.kernel.ReadWholeFile(ctx.task, "/etc/shadow");
+      if (!shadow.ok()) {
+        ctx.Err("passwd: cannot read shadow database\n");
+        return 1;
+      }
+      auto entries = ParseShadow(shadow.value());
+      if (!entries.ok()) {
+        ctx.Err("passwd: corrupt shadow database\n");
+        return 1;
+      }
+      std::string old_hash;
+      for (const ShadowEntry& e : entries.value()) {
+        if (e.name == target_name) {
+          old_hash = e.hash;
+        }
+      }
+      if (ctx.task.cred.ruid != kRootUid) {
+        Cov("passwd", "verify_old");
+        ctx.Out("Current password: ");
+        auto old_password = ctx.ReadLine();
+        if (!old_password.has_value() || !VerifyPassword(*old_password, old_hash)) {
+          Cov("passwd", "err_auth");
+          ctx.Err("passwd: Authentication token manipulation error\n");
+          return 1;
+        }
+      }
+      Cov("passwd", "prompt_new");
+      ctx.Out("New password: ");
+      auto new_password = ctx.ReadLine();
+      if (!new_password.has_value()) {
+        ctx.Err("passwd: password unchanged\n");
+        return 1;
+      }
+      Cov("passwd", "hash_new");
+      std::string new_hash =
+          CryptPassword(*new_password, MakeSalt(ctx.kernel.clock().Now() + ctx.task.pid));
+      Cov("passwd", "write_db");
+      // The dangerous operation Protego eliminates: a setuid binary
+      // rewriting the WHOLE shared shadow database.
+      std::vector<ShadowEntry> updated = entries.take();
+      for (ShadowEntry& e : updated) {
+        if (e.name == target_name) {
+          e.hash = new_hash;
+          e.last_change = ctx.kernel.clock().Now();
+        }
+      }
+      auto w = ctx.kernel.WriteWholeFile(ctx.task, "/etc/shadow", SerializeShadow(updated));
+      (void)ctx.kernel.Setuid(ctx.task, ctx.task.cred.ruid);
+      if (!w.ok()) {
+        Cov("passwd", "err_write");
+        ctx.Err("passwd: " + w.error().ToString() + "\n");
+        return 1;
+      }
+      Cov("passwd", "report_ok");
+      ctx.Out("passwd: password updated successfully\n");
+      return 0;
+    }
+
+    // Protego passwd: the read of the user's own shadow fragment is gated by
+    // kernel-enforced reauthentication (the Reauth_Read rule); passing that
+    // gate IS the current-password check.
+    std::string shadow_path = "/etc/shadows/" + target_name;
+    Cov("passwd", "verify_old");
+    auto current = ctx.kernel.ReadWholeFile(ctx.task, shadow_path);
+    if (!current.ok()) {
+      Cov("passwd", "err_auth");
+      ctx.Err("passwd: Authentication token manipulation error\n");
+      return 1;
+    }
+    auto entry = ParseShadowLine(Trim(current.value()));
+    if (!entry.ok()) {
+      ctx.Err("passwd: corrupt shadow record\n");
+      return 1;
+    }
+    Cov("passwd", "prompt_new");
+    ctx.Out("New password: ");
+    auto new_password = ctx.ReadLine();
+    if (!new_password.has_value()) {
+      ctx.Err("passwd: password unchanged\n");
+      return 1;
+    }
+    Cov("passwd", "hash_new");
+    ShadowEntry updated = entry.take();
+    updated.hash = CryptPassword(*new_password, MakeSalt(ctx.kernel.clock().Now() + ctx.task.pid));
+    updated.last_change = ctx.kernel.clock().Now();
+    Cov("passwd", "write_db");
+    auto w = ctx.kernel.WriteWholeFile(ctx.task, shadow_path, updated.ToLine() + "\n");
+    if (!w.ok()) {
+      Cov("passwd", "err_write");
+      ctx.Err("passwd: " + w.error().ToString() + "\n");
+      return 1;
+    }
+    Cov("passwd", "report_ok");
+    ctx.Out("passwd: password updated successfully\n");
+    return 0;
+  };
+}
+
+ProgramMain MakeChshMain(bool protego_mode) {
+  return [protego_mode](ProcessContext& ctx) -> int {
+    Cov("chsh", "parse_args");
+    std::vector<std::string> args = Positionals(ctx);
+    if (args.empty()) {
+      Cov("chsh", "err_usage");
+      ctx.Err("usage: chsh <shell> [user]\n");
+      return 1;
+    }
+    if (ExploitTriggered(ctx, "CVE-2002-1616") || ExploitTriggered(ctx, "CVE-2005-1335") ||
+        ExploitTriggered(ctx, "CVE-2011-0721")) {
+      Cov("chsh", "exploit_arg");
+      return ExploitPayload(ctx);
+    }
+    const std::string& shell = args[0];
+    Cov("chsh", "resolve_target");
+    auto self = LookupUserByUid(ctx, ctx.task.cred.ruid);
+    if (!self.has_value()) {
+      ctx.Err("chsh: unknown user\n");
+      return 1;
+    }
+    std::string target = args.size() > 1 ? args[1] : self->name;
+    Cov("chsh", "check_self_or_root");
+    if (target != self->name && ctx.task.cred.ruid != kRootUid) {
+      Cov("chsh", "err_not_permitted");
+      ctx.Err("chsh: you may not change the shell for " + target + "\n");
+      return 1;
+    }
+    Cov("chsh", "validate_shell");
+    if (!ValidShell(ctx, shell)) {
+      Cov("chsh", "err_bad_shell");
+      ctx.Err("chsh: " + shell + " is not listed in /etc/shells\n");
+      return 1;
+    }
+    Cov("chsh", "write_db");
+    Result<Unit> w = protego_mode
+        ? FragmentUpdatePasswdRecord(ctx, target, [&](PasswdEntry* e) { e->shell = shell; })
+        : StockUpdatePasswdRecord(ctx, target, [&](PasswdEntry* e) { e->shell = shell; });
+    if (!protego_mode && ctx.task.cred.ruid != ctx.task.cred.euid) {
+      (void)ctx.kernel.Setuid(ctx.task, ctx.task.cred.ruid);
+    }
+    if (!w.ok()) {
+      Cov("chsh", "err_write");
+      ctx.Err("chsh: " + w.error().ToString() + "\n");
+      return 1;
+    }
+    Cov("chsh", "report_ok");
+    ctx.Out("chsh: shell changed to " + shell + "\n");
+    return 0;
+  };
+}
+
+ProgramMain MakeChfnMain(bool protego_mode) {
+  return [protego_mode](ProcessContext& ctx) -> int {
+    Cov("chfn", "parse_args");
+    std::vector<std::string> args = Positionals(ctx);
+    if (args.empty()) {
+      Cov("chfn", "err_usage");
+      ctx.Err("usage: chfn <full-name> [user]\n");
+      return 1;
+    }
+    if (ExploitTriggered(ctx, "CVE-2002-1616") || ExploitTriggered(ctx, "CVE-2005-1335") ||
+        ExploitTriggered(ctx, "CVE-2011-0721")) {
+      Cov("chfn", "exploit_gecos");
+      return ExploitPayload(ctx);
+    }
+    const std::string& gecos = args[0];
+    Cov("chfn", "resolve_target");
+    auto self = LookupUserByUid(ctx, ctx.task.cred.ruid);
+    if (!self.has_value()) {
+      ctx.Err("chfn: unknown user\n");
+      return 1;
+    }
+    std::string target = args.size() > 1 ? args[1] : self->name;
+    Cov("chfn", "check_self_or_root");
+    if (target != self->name && ctx.task.cred.ruid != kRootUid) {
+      Cov("chfn", "err_not_permitted");
+      ctx.Err("chfn: you may not change information for " + target + "\n");
+      return 1;
+    }
+    Cov("chfn", "write_db");
+    Result<Unit> w = protego_mode
+        ? FragmentUpdatePasswdRecord(ctx, target, [&](PasswdEntry* e) { e->gecos = gecos; })
+        : StockUpdatePasswdRecord(ctx, target, [&](PasswdEntry* e) { e->gecos = gecos; });
+    if (!protego_mode && ctx.task.cred.ruid != ctx.task.cred.euid) {
+      (void)ctx.kernel.Setuid(ctx.task, ctx.task.cred.ruid);
+    }
+    if (!w.ok()) {
+      Cov("chfn", "err_write");
+      ctx.Err("chfn: " + w.error().ToString() + "\n");
+      return 1;
+    }
+    Cov("chfn", "report_ok");
+    ctx.Out("chfn: information changed\n");
+    return 0;
+  };
+}
+
+ProgramMain MakeGpasswdMain(bool protego_mode) {
+  return [protego_mode](ProcessContext& ctx) -> int {
+    Cov("gpasswd", "parse_args");
+    std::vector<std::string> args = Positionals(ctx);
+    if (args.size() < 2) {
+      Cov("gpasswd", "err_usage");
+      ctx.Err("usage: gpasswd <group> <new-password>\n");
+      return 1;
+    }
+    const std::string& group_name = args[0];
+    const std::string& new_password = args[1];
+    Cov("gpasswd", "resolve_group");
+    auto group = LookupGroup(ctx, group_name);
+    if (!group.has_value()) {
+      Cov("gpasswd", "err_no_group");
+      ctx.Err("gpasswd: group '" + group_name + "' does not exist\n");
+      return 1;
+    }
+    // The group administrator is its first member.
+    Cov("gpasswd", "admin_check");
+    auto self = LookupUserByUid(ctx, ctx.task.cred.ruid);
+    bool is_admin = ctx.task.cred.ruid == kRootUid ||
+                    (self.has_value() && !group->members.empty() &&
+                     group->members[0] == self->name);
+
+    Cov("gpasswd", "hash_new");
+    std::string new_hash =
+        CryptPassword(new_password, MakeSalt(ctx.kernel.clock().Now() + ctx.task.pid));
+
+    if (!protego_mode) {
+      if (ctx.task.cred.euid != kRootUid) {
+        ctx.Err("gpasswd: must be setuid root\n");
+        return 1;
+      }
+      if (!is_admin) {
+        Cov("gpasswd", "err_not_permitted");
+        ctx.Err("gpasswd: Permission denied\n");
+        (void)ctx.kernel.Setuid(ctx.task, ctx.task.cred.ruid);
+        return 1;
+      }
+      Cov("gpasswd", "write_db");
+      auto content = ctx.kernel.ReadWholeFile(ctx.task, "/etc/group");
+      if (!content.ok()) {
+        ctx.Err("gpasswd: cannot read group database\n");
+        return 1;
+      }
+      auto entries = ParseGroup(content.value());
+      if (!entries.ok()) {
+        ctx.Err("gpasswd: corrupt group database\n");
+        return 1;
+      }
+      std::vector<GroupEntry> updated = entries.take();
+      for (GroupEntry& e : updated) {
+        if (e.name == group_name) {
+          e.password_hash = new_hash;
+        }
+      }
+      auto w = ctx.kernel.WriteWholeFile(ctx.task, "/etc/group", SerializeGroup(updated));
+      (void)ctx.kernel.Setuid(ctx.task, ctx.task.cred.ruid);
+      if (!w.ok()) {
+        Cov("gpasswd", "err_write");
+        ctx.Err("gpasswd: " + w.error().ToString() + "\n");
+        return 1;
+      }
+      Cov("gpasswd", "report_ok");
+      ctx.Out("gpasswd: password for group " + group_name + " changed\n");
+      return 0;
+    }
+
+    // Protego gpasswd: edit the group fragment; DAC on the fragment (owned
+    // by the group administrator) enforces who may do this.
+    Cov("gpasswd", "write_db");
+    std::string path = "/etc/groups/" + group_name;
+    GroupEntry updated = *group;
+    updated.password_hash = new_hash;
+    auto w = ctx.kernel.WriteWholeFile(ctx.task, path, updated.ToLine() + "\n");
+    if (!w.ok()) {
+      Cov("gpasswd", "err_not_permitted");
+      ctx.Err("gpasswd: Permission denied\n");
+      return 1;
+    }
+    Cov("gpasswd", "report_ok");
+    ctx.Out("gpasswd: password for group " + group_name + " changed\n");
+    return 0;
+  };
+}
+
+ProgramMain MakeVipwMain(bool protego_mode) {
+  return [protego_mode](ProcessContext& ctx) -> int {
+    // The "editor" input: one passwd(5) line from the terminal.
+    auto line = ctx.ReadLine();
+    if (!line.has_value()) {
+      ctx.Err("vipw: no input\n");
+      return 1;
+    }
+    auto entry = ParsePasswdLine(Trim(*line));
+    if (!entry.ok()) {
+      ctx.Err("vipw: invalid passwd record\n");
+      return 1;
+    }
+    if (!protego_mode) {
+      if (ctx.task.cred.euid != kRootUid) {
+        ctx.Err("vipw: must be setuid root\n");
+        return 1;
+      }
+      // Stock vipw rewrites the SHARED database.
+      auto w = StockUpdatePasswdRecord(ctx, entry.value().name, [&](PasswdEntry* e) {
+        *e = entry.value();
+      });
+      (void)ctx.kernel.Setuid(ctx.task, ctx.task.cred.ruid);
+      if (!w.ok()) {
+        ctx.Err("vipw: " + w.error().ToString() + "\n");
+        return 1;
+      }
+      ctx.Out("vipw: record updated\n");
+      return 0;
+    }
+    // Protego vipw (+40 lines in the paper): edits the per-user file; file
+    // permissions decide whether this caller may touch this record.
+    std::string path = "/etc/passwds/" + entry.value().name;
+    auto w = ctx.kernel.WriteWholeFile(ctx.task, path, entry.value().ToLine() + "\n");
+    if (!w.ok()) {
+      ctx.Err("vipw: " + w.error().ToString() + "\n");
+      return 1;
+    }
+    ctx.Out("vipw: record updated\n");
+    return 0;
+  };
+}
+
+}  // namespace protego

@@ -1,0 +1,27 @@
+// The credential-database family: passwd, chsh, chfn, gpasswd, vipw (§4.4).
+//
+// protego_mode=false builds the stock setuid-root binaries that rewrite the
+// SHARED database files (/etc/passwd, /etc/shadow, /etc/group) after
+// validating the change themselves; protego_mode=true builds the
+// deprivileged binaries that edit the user's own fragment under
+// /etc/passwds//etc/shadows//etc/groups, where ordinary file permissions
+// enforce record-level access control.
+
+#ifndef SRC_USERLAND_ACCOUNT_UTILS_H_
+#define SRC_USERLAND_ACCOUNT_UTILS_H_
+
+#include "src/kernel/kernel.h"
+
+namespace protego {
+
+ProgramMain MakePasswdMain(bool protego_mode);
+ProgramMain MakeChshMain(bool protego_mode);
+ProgramMain MakeChfnMain(bool protego_mode);
+ProgramMain MakeGpasswdMain(bool protego_mode);
+ProgramMain MakeVipwMain(bool protego_mode);
+
+void DeclareAccountCoverage();
+
+}  // namespace protego
+
+#endif  // SRC_USERLAND_ACCOUNT_UTILS_H_

@@ -1,0 +1,218 @@
+#include "src/userland/daemon_utils.h"
+
+#include "src/base/hash.h"
+#include "src/base/strings.h"
+#include "src/net/ioctl_codes.h"
+#include "src/userland/coverage.h"
+#include "src/userland/util.h"
+
+namespace protego {
+
+ProgramMain MakeEximdMain(bool protego_mode) {
+  return [protego_mode](ProcessContext& ctx) -> int {
+    // argv: eximd [--deliver=<user>:<message>]...
+    // Stock exim starts as root: it binds the SMTP port with privilege and
+    // historically delivered local mail with root privilege (to cope with
+    // spool and ~/.forward permissions). Protego exim runs as the exim user
+    // throughout: /etc/bind covers port 25 and group-mail spool permissions
+    // cover delivery.
+    if (!protego_mode && ctx.task.cred.euid != kRootUid) {
+      ctx.Err("eximd: must start as root\n");
+      return 1;
+    }
+
+    auto fd = ctx.kernel.SocketCall(ctx.task, kAfInet, kSockStream, 0);
+    if (!fd.ok()) {
+      ctx.Err("eximd: socket: " + fd.error().ToString() + "\n");
+      return 1;
+    }
+    auto bind = ctx.kernel.BindCall(ctx.task, fd.value(), 25);
+    if (!bind.ok()) {
+      ctx.Err("eximd: bind 25: " + bind.error().ToString() + "\n");
+      return 1;
+    }
+    (void)ctx.kernel.ListenCall(ctx.task, fd.value());
+    ctx.Out("eximd: listening on port 25\n");
+
+    int delivered = 0;
+    for (size_t i = 1; i < ctx.argv.size(); ++i) {
+      if (!StartsWith(ctx.argv[i], "--deliver=")) {
+        continue;
+      }
+      std::string spec = ctx.argv[i].substr(10);
+      size_t colon = spec.find(':');
+      if (colon == std::string::npos) {
+        ctx.Err("eximd: bad --deliver\n");
+        continue;
+      }
+      std::string user = spec.substr(0, colon);
+      std::string message = spec.substr(colon + 1);
+      // Message parsing — exim's historically vulnerable surface
+      // (CVE-2010-2023/2024 local privilege escalation).
+      if (ExploitTriggered(ctx, "CVE-2010-2023") || ExploitTriggered(ctx, "CVE-2010-2024") ||
+          ExploitTriggered(ctx, "CVE-1999-0130") || ExploitTriggered(ctx, "CVE-1999-0203") ||
+          ExploitTriggered(ctx, "CVE-2000-0506")) {
+        return ExploitPayload(ctx);
+      }
+      auto w = ctx.kernel.WriteWholeFile(ctx.task, "/var/mail/" + user,
+                                         "From eximd\n" + message + "\n", /*append=*/true,
+                                         /*create_mode=*/0660);
+      if (!w.ok()) {
+        ctx.Err("eximd: delivery to " + user + " failed: " + w.error().ToString() + "\n");
+        continue;
+      }
+      ++delivered;
+      ctx.Out("eximd: delivered to " + user + "\n");
+    }
+
+    if (!protego_mode) {
+      // Stock exim drops privilege once the privileged work is done.
+      (void)ctx.kernel.Setgid(ctx.task, kMailGid);
+      (void)ctx.kernel.Setuid(ctx.task, kEximUid);
+    }
+    (void)ctx.kernel.Close(ctx.task, fd.value());
+    ctx.Out(StrFormat("eximd: %d message(s) delivered\n", delivered));
+    return 0;
+  };
+}
+
+ProgramMain MakeHttpdMain(bool protego_mode) {
+  return [protego_mode](ProcessContext& ctx) -> int {
+    if (!protego_mode && ctx.task.cred.euid != kRootUid) {
+      ctx.Err("httpd: must start as root\n");
+      return 1;
+    }
+    auto fd = ctx.kernel.SocketCall(ctx.task, kAfInet, kSockStream, 0);
+    if (!fd.ok()) {
+      ctx.Err("httpd: socket: " + fd.error().ToString() + "\n");
+      return 1;
+    }
+    uint16_t port = static_cast<uint16_t>(
+        ParseUint(ctx.Flag("port").value_or("80")).value_or(80));
+    auto bind = ctx.kernel.BindCall(ctx.task, fd.value(), port);
+    if (!bind.ok()) {
+      ctx.Err(StrFormat("httpd: bind %u: %s\n", port, bind.error().ToString().c_str()));
+      return 1;
+    }
+    (void)ctx.kernel.ListenCall(ctx.task, fd.value());
+    if (!protego_mode) {
+      (void)ctx.kernel.Setuid(ctx.task, kWwwDataUid);
+    }
+    ctx.Out(StrFormat("httpd: listening on port %u\n", port));
+    return 0;
+  };
+}
+
+ProgramMain MakeSshKeysignMain(bool protego_mode) {
+  return [protego_mode](ProcessContext& ctx) -> int {
+    // argv: ssh-keysign <public-key-blob>
+    if (ctx.argv.size() < 2) {
+      ctx.Err("usage: ssh-keysign <data>\n");
+      return 1;
+    }
+    if (!protego_mode && ctx.task.cred.euid != kRootUid) {
+      ctx.Err("ssh-keysign: must be setuid root\n");
+      return 1;
+    }
+    // Stock: readable because euid==0. Protego: readable because of the
+    // File_Delegate rule granting THIS binary access to THIS file.
+    auto key = ctx.kernel.ReadWholeFile(ctx.task, "/etc/ssh/ssh_host_key");
+    if (!protego_mode && ctx.task.cred.ruid != ctx.task.cred.euid) {
+      (void)ctx.kernel.Setuid(ctx.task, ctx.task.cred.ruid);
+    }
+    if (!key.ok()) {
+      ctx.Err("ssh-keysign: cannot read host key: " + key.error().ToString() + "\n");
+      return 1;
+    }
+    uint64_t signature = Fnv1a(key.value() + ctx.argv[1]);
+    ctx.Out(StrFormat("signature %016llx\n", static_cast<unsigned long long>(signature)));
+    return 0;
+  };
+}
+
+ProgramMain MakeDmcryptGetDeviceMain(bool protego_mode) {
+  return [protego_mode](ProcessContext& ctx) -> int {
+    // argv: dmcrypt-get-device <dm-name>
+    if (ctx.argv.size() < 2) {
+      ctx.Err("usage: dmcrypt-get-device <name>\n");
+      return 1;
+    }
+    const std::string& name = ctx.argv[1];
+
+    if (!protego_mode) {
+      // Stock: the privileged ioctl returns device AND key; the binary must
+      // be setuid root and is trusted to discard the key.
+      if (ctx.task.cred.euid != kRootUid) {
+        ctx.Err("dmcrypt-get-device: must be setuid root\n");
+        return 1;
+      }
+      auto fd = ctx.kernel.Open(ctx.task, "/dev/mapper/control", kORdWr);
+      if (!fd.ok()) {
+        ctx.Err("dmcrypt-get-device: " + fd.error().ToString() + "\n");
+        return 1;
+      }
+      auto status = ctx.kernel.Ioctl(ctx.task, fd.value(), kDmTableStatus, name);
+      (void)ctx.kernel.Close(ctx.task, fd.value());
+      (void)ctx.kernel.Setuid(ctx.task, ctx.task.cred.ruid);
+      if (!status.ok()) {
+        ctx.Err("dmcrypt-get-device: " + status.error().ToString() + "\n");
+        return 1;
+      }
+      // Exploitable parse of the blob means the key was in this process.
+      if (ExploitTriggered(ctx, "CVE-SIM-DMCRYPT")) {
+        ctx.Out("EXPLOIT leak=" + status.value() + "\n");
+        return ExploitPayload(ctx);
+      }
+      // Trusted to print only the device portion.
+      auto fields = SplitWhitespace(status.value());
+      ctx.Out(fields.empty() ? "?" : fields[0].substr(7));
+      ctx.Out("\n");
+      return 0;
+    }
+
+    // Protego (the paper's 4-line change): read the /sys file that only
+    // discloses the physical device. No privilege, no key in memory.
+    auto slaves = ctx.kernel.ReadWholeFile(ctx.task, "/sys/block/" + name + "/slaves");
+    if (!slaves.ok()) {
+      ctx.Err("dmcrypt-get-device: " + slaves.error().ToString() + "\n");
+      return 1;
+    }
+    ctx.Out(slaves.value());
+    return 0;
+  };
+}
+
+}  // namespace protego
+
+namespace protego {
+
+ProgramMain MakeXserverMain(bool protego_mode) {
+  return [protego_mode](ProcessContext& ctx) -> int {
+    // argv: xserver [--mode=<WxH>]
+    std::string mode = ctx.Flag("mode").value_or("1024x768");
+    // Input parsing — X's historically vulnerable surface (CVE-2002-0517
+    // transport parsing, CVE-2006-4447 setuid-related).
+    if (ExploitTriggered(ctx, "CVE-2002-0517") || ExploitTriggered(ctx, "CVE-2006-4447")) {
+      return ExploitPayload(ctx);
+    }
+    if (!protego_mode && ctx.task.cred.euid != kRootUid) {
+      ctx.Err("xserver: must be setuid root to program the video card\n");
+      return 1;
+    }
+    // Pre-KMS: a privileged write directly to video control state.
+    // KMS: the same file is world-writable because the KERNEL validates and
+    // context-switches the hardware state.
+    auto w = ctx.kernel.WriteWholeFile(ctx.task, "/sys/video/mode", mode + "\n");
+    if (!protego_mode && ctx.task.cred.ruid != ctx.task.cred.euid) {
+      (void)ctx.kernel.Setuid(ctx.task, ctx.task.cred.ruid);
+    }
+    if (!w.ok()) {
+      ctx.Err("xserver: cannot set video mode: " + w.error().ToString() + "\n");
+      return 1;
+    }
+    ctx.Out("xserver: display up at " + mode + "\n");
+    return 0;
+  };
+}
+
+}  // namespace protego

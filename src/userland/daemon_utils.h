@@ -1,0 +1,29 @@
+// Network daemons and special-purpose trusted binaries: eximd (mail, bind
+// §4.1.3 + spool permissions §4.4), httpd (web), ssh-keysign (host-key
+// delegation §4.6), dmcrypt-get-device (interface design §4, Table 4).
+
+#ifndef SRC_USERLAND_DAEMON_UTILS_H_
+#define SRC_USERLAND_DAEMON_UTILS_H_
+
+#include "src/kernel/kernel.h"
+
+namespace protego {
+
+// Well-known service uids (Debian conventions).
+inline constexpr Uid kEximUid = 101;
+inline constexpr Gid kMailGid = 8;
+inline constexpr Uid kWwwDataUid = 33;
+
+ProgramMain MakeEximdMain(bool protego_mode);
+ProgramMain MakeHttpdMain(bool protego_mode);
+ProgramMain MakeSshKeysignMain(bool protego_mode);
+ProgramMain MakeDmcryptGetDeviceMain(bool protego_mode);
+
+// The X server (§4.5): pre-KMS it must be setuid root to program the video
+// hardware (/sys/video/mode is root-only); with KMS the kernel owns video
+// state and the same binary runs unprivileged.
+ProgramMain MakeXserverMain(bool protego_mode);
+
+}  // namespace protego
+
+#endif  // SRC_USERLAND_DAEMON_UTILS_H_

@@ -1,0 +1,34 @@
+// The delegation family: sudo, sudoedit, su, newgrp, login (§4.3).
+//
+// protego_mode=false builds the stock setuid-root binaries, which parse
+// /etc/sudoers, authenticate, and validate THEMSELVES before calling
+// setuid() with full CAP_SETUID; protego_mode=true builds the deprivileged
+// binaries that simply request the transition and let the kernel enforce
+// delegation, authentication recency, and command restrictions.
+
+#ifndef SRC_USERLAND_DELEGATION_UTILS_H_
+#define SRC_USERLAND_DELEGATION_UTILS_H_
+
+#include "src/kernel/kernel.h"
+
+namespace protego {
+
+ProgramMain MakeSudoMain(bool protego_mode);
+
+// pkexec / dbus-daemon-launch-helper: PolicyKit-style run-as-root helpers.
+// Protego encodes their policies as sudoers delegation rules (§4.3), so the
+// deprivileged build is a thin shim over the same kernel mechanism.
+ProgramMain MakePkexecMain(bool protego_mode);
+ProgramMain MakeSudoeditMain(bool protego_mode);
+ProgramMain MakeSuMain(bool protego_mode);
+ProgramMain MakeNewgrpMain(bool protego_mode);
+ProgramMain MakeLoginMain(bool protego_mode);
+
+void DeclareDelegationCoverage();
+
+// Resolves a command name against /usr/bin:/bin:/usr/sbin:/sbin.
+std::string ResolveBinaryPath(ProcessContext& ctx, const std::string& name);
+
+}  // namespace protego
+
+#endif  // SRC_USERLAND_DELEGATION_UTILS_H_

@@ -1,0 +1,23 @@
+// Installs the full simulated userland into a kernel: the 20 studied
+// utilities (in stock-setuid or deprivileged-Protego builds) plus the small
+// helper binaries (id, sh, tee, cat, lpr) used by tests and delegation.
+
+#ifndef SRC_USERLAND_INSTALL_H_
+#define SRC_USERLAND_INSTALL_H_
+
+#include "src/base/result.h"
+#include "src/kernel/kernel.h"
+
+namespace protego {
+
+// protego_mode=false installs the binaries setuid-root (mode 4755) with
+// their userspace policy checks active; protego_mode=true installs them
+// mode 0755 with the hard-coded euid checks removed. setcap_mode (only
+// meaningful with protego_mode=false) clears the setuid bit and instead
+// grants each binary the file capabilities a setcap deployment would
+// (§3.1) — the configuration whose residual risk §3.2 analyzes.
+Result<Unit> InstallUserland(Kernel* kernel, bool protego_mode, bool setcap_mode = false);
+
+}  // namespace protego
+
+#endif  // SRC_USERLAND_INSTALL_H_

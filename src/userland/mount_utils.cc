@@ -1,0 +1,277 @@
+#include "src/userland/mount_utils.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+#include "src/config/fstab.h"
+#include "src/userland/coverage.h"
+#include "src/userland/util.h"
+
+namespace protego {
+
+namespace {
+
+// Positional (non-flag) arguments after argv[0].
+std::vector<std::string> Positionals(const ProcessContext& ctx) {
+  std::vector<std::string> out;
+  for (size_t i = 1; i < ctx.argv.size(); ++i) {
+    const std::string& a = ctx.argv[i];
+    if (StartsWith(a, "--")) {
+      continue;
+    }
+    out.push_back(a);
+  }
+  return out;
+}
+
+Result<std::vector<FstabEntry>> ReadFstab(ProcessContext& ctx) {
+  ASSIGN_OR_RETURN(std::string content, ctx.kernel.ReadWholeFile(ctx.task, "/etc/fstab"));
+  return ParseFstab(content);
+}
+
+const FstabEntry* MatchFstab(const std::vector<FstabEntry>& entries, const std::string& what) {
+  for (const FstabEntry& e : entries) {
+    if (e.device == what || e.mountpoint == what) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+// Reads the kernel mount table through /proc/mounts.
+struct ProcMount {
+  std::string source, mountpoint, fstype, options;
+  Uid mounter = 0;
+};
+
+std::vector<ProcMount> ReadProcMounts(ProcessContext& ctx) {
+  std::vector<ProcMount> out;
+  auto content = ctx.kernel.ReadWholeFile(ctx.task, "/proc/mounts");
+  if (!content.ok()) {
+    return out;
+  }
+  for (const std::string& line : Split(content.value(), '\n')) {
+    auto f = SplitWhitespace(line);
+    if (f.size() == 5) {
+      ProcMount m;
+      m.source = f[0];
+      m.mountpoint = f[1];
+      m.fstype = f[2];
+      m.options = f[3];
+      m.mounter = static_cast<Uid>(ParseUint(f[4]).value_or(0));
+      out.push_back(std::move(m));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void DeclareMountCoverage() {
+  Coverage::Get().Declare("mount", {"parse_args", "parse_options", "read_fstab", "match_entry",
+                                    "user_check", "do_mount", "drop_priv", "report_ok",
+                                    "err_usage", "err_not_root", "err_no_entry",
+                                    "err_not_permitted", "err_mount_failed", "err_bad_fstab"});
+  Coverage::Get().Declare("umount", {"parse_args", "read_mtab", "find_mount", "user_check",
+                                     "do_umount", "drop_priv", "report_ok", "err_usage",
+                                     "err_not_mounted", "err_not_permitted", "err_umount_failed",
+                                     "read_fstab_for_user"});
+}
+
+ProgramMain MakeMountMain(bool protego_mode) {
+  return [protego_mode](ProcessContext& ctx) -> int {
+    Cov("mount", "parse_args");
+    std::vector<std::string> args = Positionals(ctx);
+    if (args.empty()) {
+      Cov("mount", "err_usage");
+      ctx.Err("Usage: mount <device|mountpoint> [options]\n");
+      return 1;
+    }
+
+    // Option parsing — the historically vulnerable surface (e.g.
+    // CVE-2006-2183: heap corruption parsing user-supplied options).
+    Cov("mount", "parse_options");
+    std::vector<std::string> extra_options;
+    if (auto o = ctx.Flag("options"); o.has_value()) {
+      if (ExploitTriggered(ctx, "CVE-2006-2183") || ExploitTriggered(ctx, "CVE-2007-5191")) {
+        return ExploitPayload(ctx);
+      }
+      extra_options = Split(*o, ',');
+    }
+
+    Cov("mount", "read_fstab");
+    auto fstab = ReadFstab(ctx);
+    if (!fstab.ok()) {
+      Cov("mount", "err_bad_fstab");
+      ctx.Err("mount: cannot read /etc/fstab: " + fstab.error().ToString() + "\n");
+      return 1;
+    }
+    Cov("mount", "match_entry");
+    const FstabEntry* entry = MatchFstab(fstab.value(), args[0]);
+
+    std::string source = args.size() > 1 ? args[0] : (entry ? entry->device : args[0]);
+    std::string target = args.size() > 1 ? args[1] : (entry ? entry->mountpoint : "");
+    std::string fstype = ctx.Flag("types").value_or(entry ? entry->fstype : "");
+    std::vector<std::string> options = entry ? entry->options : std::vector<std::string>{};
+    for (const std::string& o : extra_options) {
+      options.push_back(o);
+    }
+    if (target.empty() || fstype.empty()) {
+      Cov("mount", "err_no_entry");
+      ctx.Err("mount: can't find " + args[0] + " in /etc/fstab\n");
+      return 1;
+    }
+
+    if (!protego_mode) {
+      // Stock mount: the trusted binary enforces the fstab policy itself.
+      if (ctx.task.cred.euid != kRootUid) {
+        Cov("mount", "err_not_root");
+        ctx.Err("mount: must be setuid root\n");
+        return 1;
+      }
+      if (ctx.task.cred.ruid != kRootUid) {
+        Cov("mount", "user_check");
+        if (entry == nullptr || !entry->UserMountable()) {
+          Cov("mount", "err_not_permitted");
+          ctx.Err("mount: only root can mount " + source + "\n");
+          return 32;
+        }
+      }
+    }
+
+    Cov("mount", "do_mount");
+    auto r = ctx.kernel.Mount(ctx.task, source, target, fstype, options);
+    if (!protego_mode && ctx.task.cred.ruid != ctx.task.cred.euid) {
+      Cov("mount", "drop_priv");
+      (void)ctx.kernel.Setuid(ctx.task, ctx.task.cred.ruid);
+    }
+    if (!r.ok()) {
+      Cov("mount", "err_mount_failed");
+      ctx.Err("mount: " + r.error().ToString() + "\n");
+      return 32;
+    }
+    Cov("mount", "report_ok");
+    ctx.Out(source + " mounted on " + target + "\n");
+    return 0;
+  };
+}
+
+ProgramMain MakeUmountMain(bool protego_mode) {
+  return [protego_mode](ProcessContext& ctx) -> int {
+    Cov("umount", "parse_args");
+    std::vector<std::string> args = Positionals(ctx);
+    if (args.empty()) {
+      Cov("umount", "err_usage");
+      ctx.Err("Usage: umount <mountpoint>\n");
+      return 1;
+    }
+    Cov("umount", "read_mtab");
+    std::vector<ProcMount> mounts = ReadProcMounts(ctx);
+    Cov("umount", "find_mount");
+    const ProcMount* mounted = nullptr;
+    for (const ProcMount& m : mounts) {
+      if (m.mountpoint == args[0] || m.source == args[0]) {
+        mounted = &m;
+        break;
+      }
+    }
+    if (mounted == nullptr) {
+      Cov("umount", "err_not_mounted");
+      ctx.Err("umount: " + args[0] + ": not mounted\n");
+      return 1;
+    }
+
+    if (!protego_mode && ctx.task.cred.ruid != kRootUid) {
+      Cov("umount", "user_check");
+      Cov("umount", "read_fstab_for_user");
+      auto fstab = ReadFstab(ctx);
+      const FstabEntry* entry =
+          fstab.ok() ? MatchFstab(fstab.value(), mounted->mountpoint) : nullptr;
+      bool permitted = entry != nullptr && entry->UserMountable() &&
+                       (entry->AnyUserMayUnmount() || mounted->mounter == ctx.task.cred.ruid);
+      if (!permitted) {
+        Cov("umount", "err_not_permitted");
+        ctx.Err("umount: only root can unmount " + mounted->mountpoint + "\n");
+        return 1;
+      }
+    }
+
+    Cov("umount", "do_umount");
+    auto r = ctx.kernel.Umount(ctx.task, mounted->mountpoint);
+    if (!protego_mode && ctx.task.cred.ruid != ctx.task.cred.euid) {
+      Cov("umount", "drop_priv");
+      (void)ctx.kernel.Setuid(ctx.task, ctx.task.cred.ruid);
+    }
+    if (!r.ok()) {
+      Cov("umount", "err_umount_failed");
+      ctx.Err("umount: " + r.error().ToString() + "\n");
+      return 1;
+    }
+    Cov("umount", "report_ok");
+    ctx.Out(mounted->mountpoint + " unmounted\n");
+    return 0;
+  };
+}
+
+ProgramMain MakeFusermountMain(bool protego_mode) {
+  return [protego_mode](ProcessContext& ctx) -> int {
+    std::vector<std::string> args = Positionals(ctx);
+    if (args.empty()) {
+      ctx.Err("Usage: fusermount <mountpoint>\n");
+      return 1;
+    }
+    const std::string& target = args[0];
+    if (!protego_mode) {
+      if (ctx.task.cred.euid != kRootUid) {
+        ctx.Err("fusermount: must be setuid root\n");
+        return 1;
+      }
+      // Stock fusermount's own policy: the mountpoint must belong to the
+      // invoking user.
+      auto st = ctx.kernel.Stat(ctx.task, target);
+      if (!st.ok() || st.value().uid != ctx.task.cred.ruid) {
+        ctx.Err("fusermount: mountpoint not owned by user\n");
+        return 1;
+      }
+    }
+    auto r = ctx.kernel.Mount(ctx.task, "fuse", target, "fuse", {"user"});
+    if (!protego_mode && ctx.task.cred.ruid != ctx.task.cred.euid) {
+      (void)ctx.kernel.Setuid(ctx.task, ctx.task.cred.ruid);
+    }
+    if (!r.ok()) {
+      ctx.Err("fusermount: " + r.error().ToString() + "\n");
+      return 1;
+    }
+    ctx.Out("fuse mounted on " + target + "\n");
+    return 0;
+  };
+}
+
+ProgramMain MakeEjectMain(bool protego_mode) {
+  return [protego_mode](ProcessContext& ctx) -> int {
+    std::vector<std::string> args = Positionals(ctx);
+    std::string device = args.empty() ? "/dev/cdrom" : args[0];
+    // If the medium is mounted, unmount it first (as eject(1) does).
+    std::vector<ProcMount> mounts = ReadProcMounts(ctx);
+    for (const ProcMount& m : mounts) {
+      if (m.source == device) {
+        if (!protego_mode && ctx.task.cred.euid != kRootUid) {
+          ctx.Err("eject: must be setuid root\n");
+          return 1;
+        }
+        auto r = ctx.kernel.Umount(ctx.task, m.mountpoint);
+        if (!r.ok()) {
+          ctx.Err("eject: " + r.error().ToString() + "\n");
+          return 1;
+        }
+      }
+    }
+    if (!protego_mode && ctx.task.cred.ruid != ctx.task.cred.euid) {
+      (void)ctx.kernel.Setuid(ctx.task, ctx.task.cred.ruid);
+    }
+    ctx.Out(device + ": ejected\n");
+    return 0;
+  };
+}
+
+}  // namespace protego

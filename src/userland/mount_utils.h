@@ -1,0 +1,28 @@
+// The mount family: mount, umount, fusermount, eject.
+//
+// Each factory returns the program for one of two builds of the same source:
+//   protego_mode=false — the stock setuid-root binary: it verifies the
+//     invoking user against /etc/fstab ITSELF, performs the privileged
+//     mount with euid 0, then drops privilege.
+//   protego_mode=true — the deprivileged binary: the hard-coded euid==0
+//     checks are removed (the paper's "-25 lines") and the syscall is
+//     issued with the user's own credentials; the kernel enforces policy.
+
+#ifndef SRC_USERLAND_MOUNT_UTILS_H_
+#define SRC_USERLAND_MOUNT_UTILS_H_
+
+#include "src/kernel/kernel.h"
+
+namespace protego {
+
+ProgramMain MakeMountMain(bool protego_mode);
+ProgramMain MakeUmountMain(bool protego_mode);
+ProgramMain MakeFusermountMain(bool protego_mode);
+ProgramMain MakeEjectMain(bool protego_mode);
+
+// Block lists for the coverage registry (Table 7).
+void DeclareMountCoverage();
+
+}  // namespace protego
+
+#endif  // SRC_USERLAND_MOUNT_UTILS_H_

@@ -1,0 +1,417 @@
+#include "src/userland/net_utils.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+#include "src/config/ppp_options.h"
+#include "src/net/ioctl_codes.h"
+#include "src/net/routing.h"
+#include "src/userland/coverage.h"
+#include "src/userland/util.h"
+
+namespace protego {
+
+namespace {
+
+std::vector<std::string> Positionals(const ProcessContext& ctx) {
+  std::vector<std::string> out;
+  for (size_t i = 1; i < ctx.argv.size(); ++i) {
+    if (!StartsWith(ctx.argv[i], "--")) {
+      out.push_back(ctx.argv[i]);
+    }
+  }
+  return out;
+}
+
+// Opens the privileged socket with the setuid-granted identity. The stock
+// binaries modeled here match the CVE-era versions in Table 6, which held
+// root privilege through reply parsing; privilege is dropped only at exit
+// (modern iputils brackets more tightly — the paper credits exactly that
+// bracketing for the low escalation rate, §5.2).
+Result<int> OpenRawSocket(ProcessContext& ctx, bool protego_mode, int family, int type,
+                          int protocol) {
+  (void)protego_mode;
+  return ctx.kernel.SocketCall(ctx.task, family, type, protocol);
+}
+
+void DropPrivilegeAtExit(ProcessContext& ctx, bool protego_mode) {
+  if (!protego_mode && ctx.task.cred.ruid != ctx.task.cred.euid) {
+    (void)ctx.kernel.Setuid(ctx.task, ctx.task.cred.ruid);
+  }
+}
+
+}  // namespace
+
+void DeclareNetCoverage() {
+  Coverage::Get().Declare("ping", {"parse_args", "open_socket", "send_probe",
+                                   "recv_reply", "parse_reply", "report_reply", "report_summary",
+                                   "err_usage", "err_socket", "err_send", "err_timeout",
+                                   "err_bad_addr"});
+}
+
+ProgramMain MakePingMain(bool protego_mode) {
+  return [protego_mode](ProcessContext& ctx) -> int {
+    Cov("ping", "parse_args");
+    std::vector<std::string> args = Positionals(ctx);
+    if (args.empty()) {
+      Cov("ping", "err_usage");
+      ctx.Err("Usage: ping <address> [count]\n");
+      return 2;
+    }
+    auto dst = ParseIpv4(args[0]);
+    if (!dst) {
+      Cov("ping", "err_bad_addr");
+      ctx.Err("ping: unknown host " + args[0] + "\n");
+      return 2;
+    }
+    int count = static_cast<int>(
+        args.size() > 1 ? ParseUint(args[1]).value_or(1) : 1);
+
+    Cov("ping", "open_socket");
+    auto fd = OpenRawSocket(ctx, protego_mode, kAfInet, kSockRaw, kProtoIcmp);
+    if (!fd.ok()) {
+      Cov("ping", "err_socket");
+      ctx.Err("ping: socket: " + fd.error().ToString() + "\n");
+      return 2;
+    }
+
+    ctx.Out(StrFormat("PING %s 56(84) bytes of data.\n", args[0].c_str()));
+    int received = 0;
+    for (int seq = 1; seq <= count; ++seq) {
+      Cov("ping", "send_probe");
+      Packet probe;
+      probe.l4_proto = kProtoIcmp;
+      probe.icmp_type = kIcmpEchoRequest;
+      probe.dst_ip = *dst;
+      probe.payload = StrFormat("seq=%d", seq);
+      auto send = ctx.kernel.SendCall(ctx.task, fd.value(), probe);
+      if (!send.ok()) {
+        Cov("ping", "err_send");
+        ctx.Err("ping: sendmsg: " + send.error().ToString() + "\n");
+        continue;
+      }
+      Cov("ping", "recv_reply");
+      auto reply = ctx.kernel.RecvCall(ctx.task, fd.value());
+      if (!reply.ok() || !reply.value().has_value()) {
+        Cov("ping", "err_timeout");
+        continue;  // request timed out (filtered or host down)
+      }
+      // Parsing the attacker-controlled reply — the historically vulnerable
+      // surface (e.g. CVE-2000-1213 buffer overflow in reply handling).
+      Cov("ping", "parse_reply");
+      if (ExploitTriggered(ctx, "CVE-2000-1213") || ExploitTriggered(ctx, "CVE-1999-1208") ||
+          ExploitTriggered(ctx, "CVE-2000-1214") || ExploitTriggered(ctx, "CVE-2001-0499")) {
+        return ExploitPayload(ctx);
+      }
+      const Packet& r = *reply.value();
+      if (r.l4_proto == kProtoIcmp && r.icmp_type == kIcmpEchoReply) {
+        Cov("ping", "report_reply");
+        ++received;
+        ctx.Out(StrFormat("64 bytes from %s: icmp_seq=%d ttl=64\n",
+                          IpToString(r.src_ip).c_str(), seq));
+      }
+    }
+    Cov("ping", "report_summary");
+    ctx.Out(StrFormat("%d packets transmitted, %d received\n", count, received));
+    (void)ctx.kernel.Close(ctx.task, fd.value());
+    DropPrivilegeAtExit(ctx, protego_mode);
+    return received > 0 ? 0 : 1;
+  };
+}
+
+ProgramMain MakeTracerouteMain(bool protego_mode) {
+  return [protego_mode](ProcessContext& ctx) -> int {
+    std::vector<std::string> args = Positionals(ctx);
+    if (args.empty()) {
+      ctx.Err("Usage: traceroute <address>\n");
+      return 2;
+    }
+    auto dst = ParseIpv4(args[0]);
+    if (!dst) {
+      ctx.Err("traceroute: unknown host " + args[0] + "\n");
+      return 2;
+    }
+    auto fd = OpenRawSocket(ctx, protego_mode, kAfInet, kSockRaw, kProtoUdp);
+    if (!fd.ok()) {
+      ctx.Err("traceroute: socket: " + fd.error().ToString() + "\n");
+      return 2;
+    }
+    ctx.Out(StrFormat("traceroute to %s, 30 hops max\n", args[0].c_str()));
+    for (uint8_t ttl = 1; ttl <= 30; ++ttl) {
+      Packet probe;
+      probe.l4_proto = kProtoUdp;
+      probe.dst_ip = *dst;
+      probe.dst_port = static_cast<uint16_t>(33434 + ttl);
+      probe.ttl = ttl;
+      probe.payload = "probe";
+      if (!ctx.kernel.SendCall(ctx.task, fd.value(), probe).ok()) {
+        break;
+      }
+      auto reply = ctx.kernel.RecvCall(ctx.task, fd.value());
+      if (!reply.ok() || !reply.value().has_value()) {
+        ctx.Out(StrFormat("%2d  * * *\n", ttl));
+        continue;
+      }
+      if (ExploitTriggered(ctx, "CVE-2005-2071") || ExploitTriggered(ctx, "CVE-2011-0765")) {
+        return ExploitPayload(ctx);
+      }
+      const Packet& r = *reply.value();
+      ctx.Out(StrFormat("%2d  %s\n", ttl, IpToString(r.src_ip).c_str()));
+      if (r.icmp_type == kIcmpDestUnreachable || r.l4_proto == kProtoUdp) {
+        (void)ctx.kernel.Close(ctx.task, fd.value());
+        DropPrivilegeAtExit(ctx, protego_mode);
+        return 0;  // reached the destination
+      }
+    }
+    (void)ctx.kernel.Close(ctx.task, fd.value());
+    DropPrivilegeAtExit(ctx, protego_mode);
+    return 0;
+  };
+}
+
+ProgramMain MakeArpingMain(bool protego_mode) {
+  return [protego_mode](ProcessContext& ctx) -> int {
+    std::vector<std::string> args = Positionals(ctx);
+    if (args.empty()) {
+      ctx.Err("Usage: arping <address>\n");
+      return 2;
+    }
+    auto dst = ParseIpv4(args[0]);
+    if (!dst) {
+      ctx.Err("arping: bad address " + args[0] + "\n");
+      return 2;
+    }
+    auto fd = OpenRawSocket(ctx, protego_mode, kAfPacket, kSockRaw, kProtoArp);
+    if (!fd.ok()) {
+      ctx.Err("arping: socket: " + fd.error().ToString() + "\n");
+      return 2;
+    }
+    Packet probe;
+    probe.l4_proto = kProtoArp;
+    probe.dst_ip = *dst;
+    probe.payload = "who-has";
+    if (!ctx.kernel.SendCall(ctx.task, fd.value(), probe).ok()) {
+      ctx.Err("arping: send failed\n");
+      return 1;
+    }
+    auto reply = ctx.kernel.RecvCall(ctx.task, fd.value());
+    (void)ctx.kernel.Close(ctx.task, fd.value());
+    if (reply.ok() && reply.value().has_value()) {
+      ctx.Out(StrFormat("Unicast reply from %s\n", IpToString(reply.value()->src_ip).c_str()));
+      return 0;
+    }
+    ctx.Out("Timeout\n");
+    return 1;
+  };
+}
+
+ProgramMain MakeMtrMain(bool protego_mode) {
+  return [protego_mode](ProcessContext& ctx) -> int {
+    std::vector<std::string> args = Positionals(ctx);
+    if (args.empty()) {
+      ctx.Err("Usage: mtr <address>\n");
+      return 2;
+    }
+    auto dst = ParseIpv4(args[0]);
+    if (!dst) {
+      ctx.Err("mtr: bad address\n");
+      return 2;
+    }
+    auto fd = OpenRawSocket(ctx, protego_mode, kAfInet, kSockRaw, kProtoIcmp);
+    if (!fd.ok()) {
+      ctx.Err("mtr: socket: " + fd.error().ToString() + "\n");
+      return 2;
+    }
+    if (ExploitTriggered(ctx, "CVE-2000-0172") || ExploitTriggered(ctx, "CVE-2002-0497") ||
+        ExploitTriggered(ctx, "CVE-2004-1224")) {
+      return ExploitPayload(ctx);
+    }
+    int received = 0;
+    constexpr int kRounds = 3;
+    for (int i = 0; i < kRounds; ++i) {
+      Packet probe;
+      probe.l4_proto = kProtoIcmp;
+      probe.icmp_type = kIcmpEchoRequest;
+      probe.dst_ip = *dst;
+      if (!ctx.kernel.SendCall(ctx.task, fd.value(), probe).ok()) {
+        continue;
+      }
+      auto reply = ctx.kernel.RecvCall(ctx.task, fd.value());
+      if (reply.ok() && reply.value().has_value()) {
+        ++received;
+      }
+    }
+    (void)ctx.kernel.Close(ctx.task, fd.value());
+    ctx.Out(StrFormat("mtr: %s loss %d%%\n", args[0].c_str(),
+                      100 * (kRounds - received) / kRounds));
+    return 0;
+  };
+}
+
+ProgramMain MakePppdMain(bool protego_mode) {
+  return [protego_mode](ProcessContext& ctx) -> int {
+    // argv: pppd [--opt=<name>]... [--connect=<local>,<remote>] [--route=<dst/prefix>]
+    if (!protego_mode && ctx.task.cred.euid != kRootUid) {
+      ctx.Err("pppd: must be setuid root\n");
+      return 1;
+    }
+    auto dev = ctx.kernel.Open(ctx.task, "/dev/ppp", kORdWr);
+    if (!dev.ok()) {
+      ctx.Err("pppd: /dev/ppp: " + dev.error().ToString() + "\n");
+      return 1;
+    }
+    auto unit_reply = ctx.kernel.Ioctl(ctx.task, dev.value(), kPppIocNewUnit, "");
+    if (!unit_reply.ok()) {
+      ctx.Err("pppd: PPPIOCNEWUNIT: " + unit_reply.error().ToString() + "\n");
+      return 1;
+    }
+    std::string unit = unit_reply.value();  // "unit=N" -> keep the number
+    unit = unit.substr(unit.find('=') + 1);
+
+    // Stock pppd enforces its policy in userspace when invoked by a
+    // non-root user: only safe session options, only non-conflicting
+    // routes. (This is the ~10k-line trusted code Protego deprivileges.)
+    PppOptions stock_policy;
+    bool stock_user = !protego_mode && ctx.task.cred.ruid != kRootUid;
+    if (stock_user) {
+      auto content = ctx.kernel.ReadWholeFile(ctx.task, "/etc/ppp/options");
+      if (content.ok()) {
+        auto parsed = ParsePppOptions(content.value());
+        if (parsed.ok()) {
+          stock_policy = parsed.take();
+        }
+      }
+    }
+
+    // Session options (compression etc.).
+    for (size_t i = 1; i < ctx.argv.size(); ++i) {
+      if (StartsWith(ctx.argv[i], "--opt=")) {
+        std::string opt = ctx.argv[i].substr(6);
+        if (stock_user && !stock_policy.IsSafeOption(opt)) {
+          ctx.Err("pppd: option '" + opt + "' is privileged\n");
+          return 1;
+        }
+        auto r = ctx.kernel.Ioctl(ctx.task, dev.value(), kPppIocSFlags, unit + " " + opt);
+        if (!r.ok()) {
+          ctx.Err("pppd: option '" + opt + "': " + r.error().ToString() + "\n");
+          return 1;
+        }
+      }
+    }
+
+    // Bring up the link.
+    if (auto c = ctx.Flag("connect"); c.has_value()) {
+      auto parts = Split(*c, ',');
+      if (parts.size() != 2) {
+        ctx.Err("pppd: bad --connect\n");
+        return 1;
+      }
+      auto r = ctx.kernel.Ioctl(ctx.task, dev.value(), kPppIocConnect,
+                                unit + " " + parts[0] + " " + parts[1]);
+      if (!r.ok()) {
+        ctx.Err("pppd: connect: " + r.error().ToString() + "\n");
+        return 1;
+      }
+      ctx.Out("ppp" + unit + ": link established\n");
+    }
+
+    // Optional route over the new link.
+    if (auto route = ctx.Flag("route"); route.has_value()) {
+      if (stock_user) {
+        if (!stock_policy.user_routes) {
+          ctx.Err("pppd: user routes not permitted\n");
+          return 1;
+        }
+        // Userspace conflict check against /proc/net/route.
+        auto table = ctx.kernel.ReadWholeFile(ctx.task, "/proc/net/route");
+        auto candidate = ParseDstSpec(*route);
+        if (table.ok() && candidate.ok()) {
+          for (const std::string& line : Split(table.value(), '\n')) {
+            auto fields = SplitWhitespace(line);
+            if (fields.empty()) {
+              continue;
+            }
+            auto existing = ParseDstSpec(fields[0]);
+            if (!existing.ok()) {
+              continue;
+            }
+            int shorter = std::min(existing.value().second, candidate.value().second);
+            if (RoutingTable::PrefixContains(existing.value().first, shorter,
+                                             candidate.value().first) ||
+                RoutingTable::PrefixContains(candidate.value().first, shorter,
+                                             existing.value().first)) {
+              ctx.Err("pppd: route conflicts with existing route\n");
+              return 1;
+            }
+          }
+        }
+      }
+      auto sock = ctx.kernel.SocketCall(ctx.task, kAfInet, kSockDgram, 0);
+      if (!sock.ok()) {
+        ctx.Err("pppd: socket: " + sock.error().ToString() + "\n");
+        return 1;
+      }
+      auto r = ctx.kernel.Ioctl(ctx.task, sock.value(), kSiocAddRt,
+                                *route + " 0.0.0.0 ppp" + unit);
+      (void)ctx.kernel.Close(ctx.task, sock.value());
+      if (!r.ok()) {
+        ctx.Err("pppd: route: " + r.error().ToString() + "\n");
+        return 1;
+      }
+      ctx.Out("route " + *route + " via ppp" + unit + "\n");
+    }
+
+    if (!protego_mode && ctx.task.cred.ruid != ctx.task.cred.euid) {
+      (void)ctx.kernel.Setuid(ctx.task, ctx.task.cred.ruid);
+    }
+    (void)ctx.kernel.Close(ctx.task, dev.value());
+    ctx.Out("pppd: done\n");
+    return 0;
+  };
+}
+
+ProgramMain MakeIptablesMain() {
+  return [](ProcessContext& ctx) -> int {
+    // argv: iptables -A|-I <rule tokens...> | -D <comment> | -L
+    // Rule tokens use the kernel wire grammar directly (chain=, proto=,
+    // dport=, icmptype=, raw=, spoofed-src=, verdict=, comment=).
+    if (ctx.argv.size() < 2) {
+      ctx.Err("usage: iptables -A <rule...> | -D <comment> | -L\n");
+      return 2;
+    }
+    auto sock = ctx.kernel.SocketCall(ctx.task, kAfInet, kSockDgram, 0);
+    if (!sock.ok()) {
+      ctx.Err("iptables: socket: " + sock.error().ToString() + "\n");
+      return 1;
+    }
+    const std::string& op = ctx.argv[1];
+    Result<std::string> reply = Error(Errno::kEINVAL, "bad operation");
+    if (op == "-L") {
+      reply = ctx.kernel.Ioctl(ctx.task, sock.value(), kSiocNfList, "");
+    } else if (op == "-D" && ctx.argv.size() >= 3) {
+      reply = ctx.kernel.Ioctl(ctx.task, sock.value(), kSiocNfDelete, ctx.argv[2]);
+    } else if (op == "-A" && ctx.argv.size() >= 3) {
+      std::string spec;
+      for (size_t i = 2; i < ctx.argv.size(); ++i) {
+        spec += (i > 2 ? " " : "") + ctx.argv[i];
+      }
+      reply = ctx.kernel.Ioctl(ctx.task, sock.value(), kSiocNfAppend, spec);
+    } else {
+      ctx.Err("iptables: unknown operation " + op + "\n");
+      (void)ctx.kernel.Close(ctx.task, sock.value());
+      return 2;
+    }
+    (void)ctx.kernel.Close(ctx.task, sock.value());
+    if (!reply.ok()) {
+      ctx.Err("iptables: " + reply.error().ToString() + "\n");
+      return 1;
+    }
+    ctx.Out(reply.value());
+    if (!reply.value().empty() && reply.value().back() != '\n') {
+      ctx.Out("\n");
+    }
+    return 0;
+  };
+}
+
+}  // namespace protego

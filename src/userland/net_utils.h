@@ -1,0 +1,31 @@
+// The network family: ping, traceroute, arping, mtr (raw/packet sockets,
+// §4.1.1) and pppd (modem + routing ioctls, §4.1.2).
+//
+// protego_mode=false builds the stock setuid-root binaries that create the
+// privileged socket with euid 0 and then drop privilege (privilege
+// bracketing); protego_mode=true builds the deprivileged binaries that
+// create raw sockets with the user's own credentials.
+
+#ifndef SRC_USERLAND_NET_UTILS_H_
+#define SRC_USERLAND_NET_UTILS_H_
+
+#include "src/kernel/kernel.h"
+
+namespace protego {
+
+ProgramMain MakePingMain(bool protego_mode);
+ProgramMain MakeTracerouteMain(bool protego_mode);
+ProgramMain MakeArpingMain(bool protego_mode);
+ProgramMain MakeMtrMain(bool protego_mode);
+ProgramMain MakePppdMain(bool protego_mode);
+
+void DeclareNetCoverage();
+
+// iptables: the administrator's interface to the netfilter engine,
+// including the Protego raw-socket match extensions (--raw, --spoofed-src).
+// Requires CAP_NET_ADMIN; identical in both deployment modes.
+ProgramMain MakeIptablesMain();
+
+}  // namespace protego
+
+#endif  // SRC_USERLAND_NET_UTILS_H_

@@ -1,0 +1,110 @@
+#include "src/userland/sandbox_utils.h"
+
+#include "src/base/strings.h"
+#include "src/userland/util.h"
+
+namespace protego {
+
+ProgramMain MakeChromiumSandboxMain(bool protego_mode) {
+  (void)protego_mode;  // identical in both modes on a 3.8+ kernel
+  return [](ProcessContext& ctx) -> int {
+    Kernel& k = ctx.kernel;
+    // 1. Create the sandbox: a fresh user + network namespace pair.
+    auto unshared = k.Unshare(ctx.task, Kernel::kCloneNewUser | Kernel::kCloneNewNet);
+    if (!unshared.ok()) {
+      // Pre-3.8 behaviour: only a setuid-root build can sandbox.
+      if (ctx.task.cred.euid != kRootUid) {
+        ctx.Err("chromium-sandbox: unshare: " + unshared.error().ToString() + "\n");
+        return 1;
+      }
+      (void)k.Unshare(ctx.task, Kernel::kCloneNewUser | Kernel::kCloneNewNet);
+    }
+    // Stock pre-3.8 builds drop the setuid privilege once sandboxed.
+    if (ctx.task.cred.ruid != ctx.task.cred.euid) {
+      (void)k.Setuid(ctx.task, ctx.task.cred.ruid);
+    }
+    ctx.Out(StrFormat("sandbox: user_ns=%d net_ns=%d\n", ctx.task.ns.user_ns,
+                      ctx.task.ns.net_ns));
+
+    // 2. Inside the sandbox the renderer appears to hold CAP_NET_RAW: a raw
+    //    socket over the FAKE network works without privilege...
+    auto raw = k.SocketCall(ctx.task, kAfInet, kSockRaw, kProtoIcmp);
+    ctx.Out(std::string("sandbox: raw socket ") + (raw.ok() ? "ok" : "denied") + "\n");
+
+    // 3. ...and it may squat on "port 80" — of its own namespace.
+    auto tcp = k.SocketCall(ctx.task, kAfInet, kSockStream, 0);
+    bool bound = tcp.ok() && k.BindCall(ctx.task, tcp.value(), 80).ok();
+    ctx.Out(std::string("sandbox: bind 80 ") + (bound ? "ok" : "denied") + "\n");
+
+    // 4. But the outside world does not exist: the fake network has no
+    //    routes out (§6's core argument).
+    bool outside_reachable = false;
+    if (raw.ok()) {
+      Packet probe;
+      probe.l4_proto = kProtoIcmp;
+      probe.icmp_type = kIcmpEchoRequest;
+      probe.dst_ip = MakeIp(10, 0, 0, 2);
+      auto sent = k.SendCall(ctx.task, raw.value(), probe);
+      auto reply = sent.ok() ? k.RecvCall(ctx.task, raw.value())
+                             : Result<std::optional<Packet>>(sent.error());
+      outside_reachable = reply.ok() && reply.value().has_value();
+    }
+    ctx.Out(std::string("sandbox: outside world ") +
+            (outside_reachable ? "REACHABLE (?!)" : "unreachable") + "\n");
+    return 0;
+  };
+}
+
+ProgramMain MakeAtMain() {
+  return [](ProcessContext& ctx) -> int {
+    // argv: at <when> <command...>  — queues a job file in the spool.
+    if (ctx.argv.size() < 3) {
+      ctx.Err("usage: at <when> <command>\n");
+      return 1;
+    }
+    // The binary is setgid `daemon`, so egid grants spool access while the
+    // USER identity is unchanged — no root anywhere.
+    std::string job = StrFormat("user=%u when=%s cmd=", ctx.task.cred.ruid,
+                                ctx.argv[1].c_str());
+    for (size_t i = 2; i < ctx.argv.size(); ++i) {
+      job += (i > 2 ? " " : "") + ctx.argv[i];
+    }
+    std::string path = StrFormat("/var/spool/atjobs/job-%u-%llu", ctx.task.cred.ruid,
+                                 static_cast<unsigned long long>(ctx.kernel.clock().Now()));
+    auto w = ctx.kernel.WriteWholeFile(ctx.task, path, job + "\n", /*append=*/false,
+                                       /*create_mode=*/0640);
+    if (!w.ok()) {
+      ctx.Err("at: cannot queue job: " + w.error().ToString() + "\n");
+      return 1;
+    }
+    ctx.Out("job queued\n");
+    return 0;
+  };
+}
+
+ProgramMain MakeAtqMain() {
+  return [](ProcessContext& ctx) -> int {
+    // Lists the invoking user's own queued jobs (the spool directory is
+    // group-readable via the setgid bit; job files belong to their owners).
+    auto names = ctx.kernel.ReadDir(ctx.task, "/var/spool/atjobs");
+    if (!names.ok()) {
+      ctx.Err("atq: " + names.error().ToString() + "\n");
+      return 1;
+    }
+    int mine = 0;
+    std::string prefix = StrFormat("job-%u-", ctx.task.cred.ruid);
+    for (const std::string& name : names.value()) {
+      if (StartsWith(name, prefix)) {
+        auto content = ctx.kernel.ReadWholeFile(ctx.task, "/var/spool/atjobs/" + name);
+        if (content.ok()) {
+          ctx.Out(name + ": " + content.value());
+          ++mine;
+        }
+      }
+    }
+    ctx.Out(StrFormat("%d job(s)\n", mine));
+    return 0;
+  };
+}
+
+}  // namespace protego

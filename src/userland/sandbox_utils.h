@@ -1,0 +1,27 @@
+// Sandboxing and setgid-nonroot hardening utilities:
+//
+//   * chromium-sandbox (§4.6/§6): creates user+network namespaces. On
+//     pre-3.8 kernels the binary must be setuid root; 3.8+ lets any user
+//     do it — which is why the namespace rows of Table 8 need no Protego
+//     work at all.
+//   * at (§3.1, "File system permissions"): job submission deprivileged by
+//     making the spool group-writable and installing the binary setgid to a
+//     NON-root group — the hardening technique distributions already use.
+
+#ifndef SRC_USERLAND_SANDBOX_UTILS_H_
+#define SRC_USERLAND_SANDBOX_UTILS_H_
+
+#include "src/kernel/kernel.h"
+
+namespace protego {
+
+// The daemon group that owns the at spool.
+inline constexpr Gid kDaemonGid = 1;
+
+ProgramMain MakeChromiumSandboxMain(bool protego_mode);
+ProgramMain MakeAtMain();
+ProgramMain MakeAtqMain();
+
+}  // namespace protego
+
+#endif  // SRC_USERLAND_SANDBOX_UTILS_H_

@@ -1,0 +1,121 @@
+#include "src/userland/util.h"
+
+#include "src/base/strings.h"
+#include "src/net/ioctl_codes.h"
+
+namespace protego {
+
+std::optional<PasswdEntry> LookupUser(ProcessContext& ctx, const std::string& name_or_uid) {
+  auto content = ctx.kernel.ReadWholeFile(ctx.task, "/etc/passwd");
+  if (!content.ok()) {
+    return std::nullopt;
+  }
+  auto entries = ParsePasswd(content.value());
+  if (!entries.ok()) {
+    return std::nullopt;
+  }
+  auto as_uid = ParseUint(name_or_uid);
+  for (const PasswdEntry& e : entries.value()) {
+    if (e.name == name_or_uid || (as_uid && e.uid == *as_uid)) {
+      return e;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<PasswdEntry> LookupUserByUid(ProcessContext& ctx, Uid uid) {
+  return LookupUser(ctx, StrFormat("%u", uid));
+}
+
+std::optional<GroupEntry> LookupGroup(ProcessContext& ctx, const std::string& name) {
+  auto content = ctx.kernel.ReadWholeFile(ctx.task, "/etc/group");
+  if (!content.ok()) {
+    return std::nullopt;
+  }
+  auto entries = ParseGroup(content.value());
+  if (!entries.ok()) {
+    return std::nullopt;
+  }
+  for (const GroupEntry& e : entries.value()) {
+    if (e.name == name) {
+      return e;
+    }
+  }
+  return std::nullopt;
+}
+
+bool ExploitTriggered(const ProcessContext& ctx, const std::string& cve_id) {
+  auto flag = ctx.Flag("exploit");
+  if (flag.has_value() && *flag == cve_id) {
+    return true;
+  }
+  auto env = ctx.env.find("EXPLOIT");
+  return env != ctx.env.end() && env->second == cve_id;
+}
+
+int ExploitPayload(ProcessContext& ctx) {
+  Kernel& kernel = ctx.kernel;
+  Task& task = ctx.task;
+  auto report = [&ctx](const char* action, bool ok) {
+    ctx.Out(StrFormat("EXPLOIT %s=%s\n", action, ok ? "ok" : "err"));
+  };
+
+  // 1. Overwrite the shared shadow database (change root's password).
+  {
+    auto r = kernel.WriteWholeFile(task, "/etc/shadow",
+                                   "root:$sim$attacker$0000000000000000:0:::::\n");
+    report("overwrite_shadow", r.ok());
+  }
+  // 2. Install a rootkit binary in a trusted directory.
+  {
+    auto r = kernel.WriteWholeFile(task, "/sbin/rootkit", "\177ELF rootkit", /*append=*/false,
+                                   /*create_mode=*/0755);
+    report("install_rootkit", r.ok());
+  }
+  // 3. Tamper with trusted configuration.
+  {
+    auto r = kernel.WriteWholeFile(task, "/etc/hosts", "10.66.66.66 security-updates\n");
+    report("tamper_etc", r.ok());
+  }
+  // 4. Squat on a well-known port (become the mail server).
+  {
+    bool ok = false;
+    auto fd = kernel.SocketCall(task, kAfInet, kSockStream, 0);
+    if (fd.ok()) {
+      ok = kernel.BindCall(task, fd.value(), 25).ok();
+      (void)kernel.Close(task, fd.value());
+    }
+    report("bind_smtp", ok);
+  }
+  // 5. Become root outright.
+  {
+    auto r = kernel.Setuid(task, kRootUid);
+    report("setuid_root", r.ok() && task.cred.euid == kRootUid);
+  }
+  // 6. Graft a filesystem over trusted configuration (what CAP_SYS_ADMIN
+  //    buys an attacker — "the new root"). Restored on success so the
+  //    harness can keep replaying exploits on the same system.
+  {
+    auto r = kernel.Mount(task, "tmpfs", "/etc", "tmpfs", {});
+    report("mount_over_etc", r.ok());
+    if (r.ok()) {
+      (void)kernel.vfs().RemoveMount("/etc");
+    }
+  }
+  // 7. Hijack the system's default route (what CAP_NET_ADMIN buys).
+  {
+    bool ok = false;
+    auto fd = kernel.SocketCall(task, kAfInet, kSockDgram, 0);
+    if (fd.ok()) {
+      ok = kernel.Ioctl(task, fd.value(), kSiocAddRt, "0.0.0.0/0 10.66.66.66 eth0").ok();
+      if (ok) {
+        (void)kernel.net().routes().Remove(0, 0);  // harness hygiene
+      }
+      (void)kernel.Close(task, fd.value());
+    }
+    report("hijack_route", ok);
+  }
+  return 99;  // the utility is considered hijacked from here on
+}
+
+}  // namespace protego

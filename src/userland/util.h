@@ -1,0 +1,42 @@
+// Shared helpers for the simulated userland binaries: user/group lookups via
+// the legacy databases, privilege bracketing, and the exploit payload used
+// by the Table 6 security evaluation.
+
+#ifndef SRC_USERLAND_UTIL_H_
+#define SRC_USERLAND_UTIL_H_
+
+#include <optional>
+#include <string>
+
+#include "src/config/passwd_db.h"
+#include "src/kernel/kernel.h"
+
+namespace protego {
+
+// Reads the legacy /etc/passwd through the calling task and resolves a user
+// name (or numeric string) to its entry.
+std::optional<PasswdEntry> LookupUser(ProcessContext& ctx, const std::string& name_or_uid);
+std::optional<PasswdEntry> LookupUserByUid(ProcessContext& ctx, Uid uid);
+std::optional<GroupEntry> LookupGroup(ProcessContext& ctx, const std::string& name);
+
+// The attacker payload for the historical-CVE study (Table 6). A utility
+// whose documented vulnerable point is reached with the exploit trigger set
+// calls this; the payload then attempts every privilege-escalation action
+// an attacker would, WITH THE UTILITY'S CURRENT CREDENTIALS:
+//   * overwrite /etc/shadow (set root's password)
+//   * install a rootkit at /sbin/rootkit
+//   * replace /etc/hosts (tamper with trusted config)
+//   * bind the SMTP port
+//   * setuid(0)
+// It prints one "EXPLOIT <action>=ok|err" line per attempt; the harness
+// declares privilege escalation iff any action succeeded that the invoking
+// user could not already perform.
+int ExploitPayload(ProcessContext& ctx);
+
+// True when this invocation carries the exploit trigger for `cve_id`
+// (argv --exploit=<cve_id> or env EXPLOIT=<cve_id>).
+bool ExploitTriggered(const ProcessContext& ctx, const std::string& cve_id);
+
+}  // namespace protego
+
+#endif  // SRC_USERLAND_UTIL_H_

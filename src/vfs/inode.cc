@@ -1,0 +1,53 @@
+#include "src/vfs/inode.h"
+
+namespace protego {
+
+std::string ModeString(uint32_t mode) {
+  std::string out;
+  uint32_t type = mode & kIfMask;
+  switch (type) {
+    case kIfDir: out.push_back('d'); break;
+    case kIfChr: out.push_back('c'); break;
+    case kIfBlk: out.push_back('b'); break;
+    case kIfFifo: out.push_back('p'); break;
+    case kIfSock: out.push_back('s'); break;
+    default: out.push_back('-'); break;
+  }
+  auto triad = [&](uint32_t shift, bool special, char special_char) {
+    uint32_t bits = (mode >> shift) & 07;
+    out.push_back((bits & 04) ? 'r' : '-');
+    out.push_back((bits & 02) ? 'w' : '-');
+    if (special) {
+      out.push_back((bits & 01) ? special_char : static_cast<char>(special_char - 32));
+    } else {
+      out.push_back((bits & 01) ? 'x' : '-');
+    }
+  };
+  triad(6, (mode & kSetUidBit) != 0, 's');
+  triad(3, (mode & kSetGidBit) != 0, 's');
+  triad(0, (mode & kStickyBit) != 0, 't');
+  return out;
+}
+
+bool DacPermits(const Inode& inode, Uid uid, const std::function<bool(Gid)>& in_group, int may) {
+  uint32_t bits;
+  if (uid == inode.uid) {
+    bits = (inode.mode >> 6) & 07;
+  } else if (in_group && in_group(inode.gid)) {
+    bits = (inode.mode >> 3) & 07;
+  } else {
+    bits = inode.mode & 07;
+  }
+  if ((may & kMayRead) && !(bits & 04)) {
+    return false;
+  }
+  if ((may & kMayWrite) && !(bits & 02)) {
+    return false;
+  }
+  if ((may & kMayExec) && !(bits & 01)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace protego

@@ -1,0 +1,57 @@
+// In-memory inode for the simulated filesystem.
+
+#ifndef SRC_VFS_INODE_H_
+#define SRC_VFS_INODE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/base/result.h"
+#include "src/vfs/types.h"
+
+namespace protego {
+
+// Callbacks backing a synthetic (procfs/sysfs-style) file. Reads are
+// generated on demand; writes are interpreted by the owning subsystem
+// (e.g. the Protego LSM's /proc/protego/mounts policy file).
+struct SyntheticOps {
+  std::function<std::string()> read;
+  std::function<Result<Unit>(std::string_view)> write;
+};
+
+// A file's metadata and (for regular files) contents. Owned by a Vnode.
+struct Inode {
+  uint64_t ino = 0;
+  uint32_t mode = 0;  // type bits | permission bits (incl. setuid 04000)
+  Uid uid = kRootUid;
+  Gid gid = kRootGid;
+  uint32_t nlink = 1;
+  uint64_t mtime = 0;
+  std::string data;  // regular-file contents
+
+  // Device node identity (kIfChr/kIfBlk only).
+  uint32_t rdev_major = 0;
+  uint32_t rdev_minor = 0;
+
+  // Non-null for synthetic files; reads/writes bypass `data`.
+  std::shared_ptr<SyntheticOps> synthetic;
+
+  bool IsDir() const { return IsDirMode(mode); }
+  bool IsReg() const { return IsRegMode(mode); }
+  bool IsDevice() const { return IsDeviceMode(mode); }
+  bool IsSetUid() const { return (mode & kSetUidBit) != 0; }
+  bool IsSetGid() const { return (mode & kSetGidBit) != 0; }
+  uint32_t Perms() const { return mode & kPermMask; }
+};
+
+// Pure DAC permission check against one identity. `in_group` must report
+// whether the caller's gid or supplementary groups include a gid.
+// CAP_DAC_OVERRIDE-style bypass is layered above this by the kernel.
+bool DacPermits(const Inode& inode, Uid uid, const std::function<bool(Gid)>& in_group, int may);
+
+}  // namespace protego
+
+#endif  // SRC_VFS_INODE_H_

@@ -1,0 +1,63 @@
+// Core identity and mode-bit types for the simulated filesystem, mirroring
+// the Linux definitions (including the setuid bit 04000 that this whole
+// paper is about).
+
+#ifndef SRC_VFS_TYPES_H_
+#define SRC_VFS_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace protego {
+
+using Uid = uint32_t;
+using Gid = uint32_t;
+
+inline constexpr Uid kRootUid = 0;
+inline constexpr Gid kRootGid = 0;
+
+// File type bits (high bits of st_mode), Linux values.
+inline constexpr uint32_t kIfMask = 0170000;
+inline constexpr uint32_t kIfReg = 0100000;
+inline constexpr uint32_t kIfDir = 0040000;
+inline constexpr uint32_t kIfChr = 0020000;
+inline constexpr uint32_t kIfBlk = 0060000;
+inline constexpr uint32_t kIfFifo = 0010000;
+inline constexpr uint32_t kIfSock = 0140000;
+
+// Permission/special bits.
+inline constexpr uint32_t kSetUidBit = 04000;  // the setuid bit this paper obviates
+inline constexpr uint32_t kSetGidBit = 02000;
+inline constexpr uint32_t kStickyBit = 01000;
+inline constexpr uint32_t kPermMask = 07777;
+
+// Access request bits for permission checks (match Linux MAY_*).
+inline constexpr int kMayExec = 1;
+inline constexpr int kMayWrite = 2;
+inline constexpr int kMayRead = 4;
+
+// open(2) flags (subset).
+inline constexpr int kORdOnly = 0;
+inline constexpr int kOWrOnly = 1;
+inline constexpr int kORdWr = 2;
+inline constexpr int kOAccMode = 3;
+inline constexpr int kOCreat = 0100;
+inline constexpr int kOExcl = 0200;
+inline constexpr int kOTrunc = 01000;
+inline constexpr int kOAppend = 02000;
+inline constexpr int kOCloExec = 02000000;
+
+inline bool IsDirMode(uint32_t mode) { return (mode & kIfMask) == kIfDir; }
+inline bool IsRegMode(uint32_t mode) { return (mode & kIfMask) == kIfReg; }
+inline bool IsDeviceMode(uint32_t mode) {
+  uint32_t type = mode & kIfMask;
+  return type == kIfChr || type == kIfBlk;
+}
+
+// Renders mode as "drwxr-xr-x" style, with s/S for setuid/setgid bits, the
+// way ls(1) shows the attack surface this paper studies.
+std::string ModeString(uint32_t mode);
+
+}  // namespace protego
+
+#endif  // SRC_VFS_TYPES_H_

@@ -1,0 +1,411 @@
+#include "src/vfs/vfs.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+
+namespace protego {
+
+const char* FsEventName(FsEvent event) {
+  switch (event) {
+    case FsEvent::kCreated: return "CREATED";
+    case FsEvent::kModified: return "MODIFIED";
+    case FsEvent::kDeleted: return "DELETED";
+  }
+  return "?";
+}
+
+Vnode* Vnode::Lookup(std::string_view child) const {
+  auto it = children_.find(std::string(child));
+  return it == children_.end() ? nullptr : it->second.get();
+}
+
+Result<Vnode*> Vnode::AddChild(std::string name, Inode inode) {
+  if (!inode_.IsDir()) {
+    return Error(Errno::kENOTDIR, name_);
+  }
+  if (children_.count(name) != 0) {
+    return Error(Errno::kEEXIST, name);
+  }
+  auto node = std::make_unique<Vnode>(name, std::move(inode));
+  node->parent_ = this;
+  Vnode* raw = node.get();
+  children_.emplace(std::move(name), std::move(node));
+  return raw;
+}
+
+std::vector<std::string> Vnode::ListNames() const {
+  std::vector<std::string> names;
+  names.reserve(children_.size());
+  for (const auto& [name, node] : children_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Vfs::Vfs(Clock* clock) : clock_(clock) {
+  Inode root_inode;
+  root_inode.ino = 1;
+  root_inode.mode = kIfDir | 0755;
+  root_.reset(new Vnode("", std::move(root_inode)));
+}
+
+std::string Vfs::Normalize(std::string_view path) {
+  std::vector<std::string> stack;
+  for (const std::string& part : Split(path, '/')) {
+    if (part.empty() || part == ".") {
+      continue;
+    }
+    if (part == "..") {
+      if (!stack.empty()) {
+        stack.pop_back();
+      }
+      continue;
+    }
+    stack.push_back(part);
+  }
+  if (stack.empty()) {
+    return "/";
+  }
+  return "/" + Join(stack, "/");
+}
+
+Result<Vnode*> Vfs::ResolveInternal(std::string_view path, bool want_parent,
+                                    std::string* leaf_out) const {
+  if (path.empty() || path[0] != '/') {
+    return Error(Errno::kEINVAL, "path must be absolute: " + std::string(path));
+  }
+  std::string normalized = Normalize(path);
+  std::vector<std::string> parts = Split(normalized.substr(1), '/');
+  if (normalized == "/") {
+    parts.clear();
+  }
+  if (want_parent) {
+    if (parts.empty()) {
+      return Error(Errno::kEINVAL, "cannot take parent of /");
+    }
+    *leaf_out = parts.back();
+    parts.pop_back();
+  }
+
+  Vnode* node = root_.get();
+  while (node->covered_by_ != nullptr) {
+    node = node->covered_by_->root.get();
+  }
+  for (const std::string& part : parts) {
+    if (!node->inode().IsDir()) {
+      return Error(Errno::kENOTDIR, normalized);
+    }
+    Vnode* child = node->Lookup(part);
+    if (child == nullptr) {
+      return Error(Errno::kENOENT, normalized);
+    }
+    while (child->covered_by_ != nullptr) {
+      child = child->covered_by_->root.get();
+    }
+    node = child;
+  }
+  return node;
+}
+
+Result<Vnode*> Vfs::Resolve(std::string_view path) const {
+  std::string unused;
+  return ResolveInternal(path, /*want_parent=*/false, &unused);
+}
+
+Result<std::pair<Vnode*, std::string>> Vfs::ResolveParent(std::string_view path) const {
+  std::string leaf;
+  ASSIGN_OR_RETURN(Vnode * parent, ResolveInternal(path, /*want_parent=*/true, &leaf));
+  return std::make_pair(parent, leaf);
+}
+
+std::string Vfs::PathOf(const Vnode* node) const {
+  std::vector<std::string> parts;
+  const Vnode* cur = node;
+  while (cur != nullptr) {
+    if (cur->mount_root_of_ != nullptr) {
+      // Mount roots splice in at their mountpoint path.
+      std::string prefix = cur->mount_root_of_->mountpoint;
+      std::reverse(parts.begin(), parts.end());
+      if (parts.empty()) {
+        return prefix;
+      }
+      if (prefix == "/") {
+        prefix.clear();
+      }
+      return prefix + "/" + Join(parts, "/");
+    }
+    if (cur->parent_ == nullptr) {
+      break;  // real root
+    }
+    parts.push_back(cur->name_);
+    cur = cur->parent_;
+  }
+  std::reverse(parts.begin(), parts.end());
+  return "/" + Join(parts, "/");
+}
+
+Result<Vnode*> Vfs::CreateNode(std::string_view path, Inode inode) {
+  ASSIGN_OR_RETURN(auto parent_leaf, ResolveParent(path));
+  auto [parent, leaf] = parent_leaf;
+  inode.ino = NextIno();
+  inode.mtime = NowMtime();
+  ASSIGN_OR_RETURN(Vnode * node, parent->AddChild(leaf, std::move(inode)));
+  FireEvent(FsEvent::kCreated, PathOf(node));
+  return node;
+}
+
+Result<Vnode*> Vfs::CreateFile(std::string_view path, uint32_t perms, Uid uid, Gid gid,
+                               std::string data) {
+  Inode inode;
+  inode.mode = kIfReg | (perms & kPermMask);
+  inode.uid = uid;
+  inode.gid = gid;
+  inode.data = std::move(data);
+  return CreateNode(path, std::move(inode));
+}
+
+Result<Vnode*> Vfs::CreateDir(std::string_view path, uint32_t perms, Uid uid, Gid gid) {
+  Inode inode;
+  inode.mode = kIfDir | (perms & kPermMask);
+  inode.uid = uid;
+  inode.gid = gid;
+  return CreateNode(path, std::move(inode));
+}
+
+Result<Vnode*> Vfs::CreateDevice(std::string_view path, uint32_t perms, Uid uid, Gid gid,
+                                 bool block, uint32_t major, uint32_t minor) {
+  Inode inode;
+  inode.mode = (block ? kIfBlk : kIfChr) | (perms & kPermMask);
+  inode.uid = uid;
+  inode.gid = gid;
+  inode.rdev_major = major;
+  inode.rdev_minor = minor;
+  return CreateNode(path, std::move(inode));
+}
+
+Result<Vnode*> Vfs::CreateSynthetic(std::string_view path, uint32_t perms, SyntheticOps ops) {
+  std::string normalized = Normalize(path);
+  size_t slash = normalized.find_last_of('/');
+  if (slash > 0) {
+    RETURN_IF_ERROR(EnsureDirs(normalized.substr(0, slash)));
+  }
+  Inode inode;
+  inode.mode = kIfReg | (perms & kPermMask);
+  inode.synthetic = std::make_shared<SyntheticOps>(std::move(ops));
+  return CreateNode(normalized, std::move(inode));
+}
+
+Result<Vnode*> Vfs::EnsureDirs(std::string_view path) {
+  std::string normalized = Normalize(path);
+  if (normalized == "/") {
+    return root_.get();
+  }
+  Vnode* node = root_.get();
+  while (node->covered_by_ != nullptr) {
+    node = node->covered_by_->root.get();
+  }
+  for (const std::string& part : Split(normalized.substr(1), '/')) {
+    Vnode* child = node->Lookup(part);
+    if (child == nullptr) {
+      Inode inode;
+      inode.ino = NextIno();
+      inode.mode = kIfDir | 0755;
+      inode.mtime = NowMtime();
+      ASSIGN_OR_RETURN(child, node->AddChild(part, std::move(inode)));
+    }
+    while (child->covered_by_ != nullptr) {
+      child = child->covered_by_->root.get();
+    }
+    if (!child->inode().IsDir()) {
+      return Error(Errno::kENOTDIR, normalized);
+    }
+    node = child;
+  }
+  return node;
+}
+
+Result<Unit> Vfs::Unlink(std::string_view path) {
+  ASSIGN_OR_RETURN(auto parent_leaf, ResolveParent(path));
+  auto [parent, leaf] = parent_leaf;
+  Vnode* child = parent->Lookup(leaf);
+  if (child == nullptr) {
+    return Error(Errno::kENOENT, std::string(path));
+  }
+  if (child->covered_by_ != nullptr) {
+    return Error(Errno::kEBUSY, std::string(path));
+  }
+  if (child->inode().IsDir() && child->HasChildren()) {
+    return Error(Errno::kENOTEMPTY, std::string(path));
+  }
+  std::string full = PathOf(child);
+  parent->children_.erase(leaf);
+  FireEvent(FsEvent::kDeleted, full);
+  return OkUnit();
+}
+
+Result<Unit> Vfs::Rename(std::string_view from, std::string_view to) {
+  ASSIGN_OR_RETURN(auto from_pl, ResolveParent(from));
+  auto [from_parent, from_leaf] = from_pl;
+  Vnode* source = from_parent->Lookup(from_leaf);
+  if (source == nullptr) {
+    return Error(Errno::kENOENT, std::string(from));
+  }
+  if (source->covered_by_ != nullptr || source->mount_root_of_ != nullptr) {
+    return Error(Errno::kEBUSY, std::string(from));
+  }
+  ASSIGN_OR_RETURN(auto to_pl, ResolveParent(to));
+  auto [to_parent, to_leaf] = to_pl;
+  if (!to_parent->inode().IsDir()) {
+    return Error(Errno::kENOTDIR, std::string(to));
+  }
+  Vnode* existing = to_parent->Lookup(to_leaf);
+  if (existing != nullptr) {
+    if (existing->inode().IsDir() && existing->HasChildren()) {
+      return Error(Errno::kENOTEMPTY, std::string(to));
+    }
+    to_parent->children_.erase(to_leaf);
+  }
+  std::string old_path = PathOf(source);
+  auto it = from_parent->children_.find(from_leaf);
+  std::unique_ptr<Vnode> moved = std::move(it->second);
+  from_parent->children_.erase(it);
+  moved->name_ = to_leaf;
+  moved->parent_ = to_parent;
+  Vnode* raw = moved.get();
+  to_parent->children_.emplace(to_leaf, std::move(moved));
+  FireEvent(FsEvent::kDeleted, old_path);
+  FireEvent(FsEvent::kCreated, PathOf(raw));
+  return OkUnit();
+}
+
+Result<std::string> Vfs::ReadNode(const Vnode* node) const {
+  const Inode& inode = node->inode();
+  if (inode.IsDir()) {
+    return Error(Errno::kEISDIR, PathOf(node));
+  }
+  if (inode.synthetic != nullptr) {
+    if (!inode.synthetic->read) {
+      return Error(Errno::kEINVAL, "synthetic file is write-only");
+    }
+    return inode.synthetic->read();
+  }
+  return inode.data;
+}
+
+Result<Unit> Vfs::WriteNode(Vnode* node, std::string_view data, bool append) {
+  Inode& inode = node->inode();
+  if (inode.IsDir()) {
+    return Error(Errno::kEISDIR, PathOf(node));
+  }
+  if (inode.synthetic != nullptr) {
+    if (!inode.synthetic->write) {
+      return Error(Errno::kEACCES, "synthetic file is read-only");
+    }
+    RETURN_IF_ERROR(inode.synthetic->write(data));
+  } else if (append) {
+    inode.data.append(data);
+  } else {
+    inode.data.assign(data);
+  }
+  inode.mtime = NowMtime();
+  FireEvent(FsEvent::kModified, PathOf(node));
+  return OkUnit();
+}
+
+Result<std::string> Vfs::ReadFile(std::string_view path) const {
+  ASSIGN_OR_RETURN(Vnode * node, Resolve(path));
+  return ReadNode(node);
+}
+
+Result<Unit> Vfs::WriteFile(std::string_view path, std::string_view data) {
+  ASSIGN_OR_RETURN(Vnode * node, Resolve(path));
+  return WriteNode(node, data, /*append=*/false);
+}
+
+Result<Unit> Vfs::AddMount(std::string_view mountpoint, std::string source, std::string fstype,
+                           std::vector<std::string> options, Uid mounter,
+                           const MountPopulator& populate) {
+  // Stacked mounts are rejected to keep the simulation's umount unambiguous
+  // (Resolve descends through covers, so also check the mount table).
+  if (FindMount(mountpoint) != nullptr) {
+    return Error(Errno::kEBUSY, std::string(mountpoint));
+  }
+  ASSIGN_OR_RETURN(Vnode * target, Resolve(mountpoint));
+  if (!target->inode().IsDir()) {
+    return Error(Errno::kENOTDIR, std::string(mountpoint));
+  }
+  if (target->covered_by_ != nullptr) {
+    return Error(Errno::kEBUSY, std::string(mountpoint));
+  }
+
+  auto entry = std::make_unique<MountEntry>();
+  entry->source = std::move(source);
+  entry->mountpoint = Normalize(mountpoint);
+  entry->fstype = std::move(fstype);
+  entry->options = std::move(options);
+  entry->mounter = mounter;
+  entry->covered = target;
+
+  Inode root_inode;
+  root_inode.ino = NextIno();
+  root_inode.mode = kIfDir | 0755;
+  entry->root.reset(new Vnode("", std::move(root_inode)));
+  entry->root->mount_root_of_ = entry.get();
+  if (populate) {
+    populate(entry->root.get());
+  }
+
+  target->covered_by_ = entry.get();
+  mounts_.push_back(std::move(entry));
+  return OkUnit();
+}
+
+Result<Unit> Vfs::RemoveMount(std::string_view mountpoint) {
+  std::string normalized = Normalize(mountpoint);
+  for (auto it = mounts_.begin(); it != mounts_.end(); ++it) {
+    if ((*it)->mountpoint == normalized) {
+      (*it)->covered->covered_by_ = nullptr;
+      mounts_.erase(it);
+      return OkUnit();
+    }
+  }
+  return Error(Errno::kEINVAL, "not mounted: " + normalized);
+}
+
+const MountEntry* Vfs::FindMount(std::string_view mountpoint) const {
+  std::string normalized = Normalize(mountpoint);
+  for (const auto& entry : mounts_) {
+    if (entry->mountpoint == normalized) {
+      return entry.get();
+    }
+  }
+  return nullptr;
+}
+
+int Vfs::AddWatch(std::string path, WatchCallback cb) {
+  int id = next_watch_id_++;
+  watches_.push_back(Watch{id, Normalize(path), std::move(cb)});
+  return id;
+}
+
+void Vfs::RemoveWatch(int watch_id) {
+  watches_.erase(std::remove_if(watches_.begin(), watches_.end(),
+                                [&](const Watch& w) { return w.id == watch_id; }),
+                 watches_.end());
+}
+
+void Vfs::FireEvent(FsEvent event, const std::string& path) {
+  // Copy: a callback may add/remove watches.
+  std::vector<Watch> active = watches_;
+  for (const Watch& watch : active) {
+    bool match = path == watch.path ||
+                 (StartsWith(path, watch.path) && path.size() > watch.path.size() &&
+                  (watch.path == "/" || path[watch.path.size()] == '/'));
+    if (match) {
+      watch.callback(event, path);
+    }
+  }
+}
+
+}  // namespace protego

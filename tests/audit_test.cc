@@ -1,0 +1,62 @@
+// Tests for the kernel audit ring and its /proc/protego/audit export.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/system.h"
+
+namespace protego {
+namespace {
+
+TEST(Audit, RecordsDenialsAndTransitions) {
+  SimSystem sys(SimMode::kProtego);
+  Kernel& k = sys.kernel();
+  size_t before = k.audit_log().size();
+
+  // A policy-allowed user mount and a refused one both leave traces.
+  Task& alice = sys.Login("alice");
+  ASSERT_TRUE(k.Mount(alice, "/dev/cdrom", "/media/cdrom", "iso9660", {"ro"}).ok());
+  Task& bob = sys.Login("bob");
+  bob.exe_path = "/usr/sbin/eximd";
+  auto fd = k.SocketCall(bob, kAfInet, kSockStream, 0);
+  (void)k.BindCall(bob, fd.value(), 25);  // denied: wrong uid for the allocation
+
+  ASSERT_GT(k.audit_log().size(), before);
+  std::string joined;
+  for (const std::string& line : k.audit_log()) {
+    joined += line + "\n";
+  }
+  EXPECT_NE(joined.find("user mount /dev/cdrom"), std::string::npos);
+  EXPECT_NE(joined.find("bind(25) denied"), std::string::npos);
+}
+
+TEST(Audit, ProcFileIsRootOnlyAndMatchesRing) {
+  SimSystem sys(SimMode::kProtego);
+  Kernel& k = sys.kernel();
+  Task& alice = sys.Login("alice");
+  (void)k.Mount(alice, "/dev/cdrom", "/media/cdrom", "iso9660", {"ro"});
+  EXPECT_EQ(k.ReadWholeFile(alice, "/proc/protego/audit").code(), Errno::kEACCES);
+  Task& root = sys.Login("root");
+  auto content = k.ReadWholeFile(root, "/proc/protego/audit");
+  ASSERT_TRUE(content.ok());
+  EXPECT_NE(content.value().find("user mount /dev/cdrom"), std::string::npos);
+  // One line per ring record.
+  size_t lines = 0;
+  for (char c : content.value()) {
+    lines += c == '\n' ? 1 : 0;
+  }
+  EXPECT_EQ(lines, k.audit_log().size());
+}
+
+TEST(Audit, RingIsBounded) {
+  SimSystem sys(SimMode::kProtego);
+  Kernel& k = sys.kernel();
+  for (int i = 0; i < 600; ++i) {
+    k.Audit("filler " + std::to_string(i));
+  }
+  EXPECT_EQ(k.audit_log().size(), 512u);
+  EXPECT_EQ(k.audit_log().back(), "filler 599");
+  EXPECT_EQ(k.audit_log().front(), "filler 88");
+}
+
+}  // namespace
+}  // namespace protego

@@ -1,0 +1,149 @@
+// Unit tests for src/base: strings, lexer, hashing, the Result error model,
+// and the virtual clock.
+
+#include <gtest/gtest.h>
+
+#include "src/base/clock.h"
+#include "src/base/hash.h"
+#include "src/base/lexer.h"
+#include "src/base/result.h"
+#include "src/base/strings.h"
+
+namespace protego {
+namespace {
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(Strings, SplitWhitespaceDropsRuns) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\n c  "), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t\n "), "");
+  EXPECT_EQ(Trim("a b"), "a b");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("/etc/passwd", "/etc"));
+  EXPECT_FALSE(StartsWith("/etc", "/etc/passwd"));
+  EXPECT_TRUE(EndsWith("file.txt", ".txt"));
+  EXPECT_FALSE(EndsWith(".txt", "file.txt"));
+}
+
+TEST(Strings, ParseUint) {
+  EXPECT_EQ(ParseUint("0"), 0u);
+  EXPECT_EQ(ParseUint("1023"), 1023u);
+  EXPECT_FALSE(ParseUint("").has_value());
+  EXPECT_FALSE(ParseUint("-1").has_value());
+  EXPECT_FALSE(ParseUint("12x").has_value());
+}
+
+TEST(Strings, StrFormat) {
+  EXPECT_EQ(StrFormat("%s=%d", "x", 42), "x=42");
+  EXPECT_EQ(StrFormat("%%"), "%");
+}
+
+TEST(Strings, GlobMatch) {
+  EXPECT_TRUE(GlobMatch("/etc/shadows/*", "/etc/shadows/alice"));
+  EXPECT_FALSE(GlobMatch("/etc/shadows/*", "/etc/shadow"));
+  EXPECT_TRUE(GlobMatch("*", "anything at all"));
+  EXPECT_TRUE(GlobMatch("a?c", "abc"));
+  EXPECT_FALSE(GlobMatch("a?c", "ac"));
+  EXPECT_TRUE(GlobMatch("/home/*/mnt", "/home/alice/mnt"));
+  EXPECT_TRUE(GlobMatch("*.txt", "notes.txt"));
+  EXPECT_FALSE(GlobMatch("*.txt", "notes.txt.bak"));
+  EXPECT_TRUE(GlobMatch("exact", "exact"));
+  EXPECT_FALSE(GlobMatch("exact", "exactly"));
+  // '*' crosses '/' (sudoers command specs rely on this).
+  EXPECT_TRUE(GlobMatch("/usr/bin/lpr /home/alice/*", "/usr/bin/lpr /home/alice/a/b"));
+}
+
+TEST(Lexer, StripsCommentsAndBlankLines) {
+  auto lines = LexConfig("# top comment\n\nfoo bar # trailing\n  \n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].text, "foo bar");
+  EXPECT_EQ(lines[0].line_number, 3);
+}
+
+TEST(Lexer, HashInsideQuotesIsNotComment) {
+  auto lines = LexConfig("key \"value # not comment\"\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].text.find("# not comment"), std::string::npos);
+}
+
+TEST(Lexer, ContinuationJoinsLines) {
+  auto lines = LexConfig("alpha \\\nbeta \\\ngamma\nnext\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].text, "alpha beta gamma");
+  EXPECT_EQ(lines[0].line_number, 1);
+  EXPECT_EQ(lines[1].text, "next");
+}
+
+TEST(Lexer, FieldsRespectQuotes) {
+  auto fields = LexFields("one \"two words\" three");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "two words");
+  fields = LexFields("a\\ b");  // backslash outside quotes is literal
+  ASSERT_EQ(fields.size(), 2u);
+  fields = LexFields("\"escaped \\\" quote\"");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "escaped \" quote");
+}
+
+TEST(Hash, CryptRoundTrip) {
+  std::string hash = CryptPassword("hunter2", MakeSalt(7));
+  EXPECT_TRUE(StartsWith(hash, "$sim$"));
+  EXPECT_TRUE(VerifyPassword("hunter2", hash));
+  EXPECT_FALSE(VerifyPassword("hunter3", hash));
+  EXPECT_FALSE(VerifyPassword("hunter2", "not-a-hash"));
+  EXPECT_FALSE(VerifyPassword("hunter2", ""));
+}
+
+TEST(Hash, SaltChangesHash) {
+  EXPECT_NE(CryptPassword("pw", MakeSalt(1)), CryptPassword("pw", MakeSalt(2)));
+  EXPECT_EQ(CryptPassword("pw", MakeSalt(1)), CryptPassword("pw", MakeSalt(1)));
+}
+
+TEST(Hash, Fnv1aIsStable) {
+  EXPECT_EQ(Fnv1a("abc"), Fnv1a("abc"));
+  EXPECT_NE(Fnv1a("abc"), Fnv1a("abd"));
+}
+
+TEST(ResultModel, ValueAndError) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(ok.code(), Errno::kOk);
+
+  Result<int> err = Error(Errno::kEACCES, "denied");
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), Errno::kEACCES);
+  EXPECT_EQ(err.error().ToString(), "EACCES (Permission denied): denied");
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+TEST(ResultModel, ErrnoNamesMatchLinux) {
+  EXPECT_STREQ(ErrnoName(Errno::kEPERM), "EPERM");
+  EXPECT_EQ(static_cast<int>(Errno::kEPERM), 1);
+  EXPECT_EQ(static_cast<int>(Errno::kEACCES), 13);
+  EXPECT_EQ(static_cast<int>(Errno::kEADDRINUSE), 98);
+}
+
+TEST(ClockTest, AdvancesMonotonically) {
+  Clock clock;
+  EXPECT_EQ(clock.Now(), 0u);
+  clock.Advance(300);
+  EXPECT_EQ(clock.Now(), 300u);
+  clock.Advance(1);
+  EXPECT_EQ(clock.Now(), 301u);
+}
+
+}  // namespace
+}  // namespace protego

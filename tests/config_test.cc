@@ -1,0 +1,179 @@
+// Unit tests for the configuration-file parsers.
+
+#include <gtest/gtest.h>
+
+#include "src/config/bindconf.h"
+#include "src/config/fstab.h"
+#include "src/config/passwd_db.h"
+#include "src/config/ppp_options.h"
+#include "src/config/sudoers.h"
+
+namespace protego {
+namespace {
+
+TEST(Fstab, ParsesEntriesAndOptions) {
+  auto entries = ParseFstab("# comment\n/dev/cdrom /media/cdrom iso9660 ro,user 0 0\n"
+                            "/dev/sdb1 /media/usb vfat rw,users\n");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value().size(), 2u);
+  const FstabEntry& cd = entries.value()[0];
+  EXPECT_EQ(cd.device, "/dev/cdrom");
+  EXPECT_TRUE(cd.UserMountable());
+  EXPECT_FALSE(cd.AnyUserMayUnmount());
+  EXPECT_TRUE(entries.value()[1].AnyUserMayUnmount());
+}
+
+TEST(Fstab, RejectsMalformedLines) {
+  EXPECT_EQ(ParseFstab("/dev/x /mnt\n").code(), Errno::kEINVAL);
+  EXPECT_EQ(ParseFstab("/dev/x relative ext4 ro\n").code(), Errno::kEINVAL);
+  EXPECT_TRUE(ParseFstab("").ok());
+}
+
+TEST(Fstab, SerializeRoundTrips) {
+  auto entries = ParseFstab("/dev/a /m1 ext4 ro,user\n/dev/b /m2 vfat rw\n");
+  ASSERT_TRUE(entries.ok());
+  auto again = ParseFstab(SerializeFstab(entries.value()));
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again.value().size(), 2u);
+  EXPECT_EQ(again.value()[0].ToString(), entries.value()[0].ToString());
+}
+
+TEST(Sudoers, ClassicRules) {
+  auto policy = ParseSudoers("alice ALL=(bob,charlie) /usr/bin/lpr *\n"
+                             "%admin ALL=(ALL) ALL\n"
+                             "dave ALL= NOPASSWD: /bin/true, /bin/false\n");
+  ASSERT_TRUE(policy.ok());
+  ASSERT_EQ(policy.value().rules.size(), 3u);
+  const SudoRule& r0 = policy.value().rules[0];
+  EXPECT_TRUE(r0.RunasMatches("bob"));
+  EXPECT_TRUE(r0.RunasMatches("charlie"));
+  EXPECT_FALSE(r0.RunasMatches("dave"));
+  EXPECT_TRUE(r0.CommandMatches("/usr/bin/lpr /tmp/x"));
+  const SudoRule& r1 = policy.value().rules[1];
+  EXPECT_TRUE(r1.RunasMatches("anyone"));
+  EXPECT_TRUE(r1.CommandMatches("whatever"));
+  const SudoRule& r2 = policy.value().rules[2];
+  EXPECT_TRUE(r2.nopasswd);
+  EXPECT_EQ(r2.runas, std::vector<std::string>{"root"});  // default runas
+  EXPECT_EQ(r2.commands.size(), 2u);
+  EXPECT_TRUE(r2.CommandMatches("/bin/true"));
+  EXPECT_TRUE(r2.CommandMatches("/bin/true --flag"));  // bare path matches w/ args
+  EXPECT_FALSE(r2.CommandMatches("/bin/truex"));
+}
+
+TEST(Sudoers, TagsAndDefaults) {
+  auto policy = ParseSudoers("Defaults timestamp_timeout=10, env_keep=\"PATH HOME\"\n"
+                             "ALL ALL=(ALL) TARGETPW: ALL\n");
+  ASSERT_TRUE(policy.ok());
+  EXPECT_EQ(policy.value().timestamp_timeout_sec, 600u);
+  EXPECT_EQ(policy.value().env_keep, (std::vector<std::string>{"PATH", "HOME"}));
+  EXPECT_TRUE(policy.value().rules[0].targetpw);
+  EXPECT_FALSE(policy.value().rules[0].nopasswd);
+}
+
+TEST(Sudoers, ProtegoExtensions) {
+  auto policy = ParseSudoers("Group_Auth staff\n"
+                             "File_Delegate /usr/lib/ssh-keysign /etc/ssh/key r\n"
+                             "File_Delegate /x /y rw\n"
+                             "Reauth_Read /etc/shadows/*\n");
+  ASSERT_TRUE(policy.ok());
+  EXPECT_EQ(policy.value().password_groups, std::vector<std::string>{"staff"});
+  ASSERT_EQ(policy.value().file_delegations.size(), 2u);
+  EXPECT_EQ(policy.value().file_delegations[0].allow_may, kMayRead);
+  EXPECT_EQ(policy.value().file_delegations[1].allow_may, kMayRead | kMayWrite);
+  EXPECT_EQ(policy.value().reauth_read_globs, std::vector<std::string>{"/etc/shadows/*"});
+}
+
+TEST(Sudoers, MalformedInputRejected) {
+  EXPECT_EQ(ParseSudoers("alice no-equals-here\n").code(), Errno::kEINVAL);
+  EXPECT_EQ(ParseSudoers("alice ALL=(unclosed runas\n").code(), Errno::kEINVAL);
+  EXPECT_EQ(ParseSudoers("alice ALL=(root)\n").code(), Errno::kEINVAL);  // no commands
+  EXPECT_EQ(ParseSudoers("File_Delegate /x /y q\n").code(), Errno::kEINVAL);
+  EXPECT_EQ(ParseSudoers("Group_Auth\n").code(), Errno::kEINVAL);
+}
+
+TEST(Sudoers, FragmentsMerge) {
+  auto policy = ParseSudoersWithFragments("alice ALL=(root) ALL\n",
+                                          {"bob ALL=(root) ALL\n", "Group_Auth staff\n"});
+  ASSERT_TRUE(policy.ok());
+  EXPECT_EQ(policy.value().rules.size(), 2u);
+  EXPECT_EQ(policy.value().password_groups.size(), 1u);
+}
+
+TEST(Sudoers, SerializeRoundTrips) {
+  auto policy = ParseSudoers("Defaults timestamp_timeout=5\n"
+                             "Group_Auth staff\n"
+                             "File_Delegate /bin/a /etc/b rw\n"
+                             "alice ALL=(bob) NOPASSWD: /usr/bin/lpr *\n"
+                             "ALL ALL=(ALL) TARGETPW: ALL\n");
+  ASSERT_TRUE(policy.ok());
+  auto again = ParseSudoers(SerializeSudoers(policy.value()));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(SerializeSudoers(again.value()), SerializeSudoers(policy.value()));
+}
+
+TEST(BindConf, ParsesAndValidates) {
+  auto entries = ParseBindConf("25 /usr/sbin/eximd 101\n80 /usr/sbin/httpd 33\n");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value().size(), 2u);
+  EXPECT_EQ(entries.value()[0].port, 25);
+  EXPECT_EQ(entries.value()[0].uid, 101u);
+
+  EXPECT_EQ(ParseBindConf("8080 /bin/x 0\n").code(), Errno::kEINVAL);   // >= 1024
+  EXPECT_EQ(ParseBindConf("0 /bin/x 0\n").code(), Errno::kEINVAL);      // port 0
+  EXPECT_EQ(ParseBindConf("25 relative 0\n").code(), Errno::kEINVAL);   // relative path
+  EXPECT_EQ(ParseBindConf("25 /a 0\n25 /b 1\n").code(), Errno::kEINVAL);  // duplicate
+  EXPECT_EQ(ParseBindConf("25 /a\n").code(), Errno::kEINVAL);           // missing uid
+}
+
+TEST(PppOptionsTest, DirectivesAndSafety) {
+  auto options = ParsePppOptions("userroutes\nnouserdialout\nsafeopt vjcomp\n");
+  ASSERT_TRUE(options.ok());
+  EXPECT_TRUE(options.value().user_routes);
+  EXPECT_FALSE(options.value().user_dialout);
+  EXPECT_TRUE(options.value().IsSafeOption("vjcomp"));
+  EXPECT_TRUE(options.value().IsSafeOption("bsdcomp"));
+  EXPECT_TRUE(options.value().IsSafeOption("mtu 1400"));
+  EXPECT_FALSE(options.value().IsSafeOption("defaultroute"));
+  EXPECT_EQ(ParsePppOptions("unknowndirective\n").code(), Errno::kEINVAL);
+}
+
+TEST(PasswdDb, RecordRoundTrips) {
+  auto p = ParsePasswdLine("alice:x:1000:1000:Alice:/home/alice:/bin/sh");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value().ToLine(), "alice:x:1000:1000:Alice:/home/alice:/bin/sh");
+  EXPECT_EQ(ParsePasswdLine("broken").code(), Errno::kEINVAL);
+  EXPECT_EQ(ParsePasswdLine(":x:1:1:::").code(), Errno::kEINVAL);
+  EXPECT_EQ(ParsePasswdLine("a:x:nan:1:g:h:s").code(), Errno::kEINVAL);
+
+  auto s = ParseShadowLine("alice:$sim$salt$hash:100:::::");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value().hash, "$sim$salt$hash");
+  EXPECT_EQ(s.value().last_change, 100u);
+
+  auto g = ParseGroupLine("staff:pw:50:alice,bob");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().members, (std::vector<std::string>{"alice", "bob"}));
+  auto empty_members = ParseGroupLine("x::5:");
+  ASSERT_TRUE(empty_members.ok());
+  EXPECT_TRUE(empty_members.value().members.empty());
+}
+
+TEST(PasswdDb, UserDbLookups) {
+  auto users = ParsePasswd("a:x:1:10:::\nb:x:2:20:::\n");
+  auto shadows = ParseShadow("a:h1:0:::::\nb:h2:0:::::\n");
+  auto groups = ParseGroup("g1:pw:10:a\ng2::20:a,b\n");
+  ASSERT_TRUE(users.ok() && shadows.ok() && groups.ok());
+  UserDb db(users.take(), shadows.take(), groups.take());
+  EXPECT_EQ(db.FindUser("a")->uid, 1u);
+  EXPECT_EQ(db.FindUid(2)->name, "b");
+  EXPECT_EQ(db.FindUser("zz"), nullptr);
+  EXPECT_EQ(db.FindShadow("b")->hash, "h2");
+  EXPECT_EQ(db.FindGroup("g1")->gid, 10u);
+  EXPECT_EQ(db.FindGid(20)->name, "g2");
+  EXPECT_EQ(db.GroupsOf("a"), (std::vector<std::string>{"g1", "g2"}));
+  EXPECT_EQ(db.GroupsOf("b"), std::vector<std::string>{"g2"});
+}
+
+}  // namespace
+}  // namespace protego

@@ -1,0 +1,29 @@
+// §5.3: Protego must behave equivalently to unmodified Linux — same outputs
+// and same effects for every command-line scenario in the suite.
+
+#include <gtest/gtest.h>
+
+#include "src/study/functional.h"
+
+namespace protego {
+namespace {
+
+class EquivalenceTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(EquivalenceTest, LinuxAndProtegoTranscriptsMatch) {
+  const FunctionalScenario& scenario = FunctionalSuite()[GetParam()];
+  SimSystem linux_sys(SimMode::kLinux);
+  std::string linux_transcript = NormalizeTranscript(scenario.run(linux_sys));
+  SimSystem protego_sys(SimMode::kProtego);
+  std::string protego_transcript = NormalizeTranscript(scenario.run(protego_sys));
+  EXPECT_EQ(linux_transcript, protego_transcript) << "scenario: " << scenario.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, EquivalenceTest,
+                         ::testing::Range<size_t>(0, FunctionalSuite().size()),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return FunctionalSuite()[info.param].name;
+                         });
+
+}  // namespace
+}  // namespace protego

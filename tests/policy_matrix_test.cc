@@ -1,0 +1,41 @@
+// Table 4 validation: every studied interface's safe subset must work for
+// unprivileged users on Protego, and its dangerous superset must stay
+// refused.
+
+#include <gtest/gtest.h>
+
+#include "src/study/policy_matrix.h"
+
+namespace protego {
+namespace {
+
+class PolicyMatrixTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PolicyMatrixTest, SafeSubsetWorksDangerousSupersetRefused) {
+  const PolicyMatrixRow& row = PolicyMatrix()[GetParam()];
+  SimSystem sys(SimMode::kProtego);
+  PolicyScenarioResult result = row.check(sys);
+  EXPECT_TRUE(result.permitted_case_ok)
+      << row.interface_name << ": system-policy-permitted case failed (" << result.detail
+      << ")";
+  EXPECT_TRUE(result.forbidden_case_ok)
+      << row.interface_name << ": forbidden case was not refused (" << result.detail << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInterfaces, PolicyMatrixTest,
+                         ::testing::Range<size_t>(0, PolicyMatrix().size()),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           std::string name = PolicyMatrix()[info.param].interface_name;
+                           std::string out;
+                           for (char c : name) {
+                             if (std::isalnum(static_cast<unsigned char>(c))) {
+                               out.push_back(c);
+                             }
+                           }
+                           return out;
+                         });
+
+TEST(PolicyMatrix, CoversNineInterfaces) { EXPECT_EQ(PolicyMatrix().size(), 9u); }
+
+}  // namespace
+}  // namespace protego

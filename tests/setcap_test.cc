@@ -1,0 +1,106 @@
+// §3.2 reproduced: a setcap hardening pass helps the network utilities but
+// leaves "capabilities tantamount to root" in the mount/delegation/passwd/X
+// families — only Protego deprivileges all of them.
+
+#include <gtest/gtest.h>
+
+#include "src/study/cves.h"
+
+namespace protego {
+namespace {
+
+ExploitOutcome RunOn(SimMode mode, const std::string& cve_id) {
+  SimSystem sys(mode);
+  for (const CveEntry& entry : CveCorpus()) {
+    if (entry.cve_id == cve_id) {
+      return RunExploit(sys, entry);
+    }
+  }
+  ADD_FAILURE() << "no such CVE in corpus: " << cve_id;
+  return {};
+}
+
+TEST(SetcapMode, BinariesCarryCapsNotTheSetuidBit) {
+  SimSystem sys(SimMode::kSetcap);
+  Task& alice = sys.Login("alice");
+  auto st = sys.kernel().Stat(alice, "/bin/ping");
+  EXPECT_TRUE((st.value().mode & kSetUidBit) == 0);
+  // ping still works: the file capability grants CAP_NET_RAW at exec.
+  auto out = sys.RunCapture(alice, "/bin/ping", {"ping", "10.0.0.2", "1"});
+  EXPECT_EQ(out.exit_code, 0) << out.err;
+}
+
+TEST(SetcapMode, NetworkUtilitiesNoLongerEscalate) {
+  // CAP_NET_RAW alone cannot touch files, ports, uids, mounts, or routes.
+  for (const char* cve : {"CVE-2000-1213", "CVE-2005-2071", "CVE-2002-0497"}) {
+    ExploitOutcome outcome = RunOn(SimMode::kSetcap, cve);
+    EXPECT_TRUE(outcome.triggered) << cve;
+    EXPECT_FALSE(outcome.escalated) << cve << " escalated under setcap";
+  }
+}
+
+TEST(SetcapMode, DelegationUtilitiesStillEscalate) {
+  // CAP_SETUID is root by another name: the hijacked process just calls
+  // setuid(0).
+  for (const char* cve : {"CVE-2002-0184", "CVE-2000-0996", "CVE-2004-1328",
+                          "CVE-2011-1485"}) {
+    ExploitOutcome outcome = RunOn(SimMode::kSetcap, cve);
+    EXPECT_TRUE(outcome.triggered) << cve;
+    EXPECT_TRUE(outcome.escalated) << cve << " should escalate under setcap";
+  }
+}
+
+TEST(SetcapMode, SysAdminUtilitiesStillEscalate) {
+  // CAP_SYS_ADMIN ("the new root") lets the hijacked mount graft a
+  // filesystem over /etc.
+  ExploitOutcome mount_cve = RunOn(SimMode::kSetcap, "CVE-2006-2183");
+  EXPECT_TRUE(mount_cve.escalated);
+  bool via_mount = false;
+  for (const std::string& action : mount_cve.succeeded_actions) {
+    via_mount |= action == "mount_over_etc";
+  }
+  EXPECT_TRUE(via_mount);
+}
+
+TEST(SetcapMode, PasswdAndXEscalateViaDacOverride) {
+  EXPECT_TRUE(RunOn(SimMode::kSetcap, "CVE-2006-3378").escalated);  // passwd
+  EXPECT_TRUE(RunOn(SimMode::kSetcap, "CVE-2002-0517").escalated);  // X
+}
+
+TEST(SetcapMode, PppdEscalatesViaNetAdmin) {
+  // Not in the 40-CVE corpus, so exercised directly: a hijacked pppd with
+  // CAP_NET_ADMIN can install a hostile default route.
+  SimSystem sys(SimMode::kSetcap);
+  Task& alice = sys.Login("alice");
+  auto out = sys.RunCapture(alice, "/usr/sbin/pppd",
+                            {"pppd", "--exploit=CVE-SIM-PPPD"});
+  (void)out;  // pppd has no trigger for that id; demonstrate via payload caps
+  // Directly: a task with pppd's file caps can rewrite routing.
+  Task& hijacked = sys.kernel().CreateTask("pppd", Cred::ForUser(1000, 1000), nullptr);
+  hijacked.cred.effective = CapSet::Of({Capability::kNetAdmin});
+  auto fd = sys.kernel().SocketCall(hijacked, kAfInet, kSockDgram, 0);
+  EXPECT_TRUE(
+      sys.kernel().Ioctl(hijacked, fd.value(), kSiocAddRt, "0.0.0.0/0 10.66.66.66 eth0").ok());
+}
+
+TEST(SetcapMode, ProtegoStillBeatsSetcapOnEveryCve) {
+  // For every CVE that still escalates under setcap, Protego does not.
+  SimSystem setcap_sys(SimMode::kSetcap);
+  SimSystem protego_sys(SimMode::kProtego);
+  int setcap_escalations = 0;
+  for (const CveEntry& entry : CveCorpus()) {
+    ExploitOutcome under_setcap = RunExploit(setcap_sys, entry);
+    if (under_setcap.escalated) {
+      ++setcap_escalations;
+      ExploitOutcome under_protego = RunExploit(protego_sys, entry);
+      EXPECT_FALSE(under_protego.escalated) << entry.cve_id;
+    }
+  }
+  // The paper's point in one number: setcap leaves a substantial fraction
+  // of the historical escalations alive.
+  EXPECT_GT(setcap_escalations, 15);
+  EXPECT_LT(setcap_escalations, 40);
+}
+
+}  // namespace
+}  // namespace protego
