@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_surface.dir/attack_surface.cc.o"
+  "CMakeFiles/attack_surface.dir/attack_surface.cc.o.d"
+  "attack_surface"
+  "attack_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

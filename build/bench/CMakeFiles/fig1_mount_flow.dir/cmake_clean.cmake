@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_mount_flow.dir/fig1_mount_flow.cc.o"
+  "CMakeFiles/fig1_mount_flow.dir/fig1_mount_flow.cc.o.d"
+  "fig1_mount_flow"
+  "fig1_mount_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_mount_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

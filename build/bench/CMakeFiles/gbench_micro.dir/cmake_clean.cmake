@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gbench_micro.dir/gbench_micro.cc.o"
+  "CMakeFiles/gbench_micro.dir/gbench_micro.cc.o.d"
+  "gbench_micro"
+  "gbench_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbench_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

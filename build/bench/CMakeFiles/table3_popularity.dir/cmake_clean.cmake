@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_popularity.dir/table3_popularity.cc.o"
+  "CMakeFiles/table3_popularity.dir/table3_popularity.cc.o.d"
+  "table3_popularity"
+  "table3_popularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

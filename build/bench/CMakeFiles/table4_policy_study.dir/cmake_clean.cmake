@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_policy_study.dir/table4_policy_study.cc.o"
+  "CMakeFiles/table4_policy_study.dir/table4_policy_study.cc.o.d"
+  "table4_policy_study"
+  "table4_policy_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_policy_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

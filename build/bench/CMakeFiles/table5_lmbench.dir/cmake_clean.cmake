@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_lmbench.dir/table5_lmbench.cc.o"
+  "CMakeFiles/table5_lmbench.dir/table5_lmbench.cc.o.d"
+  "table5_lmbench"
+  "table5_lmbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_lmbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_macro.dir/table5_macro.cc.o"
+  "CMakeFiles/table5_macro.dir/table5_macro.cc.o.d"
+  "table5_macro"
+  "table5_macro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_macro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

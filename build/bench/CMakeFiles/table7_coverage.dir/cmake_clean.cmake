@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_coverage.dir/table7_coverage.cc.o"
+  "CMakeFiles/table7_coverage.dir/table7_coverage.cc.o.d"
+  "table7_coverage"
+  "table7_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_remaining.dir/table8_remaining.cc.o"
+  "CMakeFiles/table8_remaining.dir/table8_remaining.cc.o.d"
+  "table8_remaining"
+  "table8_remaining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_remaining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

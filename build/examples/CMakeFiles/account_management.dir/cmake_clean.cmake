@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/account_management.dir/account_management.cc.o"
+  "CMakeFiles/account_management.dir/account_management.cc.o.d"
+  "account_management"
+  "account_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/account_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

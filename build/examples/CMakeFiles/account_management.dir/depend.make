@@ -1,0 +1,2 @@
+# Empty dependencies file for account_management.
+# This may be replaced when dependencies are built.

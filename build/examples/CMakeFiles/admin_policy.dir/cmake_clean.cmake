@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admin_policy.dir/admin_policy.cc.o"
+  "CMakeFiles/admin_policy.dir/admin_policy.cc.o.d"
+  "admin_policy"
+  "admin_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admin_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

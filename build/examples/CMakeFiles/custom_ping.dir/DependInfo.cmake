@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_ping.cc" "examples/CMakeFiles/custom_ping.dir/custom_ping.cc.o" "gcc" "examples/CMakeFiles/custom_ping.dir/custom_ping.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/protego_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/protego_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/userland/CMakeFiles/protego_userland.dir/DependInfo.cmake"
+  "/root/repo/build/src/protego/CMakeFiles/protego_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/protego_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/protego_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/protego_kernel_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/protego_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/protego_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/protego_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/protego_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

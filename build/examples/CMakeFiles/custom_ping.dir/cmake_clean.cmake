@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_ping.dir/custom_ping.cc.o"
+  "CMakeFiles/custom_ping.dir/custom_ping.cc.o.d"
+  "custom_ping"
+  "custom_ping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_ping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delegation.dir/delegation.cc.o"
+  "CMakeFiles/delegation.dir/delegation.cc.o.d"
+  "delegation"
+  "delegation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delegation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

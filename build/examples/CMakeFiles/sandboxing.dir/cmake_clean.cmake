@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sandboxing.dir/sandboxing.cc.o"
+  "CMakeFiles/sandboxing.dir/sandboxing.cc.o.d"
+  "sandboxing"
+  "sandboxing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sandboxing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

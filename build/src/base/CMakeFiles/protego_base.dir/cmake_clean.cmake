@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protego_base.dir/clock.cc.o"
+  "CMakeFiles/protego_base.dir/clock.cc.o.d"
+  "CMakeFiles/protego_base.dir/hash.cc.o"
+  "CMakeFiles/protego_base.dir/hash.cc.o.d"
+  "CMakeFiles/protego_base.dir/lexer.cc.o"
+  "CMakeFiles/protego_base.dir/lexer.cc.o.d"
+  "CMakeFiles/protego_base.dir/log.cc.o"
+  "CMakeFiles/protego_base.dir/log.cc.o.d"
+  "CMakeFiles/protego_base.dir/result.cc.o"
+  "CMakeFiles/protego_base.dir/result.cc.o.d"
+  "CMakeFiles/protego_base.dir/strings.cc.o"
+  "CMakeFiles/protego_base.dir/strings.cc.o.d"
+  "libprotego_base.a"
+  "libprotego_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protego_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/bindconf.cc" "src/config/CMakeFiles/protego_config.dir/bindconf.cc.o" "gcc" "src/config/CMakeFiles/protego_config.dir/bindconf.cc.o.d"
+  "/root/repo/src/config/fstab.cc" "src/config/CMakeFiles/protego_config.dir/fstab.cc.o" "gcc" "src/config/CMakeFiles/protego_config.dir/fstab.cc.o.d"
+  "/root/repo/src/config/passwd_db.cc" "src/config/CMakeFiles/protego_config.dir/passwd_db.cc.o" "gcc" "src/config/CMakeFiles/protego_config.dir/passwd_db.cc.o.d"
+  "/root/repo/src/config/ppp_options.cc" "src/config/CMakeFiles/protego_config.dir/ppp_options.cc.o" "gcc" "src/config/CMakeFiles/protego_config.dir/ppp_options.cc.o.d"
+  "/root/repo/src/config/sudoers.cc" "src/config/CMakeFiles/protego_config.dir/sudoers.cc.o" "gcc" "src/config/CMakeFiles/protego_config.dir/sudoers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/protego_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/protego_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

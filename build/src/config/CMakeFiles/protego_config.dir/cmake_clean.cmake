@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protego_config.dir/bindconf.cc.o"
+  "CMakeFiles/protego_config.dir/bindconf.cc.o.d"
+  "CMakeFiles/protego_config.dir/fstab.cc.o"
+  "CMakeFiles/protego_config.dir/fstab.cc.o.d"
+  "CMakeFiles/protego_config.dir/passwd_db.cc.o"
+  "CMakeFiles/protego_config.dir/passwd_db.cc.o.d"
+  "CMakeFiles/protego_config.dir/ppp_options.cc.o"
+  "CMakeFiles/protego_config.dir/ppp_options.cc.o.d"
+  "CMakeFiles/protego_config.dir/sudoers.cc.o"
+  "CMakeFiles/protego_config.dir/sudoers.cc.o.d"
+  "libprotego_config.a"
+  "libprotego_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protego_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protego_kernel.dir/kernel.cc.o"
+  "CMakeFiles/protego_kernel.dir/kernel.cc.o.d"
+  "libprotego_kernel.a"
+  "libprotego_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protego_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/capability.cc" "src/kernel/CMakeFiles/protego_kernel_types.dir/capability.cc.o" "gcc" "src/kernel/CMakeFiles/protego_kernel_types.dir/capability.cc.o.d"
+  "/root/repo/src/kernel/cred.cc" "src/kernel/CMakeFiles/protego_kernel_types.dir/cred.cc.o" "gcc" "src/kernel/CMakeFiles/protego_kernel_types.dir/cred.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/protego_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/protego_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protego_kernel_types.dir/capability.cc.o"
+  "CMakeFiles/protego_kernel_types.dir/capability.cc.o.d"
+  "CMakeFiles/protego_kernel_types.dir/cred.cc.o"
+  "CMakeFiles/protego_kernel_types.dir/cred.cc.o.d"
+  "libprotego_kernel_types.a"
+  "libprotego_kernel_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protego_kernel_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

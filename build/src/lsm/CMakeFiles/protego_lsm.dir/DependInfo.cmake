@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsm/apparmor.cc" "src/lsm/CMakeFiles/protego_lsm.dir/apparmor.cc.o" "gcc" "src/lsm/CMakeFiles/protego_lsm.dir/apparmor.cc.o.d"
+  "/root/repo/src/lsm/stack.cc" "src/lsm/CMakeFiles/protego_lsm.dir/stack.cc.o" "gcc" "src/lsm/CMakeFiles/protego_lsm.dir/stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/protego_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/protego_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/protego_kernel_types.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protego_lsm.dir/apparmor.cc.o"
+  "CMakeFiles/protego_lsm.dir/apparmor.cc.o.d"
+  "CMakeFiles/protego_lsm.dir/stack.cc.o"
+  "CMakeFiles/protego_lsm.dir/stack.cc.o.d"
+  "libprotego_lsm.a"
+  "libprotego_lsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protego_lsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protego_net.dir/netfilter.cc.o"
+  "CMakeFiles/protego_net.dir/netfilter.cc.o.d"
+  "CMakeFiles/protego_net.dir/network.cc.o"
+  "CMakeFiles/protego_net.dir/network.cc.o.d"
+  "CMakeFiles/protego_net.dir/routing.cc.o"
+  "CMakeFiles/protego_net.dir/routing.cc.o.d"
+  "libprotego_net.a"
+  "libprotego_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protego_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

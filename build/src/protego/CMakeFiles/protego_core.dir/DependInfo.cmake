@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protego/default_rules.cc" "src/protego/CMakeFiles/protego_core.dir/default_rules.cc.o" "gcc" "src/protego/CMakeFiles/protego_core.dir/default_rules.cc.o.d"
+  "/root/repo/src/protego/dmcrypt.cc" "src/protego/CMakeFiles/protego_core.dir/dmcrypt.cc.o" "gcc" "src/protego/CMakeFiles/protego_core.dir/dmcrypt.cc.o.d"
+  "/root/repo/src/protego/proc_iface.cc" "src/protego/CMakeFiles/protego_core.dir/proc_iface.cc.o" "gcc" "src/protego/CMakeFiles/protego_core.dir/proc_iface.cc.o.d"
+  "/root/repo/src/protego/protego_lsm.cc" "src/protego/CMakeFiles/protego_core.dir/protego_lsm.cc.o" "gcc" "src/protego/CMakeFiles/protego_core.dir/protego_lsm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/protego_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/protego_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/protego_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/protego_kernel_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/protego_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/protego_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/protego_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

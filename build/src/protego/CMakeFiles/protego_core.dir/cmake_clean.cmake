@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protego_core.dir/default_rules.cc.o"
+  "CMakeFiles/protego_core.dir/default_rules.cc.o.d"
+  "CMakeFiles/protego_core.dir/dmcrypt.cc.o"
+  "CMakeFiles/protego_core.dir/dmcrypt.cc.o.d"
+  "CMakeFiles/protego_core.dir/proc_iface.cc.o"
+  "CMakeFiles/protego_core.dir/proc_iface.cc.o.d"
+  "CMakeFiles/protego_core.dir/protego_lsm.cc.o"
+  "CMakeFiles/protego_core.dir/protego_lsm.cc.o.d"
+  "libprotego_core.a"
+  "libprotego_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protego_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

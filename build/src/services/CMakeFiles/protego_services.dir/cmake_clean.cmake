@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protego_services.dir/auth_service.cc.o"
+  "CMakeFiles/protego_services.dir/auth_service.cc.o.d"
+  "CMakeFiles/protego_services.dir/monitor_daemon.cc.o"
+  "CMakeFiles/protego_services.dir/monitor_daemon.cc.o.d"
+  "libprotego_services.a"
+  "libprotego_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protego_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

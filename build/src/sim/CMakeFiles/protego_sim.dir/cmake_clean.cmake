@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protego_sim.dir/system.cc.o"
+  "CMakeFiles/protego_sim.dir/system.cc.o.d"
+  "libprotego_sim.a"
+  "libprotego_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protego_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protego_study.dir/cves.cc.o"
+  "CMakeFiles/protego_study.dir/cves.cc.o.d"
+  "CMakeFiles/protego_study.dir/functional.cc.o"
+  "CMakeFiles/protego_study.dir/functional.cc.o.d"
+  "CMakeFiles/protego_study.dir/loc_accounting.cc.o"
+  "CMakeFiles/protego_study.dir/loc_accounting.cc.o.d"
+  "CMakeFiles/protego_study.dir/policy_matrix.cc.o"
+  "CMakeFiles/protego_study.dir/policy_matrix.cc.o.d"
+  "CMakeFiles/protego_study.dir/popularity.cc.o"
+  "CMakeFiles/protego_study.dir/popularity.cc.o.d"
+  "CMakeFiles/protego_study.dir/remaining.cc.o"
+  "CMakeFiles/protego_study.dir/remaining.cc.o.d"
+  "libprotego_study.a"
+  "libprotego_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protego_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/userland/account_utils.cc" "src/userland/CMakeFiles/protego_userland.dir/account_utils.cc.o" "gcc" "src/userland/CMakeFiles/protego_userland.dir/account_utils.cc.o.d"
+  "/root/repo/src/userland/coverage.cc" "src/userland/CMakeFiles/protego_userland.dir/coverage.cc.o" "gcc" "src/userland/CMakeFiles/protego_userland.dir/coverage.cc.o.d"
+  "/root/repo/src/userland/daemon_utils.cc" "src/userland/CMakeFiles/protego_userland.dir/daemon_utils.cc.o" "gcc" "src/userland/CMakeFiles/protego_userland.dir/daemon_utils.cc.o.d"
+  "/root/repo/src/userland/delegation_utils.cc" "src/userland/CMakeFiles/protego_userland.dir/delegation_utils.cc.o" "gcc" "src/userland/CMakeFiles/protego_userland.dir/delegation_utils.cc.o.d"
+  "/root/repo/src/userland/install.cc" "src/userland/CMakeFiles/protego_userland.dir/install.cc.o" "gcc" "src/userland/CMakeFiles/protego_userland.dir/install.cc.o.d"
+  "/root/repo/src/userland/mount_utils.cc" "src/userland/CMakeFiles/protego_userland.dir/mount_utils.cc.o" "gcc" "src/userland/CMakeFiles/protego_userland.dir/mount_utils.cc.o.d"
+  "/root/repo/src/userland/net_utils.cc" "src/userland/CMakeFiles/protego_userland.dir/net_utils.cc.o" "gcc" "src/userland/CMakeFiles/protego_userland.dir/net_utils.cc.o.d"
+  "/root/repo/src/userland/sandbox_utils.cc" "src/userland/CMakeFiles/protego_userland.dir/sandbox_utils.cc.o" "gcc" "src/userland/CMakeFiles/protego_userland.dir/sandbox_utils.cc.o.d"
+  "/root/repo/src/userland/util.cc" "src/userland/CMakeFiles/protego_userland.dir/util.cc.o" "gcc" "src/userland/CMakeFiles/protego_userland.dir/util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protego/CMakeFiles/protego_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/protego_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/protego_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/protego_kernel_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/protego_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/protego_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/protego_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/protego_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

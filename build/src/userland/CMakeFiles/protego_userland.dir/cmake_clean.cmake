@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protego_userland.dir/account_utils.cc.o"
+  "CMakeFiles/protego_userland.dir/account_utils.cc.o.d"
+  "CMakeFiles/protego_userland.dir/coverage.cc.o"
+  "CMakeFiles/protego_userland.dir/coverage.cc.o.d"
+  "CMakeFiles/protego_userland.dir/daemon_utils.cc.o"
+  "CMakeFiles/protego_userland.dir/daemon_utils.cc.o.d"
+  "CMakeFiles/protego_userland.dir/delegation_utils.cc.o"
+  "CMakeFiles/protego_userland.dir/delegation_utils.cc.o.d"
+  "CMakeFiles/protego_userland.dir/install.cc.o"
+  "CMakeFiles/protego_userland.dir/install.cc.o.d"
+  "CMakeFiles/protego_userland.dir/mount_utils.cc.o"
+  "CMakeFiles/protego_userland.dir/mount_utils.cc.o.d"
+  "CMakeFiles/protego_userland.dir/net_utils.cc.o"
+  "CMakeFiles/protego_userland.dir/net_utils.cc.o.d"
+  "CMakeFiles/protego_userland.dir/sandbox_utils.cc.o"
+  "CMakeFiles/protego_userland.dir/sandbox_utils.cc.o.d"
+  "CMakeFiles/protego_userland.dir/util.cc.o"
+  "CMakeFiles/protego_userland.dir/util.cc.o.d"
+  "libprotego_userland.a"
+  "libprotego_userland.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protego_userland.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vfs/inode.cc" "src/vfs/CMakeFiles/protego_vfs.dir/inode.cc.o" "gcc" "src/vfs/CMakeFiles/protego_vfs.dir/inode.cc.o.d"
+  "/root/repo/src/vfs/vfs.cc" "src/vfs/CMakeFiles/protego_vfs.dir/vfs.cc.o" "gcc" "src/vfs/CMakeFiles/protego_vfs.dir/vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/protego_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

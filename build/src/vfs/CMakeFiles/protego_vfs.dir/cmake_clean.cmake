@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protego_vfs.dir/inode.cc.o"
+  "CMakeFiles/protego_vfs.dir/inode.cc.o.d"
+  "CMakeFiles/protego_vfs.dir/vfs.cc.o"
+  "CMakeFiles/protego_vfs.dir/vfs.cc.o.d"
+  "libprotego_vfs.a"
+  "libprotego_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protego_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

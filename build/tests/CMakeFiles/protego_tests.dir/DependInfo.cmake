@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/audit_test.cc" "tests/CMakeFiles/protego_tests.dir/audit_test.cc.o" "gcc" "tests/CMakeFiles/protego_tests.dir/audit_test.cc.o.d"
+  "/root/repo/tests/base_test.cc" "tests/CMakeFiles/protego_tests.dir/base_test.cc.o" "gcc" "tests/CMakeFiles/protego_tests.dir/base_test.cc.o.d"
+  "/root/repo/tests/config_property_test.cc" "tests/CMakeFiles/protego_tests.dir/config_property_test.cc.o" "gcc" "tests/CMakeFiles/protego_tests.dir/config_property_test.cc.o.d"
+  "/root/repo/tests/config_test.cc" "tests/CMakeFiles/protego_tests.dir/config_test.cc.o" "gcc" "tests/CMakeFiles/protego_tests.dir/config_test.cc.o.d"
+  "/root/repo/tests/exploit_corpus_test.cc" "tests/CMakeFiles/protego_tests.dir/exploit_corpus_test.cc.o" "gcc" "tests/CMakeFiles/protego_tests.dir/exploit_corpus_test.cc.o.d"
+  "/root/repo/tests/functional_equivalence_test.cc" "tests/CMakeFiles/protego_tests.dir/functional_equivalence_test.cc.o" "gcc" "tests/CMakeFiles/protego_tests.dir/functional_equivalence_test.cc.o.d"
+  "/root/repo/tests/iptables_test.cc" "tests/CMakeFiles/protego_tests.dir/iptables_test.cc.o" "gcc" "tests/CMakeFiles/protego_tests.dir/iptables_test.cc.o.d"
+  "/root/repo/tests/kernel_test.cc" "tests/CMakeFiles/protego_tests.dir/kernel_test.cc.o" "gcc" "tests/CMakeFiles/protego_tests.dir/kernel_test.cc.o.d"
+  "/root/repo/tests/lsm_test.cc" "tests/CMakeFiles/protego_tests.dir/lsm_test.cc.o" "gcc" "tests/CMakeFiles/protego_tests.dir/lsm_test.cc.o.d"
+  "/root/repo/tests/misc_test.cc" "tests/CMakeFiles/protego_tests.dir/misc_test.cc.o" "gcc" "tests/CMakeFiles/protego_tests.dir/misc_test.cc.o.d"
+  "/root/repo/tests/namespace_test.cc" "tests/CMakeFiles/protego_tests.dir/namespace_test.cc.o" "gcc" "tests/CMakeFiles/protego_tests.dir/namespace_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/protego_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/protego_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/policy_matrix_test.cc" "tests/CMakeFiles/protego_tests.dir/policy_matrix_test.cc.o" "gcc" "tests/CMakeFiles/protego_tests.dir/policy_matrix_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/protego_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/protego_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/protego_lsm_test.cc" "tests/CMakeFiles/protego_tests.dir/protego_lsm_test.cc.o" "gcc" "tests/CMakeFiles/protego_tests.dir/protego_lsm_test.cc.o.d"
+  "/root/repo/tests/services_test.cc" "tests/CMakeFiles/protego_tests.dir/services_test.cc.o" "gcc" "tests/CMakeFiles/protego_tests.dir/services_test.cc.o.d"
+  "/root/repo/tests/setcap_test.cc" "tests/CMakeFiles/protego_tests.dir/setcap_test.cc.o" "gcc" "tests/CMakeFiles/protego_tests.dir/setcap_test.cc.o.d"
+  "/root/repo/tests/sim_smoke_test.cc" "tests/CMakeFiles/protego_tests.dir/sim_smoke_test.cc.o" "gcc" "tests/CMakeFiles/protego_tests.dir/sim_smoke_test.cc.o.d"
+  "/root/repo/tests/study_test.cc" "tests/CMakeFiles/protego_tests.dir/study_test.cc.o" "gcc" "tests/CMakeFiles/protego_tests.dir/study_test.cc.o.d"
+  "/root/repo/tests/userland_test.cc" "tests/CMakeFiles/protego_tests.dir/userland_test.cc.o" "gcc" "tests/CMakeFiles/protego_tests.dir/userland_test.cc.o.d"
+  "/root/repo/tests/vfs_test.cc" "tests/CMakeFiles/protego_tests.dir/vfs_test.cc.o" "gcc" "tests/CMakeFiles/protego_tests.dir/vfs_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/study/CMakeFiles/protego_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/protego_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/protego_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/userland/CMakeFiles/protego_userland.dir/DependInfo.cmake"
+  "/root/repo/build/src/protego/CMakeFiles/protego_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/protego_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/lsm/CMakeFiles/protego_lsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/protego_kernel_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/protego_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/protego_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/protego_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/protego_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
