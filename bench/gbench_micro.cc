@@ -96,6 +96,33 @@ void BM_SpawnId(benchmark::State& state) {
 }
 BENCHMARK(BM_SpawnId)->Arg(0)->Arg(1);
 
+// Null syscall (getpid) through the gate: Arg encodes the gate config —
+// 0 = gate disabled (no-gate baseline), 1 = gate on with tracing off,
+// 2 = gate on with tracing on. Measures pure entry-path overhead.
+void BM_GetPidGate(benchmark::State& state) {
+  SimSystem sys(SimMode::kProtego);
+  Task& task = sys.Login("alice");
+  SyscallGate& gate = sys.syscalls();
+  switch (state.range(0)) {
+    case 0:
+      gate.set_enabled(false);
+      state.SetLabel("no-gate");
+      break;
+    case 1:
+      gate.set_trace_enabled(false);
+      state.SetLabel("gate+stats");
+      break;
+    default:
+      gate.set_trace_enabled(true);
+      state.SetLabel("gate+stats+trace");
+      break;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.kernel().GetPid(task));
+  }
+}
+BENCHMARK(BM_GetPidGate)->Arg(0)->Arg(1)->Arg(2);
+
 void BM_UdpLoopback(benchmark::State& state) {
   SimSystem sys(ModeOf(state));
   Task& task = sys.Login("alice");

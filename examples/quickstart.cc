@@ -39,5 +39,9 @@ int main() {
   Task& root = sys.Login("root");
   auto status = sys.kernel().ReadWholeFile(root, "/proc/protego/status");
   std::printf("\n/proc/protego/status:\n%s", status.value_or("<unreadable>").c_str());
+
+  // 5. Everything above went through the unified syscall entry path.
+  auto stats = sys.kernel().ReadWholeFile(root, "/proc/protego/syscall_stats");
+  std::printf("\n/proc/protego/syscall_stats:\n%s", stats.value_or("<unreadable>").c_str());
   return 0;
 }

@@ -1,3 +1,14 @@
 #include "src/base/clock.h"
 
-// Header-only today; this TU anchors the library target.
+#include <chrono>
+
+namespace protego {
+
+uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace protego

@@ -11,6 +11,11 @@
 
 namespace protego {
 
+// Real monotonic wall-clock nanoseconds (std::chrono::steady_clock). Used
+// only for latency accounting in the syscall gate — never for simulation
+// semantics, which stay on the virtual Clock below.
+uint64_t MonotonicNanos();
+
 // Monotonic virtual clock with second granularity (matches the granularity
 // sudo uses for its timestamp files).
 class Clock {

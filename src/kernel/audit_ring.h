@@ -1,0 +1,57 @@
+// Bounded ring buffer for kernel audit records.
+//
+// The audit log used to be an unbounded std::vector; on a long-lived system
+// that is a slow memory leak. This ring keeps the most recent `capacity`
+// records and counts what it overwrote, like the kernel's printk ring.
+
+#ifndef SRC_KERNEL_AUDIT_RING_H_
+#define SRC_KERNEL_AUDIT_RING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace protego {
+
+class AuditRing {
+ public:
+  explicit AuditRing(size_t capacity) : capacity_(capacity) {
+    ring_.reserve(capacity);
+  }
+
+  void Push(std::string record) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(record));
+      return;
+    }
+    ring_[head_] = std::move(record);
+    head_ = (head_ + 1) % capacity_;
+    dropped_++;
+  }
+
+  size_t size() const { return ring_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  // Records overwritten because the ring was full.
+  uint64_t dropped() const { return dropped_; }
+
+  // Retained records, oldest first.
+  std::vector<std::string> Snapshot() const {
+    std::vector<std::string> out;
+    out.reserve(ring_.size());
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+    return out;
+  }
+
+ private:
+  size_t capacity_;
+  size_t head_ = 0;  // oldest record once the ring is full
+  uint64_t dropped_ = 0;
+  std::vector<std::string> ring_;
+};
+
+}  // namespace protego
+
+#endif  // SRC_KERNEL_AUDIT_RING_H_

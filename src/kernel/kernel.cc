@@ -46,7 +46,9 @@ bool ProcessContext::HasFlag(std::string_view name) const {
   return false;
 }
 
-Kernel::Kernel() : vfs_(&clock_) {}
+Kernel::Kernel() : vfs_(&clock_), gate_(&clock_) {
+  gate_.set_audit_sink([this](std::string message) { Audit(std::move(message)); });
+}
 
 Task& Kernel::CreateTask(std::string comm, Cred cred, Terminal* terminal, int ppid) {
   auto task = std::make_unique<Task>();
@@ -115,11 +117,7 @@ std::string Kernel::JoinPath(const Task& task, const std::string& path) {
 bool Kernel::Capable(const Task& task, Capability cap) const { return lsm_.Capable(task, cap); }
 
 void Kernel::Audit(std::string message) {
-  constexpr size_t kAuditRing = 512;
-  if (audit_log_.size() >= kAuditRing) {
-    audit_log_.erase(audit_log_.begin());
-  }
-  audit_log_.push_back(message);
+  audit_ring_.Push(message);
   LogAudit(std::move(message));
 }
 
@@ -161,8 +159,19 @@ Result<Unit> Kernel::CheckPermission(Task& task, const std::string& path, const 
 }
 
 // --- Files -------------------------------------------------------------------
+//
+// Each public syscall below is a thin wrapper routing the old body (now
+// XxxImpl) through the gate: seccomp filter check first, then the body, then
+// stats/trace accounting. The args lambda is only evaluated when tracing.
 
 Result<int> Kernel::Open(Task& task, const std::string& path, int flags, uint32_t mode) {
+  return gate_.Run<int>(
+      task, Sysno::kOpen,
+      [&] { return StrFormat("\"%s\", 0x%x, 0%o", path.c_str(), flags, mode); },
+      [&] { return OpenImpl(task, path, flags, mode); });
+}
+
+Result<int> Kernel::OpenImpl(Task& task, const std::string& path, int flags, uint32_t mode) {
   std::string full = JoinPath(task, path);
   auto resolved = vfs_.Resolve(full);
   Vnode* node = nullptr;
@@ -203,6 +212,12 @@ Result<int> Kernel::Open(Task& task, const std::string& path, int flags, uint32_
 }
 
 Result<Unit> Kernel::Close(Task& task, int fd) {
+  return gate_.Run<Unit>(
+      task, Sysno::kClose, [&] { return StrFormat("%d", fd); },
+      [&] { return CloseImpl(task, fd); });
+}
+
+Result<Unit> Kernel::CloseImpl(Task& task, int fd) {
   FdEntry* entry = task.fds.Get(fd);
   if (entry == nullptr) {
     return Error(Errno::kEBADF);
@@ -214,6 +229,12 @@ Result<Unit> Kernel::Close(Task& task, int fd) {
 }
 
 Result<std::string> Kernel::Read(Task& task, int fd) {
+  return gate_.Run<std::string>(
+      task, Sysno::kRead, [&] { return StrFormat("%d", fd); },
+      [&] { return ReadImpl(task, fd); });
+}
+
+Result<std::string> Kernel::ReadImpl(Task& task, int fd) {
   FdEntry* entry = task.fds.Get(fd);
   if (entry == nullptr || entry->kind != FdEntry::Kind::kFile) {
     return Error(Errno::kEBADF);
@@ -231,6 +252,12 @@ Result<std::string> Kernel::Read(Task& task, int fd) {
 }
 
 Result<Unit> Kernel::Write(Task& task, int fd, std::string_view data) {
+  return gate_.Run<Unit>(
+      task, Sysno::kWrite, [&] { return StrFormat("%d, %zu bytes", fd, data.size()); },
+      [&] { return WriteImpl(task, fd, data); });
+}
+
+Result<Unit> Kernel::WriteImpl(Task& task, int fd, std::string_view data) {
   FdEntry* entry = task.fds.Get(fd);
   if (entry == nullptr || entry->kind != FdEntry::Kind::kFile) {
     return Error(Errno::kEBADF);
@@ -245,6 +272,12 @@ Result<Unit> Kernel::Write(Task& task, int fd, std::string_view data) {
 }
 
 Result<KernelStat> Kernel::Stat(Task& task, const std::string& path) {
+  return gate_.Run<KernelStat>(
+      task, Sysno::kStat, [&]() -> std::string { return path; },
+      [&] { return StatImpl(task, path); });
+}
+
+Result<KernelStat> Kernel::StatImpl(Task& task, const std::string& path) {
   std::string full = JoinPath(task, path);
   ASSIGN_OR_RETURN(Vnode * node, vfs_.Resolve(full));
   const Inode& inode = node->inode();
@@ -261,6 +294,12 @@ Result<KernelStat> Kernel::Stat(Task& task, const std::string& path) {
 }
 
 Result<Unit> Kernel::Chmod(Task& task, const std::string& path, uint32_t mode) {
+  return gate_.Run<Unit>(
+      task, Sysno::kChmod, [&] { return StrFormat("\"%s\", 0%o", path.c_str(), mode); },
+      [&] { return ChmodImpl(task, path, mode); });
+}
+
+Result<Unit> Kernel::ChmodImpl(Task& task, const std::string& path, uint32_t mode) {
   std::string full = JoinPath(task, path);
   ASSIGN_OR_RETURN(Vnode * node, vfs_.Resolve(full));
   if (task.cred.fsuid != node->inode().uid && !Capable(task, Capability::kFowner)) {
@@ -271,6 +310,13 @@ Result<Unit> Kernel::Chmod(Task& task, const std::string& path, uint32_t mode) {
 }
 
 Result<Unit> Kernel::Chown(Task& task, const std::string& path, Uid uid, Gid gid) {
+  return gate_.Run<Unit>(
+      task, Sysno::kChown,
+      [&] { return StrFormat("\"%s\", %u, %u", path.c_str(), uid, gid); },
+      [&] { return ChownImpl(task, path, uid, gid); });
+}
+
+Result<Unit> Kernel::ChownImpl(Task& task, const std::string& path, Uid uid, Gid gid) {
   std::string full = JoinPath(task, path);
   ASSIGN_OR_RETURN(Vnode * node, vfs_.Resolve(full));
   if (!Capable(task, Capability::kChown)) {
@@ -284,6 +330,12 @@ Result<Unit> Kernel::Chown(Task& task, const std::string& path, Uid uid, Gid gid
 }
 
 Result<Unit> Kernel::Mkdir(Task& task, const std::string& path, uint32_t mode) {
+  return gate_.Run<Unit>(
+      task, Sysno::kMkdir, [&] { return StrFormat("\"%s\", 0%o", path.c_str(), mode); },
+      [&] { return MkdirImpl(task, path, mode); });
+}
+
+Result<Unit> Kernel::MkdirImpl(Task& task, const std::string& path, uint32_t mode) {
   std::string full = JoinPath(task, path);
   ASSIGN_OR_RETURN(auto parent_leaf, vfs_.ResolveParent(full));
   auto [parent, leaf] = parent_leaf;
@@ -293,6 +345,12 @@ Result<Unit> Kernel::Mkdir(Task& task, const std::string& path, uint32_t mode) {
 }
 
 Result<Unit> Kernel::Unlink(Task& task, const std::string& path) {
+  return gate_.Run<Unit>(
+      task, Sysno::kUnlink, [&]() -> std::string { return path; },
+      [&] { return UnlinkImpl(task, path); });
+}
+
+Result<Unit> Kernel::UnlinkImpl(Task& task, const std::string& path) {
   std::string full = JoinPath(task, path);
   ASSIGN_OR_RETURN(auto parent_leaf, vfs_.ResolveParent(full));
   auto [parent, leaf] = parent_leaf;
@@ -301,6 +359,13 @@ Result<Unit> Kernel::Unlink(Task& task, const std::string& path) {
 }
 
 Result<Unit> Kernel::Rename(Task& task, const std::string& from, const std::string& to) {
+  return gate_.Run<Unit>(
+      task, Sysno::kRename,
+      [&] { return StrFormat("\"%s\", \"%s\"", from.c_str(), to.c_str()); },
+      [&] { return RenameImpl(task, from, to); });
+}
+
+Result<Unit> Kernel::RenameImpl(Task& task, const std::string& from, const std::string& to) {
   std::string from_full = JoinPath(task, from);
   std::string to_full = JoinPath(task, to);
   ASSIGN_OR_RETURN(auto from_pl, vfs_.ResolveParent(from_full));
@@ -312,6 +377,12 @@ Result<Unit> Kernel::Rename(Task& task, const std::string& from, const std::stri
 }
 
 Result<std::vector<std::string>> Kernel::ReadDir(Task& task, const std::string& path) {
+  return gate_.Run<std::vector<std::string>>(
+      task, Sysno::kGetDents, [&]() -> std::string { return path; },
+      [&] { return ReadDirImpl(task, path); });
+}
+
+Result<std::vector<std::string>> Kernel::ReadDirImpl(Task& task, const std::string& path) {
   std::string full = JoinPath(task, path);
   ASSIGN_OR_RETURN(Vnode * node, vfs_.Resolve(full));
   if (!node->inode().IsDir()) {
@@ -322,6 +393,12 @@ Result<std::vector<std::string>> Kernel::ReadDir(Task& task, const std::string& 
 }
 
 Result<Unit> Kernel::Access(Task& task, const std::string& path, int may) {
+  return gate_.Run<Unit>(
+      task, Sysno::kAccess, [&] { return StrFormat("\"%s\", %d", path.c_str(), may); },
+      [&] { return AccessImpl(task, path, may); });
+}
+
+Result<Unit> Kernel::AccessImpl(Task& task, const std::string& path, int may) {
   std::string full = JoinPath(task, path);
   ASSIGN_OR_RETURN(Vnode * node, vfs_.Resolve(full));
   return CheckPermission(task, full, node->inode(), may);
@@ -354,6 +431,17 @@ void Kernel::RegisterFsType(const std::string& fstype, FsTypeFactory factory) {
 
 Result<Unit> Kernel::Mount(Task& task, const std::string& source, const std::string& target,
                            const std::string& fstype, std::vector<std::string> options) {
+  return gate_.Run<Unit>(
+      task, Sysno::kMount,
+      [&] {
+        return StrFormat("\"%s\", \"%s\", \"%s\"", source.c_str(), target.c_str(),
+                         fstype.c_str());
+      },
+      [&] { return MountImpl(task, source, target, fstype, std::move(options)); });
+}
+
+Result<Unit> Kernel::MountImpl(Task& task, const std::string& source, const std::string& target,
+                               const std::string& fstype, std::vector<std::string> options) {
   std::string full_target = JoinPath(task, target);
   MountRequest req{source, full_target, fstype, options};
   HookVerdict verdict = lsm_.SbMount(task, req);
@@ -374,6 +462,12 @@ Result<Unit> Kernel::Mount(Task& task, const std::string& source, const std::str
 }
 
 Result<Unit> Kernel::Umount(Task& task, const std::string& target) {
+  return gate_.Run<Unit>(
+      task, Sysno::kUmount2, [&]() -> std::string { return target; },
+      [&] { return UmountImpl(task, target); });
+}
+
+Result<Unit> Kernel::UmountImpl(Task& task, const std::string& target) {
   std::string full_target = JoinPath(task, target);
   if (vfs_.FindMount(full_target) == nullptr) {
     return Error(Errno::kEINVAL, "not mounted: " + full_target);
@@ -391,6 +485,12 @@ Result<Unit> Kernel::Umount(Task& task, const std::string& target) {
 // --- Namespaces --------------------------------------------------------------------
 
 Result<Unit> Kernel::Unshare(Task& task, int flags) {
+  return gate_.Run<Unit>(
+      task, Sysno::kUnshare, [&] { return StrFormat("0x%x", flags); },
+      [&] { return UnshareImpl(task, flags); });
+}
+
+Result<Unit> Kernel::UnshareImpl(Task& task, int flags) {
   if ((flags & ~(kCloneNewUser | kCloneNewNet)) != 0) {
     return Error(Errno::kEINVAL, "unsupported unshare flags");
   }
@@ -437,6 +537,12 @@ void Kernel::RecomputeCapsAfterSetuid(Cred& cred, Uid old_euid) {
 }
 
 Result<Unit> Kernel::Setuid(Task& task, Uid uid) {
+  return gate_.Run<Unit>(
+      task, Sysno::kSetuid, [&] { return StrFormat("%u", uid); },
+      [&] { return SetuidImpl(task, uid); });
+}
+
+Result<Unit> Kernel::SetuidImpl(Task& task, Uid uid) {
   SetuidRequest req;
   req.target_uid = uid;
   SetuidDisposition disposition;
@@ -481,6 +587,12 @@ Result<Unit> Kernel::Setuid(Task& task, Uid uid) {
 }
 
 Result<Unit> Kernel::Seteuid(Task& task, Uid uid) {
+  return gate_.Run<Unit>(
+      task, Sysno::kSetreuid, [&] { return StrFormat("-1, %u", uid); },
+      [&] { return SeteuidImpl(task, uid); });
+}
+
+Result<Unit> Kernel::SeteuidImpl(Task& task, Uid uid) {
   if (Capable(task, Capability::kSetuid) || uid == task.cred.ruid || uid == task.cred.suid) {
     Uid old_euid = task.cred.euid;
     task.cred.euid = task.cred.fsuid = uid;
@@ -491,6 +603,12 @@ Result<Unit> Kernel::Seteuid(Task& task, Uid uid) {
 }
 
 Result<Unit> Kernel::Setgid(Task& task, Gid gid) {
+  return gate_.Run<Unit>(
+      task, Sysno::kSetgid, [&] { return StrFormat("%u", gid); },
+      [&] { return SetgidImpl(task, gid); });
+}
+
+Result<Unit> Kernel::SetgidImpl(Task& task, Gid gid) {
   SetuidRequest req;
   req.is_gid = true;
   req.target_gid = gid;
@@ -522,6 +640,12 @@ Result<Unit> Kernel::Setgid(Task& task, Gid gid) {
 }
 
 Result<Unit> Kernel::Setgroups(Task& task, std::vector<Gid> groups) {
+  return gate_.Run<Unit>(
+      task, Sysno::kSetgroups, [&] { return StrFormat("%zu groups", groups.size()); },
+      [&] { return SetgroupsImpl(task, std::move(groups)); });
+}
+
+Result<Unit> Kernel::SetgroupsImpl(Task& task, std::vector<Gid> groups) {
   if (!Capable(task, Capability::kSetgid)) {
     return Error(Errno::kEPERM, "setgroups");
   }
@@ -529,18 +653,48 @@ Result<Unit> Kernel::Setgroups(Task& task, std::vector<Gid> groups) {
   return OkUnit();
 }
 
+// --- Seccomp ---------------------------------------------------------------------
+
+Result<Unit> Kernel::SeccompSetFilter(Task& task, const std::vector<Sysno>& allowed) {
+  // Gated under its own number: a filter that omits Sysno::kSeccomp makes
+  // this very call fail with EPERM next time — the latch locks itself.
+  return gate_.Run<Unit>(
+      task, Sysno::kSeccomp, [&] { return StrFormat("%zu syscalls allowed", allowed.size()); },
+      [&] { return SeccompSetFilterImpl(task, allowed); });
+}
+
+Result<Unit> Kernel::SeccompSetFilterImpl(Task& task, const std::vector<Sysno>& allowed) {
+  SeccompFilter filter = SeccompFilter::AllowList(allowed);
+  if (task.seccomp != nullptr) {
+    // One-way latch: the new filter can only narrow the existing one.
+    filter.IntersectWith(*task.seccomp);
+  }
+  task.seccomp = std::make_shared<const SeccompFilter>(std::move(filter));
+  Audit(StrFormat("seccomp: pid=%d comm=%s filter installed (%zu syscalls allowed)", task.pid,
+                  task.comm.c_str(), task.seccomp->allowed_count()));
+  return OkUnit();
+}
+
 // --- exec ------------------------------------------------------------------------
 
 Result<int> Kernel::Spawn(Task& parent, const std::string& path, std::vector<std::string> argv,
                           std::map<std::string, std::string> env) {
+  return gate_.Run<int>(
+      parent, Sysno::kClone, [&]() -> std::string { return path; },
+      [&] { return SpawnImpl(parent, path, std::move(argv), std::move(env)); });
+}
+
+Result<int> Kernel::SpawnImpl(Task& parent, const std::string& path, std::vector<std::string> argv,
+                              std::map<std::string, std::string> env) {
   // fork(): child inherits credentials, cwd, terminal, fds, and the Protego
-  // security metadata (auth recency and any pending setuid-on-exec).
+  // security metadata (auth recency, pending setuid-on-exec, seccomp filter).
   Task& child = CreateTask(parent.comm, parent.cred, parent.terminal, parent.pid);
   child.cwd = parent.cwd;
   child.exe_path = parent.exe_path;
   child.ns = parent.ns;
   child.auth_times = parent.auth_times;
   child.pending_setuid = parent.pending_setuid;
+  child.seccomp = parent.seccomp;
   for (const auto& [fd, entry] : parent.fds.entries()) {
     if (entry.kind == FdEntry::Kind::kSocket) {
       net_.RefSocket(entry.socket_id);
@@ -567,6 +721,13 @@ Result<int> Kernel::Spawn(Task& parent, const std::string& path, std::vector<std
 
 Result<int> Kernel::Execve(Task& task, const std::string& path, std::vector<std::string> argv,
                            std::map<std::string, std::string> env) {
+  return gate_.Run<int>(
+      task, Sysno::kExecve, [&]() -> std::string { return path; },
+      [&] { return ExecveImpl(task, path, std::move(argv), std::move(env)); });
+}
+
+Result<int> Kernel::ExecveImpl(Task& task, const std::string& path, std::vector<std::string> argv,
+                               std::map<std::string, std::string> env) {
   std::string full = JoinPath(task, path);
   ASSIGN_OR_RETURN(Vnode * node, vfs_.Resolve(full));
   const Inode& inode = node->inode();
@@ -636,6 +797,13 @@ Result<int> Kernel::Execve(Task& task, const std::string& path, std::vector<std:
 // --- Network -----------------------------------------------------------------------
 
 Result<int> Kernel::SocketCall(Task& task, int family, int type, int protocol) {
+  return gate_.Run<int>(
+      task, Sysno::kSocket,
+      [&] { return StrFormat("%d, %d, %d", family, type, protocol); },
+      [&] { return SocketCallImpl(task, family, type, protocol); });
+}
+
+Result<int> Kernel::SocketCallImpl(Task& task, int family, int type, int protocol) {
   SocketRequest req{family, type, protocol};
   HookVerdict verdict = lsm_.SocketCreate(task, req);
   if (verdict == HookVerdict::kDeny) {
@@ -658,6 +826,12 @@ Result<int> Kernel::SocketCall(Task& task, int family, int type, int protocol) {
 }
 
 Result<Unit> Kernel::BindCall(Task& task, int fd, uint16_t port) {
+  return gate_.Run<Unit>(
+      task, Sysno::kBind, [&] { return StrFormat("%d, port=%u", fd, port); },
+      [&] { return BindCallImpl(task, fd, port); });
+}
+
+Result<Unit> Kernel::BindCallImpl(Task& task, int fd, uint16_t port) {
   FdEntry* entry = task.fds.Get(fd);
   if (entry == nullptr || entry->kind != FdEntry::Kind::kSocket) {
     return Error(Errno::kEBADF);
@@ -684,6 +858,12 @@ Result<Unit> Kernel::BindCall(Task& task, int fd, uint16_t port) {
 }
 
 Result<Unit> Kernel::ListenCall(Task& task, int fd) {
+  return gate_.Run<Unit>(
+      task, Sysno::kListen, [&] { return StrFormat("%d", fd); },
+      [&] { return ListenCallImpl(task, fd); });
+}
+
+Result<Unit> Kernel::ListenCallImpl(Task& task, int fd) {
   FdEntry* entry = task.fds.Get(fd);
   if (entry == nullptr || entry->kind != FdEntry::Kind::kSocket) {
     return Error(Errno::kEBADF);
@@ -696,6 +876,12 @@ Result<Unit> Kernel::ListenCall(Task& task, int fd) {
 }
 
 Result<Unit> Kernel::ConnectCall(Task& task, int fd, Ipv4 ip, uint16_t port) {
+  return gate_.Run<Unit>(
+      task, Sysno::kConnect, [&] { return StrFormat("%d, port=%u", fd, port); },
+      [&] { return ConnectCallImpl(task, fd, ip, port); });
+}
+
+Result<Unit> Kernel::ConnectCallImpl(Task& task, int fd, Ipv4 ip, uint16_t port) {
   FdEntry* entry = task.fds.Get(fd);
   if (entry == nullptr || entry->kind != FdEntry::Kind::kSocket) {
     return Error(Errno::kEBADF);
@@ -708,6 +894,12 @@ Result<Unit> Kernel::ConnectCall(Task& task, int fd, Ipv4 ip, uint16_t port) {
 }
 
 Result<Unit> Kernel::SendCall(Task& task, int fd, Packet packet) {
+  return gate_.Run<Unit>(
+      task, Sysno::kSendTo, [&] { return StrFormat("%d", fd); },
+      [&] { return SendCallImpl(task, fd, std::move(packet)); });
+}
+
+Result<Unit> Kernel::SendCallImpl(Task& task, int fd, Packet packet) {
   FdEntry* entry = task.fds.Get(fd);
   if (entry == nullptr || entry->kind != FdEntry::Kind::kSocket) {
     return Error(Errno::kEBADF);
@@ -720,6 +912,12 @@ Result<Unit> Kernel::SendCall(Task& task, int fd, Packet packet) {
 }
 
 Result<std::optional<Packet>> Kernel::RecvCall(Task& task, int fd) {
+  return gate_.Run<std::optional<Packet>>(
+      task, Sysno::kRecvFrom, [&] { return StrFormat("%d", fd); },
+      [&] { return RecvCallImpl(task, fd); });
+}
+
+Result<std::optional<Packet>> Kernel::RecvCallImpl(Task& task, int fd) {
   FdEntry* entry = task.fds.Get(fd);
   if (entry == nullptr || entry->kind != FdEntry::Kind::kSocket) {
     return Error(Errno::kEBADF);
@@ -738,6 +936,14 @@ void Kernel::RegisterIoctlHandler(uint32_t major, uint32_t minor, IoctlHandler h
 }
 
 Result<std::string> Kernel::Ioctl(Task& task, int fd, uint32_t request, const std::string& arg) {
+  return gate_.Run<std::string>(
+      task, Sysno::kIoctl,
+      [&] { return StrFormat("%d, %s", fd, IoctlName(request)); },
+      [&] { return IoctlImpl(task, fd, request, arg); });
+}
+
+Result<std::string> Kernel::IoctlImpl(Task& task, int fd, uint32_t request,
+                                      const std::string& arg) {
   FdEntry* entry = task.fds.Get(fd);
   if (entry == nullptr) {
     return Error(Errno::kEBADF);

@@ -19,6 +19,8 @@
 
 #include "src/base/clock.h"
 #include "src/base/result.h"
+#include "src/kernel/audit_ring.h"
+#include "src/kernel/syscall.h"
 #include "src/kernel/task.h"
 #include "src/lsm/stack.h"
 #include "src/net/ioctl_codes.h"
@@ -90,13 +92,19 @@ class Kernel {
   LsmStack& lsm() { return lsm_; }
   Network& net() { return net_; }
 
+  // The unified syscall entry path every public syscall below routes
+  // through (seccomp filtering, counters, latency, trace ring).
+  SyscallGate& syscalls() { return gate_; }
+  const SyscallGate& syscalls() const { return gate_; }
+
   // --- Processes -------------------------------------------------------------
 
   Task& CreateTask(std::string comm, Cred cred, Terminal* terminal, int ppid = 0);
 
   // getpid(2) analog: the cheapest possible syscall, used to measure bare
-  // syscall-entry cost in the Table 5 reproduction.
-  int GetPid(const Task& task) const { return task.pid; }
+  // syscall-entry cost in the Table 5 reproduction. Returns -1 if the
+  // task's seccomp filter denies it.
+  int GetPid(const Task& task) const { return gate_.RunGetPid(task); }
   Task* FindTask(int pid);
   void ReapTask(int pid);
 
@@ -175,6 +183,15 @@ class Kernel {
   Result<Unit> Setgid(Task& task, Gid gid);
   Result<Unit> Setgroups(Task& task, std::vector<Gid> groups);
 
+  // --- Seccomp ---------------------------------------------------------------
+
+  // seccomp(2)-style allow-list install, honored at syscall entry (before
+  // DAC and the LSM stack). Installing over an existing filter intersects
+  // with it — the prctl-style one-way latch: access only ever shrinks, and
+  // a filter that omits Sysno::kSeccomp locks itself permanently. Filters
+  // are inherited across Spawn and kept across Execve.
+  Result<Unit> SeccompSetFilter(Task& task, const std::vector<Sysno>& allowed);
+
   // --- Network ---------------------------------------------------------------
 
   Result<int> SocketCall(Task& task, int family, int type, int protocol);
@@ -205,7 +222,10 @@ class Kernel {
   // Appends a security-audit record to the kernel's ring buffer (also
   // forwarded to the process logger). Exposed at /proc/protego/audit.
   void Audit(std::string message);
-  const std::vector<std::string>& audit_log() const { return audit_log_; }
+  // Snapshot of the retained audit records, oldest first.
+  std::vector<std::string> audit_log() const { return audit_ring_.Snapshot(); }
+  // Records lost to the bounded ring since boot.
+  uint64_t audit_dropped() const { return audit_ring_.dropped(); }
 
   // Resolves a possibly-relative path against the task's cwd.
   static std::string JoinPath(const Task& task, const std::string& path);
@@ -223,8 +243,45 @@ class Kernel {
   // Applies Linux's capability recomputation when uids change via setuid().
   static void RecomputeCapsAfterSetuid(Cred& cred, Uid old_euid);
 
+  // Syscall bodies (DAC + LSM + work). The public methods above are thin
+  // wrappers routing these through gate_.
+  Result<int> SpawnImpl(Task& parent, const std::string& path, std::vector<std::string> argv,
+                        std::map<std::string, std::string> env);
+  Result<int> ExecveImpl(Task& task, const std::string& path, std::vector<std::string> argv,
+                         std::map<std::string, std::string> env);
+  Result<int> OpenImpl(Task& task, const std::string& path, int flags, uint32_t mode);
+  Result<Unit> CloseImpl(Task& task, int fd);
+  Result<std::string> ReadImpl(Task& task, int fd);
+  Result<Unit> WriteImpl(Task& task, int fd, std::string_view data);
+  Result<KernelStat> StatImpl(Task& task, const std::string& path);
+  Result<Unit> ChmodImpl(Task& task, const std::string& path, uint32_t mode);
+  Result<Unit> ChownImpl(Task& task, const std::string& path, Uid uid, Gid gid);
+  Result<Unit> MkdirImpl(Task& task, const std::string& path, uint32_t mode);
+  Result<Unit> UnlinkImpl(Task& task, const std::string& path);
+  Result<Unit> RenameImpl(Task& task, const std::string& from, const std::string& to);
+  Result<std::vector<std::string>> ReadDirImpl(Task& task, const std::string& path);
+  Result<Unit> AccessImpl(Task& task, const std::string& path, int may);
+  Result<Unit> MountImpl(Task& task, const std::string& source, const std::string& target,
+                         const std::string& fstype, std::vector<std::string> options);
+  Result<Unit> UmountImpl(Task& task, const std::string& target);
+  Result<Unit> UnshareImpl(Task& task, int flags);
+  Result<Unit> SetuidImpl(Task& task, Uid uid);
+  Result<Unit> SeteuidImpl(Task& task, Uid uid);
+  Result<Unit> SetgidImpl(Task& task, Gid gid);
+  Result<Unit> SetgroupsImpl(Task& task, std::vector<Gid> groups);
+  Result<Unit> SeccompSetFilterImpl(Task& task, const std::vector<Sysno>& allowed);
+  Result<int> SocketCallImpl(Task& task, int family, int type, int protocol);
+  Result<Unit> BindCallImpl(Task& task, int fd, uint16_t port);
+  Result<Unit> ListenCallImpl(Task& task, int fd);
+  Result<Unit> ConnectCallImpl(Task& task, int fd, Ipv4 ip, uint16_t port);
+  Result<Unit> SendCallImpl(Task& task, int fd, Packet packet);
+  Result<std::optional<Packet>> RecvCallImpl(Task& task, int fd);
+  Result<std::string> IoctlImpl(Task& task, int fd, uint32_t request, const std::string& arg);
+
   Clock clock_;
   Vfs vfs_;
+  // mutable so const syscalls (GetPid) can account themselves.
+  mutable SyscallGate gate_;
   LsmStack lsm_;
   Network net_;
   std::map<int, std::unique_ptr<Task>> tasks_;
@@ -232,7 +289,7 @@ class Kernel {
   std::map<std::string, FsTypeFactory> fs_types_;
   std::map<uint64_t, IoctlHandler> ioctl_handlers_;  // (major<<32)|minor
   AuthAgent auth_agent_;
-  std::vector<std::string> audit_log_;
+  AuditRing audit_ring_{512};
   int next_pid_ = 1;
   int next_userns_ = 1;
   bool unprivileged_userns_enabled_ = true;

@@ -1,0 +1,195 @@
+#include "src/kernel/syscall.h"
+
+#include <algorithm>
+
+#include "src/base/strings.h"
+
+namespace protego {
+
+const char* SysnoName(Sysno nr) {
+  switch (nr) {
+    case Sysno::kRead: return "read";
+    case Sysno::kWrite: return "write";
+    case Sysno::kOpen: return "open";
+    case Sysno::kClose: return "close";
+    case Sysno::kStat: return "stat";
+    case Sysno::kIoctl: return "ioctl";
+    case Sysno::kAccess: return "access";
+    case Sysno::kGetPid: return "getpid";
+    case Sysno::kSocket: return "socket";
+    case Sysno::kConnect: return "connect";
+    case Sysno::kSendTo: return "sendto";
+    case Sysno::kRecvFrom: return "recvfrom";
+    case Sysno::kBind: return "bind";
+    case Sysno::kListen: return "listen";
+    case Sysno::kClone: return "clone";
+    case Sysno::kExecve: return "execve";
+    case Sysno::kGetDents: return "getdents";
+    case Sysno::kRename: return "rename";
+    case Sysno::kMkdir: return "mkdir";
+    case Sysno::kUnlink: return "unlink";
+    case Sysno::kChmod: return "chmod";
+    case Sysno::kChown: return "chown";
+    case Sysno::kSetuid: return "setuid";
+    case Sysno::kSetgid: return "setgid";
+    case Sysno::kSetreuid: return "setreuid";
+    case Sysno::kSetgroups: return "setgroups";
+    case Sysno::kMount: return "mount";
+    case Sysno::kUmount2: return "umount2";
+    case Sysno::kUnshare: return "unshare";
+    case Sysno::kSeccomp: return "seccomp";
+  }
+  return "unknown";
+}
+
+const std::vector<Sysno>& AllSysnos() {
+  static const std::vector<Sysno> kAll = {
+      Sysno::kRead,      Sysno::kWrite,    Sysno::kOpen,     Sysno::kClose,
+      Sysno::kStat,      Sysno::kIoctl,    Sysno::kAccess,   Sysno::kGetPid,
+      Sysno::kSocket,    Sysno::kConnect,  Sysno::kSendTo,   Sysno::kRecvFrom,
+      Sysno::kBind,      Sysno::kListen,   Sysno::kClone,    Sysno::kExecve,
+      Sysno::kGetDents,  Sysno::kRename,   Sysno::kMkdir,    Sysno::kUnlink,
+      Sysno::kChmod,     Sysno::kChown,    Sysno::kSetuid,   Sysno::kSetgid,
+      Sysno::kSetreuid,  Sysno::kSetgroups, Sysno::kMount,   Sysno::kUmount2,
+      Sysno::kUnshare,   Sysno::kSeccomp,
+  };
+  return kAll;
+}
+
+SeccompFilter SeccompFilter::AllowList(const std::vector<Sysno>& allowed) {
+  SeccompFilter f;
+  for (Sysno nr : allowed) {
+    f.allowed_.set(static_cast<size_t>(nr));
+  }
+  return f;
+}
+
+uint64_t SyscallGate::TotalCalls() const {
+  uint64_t total = 0;
+  for (Sysno nr : AllSysnos()) {
+    total += stats_[static_cast<size_t>(nr)].calls;
+  }
+  return total;
+}
+
+void SyscallGate::ExitSyscall(SyscallContext& ctx, Errno err) {
+  uint64_t dur_ns = 0;
+  PerSyscall& s = stats_[static_cast<size_t>(ctx.nr)];
+  s.calls++;
+  if (err != Errno::kOk) {
+    s.errors++;
+  }
+  s.total_ticks += clock_->Now() - ctx.start_tick;
+  if (wallclock_timing_) {
+    dur_ns = MonotonicNanos() - ctx.start_ns;
+    s.total_ns += dur_ns;
+  }
+  if (trace_enabled_) {
+    RecordTrace(ctx, err, dur_ns, /*seccomp_denied=*/false);
+  }
+}
+
+void SyscallGate::RecordDenial(SyscallContext& ctx) {
+  PerSyscall& s = stats_[static_cast<size_t>(ctx.nr)];
+  s.calls++;
+  s.errors++;
+  s.seccomp_denied++;
+  if (trace_enabled_) {
+    RecordTrace(ctx, Errno::kEPERM, /*dur_ns=*/0, /*seccomp_denied=*/true);
+  }
+  if (audit_sink_) {
+    audit_sink_(StrFormat("seccomp: pid=%d comm=%s denied %s(%d)", ctx.pid,
+                          ctx.comm ? ctx.comm->c_str() : "?", SysnoName(ctx.nr),
+                          static_cast<int>(ctx.nr)));
+  }
+}
+
+void SyscallGate::RecordTrace(SyscallContext& ctx, Errno err, uint64_t dur_ns,
+                              bool seccomp_denied) {
+  TraceRecord& rec = trace_ring_[trace_seq_ % kTraceCapacity];
+  rec.seq = trace_seq_++;
+  rec.tick = ctx.start_tick;
+  rec.pid = ctx.pid;
+  rec.nr = ctx.nr;
+  rec.err = err;
+  rec.dur_ns = dur_ns;
+  rec.seccomp_denied = seccomp_denied;
+  if (ctx.comm != nullptr) {
+    rec.comm.assign(*ctx.comm);  // reuses the slot's capacity
+  } else {
+    rec.comm.assign("?");
+  }
+  rec.args = std::move(ctx.args);
+}
+
+std::vector<SyscallGate::TraceRecord> SyscallGate::TraceSnapshot() const {
+  std::vector<TraceRecord> out;
+  size_t count = std::min<uint64_t>(trace_seq_, kTraceCapacity);
+  out.reserve(count);
+  uint64_t first = trace_seq_ - count;
+  for (uint64_t seq = first; seq < trace_seq_; ++seq) {
+    out.push_back(trace_ring_[seq % kTraceCapacity]);
+  }
+  return out;
+}
+
+void SyscallGate::ClearTrace() {
+  for (TraceRecord& rec : trace_ring_) {
+    rec = TraceRecord{};
+  }
+  trace_seq_ = 0;
+}
+
+void SyscallGate::ResetStats() {
+  for (PerSyscall& s : stats_) {
+    s = PerSyscall{};
+  }
+}
+
+std::string SyscallGate::FormatStats() const {
+  // Stable columnar format, one row per syscall that has been called at
+  // least once (plus a totals row), modeled on /proc/net/snmp.
+  std::string out =
+      "# nr name calls errors seccomp_denied total_ns total_ticks\n";
+  uint64_t calls = 0, errors = 0, denied = 0;
+  for (Sysno nr : AllSysnos()) {
+    const PerSyscall& s = stats_[static_cast<size_t>(nr)];
+    if (s.calls == 0) continue;
+    calls += s.calls;
+    errors += s.errors;
+    denied += s.seccomp_denied;
+    out += StrFormat("%d %s %llu %llu %llu %llu %llu\n", static_cast<int>(nr),
+                     SysnoName(nr), (unsigned long long)s.calls,
+                     (unsigned long long)s.errors,
+                     (unsigned long long)s.seccomp_denied,
+                     (unsigned long long)s.total_ns,
+                     (unsigned long long)s.total_ticks);
+  }
+  out += StrFormat("total: calls=%llu errors=%llu seccomp_denied=%llu\n",
+                   (unsigned long long)calls, (unsigned long long)errors,
+                   (unsigned long long)denied);
+  return out;
+}
+
+std::string SyscallGate::FormatTrace() const {
+  // strace-flavored: seq tick pid comm syscall(args) = result [dur].
+  std::string out;
+  for (const TraceRecord& rec : TraceSnapshot()) {
+    std::string result =
+        rec.err == Errno::kOk ? "0" : StrFormat("-1 %s", ErrnoName(rec.err));
+    if (rec.seccomp_denied) {
+      result += " (seccomp)";
+    }
+    out += StrFormat("%llu t=%llu pid=%d %s %s(%s) = %s dur_ns=%llu\n",
+                     (unsigned long long)rec.seq, (unsigned long long)rec.tick,
+                     rec.pid, rec.comm.c_str(), SysnoName(rec.nr),
+                     rec.args.c_str(), result.c_str(),
+                     (unsigned long long)rec.dur_ns);
+  }
+  if (trace_dropped() > 0) {
+    out += StrFormat("# dropped: %llu\n", (unsigned long long)trace_dropped());
+  }
+  return out;
+}
+
+}  // namespace protego

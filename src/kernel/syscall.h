@@ -1,0 +1,252 @@
+// The unified syscall entry path.
+//
+// Every public Kernel syscall routes through a single SyscallGate, mirroring
+// Linux's syscall entry: a dispatch-table identity (Sysno, the Linux x86-64
+// numbers), a per-call SyscallContext, and an EnterSyscall()/ExitSyscall()
+// pair around the body. The gate is where cross-cutting policy and
+// observability live, in this order:
+//
+//   1. seccomp-style filtering — a per-task allow bitset, consulted BEFORE
+//      any DAC or LSM work (as on Linux, where seccomp runs at syscall
+//      entry, ahead of the security hooks). Installation is a one-way
+//      latch: filters can only ever be narrowed, never widened or removed.
+//   2. accounting — per-syscall hit/error counters and latency totals.
+//   3. tracing — a bounded structured ring of recent calls (strace-shaped),
+//      exported at /proc/protego/trace; stats at /proc/protego/syscall_stats.
+//
+// The gate is deliberately cheap: counters are flat arrays indexed by
+// syscall number, trace slots are preallocated and reused, and argument
+// strings are only materialized when tracing is enabled.
+
+#ifndef SRC_KERNEL_SYSCALL_H_
+#define SRC_KERNEL_SYSCALL_H_
+
+#include <bitset>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/base/result.h"
+
+namespace protego {
+
+struct Task;
+
+// Syscall numbers, with Linux x86-64 values so traces read like strace.
+// kClone stands in for the fork+execve+waitpid composite (Kernel::Spawn).
+enum class Sysno : uint16_t {
+  kRead = 0,
+  kWrite = 1,
+  kOpen = 2,
+  kClose = 3,
+  kStat = 4,
+  kIoctl = 16,
+  kAccess = 21,
+  kGetPid = 39,
+  kSocket = 41,
+  kConnect = 42,
+  kSendTo = 44,
+  kRecvFrom = 45,
+  kBind = 49,
+  kListen = 50,
+  kClone = 56,
+  kExecve = 59,
+  kGetDents = 78,
+  kRename = 82,
+  kMkdir = 83,
+  kUnlink = 87,
+  kChmod = 90,
+  kChown = 92,
+  kSetuid = 105,
+  kSetgid = 106,
+  kSetreuid = 113,  // Kernel::Seteuid (glibc implements seteuid via setreuid)
+  kSetgroups = 116,
+  kMount = 165,
+  kUmount2 = 166,
+  kUnshare = 272,
+  kSeccomp = 317,
+};
+
+// Dispatch-table width: one slot per possible syscall number.
+inline constexpr size_t kSysnoSlots = 320;
+
+// "open", "mount", ... — the strace-style name.
+const char* SysnoName(Sysno nr);
+
+// Every syscall number the gate dispatches, ascending (for serialization).
+const std::vector<Sysno>& AllSysnos();
+
+// A per-task seccomp-style allow list over syscall numbers. Tasks start
+// with no filter (everything allowed); Kernel::SeccompSetFilter installs
+// one, and reinstallation intersects with the existing filter so privilege
+// can only ever shrink (the prctl-style one-way latch).
+class SeccompFilter {
+ public:
+  static SeccompFilter AllowList(const std::vector<Sysno>& allowed);
+
+  bool Allows(Sysno nr) const { return allowed_[static_cast<size_t>(nr)]; }
+  void IntersectWith(const SeccompFilter& other) { allowed_ &= other.allowed_; }
+  size_t allowed_count() const { return allowed_.count(); }
+
+ private:
+  std::bitset<kSysnoSlots> allowed_;
+};
+
+// Per-call state carried from EnterSyscall to ExitSyscall.
+struct SyscallContext {
+  Sysno nr{};
+  int pid = 0;
+  const std::string* comm = nullptr;  // borrowed from the task
+  uint64_t start_tick = 0;            // virtual clock at entry
+  uint64_t start_ns = 0;              // monotonic wall clock at entry (if timed)
+  std::string args;                   // formatted only when tracing is enabled
+};
+
+class SyscallGate {
+ public:
+  static constexpr size_t kTraceCapacity = 256;
+
+  struct PerSyscall {
+    uint64_t calls = 0;
+    uint64_t errors = 0;          // calls that returned a nonzero errno
+    uint64_t seccomp_denied = 0;  // refused by the task's filter (subset of errors)
+    uint64_t total_ns = 0;        // wall-clock latency total (when timing is on)
+    uint64_t total_ticks = 0;     // virtual-clock latency total
+  };
+
+  // One structured trace record (the /proc/protego/trace row).
+  struct TraceRecord {
+    uint64_t seq = 0;
+    uint64_t tick = 0;
+    int pid = 0;
+    Sysno nr{};
+    Errno err = Errno::kOk;
+    uint64_t dur_ns = 0;
+    bool seccomp_denied = false;
+    std::string comm;
+    std::string args;
+  };
+
+  explicit SyscallGate(const Clock* clock) : clock_(clock) {
+    trace_ring_.resize(kTraceCapacity);
+  }
+
+  // Master switch. When off, the gate neither filters nor accounts — this
+  // exists ONLY as the microbenchmark's no-gate baseline; a disabled gate
+  // does not enforce seccomp filters.
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  bool trace_enabled() const { return trace_enabled_; }
+  void set_trace_enabled(bool on) { trace_enabled_ = on; }
+
+  // Wall-clock latency accounting (two monotonic clock reads per syscall).
+  // Off by default — latency totals normally come from the free virtual
+  // clock; profiling sessions opt in to nanosecond timing.
+  bool wallclock_timing() const { return wallclock_timing_; }
+  void set_wallclock_timing(bool on) { wallclock_timing_ = on; }
+
+  // Seccomp denials are forwarded here (the kernel wires this to Audit).
+  void set_audit_sink(std::function<void(std::string)> sink) {
+    audit_sink_ = std::move(sink);
+  }
+
+  const PerSyscall& stats(Sysno nr) const { return stats_[static_cast<size_t>(nr)]; }
+  uint64_t TotalCalls() const;
+
+  // Trace records, oldest first.
+  std::vector<TraceRecord> TraceSnapshot() const;
+  void ClearTrace();
+  uint64_t trace_seq() const { return trace_seq_; }
+  // Records overwritten since the last clear (ring capacity exceeded).
+  uint64_t trace_dropped() const {
+    return trace_seq_ > kTraceCapacity ? trace_seq_ - kTraceCapacity : 0;
+  }
+
+  // /proc/protego/syscall_stats and /proc/protego/trace bodies.
+  std::string FormatStats() const;
+  std::string FormatTrace() const;
+  void ResetStats();
+
+  // --- The entry path ---------------------------------------------------------
+  //
+  // Templated on the task type only to avoid a header cycle (task.h includes
+  // this header for SeccompFilter); the single instantiation is Task.
+
+  // Stamps the context and consults the task's seccomp filter. Returns false
+  // (after recording the denial) if the filter refuses the syscall — the
+  // caller must fail with EPERM without touching DAC or the LSM stack.
+  template <typename TaskT>
+  bool EnterSyscall(SyscallContext& ctx, const TaskT& task, Sysno nr) {
+    ctx.nr = nr;
+    ctx.pid = task.pid;
+    ctx.comm = &task.comm;
+    ctx.start_tick = clock_->Now();
+    if (task.seccomp != nullptr && !task.seccomp->Allows(nr)) {
+      RecordDenial(ctx);
+      return false;
+    }
+    if (wallclock_timing_) {
+      ctx.start_ns = MonotonicNanos();
+    }
+    return true;
+  }
+
+  // Accounts the completed syscall and appends a trace record.
+  void ExitSyscall(SyscallContext& ctx, Errno err);
+
+  // Wraps one syscall body. `args_fn() -> std::string` is only invoked when
+  // tracing is enabled; `body() -> Result<T>` is the pre-existing syscall
+  // implementation (DAC + LSM + work).
+  template <typename T, typename TaskT, typename ArgsFn, typename BodyFn>
+  Result<T> Run(TaskT& task, Sysno nr, ArgsFn&& args_fn, BodyFn&& body) {
+    if (!enabled_) {
+      return body();
+    }
+    SyscallContext ctx;
+    if (trace_enabled_) {
+      ctx.args = args_fn();
+    }
+    if (!EnterSyscall(ctx, task, nr)) {
+      return Error(Errno::kEPERM, std::string("seccomp: ") + SysnoName(nr));
+    }
+    Result<T> r = body();
+    ExitSyscall(ctx, r.code());
+    return r;
+  }
+
+  // getpid(2) cannot fail, so it gets an infallible fast path. A filter that
+  // denies getpid yields -1 (and the denial is traced) rather than an errno.
+  template <typename TaskT>
+  int RunGetPid(const TaskT& task) {
+    if (!enabled_) {
+      return task.pid;
+    }
+    SyscallContext ctx;
+    if (!EnterSyscall(ctx, task, Sysno::kGetPid)) {
+      return -1;
+    }
+    ExitSyscall(ctx, Errno::kOk);
+    return task.pid;
+  }
+
+ private:
+  void RecordDenial(SyscallContext& ctx);
+  // Consumes ctx.args (moved into the ring slot).
+  void RecordTrace(SyscallContext& ctx, Errno err, uint64_t dur_ns, bool seccomp_denied);
+
+  const Clock* clock_;
+  bool enabled_ = true;
+  bool trace_enabled_ = true;
+  bool wallclock_timing_ = false;
+  PerSyscall stats_[kSysnoSlots] = {};
+  std::vector<TraceRecord> trace_ring_;  // fixed kTraceCapacity slots, reused
+  uint64_t trace_seq_ = 0;               // next sequence number
+  std::function<void(std::string)> audit_sink_;
+};
+
+}  // namespace protego
+
+#endif  // SRC_KERNEL_SYSCALL_H_

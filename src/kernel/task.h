@@ -14,6 +14,7 @@
 
 #include "src/base/result.h"
 #include "src/kernel/cred.h"
+#include "src/kernel/syscall.h"
 #include "src/vfs/vfs.h"
 
 namespace protego {
@@ -141,6 +142,11 @@ struct Task {
   // Last successful authentication time, per authenticated identity.
   std::map<Uid, uint64_t> auth_times;
   PendingSetuid pending_setuid;
+
+  // Seccomp-style allow list; null means unfiltered. Shared (copy-on-install)
+  // so fork is cheap; inherited across fork, kept across exec, and only ever
+  // narrowed by Kernel::SeccompSetFilter.
+  std::shared_ptr<const SeccompFilter> seccomp;
 
   // Captured standard streams (also mirrored to the terminal if any).
   std::string stdout_buf;

@@ -26,6 +26,14 @@ SecurityModule* LsmStack::Find(const char* name) {
   return nullptr;
 }
 
+uint64_t LsmStack::TotalHookInvocations() const {
+  uint64_t total = 0;
+  for (uint64_t c : hook_counts_) {
+    total += c;
+  }
+  return total;
+}
+
 bool LsmStack::Capable(const Task& task, Capability cap) const {
   for (const auto& m : modules_) {
     if (!m->CapablePermitted(task, cap)) {
@@ -47,6 +55,7 @@ HookVerdict LsmStack::Combine(HookVerdict acc, HookVerdict v) {
 
 HookVerdict LsmStack::InodePermission(Task& task, const std::string& path,
                                       const Inode& inode, int may) const {
+  Count(LsmHook::kInodePermission);
   HookVerdict acc = HookVerdict::kDefault;
   for (const auto& m : modules_) {
     acc = Combine(acc, m->InodePermission(task, path, inode, may));
@@ -55,6 +64,7 @@ HookVerdict LsmStack::InodePermission(Task& task, const std::string& path,
 }
 
 HookVerdict LsmStack::SbMount(const Task& task, const MountRequest& req) const {
+  Count(LsmHook::kSbMount);
   HookVerdict acc = HookVerdict::kDefault;
   for (const auto& m : modules_) {
     acc = Combine(acc, m->SbMount(task, req));
@@ -63,6 +73,7 @@ HookVerdict LsmStack::SbMount(const Task& task, const MountRequest& req) const {
 }
 
 HookVerdict LsmStack::SbUmount(const Task& task, const std::string& mountpoint) const {
+  Count(LsmHook::kSbUmount);
   HookVerdict acc = HookVerdict::kDefault;
   for (const auto& m : modules_) {
     acc = Combine(acc, m->SbUmount(task, mountpoint));
@@ -71,6 +82,7 @@ HookVerdict LsmStack::SbUmount(const Task& task, const std::string& mountpoint) 
 }
 
 HookVerdict LsmStack::SocketCreate(const Task& task, const SocketRequest& req) const {
+  Count(LsmHook::kSocketCreate);
   HookVerdict acc = HookVerdict::kDefault;
   for (const auto& m : modules_) {
     acc = Combine(acc, m->SocketCreate(task, req));
@@ -79,6 +91,7 @@ HookVerdict LsmStack::SocketCreate(const Task& task, const SocketRequest& req) c
 }
 
 HookVerdict LsmStack::SocketBind(const Task& task, const BindRequest& req) const {
+  Count(LsmHook::kSocketBind);
   HookVerdict acc = HookVerdict::kDefault;
   for (const auto& m : modules_) {
     acc = Combine(acc, m->SocketBind(task, req));
@@ -88,6 +101,7 @@ HookVerdict LsmStack::SocketBind(const Task& task, const BindRequest& req) const
 
 HookVerdict LsmStack::TaskFixSetuid(Task& task, const SetuidRequest& req,
                                     SetuidDisposition* disposition) const {
+  Count(LsmHook::kTaskFixSetuid);
   HookVerdict acc = HookVerdict::kDefault;
   for (const auto& m : modules_) {
     acc = Combine(acc, m->TaskFixSetuid(task, req, disposition));
@@ -97,6 +111,7 @@ HookVerdict LsmStack::TaskFixSetuid(Task& task, const SetuidRequest& req,
 
 HookVerdict LsmStack::BprmCheck(Task& task, const std::string& path, const Inode& inode,
                                 const std::vector<std::string>& argv, ExecControl* control) const {
+  Count(LsmHook::kBprmCheck);
   HookVerdict acc = HookVerdict::kDefault;
   for (const auto& m : modules_) {
     acc = Combine(acc, m->BprmCheck(task, path, inode, argv, control));
@@ -105,6 +120,7 @@ HookVerdict LsmStack::BprmCheck(Task& task, const std::string& path, const Inode
 }
 
 HookVerdict LsmStack::FileIoctl(const Task& task, const IoctlRequest& req) const {
+  Count(LsmHook::kFileIoctl);
   HookVerdict acc = HookVerdict::kDefault;
   for (const auto& m : modules_) {
     acc = Combine(acc, m->FileIoctl(task, req));

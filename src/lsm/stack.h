@@ -6,12 +6,26 @@
 #ifndef SRC_LSM_STACK_H_
 #define SRC_LSM_STACK_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "src/lsm/module.h"
 
 namespace protego {
+
+// Hook identities for per-hook invocation accounting.
+enum class LsmHook : uint8_t {
+  kInodePermission = 0,
+  kSbMount,
+  kSbUmount,
+  kSocketCreate,
+  kSocketBind,
+  kTaskFixSetuid,
+  kBprmCheck,
+  kFileIoctl,
+  kCount,  // sentinel
+};
 
 class LsmStack {
  public:
@@ -39,10 +53,21 @@ class LsmStack {
 
   size_t size() const { return modules_.size(); }
 
+  // Times the stack was consulted for `hook` since boot. Lets the syscall
+  // gate tests prove seccomp denials short-circuit BEFORE any LSM work.
+  uint64_t HookInvocations(LsmHook hook) const {
+    return hook_counts_[static_cast<size_t>(hook)];
+  }
+  uint64_t TotalHookInvocations() const;
+
  private:
   static HookVerdict Combine(HookVerdict acc, HookVerdict v);
 
+  void Count(LsmHook hook) const { hook_counts_[static_cast<size_t>(hook)]++; }
+
   std::vector<std::unique_ptr<SecurityModule>> modules_;
+  // mutable: accounting from the const hook methods.
+  mutable uint64_t hook_counts_[static_cast<size_t>(LsmHook::kCount)] = {};
 };
 
 }  // namespace protego

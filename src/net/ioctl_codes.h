@@ -31,6 +31,25 @@ inline constexpr uint32_t kSiocNfList = 0x89F2;
 // returns both the underlying device AND the encryption key (§4 Table 4).
 inline constexpr uint32_t kDmTableStatus = 0xc138fd0c;  // DM_TABLE_STATUS
 
+// Symbolic name for a request code, for syscall traces ("ioctl(3, SIOCADDRT)").
+inline const char* IoctlName(uint32_t request) {
+  switch (request) {
+    case kSiocAddRt: return "SIOCADDRT";
+    case kSiocDelRt: return "SIOCDELRT";
+    case kSiocSifFlags: return "SIOCSIFFLAGS";
+    case kSiocSifAddr: return "SIOCSIFADDR";
+    case kPppIocSFlags: return "PPPIOCSFLAGS";
+    case kPppIocSCompress: return "PPPIOCSCOMPRESS";
+    case kPppIocNewUnit: return "PPPIOCNEWUNIT";
+    case kPppIocConnect: return "PPPIOCCONNECT";
+    case kSiocNfAppend: return "SIOCNFAPPEND";
+    case kSiocNfDelete: return "SIOCNFDELETE";
+    case kSiocNfList: return "SIOCNFLIST";
+    case kDmTableStatus: return "DM_TABLE_STATUS";
+    default: return "IOC_UNKNOWN";
+  }
+}
+
 }  // namespace protego
 
 #endif  // SRC_NET_IOCTL_CODES_H_

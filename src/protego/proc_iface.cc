@@ -91,7 +91,7 @@ Result<Unit> InstallProtegoProcFiles(Kernel* kernel, ProtegoLsm* lsm) {
   RETURN_IF_ERROR(vfs.CreateSynthetic("/proc/protego/userdb", 0600, std::move(userdb_ops)));
 
   SyntheticOps status_ops;
-  status_ops.read = [lsm]() {
+  status_ops.read = [kernel, lsm]() {
     const ProtegoStats& s = lsm->stats();
     std::string out;
     out += StrFormat("mount_allowed %llu\n", (unsigned long long)s.mount_allowed);
@@ -108,6 +108,7 @@ Result<Unit> InstallProtegoProcFiles(Kernel* kernel, ProtegoLsm* lsm) {
     out += StrFormat("route_denied %llu\n", (unsigned long long)s.route_denied);
     out += StrFormat("file_delegations %llu\n", (unsigned long long)s.file_delegations);
     out += StrFormat("reauth_reads %llu\n", (unsigned long long)s.reauth_reads);
+    out += StrFormat("audit_dropped %llu\n", (unsigned long long)kernel->audit_dropped());
     return out;
   };
   RETURN_IF_ERROR(vfs.CreateSynthetic("/proc/protego/status", 0444, std::move(status_ops)));
@@ -123,6 +124,32 @@ Result<Unit> InstallProtegoProcFiles(Kernel* kernel, ProtegoLsm* lsm) {
     return out;
   };
   RETURN_IF_ERROR(vfs.CreateSynthetic("/proc/protego/audit", 0400, std::move(audit_ops)));
+
+  // Per-syscall counters from the unified entry path, world-readable like
+  // /proc/stat.
+  SyntheticOps stats_ops;
+  stats_ops.read = [kernel]() { return kernel->syscalls().FormatStats(); };
+  RETURN_IF_ERROR(
+      vfs.CreateSynthetic("/proc/protego/syscall_stats", 0444, std::move(stats_ops)));
+
+  // Recent-syscall trace ring. Root-only (it exposes other tasks' activity);
+  // writing "clear" drops the ring, "on"/"off" toggle tracing.
+  SyntheticOps trace_ops;
+  trace_ops.read = [kernel]() { return kernel->syscalls().FormatTrace(); };
+  trace_ops.write = [kernel](std::string_view data) -> Result<Unit> {
+    std::string_view cmd = Trim(data);
+    if (cmd == "clear") {
+      kernel->syscalls().ClearTrace();
+    } else if (cmd == "on") {
+      kernel->syscalls().set_trace_enabled(true);
+    } else if (cmd == "off") {
+      kernel->syscalls().set_trace_enabled(false);
+    } else {
+      return Error(Errno::kEINVAL, "trace: expected clear|on|off");
+    }
+    return OkUnit();
+  };
+  RETURN_IF_ERROR(vfs.CreateSynthetic("/proc/protego/trace", 0600, std::move(trace_ops)));
 
   return OkUnit();
 }

@@ -61,6 +61,8 @@ class SimSystem {
 
   SimMode mode() const { return mode_; }
   Kernel& kernel() { return kernel_; }
+  // The unified syscall entry path (counters, trace ring, seccomp).
+  SyscallGate& syscalls() { return kernel_.syscalls(); }
   // The Protego module, or nullptr in Linux mode.
   ProtegoLsm* lsm() { return lsm_; }
   AppArmorModule* apparmor() { return apparmor_; }

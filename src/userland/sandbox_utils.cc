@@ -51,6 +51,20 @@ ProgramMain MakeChromiumSandboxMain(bool protego_mode) {
     }
     ctx.Out(std::string("sandbox: outside world ") +
             (outside_reachable ? "REACHABLE (?!)" : "unreachable") + "\n");
+
+    // 5. Finally drop syscall access itself (§4.6): once the namespaces and
+    //    probe sockets exist, the renderer only ever needs read/write/close.
+    //    The allow list below omits socket(2) — and seccomp(2) itself, so
+    //    the filter can never be loosened again.
+    auto filtered = k.SeccompSetFilter(
+        ctx.task, {Sysno::kRead, Sysno::kWrite, Sysno::kClose, Sysno::kSendTo,
+                   Sysno::kRecvFrom, Sysno::kGetPid});
+    ctx.Out(std::string("sandbox: seccomp filter ") +
+            (filtered.ok() ? "installed" : "FAILED") + "\n");
+    auto post = k.SocketCall(ctx.task, kAfInet, kSockStream, 0);
+    bool seccomp_blocked = !post.ok() && post.code() == Errno::kEPERM;
+    ctx.Out(std::string("sandbox: socket after seccomp ") +
+            (seccomp_blocked ? "denied (EPERM)" : "ALLOWED (?!)") + "\n");
     return 0;
   };
 }

@@ -1,9 +1,10 @@
 // Sandboxing and setgid-nonroot hardening utilities:
 //
-//   * chromium-sandbox (§4.6/§6): creates user+network namespaces. On
-//     pre-3.8 kernels the binary must be setuid root; 3.8+ lets any user
-//     do it — which is why the namespace rows of Table 8 need no Protego
-//     work at all.
+//   * chromium-sandbox (§4.6/§6): creates user+network namespaces, then
+//     installs a seccomp-style allow list that drops socket(2) — and
+//     seccomp(2) itself, latching the filter shut. On pre-3.8 kernels the
+//     binary must be setuid root; 3.8+ lets any user do it — which is why
+//     the namespace rows of Table 8 need no Protego work at all.
 //   * at (§3.1, "File system permissions"): job submission deprivileged by
 //     making the spool group-writable and installing the binary setgid to a
 //     NON-root group — the hardening technique distributions already use.
