@@ -1,7 +1,5 @@
 #include "src/config/bindconf.h"
 
-#include <set>
-
 #include "src/base/lexer.h"
 #include "src/base/strings.h"
 
@@ -13,7 +11,6 @@ std::string BindConfEntry::ToString() const {
 
 Result<std::vector<BindConfEntry>> ParseBindConf(std::string_view content) {
   std::vector<BindConfEntry> entries;
-  std::set<uint16_t> seen;
   for (const ConfigLine& line : LexConfig(content)) {
     std::vector<std::string> fields = LexFields(line.text);
     if (fields.size() != 3) {
@@ -34,10 +31,15 @@ Result<std::vector<BindConfEntry>> ParseBindConf(std::string_view content) {
     if (!uid) {
       return Error(Errno::kEINVAL, StrFormat("/etc/bind line %d: bad uid", line.line_number));
     }
-    if (!seen.insert(static_cast<uint16_t>(*port)).second) {
-      return Error(Errno::kEINVAL,
-                   StrFormat("/etc/bind line %d: duplicate port %llu", line.line_number,
-                             static_cast<unsigned long long>(*port)));
+    // A port may carry several (binary, uid) allocations; only a literal
+    // repeat of an existing allocation is a configuration error.
+    for (const BindConfEntry& prev : entries) {
+      if (prev.port == *port && prev.binary == fields[1] && prev.uid == *uid) {
+        return Error(Errno::kEINVAL,
+                     StrFormat("/etc/bind line %d: duplicate allocation %llu %s %llu",
+                               line.line_number, static_cast<unsigned long long>(*port),
+                               fields[1].c_str(), static_cast<unsigned long long>(*uid)));
+      }
     }
     entries.push_back(BindConfEntry{static_cast<uint16_t>(*port), fields[1],
                                     static_cast<Uid>(*uid)});

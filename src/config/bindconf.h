@@ -1,5 +1,7 @@
-// /etc/bind parser (§4.1.3): maps each TCP/UDP port below 1024 to exactly
-// one application instance, identified by (binary path, uid).
+// /etc/bind parser (§4.1.3): maps each TCP/UDP port below 1024 to the
+// application instances allowed to bind it, each identified by
+// (binary path, uid). A port usually carries one allocation, but may list
+// several (e.g. a service that can run under either of two accounts).
 //
 // Grammar, one mapping per line:
 //   <port> <binary-path> <uid>
@@ -26,8 +28,7 @@ struct BindConfEntry {
 };
 
 // Parses /etc/bind. Rejects ports >= 1024, relative binary paths, and
-// duplicate port allocations ("each port may map to only one application
-// instance").
+// literally duplicated allocations (same port, binary, and uid).
 Result<std::vector<BindConfEntry>> ParseBindConf(std::string_view content);
 
 std::string SerializeBindConf(const std::vector<BindConfEntry>& entries);

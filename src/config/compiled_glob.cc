@@ -1,0 +1,51 @@
+#include "src/config/compiled_glob.h"
+
+#include "src/base/strings.h"
+
+namespace protego {
+
+CompiledGlob::CompiledGlob(std::string pattern) : pattern_(std::move(pattern)) {
+  if (pattern_.find('?') != std::string::npos) {
+    kind_ = Kind::kGeneral;
+    return;
+  }
+  size_t star = pattern_.find('*');
+  if (star == std::string::npos) {
+    kind_ = Kind::kLiteral;
+    return;
+  }
+  if (pattern_.find('*', star + 1) != std::string::npos) {
+    kind_ = Kind::kGeneral;
+    return;
+  }
+  head_ = pattern_.substr(0, star);
+  tail_ = pattern_.substr(star + 1);
+  if (tail_.empty()) {
+    kind_ = Kind::kPrefix;
+  } else if (head_.empty()) {
+    kind_ = Kind::kSuffix;
+  } else {
+    kind_ = Kind::kPrefixSuffix;
+  }
+}
+
+bool CompiledGlob::Matches(std::string_view text) const {
+  switch (kind_) {
+    case Kind::kLiteral:
+      return text == pattern_;
+    case Kind::kPrefix:
+      return StartsWith(text, head_);
+    case Kind::kSuffix:
+      return EndsWith(text, tail_);
+    case Kind::kPrefixSuffix:
+      // The star must cover a (possibly empty) middle: head and tail may
+      // not overlap, hence the length check before the two compares.
+      return text.size() >= head_.size() + tail_.size() && StartsWith(text, head_) &&
+             EndsWith(text, tail_);
+    case Kind::kGeneral:
+      return GlobMatch(pattern_, text);
+  }
+  return false;
+}
+
+}  // namespace protego

@@ -1,0 +1,49 @@
+// A glob pattern compiled once at policy-load time.
+//
+// Policy tables are swapped wholesale through /proc/protego, so pattern
+// analysis can happen at swap time instead of on every hook invocation. The
+// overwhelmingly common shapes in fstab/sudoers policy are literals
+// ("/dev/cdrom"), single-star prefixes ("/etc/shadows/*"), suffixes and
+// prefix/suffix pairs ("/home/*/mnt"); those compile down to length checks
+// plus memcmp, sidestepping the generic backtracking matcher entirely.
+// Anything with '?' or multiple stars falls back to GlobMatch.
+
+#ifndef SRC_CONFIG_COMPILED_GLOB_H_
+#define SRC_CONFIG_COMPILED_GLOB_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace protego {
+
+class CompiledGlob {
+ public:
+  CompiledGlob() = default;
+  explicit CompiledGlob(std::string pattern);
+
+  bool Matches(std::string_view text) const;
+
+  // True when the pattern contains no wildcards (matching is equality, so
+  // the pattern can serve as an exact-index key).
+  bool is_literal() const { return kind_ == Kind::kLiteral; }
+  const std::string& pattern() const { return pattern_; }
+
+ private:
+  enum class Kind : uint8_t {
+    kLiteral,       // no wildcard: text == pattern
+    kPrefix,        // "head*":     text starts with head
+    kSuffix,        // "*tail":     text ends with tail
+    kPrefixSuffix,  // "head*tail": both, without overlap
+    kGeneral,       // anything else: GlobMatch
+  };
+
+  std::string pattern_;
+  std::string head_;  // literal run before the single '*'
+  std::string tail_;  // literal run after it
+  Kind kind_ = Kind::kLiteral;
+};
+
+}  // namespace protego
+
+#endif  // SRC_CONFIG_COMPILED_GLOB_H_

@@ -570,17 +570,20 @@ Result<Unit> Kernel::SetuidImpl(Task& task, Uid uid) {
     } else {
       RecomputeCapsAfterSetuid(task.cred, old_euid);
     }
+    task.lsm_cache.Clear();
     return OkUnit();
   }
   // Legacy rule (stock Linux).
   if (Capable(task, Capability::kSetuid)) {
     task.cred.ruid = task.cred.euid = task.cred.suid = task.cred.fsuid = uid;
     RecomputeCapsAfterSetuid(task.cred, old_euid);
+    task.lsm_cache.Clear();
     return OkUnit();
   }
   if (uid == task.cred.ruid || uid == task.cred.suid) {
     task.cred.euid = task.cred.fsuid = uid;
     RecomputeCapsAfterSetuid(task.cred, old_euid);
+    task.lsm_cache.Clear();
     return OkUnit();
   }
   return Error(Errno::kEPERM, "setuid");
@@ -597,6 +600,7 @@ Result<Unit> Kernel::SeteuidImpl(Task& task, Uid uid) {
     Uid old_euid = task.cred.euid;
     task.cred.euid = task.cred.fsuid = uid;
     RecomputeCapsAfterSetuid(task.cred, old_euid);
+    task.lsm_cache.Clear();
     return OkUnit();
   }
   return Error(Errno::kEPERM, "seteuid");
@@ -626,14 +630,17 @@ Result<Unit> Kernel::SetgidImpl(Task& task, Gid gid) {
       return OkUnit();
     }
     task.cred.rgid = task.cred.egid = task.cred.sgid = task.cred.fsgid = gid;
+    task.lsm_cache.Clear();
     return OkUnit();
   }
   if (Capable(task, Capability::kSetgid)) {
     task.cred.rgid = task.cred.egid = task.cred.sgid = task.cred.fsgid = gid;
+    task.lsm_cache.Clear();
     return OkUnit();
   }
   if (gid == task.cred.rgid || gid == task.cred.sgid) {
     task.cred.egid = task.cred.fsgid = gid;
+    task.lsm_cache.Clear();
     return OkUnit();
   }
   return Error(Errno::kEPERM, "setgid");
@@ -650,6 +657,7 @@ Result<Unit> Kernel::SetgroupsImpl(Task& task, std::vector<Gid> groups) {
     return Error(Errno::kEPERM, "setgroups");
   }
   task.cred.groups = std::move(groups);
+  task.lsm_cache.Clear();
   return OkUnit();
 }
 
@@ -776,6 +784,8 @@ Result<int> Kernel::ExecveImpl(Task& task, const std::string& path, std::vector<
 
   task.cred = new_cred;
   task.exe_path = full;
+  // Cached verdict signatures embed the old creds and exe_path.
+  task.lsm_cache.Clear();
   size_t slash = full.find_last_of('/');
   task.comm = full.substr(slash + 1);
   // Dropped descriptors must release their network endpoints (ports) too.

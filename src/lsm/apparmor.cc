@@ -8,9 +8,13 @@ namespace protego {
 void AppArmorModule::LoadProfile(AaProfile profile) {
   std::string key = profile.binary;
   profiles_[key] = std::move(profile);
+  BumpPolicyGeneration();
 }
 
-void AppArmorModule::RemoveProfile(const std::string& binary) { profiles_.erase(binary); }
+void AppArmorModule::RemoveProfile(const std::string& binary) {
+  profiles_.erase(binary);
+  BumpPolicyGeneration();
+}
 
 const AaProfile* AppArmorModule::FindProfile(const std::string& binary) const {
   auto it = profiles_.find(binary);
@@ -35,12 +39,15 @@ bool AppArmorModule::CapablePermitted(const Task& task, Capability cap) {
 }
 
 HookVerdict AppArmorModule::InodePermission(Task& task, const std::string& path,
-                                            const Inode& inode, int may) {
+                                            const Inode& inode, int may, bool* cacheable) {
   (void)inode;
   const AaProfile* profile = FindProfile(task.exe_path);
   if (profile == nullptr) {
     return HookVerdict::kDefault;
   }
+  // Confined decisions append to the denial log (and complain mode exists
+  // to record every event), so they must re-execute each time.
+  *cacheable = false;
   int granted = 0;
   for (const AaFileRule& rule : profile->file_rules) {
     if (GlobMatch(rule.glob, path)) {

@@ -1,0 +1,67 @@
+// Per-task LSM decision cache (an AVC in miniature, after SELinux).
+//
+// The stack-level hook dispatcher (src/lsm/stack.cc) caches the combined
+// verdict of cacheable hooks keyed by a hash of the request signature, so a
+// task repeating the same mediated operation pays one hash probe instead of
+// a module walk over compiled policy (let alone a linear scan). Entries are
+// validated against the stack's policy-generation counter: any policy swap
+// bumps the generation and thereby invalidates every cached verdict at once,
+// preserving the parse-validate-swap atomicity of /proc/protego.
+//
+// The cache lives on Task (the kernel clears it on credential changes and
+// exec, where the request signatures would go stale) and is deliberately
+// tiny and direct-mapped: collisions just evict, correctness only depends on
+// key+generation equality on the probe.
+//
+// Kept dependency-free so src/kernel/task.h can embed it without pulling in
+// the LSM headers (module.h already includes task.h).
+
+#ifndef SRC_LSM_DECISION_CACHE_H_
+#define SRC_LSM_DECISION_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace protego {
+
+class LsmDecisionCache {
+ public:
+  static constexpr size_t kSlots = 64;  // power of two
+
+  // Probes for `key` under `generation`. Returns true and sets *verdict
+  // (a HookVerdict cast to uint8_t) on a hit. `key` must be nonzero.
+  bool Lookup(uint64_t key, uint64_t generation, uint8_t* verdict) const {
+    const Slot& slot = slots_[key & (kSlots - 1)];
+    if (slot.key != key || slot.generation != generation) {
+      return false;
+    }
+    *verdict = slot.verdict;
+    return true;
+  }
+
+  void Insert(uint64_t key, uint64_t generation, uint8_t verdict) {
+    Slot& slot = slots_[key & (kSlots - 1)];
+    slot.key = key;
+    slot.generation = generation;
+    slot.verdict = verdict;
+  }
+
+  // Drops every entry (credential change / exec).
+  void Clear() {
+    for (Slot& slot : slots_) {
+      slot = Slot{};
+    }
+  }
+
+ private:
+  struct Slot {
+    uint64_t key = 0;  // 0 = empty
+    uint64_t generation = 0;
+    uint8_t verdict = 0;
+  };
+  Slot slots_[kSlots];
+};
+
+}  // namespace protego
+
+#endif  // SRC_LSM_DECISION_CACHE_H_

@@ -86,12 +86,25 @@ struct ExecControl {
   bool close_non_std_fds = false;
 };
 
+class LsmStack;
+
 // Interface implemented by security modules (commoncap, AppArmor, Protego).
+//
+// The InodePermission/SbMount/SocketBind hooks take a `cacheable`
+// out-parameter: the stack caches their combined verdict per task (see
+// src/lsm/decision_cache.h) and a module whose decision depends on anything
+// beyond (policy tables, request, credentials) — authentication recency,
+// mount/route state, per-object ownership, audit side effects — must clear
+// the flag. Modules may only ever clear it, never set it back to true.
 class SecurityModule {
  public:
   virtual ~SecurityModule() = default;
 
   virtual const char* name() const = 0;
+
+  // Called by LsmStack::Register; lets a module invalidate stack-level
+  // cached verdicts when its policy changes.
+  void AttachStack(LsmStack* stack) { stack_ = stack; }
 
   // security_capable(): may this task use `cap`? All stacked modules must
   // agree; the capability module implements the commoncap rule.
@@ -105,17 +118,19 @@ class SecurityModule {
   // what DAC would allow, kAllow bypasses DAC (used for delegation rules
   // that grant specific binaries access to specific files, §4.4/§4.6).
   virtual HookVerdict InodePermission(Task& task, const std::string& path,
-                                      const Inode& inode, int may) {
+                                      const Inode& inode, int may, bool* cacheable) {
     (void)task;
     (void)path;
     (void)inode;
     (void)may;
+    (void)cacheable;
     return HookVerdict::kDefault;
   }
 
-  virtual HookVerdict SbMount(const Task& task, const MountRequest& req) {
+  virtual HookVerdict SbMount(const Task& task, const MountRequest& req, bool* cacheable) {
     (void)task;
     (void)req;
+    (void)cacheable;
     return HookVerdict::kDefault;
   }
 
@@ -131,9 +146,10 @@ class SecurityModule {
     return HookVerdict::kDefault;
   }
 
-  virtual HookVerdict SocketBind(const Task& task, const BindRequest& req) {
+  virtual HookVerdict SocketBind(const Task& task, const BindRequest& req, bool* cacheable) {
     (void)task;
     (void)req;
+    (void)cacheable;
     return HookVerdict::kDefault;
   }
 
@@ -162,6 +178,14 @@ class SecurityModule {
     (void)req;
     return HookVerdict::kDefault;
   }
+
+ protected:
+  // Bumps the attached stack's policy-generation counter, invalidating all
+  // cached verdicts. Call from every policy mutation (defined in stack.cc).
+  void BumpPolicyGeneration();
+
+ private:
+  LsmStack* stack_ = nullptr;
 };
 
 }  // namespace protego

@@ -4,6 +4,34 @@
 
 namespace protego {
 
+namespace {
+
+// Incremental 64-bit FNV-1a for cache-key construction.
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t MixBytes(uint64_t h, const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t MixU64(uint64_t h, uint64_t v) { return MixBytes(h, &v, sizeof(v)); }
+
+uint64_t MixStr(uint64_t h, const std::string& s) {
+  // Length first, so ("ab","c") and ("a","bc") cannot collide by
+  // concatenation.
+  h = MixU64(h, s.size());
+  return MixBytes(h, s.data(), s.size());
+}
+
+uint64_t NonZero(uint64_t h) { return h == 0 ? 1 : h; }
+
+}  // namespace
+
 const char* HookVerdictName(HookVerdict v) {
   switch (v) {
     case HookVerdict::kDefault: return "DEFAULT";
@@ -13,7 +41,21 @@ const char* HookVerdictName(HookVerdict v) {
   return "?";
 }
 
+void SecurityModule::BumpPolicyGeneration() {
+  if (stack_ != nullptr) {
+    stack_->BumpPolicyGeneration();
+  }
+}
+
+LsmStack::LsmStack() {
+  // Process-wide monotonic stack id: tasks outliving one stack and being
+  // consulted by another (the benchmarks do this) must never cross-hit.
+  static uint64_t next_stack_id = 1;
+  stack_id_ = next_stack_id++;
+}
+
 void LsmStack::Register(std::unique_ptr<SecurityModule> module) {
+  module->AttachStack(this);
   modules_.push_back(std::move(module));
 }
 
@@ -53,21 +95,102 @@ HookVerdict LsmStack::Combine(HookVerdict acc, HookVerdict v) {
   return HookVerdict::kDefault;
 }
 
+// --- Decision cache ---------------------------------------------------------------
+
+bool LsmStack::CacheLookup(const Task& task, uint64_t key, HookVerdict* verdict) const {
+  uint8_t raw = 0;
+  if (!task.lsm_cache.Lookup(key, policy_generation_, &raw)) {
+    ++cache_misses_;
+    return false;
+  }
+  ++cache_hits_;
+  *verdict = static_cast<HookVerdict>(raw);
+  return true;
+}
+
+void LsmStack::CacheInsert(const Task& task, uint64_t key, HookVerdict verdict) const {
+  task.lsm_cache.Insert(key, policy_generation_, static_cast<uint8_t>(verdict));
+}
+
+uint64_t LsmStack::InodeKey(const Task& task, const std::string& path, int may) const {
+  uint64_t h = kFnvOffset;
+  h = MixU64(h, static_cast<uint64_t>(LsmHook::kInodePermission));
+  h = MixU64(h, stack_id_);
+  h = MixStr(h, path);
+  h = MixU64(h, static_cast<uint64_t>(may));
+  h = MixStr(h, task.exe_path);
+  h = MixU64(h, task.cred.fsuid);
+  h = MixU64(h, task.cred.euid);
+  return NonZero(h);
+}
+
+uint64_t LsmStack::MountKey(const Task& task, const MountRequest& req) const {
+  uint64_t h = kFnvOffset;
+  h = MixU64(h, static_cast<uint64_t>(LsmHook::kSbMount));
+  h = MixU64(h, stack_id_);
+  h = MixStr(h, req.source);
+  h = MixStr(h, req.mountpoint);
+  h = MixStr(h, req.fstype);
+  for (const std::string& opt : req.options) {
+    h = MixStr(h, opt);
+  }
+  h = MixU64(h, task.cred.ruid);
+  h = MixU64(h, task.cred.euid);
+  return NonZero(h);
+}
+
+uint64_t LsmStack::BindKey(const Task& task, const BindRequest& req) const {
+  uint64_t h = kFnvOffset;
+  h = MixU64(h, static_cast<uint64_t>(LsmHook::kSocketBind));
+  h = MixU64(h, stack_id_);
+  h = MixU64(h, req.port);
+  h = MixU64(h, static_cast<uint64_t>(req.netns));
+  h = MixStr(h, req.binary_path);
+  h = MixU64(h, task.cred.euid);
+  return NonZero(h);
+}
+
+// --- Hook dispatch ----------------------------------------------------------------
+
 HookVerdict LsmStack::InodePermission(Task& task, const std::string& path,
                                       const Inode& inode, int may) const {
   Count(LsmHook::kInodePermission);
+  uint64_t key = 0;
+  HookVerdict cached;
+  if (decision_cache_enabled_) {
+    key = InodeKey(task, path, may);
+    if (CacheLookup(task, key, &cached)) {
+      return cached;
+    }
+  }
+  bool cacheable = true;
   HookVerdict acc = HookVerdict::kDefault;
   for (const auto& m : modules_) {
-    acc = Combine(acc, m->InodePermission(task, path, inode, may));
+    acc = Combine(acc, m->InodePermission(task, path, inode, may, &cacheable));
+  }
+  if (key != 0 && cacheable) {
+    CacheInsert(task, key, acc);
   }
   return acc;
 }
 
 HookVerdict LsmStack::SbMount(const Task& task, const MountRequest& req) const {
   Count(LsmHook::kSbMount);
+  uint64_t key = 0;
+  HookVerdict cached;
+  if (decision_cache_enabled_) {
+    key = MountKey(task, req);
+    if (CacheLookup(task, key, &cached)) {
+      return cached;
+    }
+  }
+  bool cacheable = true;
   HookVerdict acc = HookVerdict::kDefault;
   for (const auto& m : modules_) {
-    acc = Combine(acc, m->SbMount(task, req));
+    acc = Combine(acc, m->SbMount(task, req, &cacheable));
+  }
+  if (key != 0 && cacheable) {
+    CacheInsert(task, key, acc);
   }
   return acc;
 }
@@ -92,9 +215,21 @@ HookVerdict LsmStack::SocketCreate(const Task& task, const SocketRequest& req) c
 
 HookVerdict LsmStack::SocketBind(const Task& task, const BindRequest& req) const {
   Count(LsmHook::kSocketBind);
+  uint64_t key = 0;
+  HookVerdict cached;
+  if (decision_cache_enabled_) {
+    key = BindKey(task, req);
+    if (CacheLookup(task, key, &cached)) {
+      return cached;
+    }
+  }
+  bool cacheable = true;
   HookVerdict acc = HookVerdict::kDefault;
   for (const auto& m : modules_) {
-    acc = Combine(acc, m->SocketBind(task, req));
+    acc = Combine(acc, m->SocketBind(task, req, &cacheable));
+  }
+  if (key != 0 && cacheable) {
+    CacheInsert(task, key, acc);
   }
   return acc;
 }

@@ -2,6 +2,16 @@
 // capability module ahead of the loaded LSM. The stack is what the kernel's
 // syscall layer consults; swapping the stack is how the benchmarks compare
 // "Linux + AppArmor" against "Linux + AppArmor + Protego".
+//
+// PR 2 adds a stack-level decision cache: for the cacheable hooks
+// (inode_permission, sb_mount, socket_bind) the combined verdict is stored
+// in the calling task's LsmDecisionCache keyed by (hook, request signature)
+// and tagged with the stack's policy-generation counter. Any module policy
+// swap bumps the generation (SecurityModule::BumpPolicyGeneration), which
+// invalidates every cached verdict atomically — the cache can never serve a
+// verdict computed under a superseded policy. Hooks whose decisions carry
+// side effects or depend on mutable kernel state (authentication, pending
+// setuid, mount/route tables) are never cached; see DESIGN.md §7.
 
 #ifndef SRC_LSM_STACK_H_
 #define SRC_LSM_STACK_H_
@@ -29,6 +39,8 @@ enum class LsmHook : uint8_t {
 
 class LsmStack {
  public:
+  LsmStack();
+
   // Appends a module; earlier modules are consulted first.
   void Register(std::unique_ptr<SecurityModule> module);
 
@@ -53,21 +65,55 @@ class LsmStack {
 
   size_t size() const { return modules_.size(); }
 
-  // Times the stack was consulted for `hook` since boot. Lets the syscall
-  // gate tests prove seccomp denials short-circuit BEFORE any LSM work.
+  // Times the stack was consulted for `hook` since boot (cache hits
+  // included — a hit is still a consultation). Lets the syscall gate tests
+  // prove seccomp denials short-circuit BEFORE any LSM work.
   uint64_t HookInvocations(LsmHook hook) const {
     return hook_counts_[static_cast<size_t>(hook)];
   }
   uint64_t TotalHookInvocations() const;
+
+  // --- Decision cache ---------------------------------------------------------
+
+  // Monotonic counter tagged onto every cached verdict; starts at 1 so no
+  // empty cache slot (generation 0) can ever match.
+  uint64_t policy_generation() const { return policy_generation_; }
+  void BumpPolicyGeneration() { ++policy_generation_; }
+
+  void set_decision_cache_enabled(bool enabled) { decision_cache_enabled_ = enabled; }
+  bool decision_cache_enabled() const { return decision_cache_enabled_; }
+
+  uint64_t decision_cache_hits() const { return cache_hits_; }
+  uint64_t decision_cache_misses() const { return cache_misses_; }
 
  private:
   static HookVerdict Combine(HookVerdict acc, HookVerdict v);
 
   void Count(LsmHook hook) const { hook_counts_[static_cast<size_t>(hook)]++; }
 
+  // Probes `task`'s cache; returns true on hit. On miss the caller
+  // dispatches and calls CacheInsert if every module left the request
+  // cacheable. Key 0 disables caching for that request.
+  bool CacheLookup(const Task& task, uint64_t key, HookVerdict* verdict) const;
+  void CacheInsert(const Task& task, uint64_t key, HookVerdict verdict) const;
+
+  // Request-signature keys (FNV-1a over hook id, stack id, request fields,
+  // and the deciding credentials). Never return 0.
+  uint64_t InodeKey(const Task& task, const std::string& path, int may) const;
+  uint64_t MountKey(const Task& task, const MountRequest& req) const;
+  uint64_t BindKey(const Task& task, const BindRequest& req) const;
+
   std::vector<std::unique_ptr<SecurityModule>> modules_;
   // mutable: accounting from the const hook methods.
   mutable uint64_t hook_counts_[static_cast<size_t>(LsmHook::kCount)] = {};
+
+  // Salted into every cache key so a task consulted by two different stacks
+  // (benchmark comparisons, tests) can never cross-hit.
+  uint64_t stack_id_ = 0;
+  uint64_t policy_generation_ = 1;
+  bool decision_cache_enabled_ = true;
+  mutable uint64_t cache_hits_ = 0;
+  mutable uint64_t cache_misses_ = 0;
 };
 
 }  // namespace protego

@@ -1,0 +1,161 @@
+#include "src/protego/policy_engine.h"
+
+#include <algorithm>
+
+#include "src/base/hash.h"
+#include "src/base/strings.h"
+
+namespace protego {
+
+// --- BindIndex --------------------------------------------------------------------
+
+void BindIndex::Build(const std::vector<BindConfEntry>& table) {
+  by_port_.clear();
+  for (const BindConfEntry& entry : table) {
+    by_port_[entry.port].push_back(entry);
+  }
+}
+
+const std::vector<BindConfEntry>* BindIndex::Find(uint16_t port) const {
+  auto it = by_port_.find(port);
+  return it == by_port_.end() ? nullptr : &it->second;
+}
+
+// --- MountIndex -------------------------------------------------------------------
+
+uint64_t MountIndex::TripleKey(const std::string& device, const std::string& mountpoint,
+                               const std::string& fstype) {
+  // '\n' cannot appear in parsed fstab fields, so it is a safe separator.
+  return Fnv1a(device + "\n" + mountpoint + "\n" + fstype);
+}
+
+void MountIndex::Build(const std::vector<FstabEntry>& whitelist) {
+  rules_.clear();
+  exact_.clear();
+  glob_rules_.clear();
+  exact_mountpoint_.clear();
+  glob_mountpoint_rules_.clear();
+  for (const FstabEntry& entry : whitelist) {
+    if (!entry.UserMountable()) {
+      continue;  // root-only entries never reach the hook's decision
+    }
+    CompiledFstabRule rule;
+    rule.entry = entry;
+    rule.device = CompiledGlob(entry.device);
+    rule.mountpoint = CompiledGlob(entry.mountpoint);
+    rule.fstype = CompiledGlob(entry.fstype);
+    rule.any_user_may_unmount = entry.AnyUserMayUnmount();
+    rule.glob_mountpoint = entry.mountpoint.find('*') != std::string::npos;
+    size_t idx = rules_.size();
+    rules_.push_back(std::move(rule));
+    const CompiledFstabRule& stored = rules_[idx];
+    if (stored.device.is_literal() && stored.mountpoint.is_literal() &&
+        stored.fstype.is_literal()) {
+      exact_[TripleKey(entry.device, entry.mountpoint, entry.fstype)].push_back(idx);
+    } else {
+      glob_rules_.push_back(idx);
+    }
+    if (stored.mountpoint.is_literal()) {
+      exact_mountpoint_[entry.mountpoint].push_back(idx);
+    } else {
+      glob_mountpoint_rules_.push_back(idx);
+    }
+  }
+}
+
+// --- FileRuleIndex ----------------------------------------------------------------
+
+void FileRuleIndex::Build(const SudoersPolicy& policy) {
+  by_binary_.clear();
+  reauth_.clear();
+  for (const FileDelegation& d : policy.file_delegations) {
+    by_binary_[d.binary].push_back(CompiledDelegation{CompiledGlob(d.path_glob), d.allow_may});
+  }
+  for (const std::string& glob : policy.reauth_read_globs) {
+    reauth_.emplace_back(glob);
+  }
+}
+
+const std::vector<CompiledDelegation>* FileRuleIndex::FindDelegations(
+    const std::string& binary) const {
+  auto it = by_binary_.find(binary);
+  return it == by_binary_.end() ? nullptr : &it->second;
+}
+
+bool FileRuleIndex::ReauthGated(const std::string& path) const {
+  for (const CompiledGlob& glob : reauth_) {
+    if (glob.Matches(path)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- SudoersIndex -----------------------------------------------------------------
+
+void SudoersIndex::Build(const SudoersPolicy& policy, const UserDb& db) {
+  rules_.clear();
+  by_user_.clear();
+  all_subject_rules_.clear();
+  for (size_t i = 0; i < policy.rules.size(); ++i) {
+    const SudoRule& rule = policy.rules[i];
+    CompiledRule compiled;
+    for (const std::string& c : rule.commands) {
+      if (c == "ALL") {
+        compiled.all_commands = true;
+      }
+      CompiledCommand cc;
+      cc.glob = CompiledGlob(c);
+      if (!c.empty() && c.find('*') == std::string::npos) {
+        cc.bare_prefix = c + " ";
+      }
+      compiled.commands.push_back(std::move(cc));
+    }
+    rules_.push_back(std::move(compiled));
+
+    if (rule.user == "ALL") {
+      all_subject_rules_.push_back(i);
+    } else if (!rule.user.empty() && rule.user[0] == '%') {
+      const GroupEntry* group = db.FindGroup(rule.user.substr(1));
+      if (group != nullptr) {
+        for (const std::string& member : group->members) {
+          by_user_[member].push_back(i);
+        }
+      }
+    } else {
+      by_user_[rule.user].push_back(i);
+    }
+  }
+}
+
+std::vector<size_t> SudoersIndex::RulesForUser(const std::string& user_name) const {
+  std::vector<size_t> merged;
+  auto it = by_user_.find(user_name);
+  if (it != by_user_.end()) {
+    merged = it->second;
+  }
+  // A user can appear via several groups; both sources are ascending per
+  // bucket but need merging and deduplication into one ordered list.
+  merged.insert(merged.end(), all_subject_rules_.begin(), all_subject_rules_.end());
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  return merged;
+}
+
+bool SudoersIndex::CommandMatches(size_t rule_index, const std::string& command_line) const {
+  const CompiledRule& rule = rules_[rule_index];
+  if (rule.all_commands) {
+    return true;
+  }
+  for (const CompiledCommand& cc : rule.commands) {
+    if (cc.glob.Matches(command_line)) {
+      return true;
+    }
+    if (!cc.bare_prefix.empty() && StartsWith(command_line, cc.bare_prefix)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace protego

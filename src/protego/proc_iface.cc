@@ -96,6 +96,8 @@ Result<Unit> InstallProtegoProcFiles(Kernel* kernel, ProtegoLsm* lsm) {
     std::string out;
     out += StrFormat("mount_allowed %llu\n", (unsigned long long)s.mount_allowed);
     out += StrFormat("mount_denied %llu\n", (unsigned long long)s.mount_denied);
+    out += StrFormat("umount_allowed %llu\n", (unsigned long long)s.umount_allowed);
+    out += StrFormat("umount_denied %llu\n", (unsigned long long)s.umount_denied);
     out += StrFormat("bind_allowed %llu\n", (unsigned long long)s.bind_allowed);
     out += StrFormat("bind_denied %llu\n", (unsigned long long)s.bind_denied);
     out += StrFormat("setuid_allowed %llu\n", (unsigned long long)s.setuid_allowed);
@@ -109,6 +111,14 @@ Result<Unit> InstallProtegoProcFiles(Kernel* kernel, ProtegoLsm* lsm) {
     out += StrFormat("file_delegations %llu\n", (unsigned long long)s.file_delegations);
     out += StrFormat("reauth_reads %llu\n", (unsigned long long)s.reauth_reads);
     out += StrFormat("audit_dropped %llu\n", (unsigned long long)kernel->audit_dropped());
+    // Policy-engine state: the generation every policy swap bumps, and the
+    // stack-level decision-cache counters it invalidates.
+    out += StrFormat("policy_generation %llu\n",
+                     (unsigned long long)kernel->lsm().policy_generation());
+    out += StrFormat("decision_cache_hits %llu\n",
+                     (unsigned long long)kernel->lsm().decision_cache_hits());
+    out += StrFormat("decision_cache_misses %llu\n",
+                     (unsigned long long)kernel->lsm().decision_cache_misses());
     return out;
   };
   RETURN_IF_ERROR(vfs.CreateSynthetic("/proc/protego/status", 0444, std::move(status_ops)));

@@ -25,55 +25,100 @@ bool IsSafeExtraOption(const std::string& opt) {
 
 }  // namespace
 
-void ProtegoLsm::SetMountPolicy(std::vector<FstabEntry> whitelist) {
-  mount_whitelist_ = std::move(whitelist);
+void ProtegoLsm::RecompilePolicies() {
+  engine_.bind.Build(bind_table_);
+  engine_.mount.Build(mount_whitelist_);
+  engine_.files.Build(delegation_);
+  engine_.sudoers.Build(delegation_, user_db_);
+  // Any swap invalidates every cached verdict, keeping parse-validate-swap
+  // atomic from the hooks' point of view.
+  BumpPolicyGeneration();
 }
 
-void ProtegoLsm::SetBindTable(std::vector<BindConfEntry> table) { bind_table_ = std::move(table); }
+void ProtegoLsm::SetMountPolicy(std::vector<FstabEntry> whitelist) {
+  mount_whitelist_ = std::move(whitelist);
+  RecompilePolicies();
+}
 
-void ProtegoLsm::SetDelegation(SudoersPolicy policy) { delegation_ = std::move(policy); }
+void ProtegoLsm::SetBindTable(std::vector<BindConfEntry> table) {
+  bind_table_ = std::move(table);
+  RecompilePolicies();
+}
 
-void ProtegoLsm::SetUserDb(UserDb db) { user_db_ = std::move(db); }
+void ProtegoLsm::SetDelegation(SudoersPolicy policy) {
+  delegation_ = std::move(policy);
+  RecompilePolicies();
+}
 
-void ProtegoLsm::SetPppOptions(PppOptions options) { ppp_options_ = std::move(options); }
+void ProtegoLsm::SetUserDb(UserDb db) {
+  user_db_ = std::move(db);
+  RecompilePolicies();
+}
+
+void ProtegoLsm::SetPppOptions(PppOptions options) {
+  ppp_options_ = std::move(options);
+  RecompilePolicies();
+}
 
 // --- Mount (§4.2) ---------------------------------------------------------------
 
-HookVerdict ProtegoLsm::SbMount(const Task& task, const MountRequest& req) {
+bool ProtegoLsm::MountEntryGrants(const FstabEntry& entry, bool glob_mountpoint,
+                                  const Task& task, const MountRequest& req,
+                                  bool* cacheable) const {
+  // Every requested option must be granted by the entry or be a
+  // privilege-reducing extra.
+  for (const std::string& opt : req.options) {
+    if (!entry.HasOption(opt) && !IsSafeExtraOption(opt)) {
+      return false;
+    }
+  }
+  // Glob entries ("fuse /home/*/mnt fuse user") grant per-user
+  // mountpoints: the actual directory must belong to the requester, or
+  // anyone could graft a filesystem into someone else's home. Consulting
+  // live VFS ownership makes the verdict uncacheable (a chown must be able
+  // to change the answer).
+  if (glob_mountpoint) {
+    *cacheable = false;
+    auto target = kernel_->vfs().Resolve(req.mountpoint);
+    if (!target.ok() || target.value()->inode().uid != task.cred.ruid) {
+      return false;
+    }
+  }
+  return true;
+}
+
+HookVerdict ProtegoLsm::SbMount(const Task& task, const MountRequest& req, bool* cacheable) {
   if (kernel_->Capable(task, Capability::kSysAdmin)) {
     return HookVerdict::kDefault;  // administrator path is unchanged
   }
-  for (const FstabEntry& entry : mount_whitelist_) {
-    // Policy entries may use globs (e.g. "fuse /home/*/mnt fuse user");
-    // literal fstab entries match exactly.
-    if (!entry.UserMountable() || !GlobMatch(entry.device, req.source) ||
-        !GlobMatch(entry.mountpoint, req.mountpoint) || !GlobMatch(entry.fstype, req.fstype)) {
-      continue;
-    }
-    // Every requested option must be granted by the entry or be a
-    // privilege-reducing extra.
-    bool options_ok = true;
-    for (const std::string& opt : req.options) {
-      if (!entry.HasOption(opt) && !IsSafeExtraOption(opt)) {
-        options_ok = false;
+  bool granted = false;
+  if (compiled_enabled_) {
+    engine_.mount.ForEachMatch(req.source, req.mountpoint, req.fstype,
+                               [&](const CompiledFstabRule& rule) {
+                                 granted = MountEntryGrants(rule.entry, rule.glob_mountpoint,
+                                                            task, req, cacheable);
+                                 return granted;
+                               });
+  } else {
+    for (const FstabEntry& entry : mount_whitelist_) {
+      // Policy entries may use globs (e.g. "fuse /home/*/mnt fuse user");
+      // literal fstab entries match exactly.
+      if (!entry.UserMountable() || !GlobMatch(entry.device, req.source) ||
+          !GlobMatch(entry.mountpoint, req.mountpoint) || !GlobMatch(entry.fstype, req.fstype)) {
+        continue;
+      }
+      bool glob_mountpoint = entry.mountpoint.find('*') != std::string::npos;
+      if (MountEntryGrants(entry, glob_mountpoint, task, req, cacheable)) {
+        granted = true;
         break;
       }
     }
-    // Glob entries ("fuse /home/*/mnt fuse user") grant per-user
-    // mountpoints: the actual directory must belong to the requester, or
-    // anyone could graft a filesystem into someone else's home.
-    if (entry.mountpoint.find('*') != std::string::npos) {
-      auto target = kernel_->vfs().Resolve(req.mountpoint);
-      if (!target.ok() || target.value()->inode().uid != task.cred.ruid) {
-        continue;
-      }
-    }
-    if (options_ok) {
-      ++stats_.mount_allowed;
-      kernel_->Audit(StrFormat("protego: user mount %s on %s allowed (uid=%u)", req.source.c_str(),
-                         req.mountpoint.c_str(), task.cred.ruid));
-      return HookVerdict::kAllow;
-    }
+  }
+  if (granted) {
+    ++stats_.mount_allowed;
+    kernel_->Audit(StrFormat("protego: user mount %s on %s allowed (uid=%u)", req.source.c_str(),
+                       req.mountpoint.c_str(), task.cred.ruid));
+    return HookVerdict::kAllow;
   }
   ++stats_.mount_denied;
   return HookVerdict::kDefault;  // falls through to the CAP_SYS_ADMIN refusal
@@ -87,16 +132,30 @@ HookVerdict ProtegoLsm::SbUmount(const Task& task, const std::string& mountpoint
   if (mount == nullptr) {
     return HookVerdict::kDefault;
   }
-  for (const FstabEntry& entry : mount_whitelist_) {
-    if (!entry.UserMountable() || !GlobMatch(entry.mountpoint, mountpoint)) {
-      continue;
-    }
-    if (entry.AnyUserMayUnmount() || mount->mounter == task.cred.ruid) {
-      ++stats_.mount_allowed;
-      return HookVerdict::kAllow;
+  // May THIS user unmount? "users" entries let anyone; "user" entries only
+  // the task that mounted (live mount-table state — never cached).
+  bool granted = false;
+  if (compiled_enabled_) {
+    engine_.mount.ForEachMountpointMatch(mountpoint, [&](const CompiledFstabRule& rule) {
+      granted = rule.any_user_may_unmount || mount->mounter == task.cred.ruid;
+      return granted;
+    });
+  } else {
+    for (const FstabEntry& entry : mount_whitelist_) {
+      if (!entry.UserMountable() || !GlobMatch(entry.mountpoint, mountpoint)) {
+        continue;
+      }
+      if (entry.AnyUserMayUnmount() || mount->mounter == task.cred.ruid) {
+        granted = true;
+        break;
+      }
     }
   }
-  ++stats_.mount_denied;
+  if (granted) {
+    ++stats_.umount_allowed;
+    return HookVerdict::kAllow;
+  }
+  ++stats_.umount_denied;
   return HookVerdict::kDefault;
 }
 
@@ -115,7 +174,8 @@ HookVerdict ProtegoLsm::SocketCreate(const Task& task, const SocketRequest& req)
 
 // --- Bind (§4.1.3) -----------------------------------------------------------------
 
-HookVerdict ProtegoLsm::SocketBind(const Task& task, const BindRequest& req) {
+HookVerdict ProtegoLsm::SocketBind(const Task& task, const BindRequest& req, bool* cacheable) {
+  (void)cacheable;  // pure function of (policy, request, creds): cacheable
   if (req.netns != 0) {
     // A port inside a sandbox namespace is not the system's well-known
     // port; allocations do not apply there.
@@ -124,22 +184,41 @@ HookVerdict ProtegoLsm::SocketBind(const Task& task, const BindRequest& req) {
   if (req.port >= 1024) {
     return HookVerdict::kDefault;
   }
-  for (const BindConfEntry& entry : bind_table_) {
-    if (entry.port != req.port) {
-      continue;
+  // The port may carry several (binary, uid) allocations; EVERY entry for
+  // the port must be considered before denying — denying at the first
+  // non-matching entry would make later allocations of the port dead policy.
+  bool allocated = false;
+  if (compiled_enabled_) {
+    const std::vector<BindConfEntry>* allocations = engine_.bind.Find(req.port);
+    if (allocations != nullptr) {
+      allocated = true;
+      for (const BindConfEntry& entry : *allocations) {
+        if (entry.binary == req.binary_path && entry.uid == task.cred.euid) {
+          ++stats_.bind_allowed;
+          return HookVerdict::kAllow;
+        }
+      }
     }
-    // The port is allocated: ONLY the configured (binary, uid) instance may
-    // bind it — root privilege does not override an allocation, which is
-    // what stops a compromised web server from becoming a mail server.
-    if (entry.binary == req.binary_path && entry.uid == task.cred.euid) {
-      ++stats_.bind_allowed;
-      return HookVerdict::kAllow;
+  } else {
+    for (const BindConfEntry& entry : bind_table_) {
+      if (entry.port != req.port) {
+        continue;
+      }
+      allocated = true;
+      if (entry.binary == req.binary_path && entry.uid == task.cred.euid) {
+        ++stats_.bind_allowed;
+        return HookVerdict::kAllow;
+      }
     }
+  }
+  if (allocated) {
+    // The port is allocated and this task is none of its instances: ONLY
+    // the configured (binary, uid) pairs may bind it — root privilege does
+    // not override an allocation, which is what stops a compromised web
+    // server from becoming a mail server.
     ++stats_.bind_denied;
-    kernel_->Audit(StrFormat("protego: bind(%u) denied: port allocated to %s uid=%u, requested by "
-                       "%s uid=%u",
-                       req.port, entry.binary.c_str(), entry.uid, req.binary_path.c_str(),
-                       task.cred.euid));
+    kernel_->Audit(StrFormat("protego: bind(%u) denied: port allocated, requested by %s uid=%u",
+                       req.port, req.binary_path.c_str(), task.cred.euid));
     return HookVerdict::kDeny;
   }
   return HookVerdict::kDefault;  // unallocated port: legacy CAP_NET_BIND_SERVICE rule
@@ -168,12 +247,32 @@ std::vector<const SudoRule*> ProtegoLsm::MatchingRules(Uid invoking_uid,
   if (invoker == nullptr) {
     return matches;
   }
+  if (compiled_enabled_) {
+    // The index pre-resolved subject matching (exact names, %group
+    // membership, ALL) at build time; only runas filtering remains.
+    for (size_t i : engine_.sudoers.RulesForUser(invoker->name)) {
+      const SudoRule& rule = delegation_.rules[i];
+      if (rule.RunasMatches(target)) {
+        matches.push_back(&rule);
+      }
+    }
+    return matches;
+  }
   for (const SudoRule& rule : delegation_.rules) {
     if (RuleSubjectMatches(rule, invoker->name) && rule.RunasMatches(target)) {
       matches.push_back(&rule);
     }
   }
   return matches;
+}
+
+bool ProtegoLsm::RuleCommandMatches(const SudoRule* rule, const std::string& command_line) const {
+  if (compiled_enabled_ && !delegation_.rules.empty() && rule >= delegation_.rules.data() &&
+      rule < delegation_.rules.data() + delegation_.rules.size()) {
+    return engine_.sudoers.CommandMatches(static_cast<size_t>(rule - delegation_.rules.data()),
+                                          command_line);
+  }
+  return rule->CommandMatches(command_line);
 }
 
 bool ProtegoLsm::EnsureAuthenticated(Task& task, Uid account) const {
@@ -337,7 +436,7 @@ HookVerdict ProtegoLsm::BprmCheck(Task& task, const std::string& path, const Ino
   std::vector<const SudoRule*> rules = MatchingRules(task.cred.ruid, target->name);
   std::vector<const SudoRule*> granting;
   for (const SudoRule* rule : rules) {
-    if (rule->CommandMatches(command_line)) {
+    if (RuleCommandMatches(rule, command_line)) {
       granting.push_back(rule);
     }
   }
@@ -410,28 +509,54 @@ HookVerdict ProtegoLsm::BprmCheck(Task& task, const std::string& path, const Ino
 // --- File delegations and reauthentication-gated reads (§4.4/§4.6) -------------------
 
 HookVerdict ProtegoLsm::InodePermission(Task& task, const std::string& path, const Inode& inode,
-                                        int may) {
+                                        int may, bool* cacheable) {
+  (void)inode;
   // Per-binary file delegations first (also how the trusted authentication
   // utility and monitoring daemon read shadow files without recursion).
-  for (const FileDelegation& d : delegation_.file_delegations) {
-    if (d.binary == task.exe_path && GlobMatch(d.path_glob, path) &&
-        (may & ~d.allow_may) == 0) {
-      ++stats_.file_delegations;
-      return HookVerdict::kAllow;
-    }
-  }
-  if ((may & kMayRead) != 0) {
-    for (const std::string& glob : delegation_.reauth_read_globs) {
-      if (GlobMatch(glob, path)) {
-        ++stats_.reauth_reads;
-        if (EnsureAuthenticated(task, inode.uid)) {
-          return HookVerdict::kDefault;  // recency satisfied; DAC still applies
+  bool reauth_gated = false;
+  if (compiled_enabled_) {
+    const std::vector<CompiledDelegation>* delegations =
+        engine_.files.FindDelegations(task.exe_path);
+    if (delegations != nullptr) {
+      for (const CompiledDelegation& d : *delegations) {
+        if (d.path.Matches(path) && (may & ~d.allow_may) == 0) {
+          ++stats_.file_delegations;
+          return HookVerdict::kAllow;
         }
-        kernel_->Audit(StrFormat("protego: read of %s denied: reauthentication failed (uid=%u)",
-                           path.c_str(), task.cred.ruid));
-        return HookVerdict::kDeny;
       }
     }
+    reauth_gated = (may & kMayRead) != 0 && engine_.files.ReauthGated(path);
+  } else {
+    for (const FileDelegation& d : delegation_.file_delegations) {
+      if (d.binary == task.exe_path && GlobMatch(d.path_glob, path) &&
+          (may & ~d.allow_may) == 0) {
+        ++stats_.file_delegations;
+        return HookVerdict::kAllow;
+      }
+    }
+    if ((may & kMayRead) != 0) {
+      for (const std::string& glob : delegation_.reauth_read_globs) {
+        if (GlobMatch(glob, path)) {
+          reauth_gated = true;
+          break;
+        }
+      }
+    }
+  }
+  if (reauth_gated) {
+    // The verdict hinges on authentication recency (and a possible password
+    // exchange), which a cached answer would silently extend forever.
+    *cacheable = false;
+    ++stats_.reauth_reads;
+    // Paper §4.6: the reauthentication challenge is for the LOGGED-IN user
+    // — the invoker proves they are still at the keyboard. Prompting for
+    // the file owner's password would demand root's password of everyone.
+    if (EnsureAuthenticated(task, task.cred.ruid)) {
+      return HookVerdict::kDefault;  // recency satisfied; DAC still applies
+    }
+    kernel_->Audit(StrFormat("protego: read of %s denied: reauthentication failed (uid=%u)",
+                       path.c_str(), task.cred.ruid));
+    return HookVerdict::kDeny;
   }
   return HookVerdict::kDefault;
 }

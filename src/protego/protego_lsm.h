@@ -30,6 +30,7 @@
 #include "src/config/ppp_options.h"
 #include "src/config/sudoers.h"
 #include "src/lsm/module.h"
+#include "src/protego/policy_engine.h"
 
 namespace protego {
 
@@ -44,6 +45,8 @@ inline constexpr Uid kGroupAuthBase = 0x40000000;
 struct ProtegoStats {
   uint64_t mount_allowed = 0;
   uint64_t mount_denied = 0;
+  uint64_t umount_allowed = 0;
+  uint64_t umount_denied = 0;
   uint64_t bind_allowed = 0;
   uint64_t bind_denied = 0;
   uint64_t setuid_deferred = 0;
@@ -74,6 +77,14 @@ class ProtegoLsm : public SecurityModule {
   void SetUserDb(UserDb db);
   void SetPppOptions(PppOptions options);
 
+  // When enabled (the default), hooks consult the compiled indices built at
+  // swap time; when disabled they linear-scan the raw tables. The scan path
+  // is kept as the semantic reference — parity tests compare the two, and
+  // policy_engine_bench uses it as the baseline. Both paths produce
+  // identical verdicts.
+  void set_compiled_engine_enabled(bool enabled) { compiled_enabled_ = enabled; }
+  bool compiled_engine_enabled() const { return compiled_enabled_; }
+
   const std::vector<FstabEntry>& mount_policy() const { return mount_whitelist_; }
   const std::vector<BindConfEntry>& bind_table() const { return bind_table_; }
   const SudoersPolicy& delegation() const { return delegation_; }
@@ -83,25 +94,38 @@ class ProtegoLsm : public SecurityModule {
 
   // --- LSM hooks -------------------------------------------------------------
 
-  HookVerdict SbMount(const Task& task, const MountRequest& req) override;
+  HookVerdict SbMount(const Task& task, const MountRequest& req, bool* cacheable) override;
   HookVerdict SbUmount(const Task& task, const std::string& mountpoint) override;
   HookVerdict SocketCreate(const Task& task, const SocketRequest& req) override;
-  HookVerdict SocketBind(const Task& task, const BindRequest& req) override;
+  HookVerdict SocketBind(const Task& task, const BindRequest& req, bool* cacheable) override;
   HookVerdict TaskFixSetuid(Task& task, const SetuidRequest& req,
                             SetuidDisposition* disposition) override;
   HookVerdict BprmCheck(Task& task, const std::string& path, const Inode& inode,
                         const std::vector<std::string>& argv, ExecControl* control) override;
   HookVerdict InodePermission(Task& task, const std::string& path, const Inode& inode,
-                              int may) override;
+                              int may, bool* cacheable) override;
   HookVerdict FileIoctl(const Task& task, const IoctlRequest& req) override;
 
  private:
+  // Rebuilds every compiled index from the raw tables and invalidates
+  // cached verdicts. Called by each Set*Policy (parse-validate-SWAP-compile).
+  void RecompilePolicies();
+
   // Names matching `user` in a sudoers rule subject: exact name, %group
   // membership, or ALL.
   bool RuleSubjectMatches(const SudoRule& rule, const std::string& user_name) const;
 
   // All delegation rules applying to (invoking user, target user).
   std::vector<const SudoRule*> MatchingRules(Uid invoking_uid, const std::string& target) const;
+
+  // Command match for a rule returned by MatchingRules (compiled or scan).
+  bool RuleCommandMatches(const SudoRule* rule, const std::string& command_line) const;
+
+  // Shared per-entry mount evaluation once device/mountpoint/fstype have
+  // matched: option vetting plus the per-user ownership check for
+  // glob-mountpoint entries (which clears *cacheable).
+  bool MountEntryGrants(const FstabEntry& entry, bool glob_mountpoint, const Task& task,
+                        const MountRequest& req, bool* cacheable) const;
 
   // Enforces the recency requirement: recent auth of the invoking user, or
   // a fresh password exchange via the kernel-launched authentication
@@ -114,6 +138,8 @@ class ProtegoLsm : public SecurityModule {
   SudoersPolicy delegation_;
   UserDb user_db_;
   PppOptions ppp_options_;
+  PolicyEngine engine_;
+  bool compiled_enabled_ = true;
   mutable ProtegoStats stats_;
 };
 

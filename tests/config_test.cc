@@ -122,8 +122,13 @@ TEST(BindConf, ParsesAndValidates) {
   EXPECT_EQ(ParseBindConf("8080 /bin/x 0\n").code(), Errno::kEINVAL);   // >= 1024
   EXPECT_EQ(ParseBindConf("0 /bin/x 0\n").code(), Errno::kEINVAL);      // port 0
   EXPECT_EQ(ParseBindConf("25 relative 0\n").code(), Errno::kEINVAL);   // relative path
-  EXPECT_EQ(ParseBindConf("25 /a 0\n25 /b 1\n").code(), Errno::kEINVAL);  // duplicate
+  EXPECT_EQ(ParseBindConf("25 /a 0\n25 /a 0\n").code(), Errno::kEINVAL);  // literal duplicate
   EXPECT_EQ(ParseBindConf("25 /a\n").code(), Errno::kEINVAL);           // missing uid
+
+  // A port may carry several distinct (binary, uid) allocations.
+  auto multi = ParseBindConf("25 /a 0\n25 /b 1\n");
+  ASSERT_TRUE(multi.ok());
+  EXPECT_EQ(multi.value().size(), 2u);
 }
 
 TEST(PppOptionsTest, DirectivesAndSafety) {

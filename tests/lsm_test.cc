@@ -15,7 +15,7 @@ class FixedModule : public SecurityModule {
  public:
   explicit FixedModule(HookVerdict verdict) : verdict_(verdict) {}
   const char* name() const override { return "fixed"; }
-  HookVerdict SbMount(const Task&, const MountRequest&) override { return verdict_; }
+  HookVerdict SbMount(const Task&, const MountRequest&, bool*) override { return verdict_; }
 
  private:
   HookVerdict verdict_;
@@ -94,18 +94,19 @@ TEST(AppArmorTest, FileRulesConfineOnlyProfiledBinaries) {
 
   Inode inode;
   inode.mode = kIfReg | 0666;
+  bool cacheable = true;
   Task confined = MakeTask(1000, "/usr/sbin/confined");
   Task free_task = MakeTask(1000, "/usr/bin/other");
 
-  EXPECT_EQ(aa.InodePermission(confined, "/var/lib/app/data", inode, kMayWrite),
+  EXPECT_EQ(aa.InodePermission(confined, "/var/lib/app/data", inode, kMayWrite, &cacheable),
             HookVerdict::kDefault);
-  EXPECT_EQ(aa.InodePermission(confined, "/etc/app.conf", inode, kMayRead),
+  EXPECT_EQ(aa.InodePermission(confined, "/etc/app.conf", inode, kMayRead, &cacheable),
             HookVerdict::kDefault);
-  EXPECT_EQ(aa.InodePermission(confined, "/etc/app.conf", inode, kMayWrite),
+  EXPECT_EQ(aa.InodePermission(confined, "/etc/app.conf", inode, kMayWrite, &cacheable),
             HookVerdict::kDeny);
-  EXPECT_EQ(aa.InodePermission(confined, "/etc/shadow", inode, kMayRead), HookVerdict::kDeny);
+  EXPECT_EQ(aa.InodePermission(confined, "/etc/shadow", inode, kMayRead, &cacheable), HookVerdict::kDeny);
   // Unconfined binaries are untouched.
-  EXPECT_EQ(aa.InodePermission(free_task, "/etc/shadow", inode, kMayRead),
+  EXPECT_EQ(aa.InodePermission(free_task, "/etc/shadow", inode, kMayRead, &cacheable),
             HookVerdict::kDefault);
   EXPECT_GE(aa.denials().size(), 2u);
 }
@@ -119,8 +120,9 @@ TEST(AppArmorTest, ComplainModeLogsButAllows) {
   aa.LoadProfile(profile);
   Inode inode;
   inode.mode = kIfReg | 0666;
+  bool cacheable = true;
   Task task = MakeTask(1000, "/bin/learning");
-  EXPECT_EQ(aa.InodePermission(task, "/etc/anything", inode, kMayRead),
+  EXPECT_EQ(aa.InodePermission(task, "/etc/anything", inode, kMayRead, &cacheable),
             HookVerdict::kDefault);
   EXPECT_EQ(aa.denials().size(), 1u);  // recorded anyway
 }

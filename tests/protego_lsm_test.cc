@@ -50,6 +50,44 @@ TEST_F(ProtegoLsmTest, AllocatedPortBindableOnlyByItsInstance) {
   EXPECT_TRUE(sys_.kernel().BindCall(bob, fd5.value(), 8080).ok());
 }
 
+TEST_F(ProtegoLsmTest, SecondAllocationOfSamePortCanBind) {
+  // Regression: SocketBind used to deny at the FIRST entry whose port
+  // matched, so a second (binary, uid) allocation of the same port was dead
+  // policy. All allocations of a port must be scanned before denying.
+  Kernel& k = sys_.kernel();
+  Task& root = sys_.Login("root");
+  ASSERT_TRUE(k.WriteWholeFile(root, "/proc/protego/ports",
+                               "80 /usr/sbin/httpd 33\n"
+                               "80 /usr/sbin/nginx 0\n")
+                  .ok());
+
+  // The SECOND allocation binds fine (pre-fix: the httpd entry denied it).
+  Task& web = sys_.Login("root");
+  web.exe_path = "/usr/sbin/nginx";
+  auto fd = k.SocketCall(web, kAfInet, kSockStream, 0);
+  EXPECT_TRUE(k.BindCall(web, fd.value(), 80).ok());
+  ASSERT_TRUE(k.Close(web, fd.value()).ok());
+
+  // The first allocation still binds, and non-allocated instances are still
+  // refused.
+  Task& www = sys_.Login("www-data");
+  www.exe_path = "/usr/sbin/httpd";
+  auto fd2 = k.SocketCall(www, kAfInet, kSockStream, 0);
+  EXPECT_TRUE(k.BindCall(www, fd2.value(), 80).ok());
+  Task& bob = sys_.Login("bob");
+  bob.exe_path = "/usr/sbin/nginx";
+  auto fd3 = k.SocketCall(bob, kAfInet, kSockStream, 0);
+  EXPECT_EQ(k.BindCall(bob, fd3.value(), 80).code(), Errno::kEACCES);
+
+  // The scan path (compiled engine off) agrees.
+  sys_.lsm()->set_compiled_engine_enabled(false);
+  Task& web2 = sys_.Login("root");
+  web2.exe_path = "/usr/sbin/nginx";
+  ASSERT_TRUE(k.Close(www, fd2.value()).ok());
+  auto fd4 = k.SocketCall(web2, kAfInet, kSockStream, 0);
+  EXPECT_TRUE(k.BindCall(web2, fd4.value(), 80).ok());
+}
+
 // --- Mount whitelist (§4.2) ---------------------------------------------------
 
 TEST_F(ProtegoLsmTest, MountWhitelistMatchesDeviceMountpointTypeOptions) {
@@ -82,6 +120,38 @@ TEST_F(ProtegoLsmTest, UmountHonorsMounterAndUsersOption) {
   // "users" option: anyone may unmount.
   ASSERT_TRUE(k.Mount(alice, "/dev/sdb1", "/media/usb", "vfat", {"rw"}).ok());
   EXPECT_TRUE(k.Umount(bob, "/media/usb").ok());
+}
+
+TEST_F(ProtegoLsmTest, UmountDecisionsCountedSeparatelyFromMounts) {
+  // Regression: SbUmount verdicts used to fold into mount_allowed /
+  // mount_denied, hiding unmount activity. They get their own counters.
+  Kernel& k = sys_.kernel();
+  Task& alice = sys_.Login("alice");
+  Task& bob = sys_.Login("bob");
+  const ProtegoStats& s = sys_.lsm()->stats();
+  uint64_t mount_allowed = s.mount_allowed;
+  uint64_t mount_denied = s.mount_denied;
+  uint64_t umount_allowed = s.umount_allowed;
+  uint64_t umount_denied = s.umount_denied;
+
+  ASSERT_TRUE(k.Mount(alice, "/dev/cdrom", "/media/cdrom", "iso9660", {"ro"}).ok());
+  EXPECT_EQ(k.Umount(bob, "/media/cdrom").code(), Errno::kEPERM);
+  EXPECT_TRUE(k.Umount(alice, "/media/cdrom").ok());
+
+  EXPECT_EQ(s.umount_allowed, umount_allowed + 1);
+  EXPECT_EQ(s.umount_denied, umount_denied + 1);
+  // Mount counters saw exactly the one mount, none of the umount traffic.
+  EXPECT_EQ(s.mount_allowed, mount_allowed + 1);
+  EXPECT_EQ(s.mount_denied, mount_denied);
+
+  // The split shows up in /proc/protego/status.
+  std::string status = k.ReadWholeFile(alice, "/proc/protego/status").value();
+  EXPECT_NE(status.find(StrFormat("umount_allowed %llu\n",
+                                  (unsigned long long)s.umount_allowed)),
+            std::string::npos);
+  EXPECT_NE(status.find(StrFormat("umount_denied %llu\n",
+                                  (unsigned long long)s.umount_denied)),
+            std::string::npos);
 }
 
 // --- Delegation (§4.3) ----------------------------------------------------------
@@ -223,6 +293,33 @@ TEST_F(ProtegoLsmTest, ShadowFragmentsRequireReauthentication) {
   Task& bob = sys_.Login("bob");
   bob.terminal->QueueInput("bobpw");
   EXPECT_EQ(k.ReadWholeFile(bob, "/etc/shadows/alice").code(), Errno::kEACCES);
+}
+
+TEST_F(ProtegoLsmTest, ReauthChallengesInvokingUserNotFileOwner) {
+  // Regression: the reauth gate used to call EnsureAuthenticated with the
+  // file owner's uid (inode.uid), so reading a reauth-gated ROOT-OWNED file
+  // demanded root's password from an ordinary user. §4.6's challenge is for
+  // the logged-in user's own password.
+  Kernel& k = sys_.kernel();
+  Task& root = sys_.Login("root");
+  std::string sudoers = k.ReadWholeFile(root, "/proc/protego/sudoers").value();
+  ASSERT_TRUE(k.WriteWholeFile(root, "/proc/protego/sudoers",
+                               sudoers + "Reauth_Read /etc/secrets/*\n")
+                  .ok());
+  ASSERT_TRUE(k.Mkdir(root, "/etc/secrets", 0755).ok());
+  ASSERT_TRUE(k.WriteWholeFile(root, "/etc/secrets/config", "s3cret", false, 0644).ok());
+
+  // alice passes DAC (0644) and reauthenticates with HER OWN password.
+  // Pre-fix, this prompted for root's password and "alicepw" was rejected.
+  Task& alice = sys_.Login("alice");
+  alice.terminal->QueueInput("alicepw");
+  auto read = k.ReadWholeFile(alice, "/etc/secrets/config");
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), "s3cret");
+
+  // Without authenticating, the gate still denies.
+  Task& alice2 = sys_.Login("alice");
+  EXPECT_EQ(k.ReadWholeFile(alice2, "/etc/secrets/config").code(), Errno::kEACCES);
 }
 
 // --- PPP / routes (§4.1.2) ---------------------------------------------------------

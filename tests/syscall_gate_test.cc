@@ -24,11 +24,13 @@ class SpyModule : public SecurityModule {
   }
 
   HookVerdict InodePermission(Task& task, const std::string& path, const Inode& inode,
-                              int may) override {
+                              int may, bool* cacheable) override {
     (void)task;
     (void)path;
     (void)inode;
     (void)may;
+    // Keep the spy's counters exact: a cached verdict would skip this body.
+    *cacheable = false;
     inode_permission_calls++;
     return HookVerdict::kDefault;
   }
