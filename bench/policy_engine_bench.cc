@@ -83,6 +83,10 @@ int main(int argc, char** argv) {
   SimSystem sys(SimMode::kProtego);
   ProtegoLsm* protego_lsm = sys.lsm();
   LsmStack& stack = sys.kernel().lsm();
+  // Tracing off for the measurement: this bench isolates policy-engine cost,
+  // and its numbers are compared against the pre-tracepoint baseline.
+  // (observability_bench measures the tracing overhead itself.)
+  sys.kernel().tracer().set_enabled(false);
 
   std::vector<Row> rows;
   for (int size : kSizes) {
@@ -152,6 +156,7 @@ int main(int argc, char** argv) {
   // Restore boot defaults.
   protego_lsm->set_compiled_engine_enabled(true);
   stack.set_decision_cache_enabled(true);
+  sys.kernel().tracer().set_enabled(true);
 
   FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {

@@ -43,5 +43,33 @@ int main() {
   // 5. Everything above went through the unified syscall entry path.
   auto stats = sys.kernel().ReadWholeFile(root, "/proc/protego/syscall_stats");
   std::printf("\n/proc/protego/syscall_stats:\n%s", stats.value_or("<unreadable>").c_str());
+
+  // 6. WHY was that mount refused? Every syscall opens a decision span;
+  // /proc/protego/trace renders the full derivation tree — the strace-shaped
+  // record plus each LSM module's verdict beneath it. Filter to mount(2).
+  (void)sys.kernel().WriteWholeFile(root, "/proc/protego/trace", "clear");
+  auto denied = sys.kernel().Mount(alice, "/dev/sda1", "/home", "ext4", {});
+  (void)denied;
+  (void)sys.kernel().WriteWholeFile(root, "/proc/protego/trace", "?syscall=mount");
+  auto trace = sys.kernel().ReadWholeFile(root, "/proc/protego/trace");
+  std::printf("\n/proc/protego/trace (filtered: ?syscall=mount):\n%s",
+              trace.value_or("<unreadable>").c_str());
+  (void)sys.kernel().WriteWholeFile(root, "/proc/protego/trace", "?");
+
+  // 7. And the same counters as Prometheus metrics (excerpt).
+  auto metrics = sys.kernel().ReadWholeFile(root, "/proc/protego/metrics");
+  std::string excerpt;
+  size_t lines = 0;
+  for (size_t pos = 0; pos < metrics.value_or("").size() && lines < 12;) {
+    size_t nl = metrics.value().find('\n', pos);
+    std::string line = metrics.value().substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.rfind("protego_policy_decisions_total", 0) == 0 ||
+        line.rfind("protego_syscall_latency_ticks_bucket{syscall=\"mount\"", 0) == 0) {
+      excerpt += line + "\n";
+      ++lines;
+    }
+  }
+  std::printf("\n/proc/protego/metrics (excerpt):\n%s", excerpt.c_str());
   return 0;
 }

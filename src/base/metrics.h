@@ -1,0 +1,113 @@
+// The metrics registry: counters, gauges, and log2-bucket latency histograms,
+// exported in Prometheus text exposition format (/proc/protego/metrics) and
+// as JSON (for the bench harness).
+//
+// Design: instrumented components keep their own flat-array hot-path storage
+// (the syscall gate's per-syscall counters, the LSM stack's per-hook tallies)
+// and register a *collector* callback here. Export walks the collectors and
+// assembles one consistent snapshot — so /proc/protego/metrics, the legacy
+// /proc files, and the C++ accessors all read the same underlying counters,
+// with zero extra cost on the syscall path.
+//
+// Histogram is the embeddable hot-path type: fixed power-of-two buckets
+// (0, 1, 2, 4, ..., 2^30, +Inf), one clz and three increments per Observe.
+
+#ifndef SRC_BASE_METRICS_H_
+#define SRC_BASE_METRICS_H_
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace protego {
+
+// Log2-bucket histogram. Upper bounds: 0, 1, 2, 4, ..., 2^30, +Inf.
+class Histogram {
+ public:
+  // Bucket 0 holds exact zeros; buckets 1..31 hold (2^(i-2), 2^(i-1)];
+  // the last bucket is +Inf.
+  static constexpr size_t kBuckets = 33;
+
+  void Observe(uint64_t v) {
+    buckets_[BucketIndex(v)]++;
+    sum_ += v;
+    count_++;
+  }
+
+  static size_t BucketIndex(uint64_t v) {
+    if (v == 0) {
+      return 0;
+    }
+    size_t idx = 1 + static_cast<size_t>(std::bit_width(v - 1));
+    return idx < kBuckets ? idx : kBuckets - 1;
+  }
+
+  // Upper bound of bucket `i`; the last is reported as "+Inf".
+  static uint64_t BucketBound(size_t i) {
+    return i == 0 ? 0 : uint64_t{1} << (i - 1);
+  }
+
+  uint64_t bucket(size_t i) const { return buckets_[i]; }
+  uint64_t sum() const { return sum_; }
+  uint64_t count() const { return count_; }
+
+  void Reset() {
+    for (uint64_t& b : buckets_) {
+      b = 0;
+    }
+    sum_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  uint64_t buckets_[kBuckets] = {};
+  uint64_t sum_ = 0;
+  uint64_t count_ = 0;
+};
+
+// Label set, e.g. {{"syscall", "open"}}. Order is preserved in the output.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+// Collectors report samples through this interface; the registry assembles
+// them into families. Repeated calls with the same name append samples to
+// the same family (help/type from the first call win).
+class MetricsBuilder {
+ public:
+  virtual ~MetricsBuilder() = default;
+  virtual void Counter(const std::string& name, const std::string& help,
+                       MetricLabels labels, uint64_t value) = 0;
+  virtual void Gauge(const std::string& name, const std::string& help,
+                     MetricLabels labels, double value) = 0;
+  virtual void Histo(const std::string& name, const std::string& help,
+                     MetricLabels labels, const Histogram& h) = 0;
+};
+
+class MetricsRegistry {
+ public:
+  using Collector = std::function<void(MetricsBuilder&)>;
+
+  // Registers a collector invoked on every export, in registration order.
+  void AddCollector(Collector collector) {
+    collectors_.push_back(std::move(collector));
+  }
+
+  size_t collector_count() const { return collectors_.size(); }
+
+  // Prometheus text exposition format: # HELP / # TYPE headers, escaped
+  // label values, cumulative histogram buckets ending in le="+Inf" plus
+  // _sum and _count. Families are emitted sorted by name.
+  std::string PrometheusText() const;
+
+  // The same snapshot as JSON, for the bench harness.
+  std::string Json() const;
+
+ private:
+  std::vector<Collector> collectors_;
+};
+
+}  // namespace protego
+
+#endif  // SRC_BASE_METRICS_H_

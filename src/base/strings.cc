@@ -84,16 +84,24 @@ std::optional<uint64_t> ParseUint(std::string_view s) {
 }
 
 std::string StrFormat(const char* fmt, ...) {
+  // Single-pass fast path: most callers (trace events, audit lines, proc
+  // rows) fit comfortably in a stack buffer; only oversized results pay a
+  // second vsnprintf.
+  char buf[512];
   va_list args;
   va_start(args, fmt);
   va_list args_copy;
   va_copy(args_copy, args);
-  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  int needed = std::vsnprintf(buf, sizeof(buf), fmt, args);
   va_end(args);
   std::string out;
   if (needed > 0) {
-    out.resize(static_cast<size_t>(needed));
-    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+    if (static_cast<size_t>(needed) < sizeof(buf)) {
+      out.assign(buf, static_cast<size_t>(needed));
+    } else {
+      out.resize(static_cast<size_t>(needed));
+      std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+    }
   }
   va_end(args_copy);
   return out;

@@ -1,0 +1,235 @@
+#include "src/base/tracepoint.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/base/result.h"
+#include "src/base/strings.h"
+
+namespace protego {
+
+const char* TracepointName(TracepointId tp) {
+  switch (tp) {
+    case TracepointId::kSyscall: return "syscall";
+    case TracepointId::kLsmHook: return "lsm_hook";
+    case TracepointId::kLsmDecision: return "lsm_decision";
+    case TracepointId::kCapable: return "capable";
+    case TracepointId::kVfsPermission: return "vfs_permission";
+    case TracepointId::kVfsMount: return "vfs_mount";
+    case TracepointId::kNetfilter: return "netfilter";
+    case TracepointId::kCredChange: return "cred_change";
+    case TracepointId::kCount: break;
+  }
+  return "?";
+}
+
+uint64_t Tracer::BeginSpan() {
+  OpenSpan s;
+  s.id = next_span_++;
+  s.parent = current_span();
+  open_spans_.push_back(s);
+  return s.id;
+}
+
+void Tracer::EndSpan(uint64_t span) {
+  if (!open_spans_.empty() && open_spans_.back().id == span) {
+    open_spans_.pop_back();
+  }
+}
+
+TraceEvent& Tracer::Emit(TracepointId tp, int pid) {
+  TraceEvent& ev = ring_[seq_ % capacity_];
+  ev.seq = seq_++;
+  ev.tick = clock_->Now();
+  ev.span = current_span();
+  ev.parent = open_spans_.empty() ? 0 : open_spans_.back().parent;
+  ev.tp = tp;
+  ev.pid = pid;
+  ev.code = 0;
+  ev.flags = 0;
+  ev.a = 0;
+  ev.dur = 0;
+  ev.sname = "";
+  ev.sdetail = "";
+  ev.svalue = "";
+  ev.comm.clear();
+  ev.detail.clear();
+  return ev;
+}
+
+TraceEvent& Tracer::EmitSpanRoot(TracepointId tp, int pid, uint64_t span) {
+  TraceEvent& ev = Emit(tp, pid);
+  ev.span = span;
+  ev.parent = 0;
+  // The span is normally still open (roots are emitted at syscall exit,
+  // just before EndSpan), so its parent is on the open stack.
+  for (auto it = open_spans_.rbegin(); it != open_spans_.rend(); ++it) {
+    if (it->id == span) {
+      ev.parent = it->parent;
+      break;
+    }
+  }
+  return ev;
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::vector<TraceEvent> out;
+  size_t count = std::min<uint64_t>(seq_, capacity_);
+  out.reserve(count);
+  uint64_t first = seq_ - count;
+  for (uint64_t s = first; s < seq_; ++s) {
+    out.push_back(ring_[s % capacity_]);
+  }
+  return out;
+}
+
+void Tracer::Clear() {
+  for (TraceEvent& ev : ring_) {
+    ev = TraceEvent{};
+  }
+  seq_ = 0;
+  // next_span_ is NOT reset: spans may still be open (the very write(2)
+  // performing the clear), and stale ids must never be reissued.
+}
+
+namespace {
+
+std::string RenderEvent(const TraceEvent& ev, bool orphan) {
+  std::string line;
+  switch (ev.tp) {
+    case TracepointId::kSyscall: {
+      std::string result = ev.code == 0
+                               ? "0"
+                               : StrFormat("-1 %s", ErrnoName(static_cast<Errno>(ev.code)));
+      if (ev.flags & kTraceFlagSeccompDenied) {
+        result += " (seccomp)";
+      }
+      line = StrFormat("%llu t=%llu span=%llu pid=%d %s %s(%s) = %s dur_ns=%llu",
+                       (unsigned long long)ev.seq, (unsigned long long)ev.tick,
+                       (unsigned long long)ev.span, ev.pid, ev.comm.c_str(), ev.sname,
+                       ev.detail.c_str(), result.c_str(), (unsigned long long)ev.dur);
+      break;
+    }
+    case TracepointId::kLsmHook:
+      line = StrFormat("%llu lsm:%s module=%s -> %s", (unsigned long long)ev.seq,
+                       ev.sname, ev.sdetail, ev.svalue);
+      break;
+    case TracepointId::kLsmDecision: {
+      const char* cache = (ev.flags & kTraceFlagCacheHit)    ? "hit"
+                          : (ev.flags & kTraceFlagCacheMiss) ? "miss"
+                                                             : "-";
+      line = StrFormat("%llu lsm:%s verdict=%s cache=%s", (unsigned long long)ev.seq,
+                       ev.sname, ev.svalue, cache);
+      break;
+    }
+    case TracepointId::kCapable:
+      line = StrFormat("%llu capable %s -> %s", (unsigned long long)ev.seq, ev.sname,
+                       ev.code != 0 ? "granted" : "denied");
+      break;
+    case TracepointId::kVfsPermission:
+      line = StrFormat("%llu vfs:inode_permission \"%s\" may=0x%llx -> %s",
+                       (unsigned long long)ev.seq, ev.detail.c_str(),
+                       (unsigned long long)ev.a,
+                       ev.code == 0 ? "ok" : ErrnoName(static_cast<Errno>(ev.code)));
+      break;
+    case TracepointId::kVfsMount:
+      line = StrFormat("%llu vfs:%s %s", (unsigned long long)ev.seq, ev.sname,
+                       ev.detail.c_str());
+      break;
+    case TracepointId::kNetfilter:
+      line = StrFormat("%llu netfilter chain=%s -> %s", (unsigned long long)ev.seq,
+                       ev.sname, ev.sdetail);
+      if (!ev.detail.empty()) {
+        line += StrFormat(" rule=\"%s\"", ev.detail.c_str());
+      }
+      break;
+    case TracepointId::kCredChange:
+      line = StrFormat("%llu cred:%s pid=%d %s", (unsigned long long)ev.seq, ev.sname,
+                       ev.pid, ev.detail.c_str());
+      break;
+    case TracepointId::kCount:
+      break;
+  }
+  if (orphan) {
+    line += StrFormat(" [orphan span=%llu]", (unsigned long long)ev.span);
+  }
+  return line;
+}
+
+}  // namespace
+
+std::string Tracer::Format() const {
+  std::vector<TraceEvent> events = Snapshot();
+
+  // Spans whose root (kSyscall) event is still retained.
+  std::unordered_set<uint64_t> rooted;
+  for (const TraceEvent& ev : events) {
+    if (ev.tp == TracepointId::kSyscall && ev.span != 0) {
+      rooted.insert(ev.span);
+    }
+  }
+  // Children of a span: its non-root events, plus nested span roots.
+  std::unordered_map<uint64_t, std::vector<size_t>> kids;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& ev = events[i];
+    uint64_t under = ev.tp == TracepointId::kSyscall ? ev.parent : ev.span;
+    if (under != 0 && rooted.count(under) != 0) {
+      kids[under].push_back(i);
+    }
+  }
+
+  const TraceFilter& f = read_filter_;
+  std::string out;
+  auto indent = [&out](int depth) { out.append(static_cast<size_t>(depth) * 2, ' '); };
+
+  // Render `idx` and, if it is a span root, its subtree.
+  auto render = [&](auto&& self, size_t idx, int depth) -> void {
+    const TraceEvent& ev = events[idx];
+    bool orphan = ev.tp != TracepointId::kSyscall && ev.span != 0 &&
+                  rooted.count(ev.span) == 0;
+    indent(depth);
+    out += RenderEvent(ev, orphan);
+    out += "\n";
+    if (ev.tp == TracepointId::kSyscall) {
+      auto it = kids.find(ev.span);
+      if (it != kids.end()) {
+        for (size_t child : it->second) {
+          self(self, child, depth + 1);
+        }
+      }
+    }
+  };
+
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& ev = events[i];
+    bool is_root = ev.tp == TracepointId::kSyscall &&
+                   (ev.parent == 0 || rooted.count(ev.parent) == 0);
+    bool is_standalone = ev.tp != TracepointId::kSyscall &&
+                         (ev.span == 0 || rooted.count(ev.span) == 0);
+    if (!is_root && !is_standalone) {
+      continue;  // rendered under its span root
+    }
+    if (f.pid >= 0 && ev.pid != f.pid) {
+      continue;
+    }
+    if (!f.syscall.empty() && (ev.tp != TracepointId::kSyscall || f.syscall != ev.sname)) {
+      continue;
+    }
+    if (f.span != 0 && ev.span != f.span) {
+      continue;
+    }
+    render(render, i, 0);
+  }
+  if (dropped() > 0) {
+    out += StrFormat("# dropped: %llu\n", (unsigned long long)dropped());
+  }
+  if (f.active()) {
+    out += StrFormat("# filter: pid=%d syscall=%s span=%llu\n", f.pid,
+                     f.syscall.empty() ? "*" : f.syscall.c_str(),
+                     (unsigned long long)f.span);
+  }
+  return out;
+}
+
+}  // namespace protego

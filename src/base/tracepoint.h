@@ -1,0 +1,185 @@
+// Kernel-wide tracepoints: a static registry of typed decision points with
+// per-point enable bits and one bounded structured event ring, modeled on
+// ftrace/perf_events.
+//
+// Every instrumented site (syscall gate, LSM hook dispatch, VFS permission
+// walks, netfilter verdicts, cred transitions) emits TraceEvents into the
+// same ring, so /proc/protego/trace can interleave them in causal order.
+//
+// Causal decision spans: each syscall entry allocates a span id (a stack,
+// since syscalls nest via Spawn/Execve). Every event emitted while a span is
+// open is stamped with the innermost span id; the syscall's own event — the
+// span root — is emitted at exit. The Format() renderer groups child events
+// under their root, producing the full allow/deny derivation tree for one
+// call: the strace line plus the hook verdicts underneath it.
+//
+// Hot-path discipline: Enabled(tp) is a master-bit AND a per-point-bit test
+// (two loads, one branch) — the only cost when tracing is off. Event slots
+// are preallocated and reused; the name/detail/value fields that always come
+// from string literals (hook names, module names, verdict names) are stored
+// as const char* so the LSM fast path allocates nothing. Only free-form
+// payloads (syscall args, paths, rule comments) use the std::string fields,
+// which reuse slot capacity.
+
+#ifndef SRC_BASE_TRACEPOINT_H_
+#define SRC_BASE_TRACEPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/clock.h"
+
+namespace protego {
+
+// The static tracepoint registry. Adding a decision point means adding an
+// id here and a renderer arm in tracepoint.cc.
+enum class TracepointId : uint8_t {
+  kSyscall = 0,     // syscall completion (the span root; strace-shaped)
+  kLsmHook,         // one module's verdict for one hook dispatch
+  kLsmDecision,     // the stack's combined verdict (+ cache hit/miss)
+  kCapable,         // security_capable() consultation
+  kVfsPermission,   // DAC+LSM inode_permission walk outcome
+  kVfsMount,        // mount table change (attach/detach)
+  kNetfilter,       // chain verdict for one packet
+  kCredChange,      // setuid/setgid/execve credential transition
+  kCount,           // sentinel
+};
+
+inline constexpr size_t kTracepointCount = static_cast<size_t>(TracepointId::kCount);
+
+const char* TracepointName(TracepointId tp);
+
+// TraceEvent.flags bits.
+inline constexpr uint32_t kTraceFlagSeccompDenied = 1u << 0;  // killed at entry
+inline constexpr uint32_t kTraceFlagCacheHit = 1u << 1;       // decision-cache hit
+inline constexpr uint32_t kTraceFlagCacheMiss = 1u << 2;      // decision-cache miss
+inline constexpr uint32_t kTraceFlagDenied = 1u << 3;         // outcome was a refusal
+
+// One ring slot. Which fields are meaningful depends on `tp`; the renderer
+// in tracepoint.cc is the authoritative decoding.
+struct TraceEvent {
+  uint64_t seq = 0;     // monotonically increasing since last Clear()
+  uint64_t tick = 0;    // virtual clock at emission
+  uint64_t span = 0;    // innermost open span (0 = outside any syscall)
+  uint64_t parent = 0;  // enclosing span (only meaningful for span roots)
+  TracepointId tp = TracepointId::kSyscall;
+  int pid = 0;
+  int code = 0;         // errno (syscall/vfs) or boolean outcome (capable)
+  uint32_t flags = 0;
+  uint64_t a = 0;       // scalar payload: sysno, may-mask, capability, ...
+  uint64_t dur = 0;     // nanoseconds (syscall roots, when timing is on)
+  // Static-string payloads — MUST point at string literals or other
+  // immortal storage; never freed, never copied.
+  const char* sname = "";   // syscall/hook/chain/transition name
+  const char* sdetail = ""; // module name, verdict, errno name
+  const char* svalue = "";  // combined verdict, secondary outcome
+  // Free-form payloads; assignment reuses the slot's capacity.
+  std::string comm;
+  std::string detail;  // syscall args, path, rule comment
+};
+
+// Read-side filter for Format(), set via /proc/protego/trace writes
+// ("?pid=N&syscall=name&span=N"). Default-constructed = match everything.
+struct TraceFilter {
+  int pid = -1;         // -1 = any
+  std::string syscall;  // empty = any (matches the span root's name)
+  uint64_t span = 0;    // 0 = any
+
+  bool active() const { return pid >= 0 || !syscall.empty() || span != 0; }
+};
+
+class Tracer {
+ public:
+  explicit Tracer(const Clock* clock, size_t capacity)
+      : clock_(clock), capacity_(capacity) {
+    ring_.resize(capacity_);
+    point_mask_ = (1u << kTracepointCount) - 1;  // all points on at boot
+  }
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Master switch (the /proc/protego/trace "on"/"off" toggle).
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  // Per-point enable bits.
+  bool point_enabled(TracepointId tp) const {
+    return (point_mask_ & (1u << static_cast<unsigned>(tp))) != 0;
+  }
+  void set_point_enabled(TracepointId tp, bool on) {
+    if (on) {
+      point_mask_ |= 1u << static_cast<unsigned>(tp);
+    } else {
+      point_mask_ &= ~(1u << static_cast<unsigned>(tp));
+    }
+  }
+
+  // The hot-path guard every instrumented site tests before formatting
+  // anything: master bit AND per-point bit.
+  bool Enabled(TracepointId tp) const {
+    return enabled_ && (point_mask_ & (1u << static_cast<unsigned>(tp))) != 0;
+  }
+
+  // --- Decision spans --------------------------------------------------------
+
+  // Opens a span nested inside the current one; returns its id (never 0).
+  uint64_t BeginSpan();
+  // Closes `span`. Tolerates mismatched ids (pops only if it is innermost).
+  void EndSpan(uint64_t span);
+  // Innermost open span id, or 0.
+  uint64_t current_span() const {
+    return open_spans_.empty() ? 0 : open_spans_.back().id;
+  }
+
+  // --- Emission --------------------------------------------------------------
+
+  // Claims the next ring slot, stamps seq/tick/pid and the current span, and
+  // resets the payload fields. Callers fill in the rest. Callers MUST gate
+  // on Enabled(tp) themselves.
+  TraceEvent& Emit(TracepointId tp, int pid);
+
+  // Emission variant for span roots (syscall exit): the event is stamped
+  // with `span` itself (not the innermost open span) and with that span's
+  // parent, so nested syscalls chain correctly.
+  TraceEvent& EmitSpanRoot(TracepointId tp, int pid, uint64_t span);
+
+  // --- Read side -------------------------------------------------------------
+
+  // Retained events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  uint64_t seq() const { return seq_; }
+  // Events overwritten since the last Clear().
+  uint64_t dropped() const { return seq_ > capacity_ ? seq_ - capacity_ : 0; }
+
+  void set_read_filter(TraceFilter filter) { read_filter_ = std::move(filter); }
+  const TraceFilter& read_filter() const { return read_filter_; }
+
+  // The /proc/protego/trace body: decision trees (span roots with their
+  // child events indented beneath), oldest first, honoring read_filter().
+  std::string Format() const;
+
+ private:
+  struct OpenSpan {
+    uint64_t id = 0;
+    uint64_t parent = 0;
+  };
+
+  const Clock* clock_;
+  size_t capacity_;
+  bool enabled_ = true;
+  uint32_t point_mask_ = 0;
+  std::vector<TraceEvent> ring_;  // fixed `capacity_` slots, reused
+  uint64_t seq_ = 0;              // next sequence number
+  uint64_t next_span_ = 1;        // span ids survive Clear() (spans may be open)
+  std::vector<OpenSpan> open_spans_;
+  TraceFilter read_filter_;
+};
+
+}  // namespace protego
+
+#endif  // SRC_BASE_TRACEPOINT_H_

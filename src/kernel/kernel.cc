@@ -48,6 +48,35 @@ bool ProcessContext::HasFlag(std::string_view name) const {
 
 Kernel::Kernel() : vfs_(&clock_), gate_(&clock_) {
   gate_.set_audit_sink([this](std::string message) { Audit(std::move(message)); });
+  // Every subsystem emits into the one kernel-wide tracer so a syscall's
+  // decision span threads through LSM, VFS, and netfilter events.
+  gate_.set_tracer(&tracer_);
+  lsm_.AttachObservability(&tracer_, &clock_);
+  vfs_.set_tracer(&tracer_);
+  net_.netfilter().set_tracer(&tracer_);
+  metrics_.AddCollector([this](MetricsBuilder& b) {
+    gate_.CollectMetrics(b);
+    lsm_.CollectMetrics(b);
+    CollectKernelMetrics(b);
+  });
+}
+
+void Kernel::CollectKernelMetrics(MetricsBuilder& b) const {
+  b.Counter("protego_audit_records_total", "Audit records pushed since boot.", {},
+            audit_ring_.size() + audit_ring_.dropped());
+  b.Counter("protego_audit_dropped_total", "Audit records lost to ring overflow.", {},
+            audit_ring_.dropped());
+  b.Counter("protego_netfilter_evaluated_total", "Packets run through netfilter chains.", {},
+            net_.netfilter().evaluated());
+  b.Counter("protego_netfilter_dropped_total", "Packets dropped by netfilter rules.", {},
+            net_.netfilter().dropped());
+  b.Counter("protego_vfs_resolves_total", "VFS path resolutions since boot.", {},
+            vfs_.resolves());
+  b.Counter("protego_trace_events_total", "Trace events emitted since boot.", {},
+            tracer_.seq());
+  b.Counter("protego_trace_dropped_total", "Trace events overwritten in the ring.", {},
+            tracer_.dropped());
+  b.Gauge("protego_tasks", "Live tasks.", {}, static_cast<double>(tasks_.size()));
 }
 
 Task& Kernel::CreateTask(std::string comm, Cred cred, Terminal* terminal, int ppid) {
@@ -114,7 +143,19 @@ std::string Kernel::JoinPath(const Task& task, const std::string& path) {
   return Vfs::Normalize(task.cwd + "/" + path);
 }
 
-bool Kernel::Capable(const Task& task, Capability cap) const { return lsm_.Capable(task, cap); }
+bool Kernel::Capable(const Task& task, Capability cap) const {
+  bool ok = lsm_.Capable(task, cap);
+  if (tracer_.Enabled(TracepointId::kCapable)) {
+    TraceEvent& ev = tracer_.Emit(TracepointId::kCapable, task.pid);
+    ev.sname = CapabilityName(cap);
+    ev.a = static_cast<uint64_t>(cap);
+    ev.code = ok ? 1 : 0;
+    if (!ok) {
+      ev.flags |= kTraceFlagDenied;
+    }
+  }
+  return ok;
+}
 
 void Kernel::Audit(std::string message) {
   audit_ring_.Push(message);
@@ -134,6 +175,27 @@ std::optional<Uid> Kernel::AuthenticateAny(Task& task, const std::vector<Uid>& a
 
 Result<Unit> Kernel::CheckPermission(Task& task, const std::string& path, const Inode& inode,
                                      int may) {
+  Result<Unit> r = CheckPermissionImpl(task, path, inode, may);
+  if (tracer_.Enabled(TracepointId::kVfsPermission)) {
+    TraceEvent& ev = tracer_.Emit(TracepointId::kVfsPermission, task.pid);
+    ev.detail = path;
+    ev.a = static_cast<uint64_t>(may);
+    ev.code = r.ok() ? 0 : static_cast<int>(r.code());
+    if (!r.ok()) {
+      ev.flags |= kTraceFlagDenied;
+    }
+  }
+  return r;
+}
+
+void Kernel::EmitCredChange(const Task& task, const char* what, std::string detail) {
+  TraceEvent& ev = tracer_.Emit(TracepointId::kCredChange, task.pid);
+  ev.sname = what;
+  ev.detail = std::move(detail);
+}
+
+Result<Unit> Kernel::CheckPermissionImpl(Task& task, const std::string& path, const Inode& inode,
+                                         int may) {
   HookVerdict verdict = lsm_.InodePermission(task, path, inode, may);
   if (verdict == HookVerdict::kDeny) {
     return Error(Errno::kEACCES, path);
@@ -552,12 +614,17 @@ Result<Unit> Kernel::SetuidImpl(Task& task, Uid uid) {
     return Error(Errno::kEPERM, "setuid");
   }
   Uid old_euid = task.cred.euid;
+  Uid old_ruid = task.cred.ruid;
   if (verdict == HookVerdict::kAllow) {
     if (disposition.defer_to_exec) {
       // Protego setuid-on-exec: report success now, transition at execve.
       task.pending_setuid.active = true;
       task.pending_setuid.target_uid = uid;
       task.pending_setuid.has_gid = false;
+      if (TraceCredOn()) {
+        EmitCredChange(task, "setuid_deferred",
+                       StrFormat("target uid=%u (transition at exec)", uid));
+      }
       return OkUnit();
     }
     task.cred.ruid = task.cred.euid = task.cred.suid = task.cred.fsuid = uid;
@@ -571,6 +638,10 @@ Result<Unit> Kernel::SetuidImpl(Task& task, Uid uid) {
       RecomputeCapsAfterSetuid(task.cred, old_euid);
     }
     task.lsm_cache.Clear();
+    if (TraceCredOn()) {
+      EmitCredChange(task, "setuid",
+                     StrFormat("uid %u->%u euid %u->%u", old_ruid, uid, old_euid, uid));
+    }
     return OkUnit();
   }
   // Legacy rule (stock Linux).
@@ -578,12 +649,19 @@ Result<Unit> Kernel::SetuidImpl(Task& task, Uid uid) {
     task.cred.ruid = task.cred.euid = task.cred.suid = task.cred.fsuid = uid;
     RecomputeCapsAfterSetuid(task.cred, old_euid);
     task.lsm_cache.Clear();
+    if (TraceCredOn()) {
+      EmitCredChange(task, "setuid",
+                     StrFormat("uid %u->%u euid %u->%u", old_ruid, uid, old_euid, uid));
+    }
     return OkUnit();
   }
   if (uid == task.cred.ruid || uid == task.cred.suid) {
     task.cred.euid = task.cred.fsuid = uid;
     RecomputeCapsAfterSetuid(task.cred, old_euid);
     task.lsm_cache.Clear();
+    if (TraceCredOn()) {
+      EmitCredChange(task, "setuid", StrFormat("euid %u->%u", old_euid, uid));
+    }
     return OkUnit();
   }
   return Error(Errno::kEPERM, "setuid");
@@ -601,6 +679,9 @@ Result<Unit> Kernel::SeteuidImpl(Task& task, Uid uid) {
     task.cred.euid = task.cred.fsuid = uid;
     RecomputeCapsAfterSetuid(task.cred, old_euid);
     task.lsm_cache.Clear();
+    if (TraceCredOn()) {
+      EmitCredChange(task, "seteuid", StrFormat("euid %u->%u", old_euid, uid));
+    }
     return OkUnit();
   }
   return Error(Errno::kEPERM, "seteuid");
@@ -621,26 +702,43 @@ Result<Unit> Kernel::SetgidImpl(Task& task, Gid gid) {
   if (verdict == HookVerdict::kDeny) {
     return Error(Errno::kEPERM, "setgid");
   }
+  Gid old_rgid = task.cred.rgid;
+  Gid old_egid = task.cred.egid;
   if (verdict == HookVerdict::kAllow) {
     if (disposition.defer_to_exec) {
       task.pending_setuid.active = true;
       task.pending_setuid.target_uid = task.cred.ruid;
       task.pending_setuid.has_gid = true;
       task.pending_setuid.target_gid = gid;
+      if (TraceCredOn()) {
+        EmitCredChange(task, "setgid_deferred",
+                       StrFormat("target gid=%u (transition at exec)", gid));
+      }
       return OkUnit();
     }
     task.cred.rgid = task.cred.egid = task.cred.sgid = task.cred.fsgid = gid;
     task.lsm_cache.Clear();
+    if (TraceCredOn()) {
+      EmitCredChange(task, "setgid",
+                     StrFormat("gid %u->%u egid %u->%u", old_rgid, gid, old_egid, gid));
+    }
     return OkUnit();
   }
   if (Capable(task, Capability::kSetgid)) {
     task.cred.rgid = task.cred.egid = task.cred.sgid = task.cred.fsgid = gid;
     task.lsm_cache.Clear();
+    if (TraceCredOn()) {
+      EmitCredChange(task, "setgid",
+                     StrFormat("gid %u->%u egid %u->%u", old_rgid, gid, old_egid, gid));
+    }
     return OkUnit();
   }
   if (gid == task.cred.rgid || gid == task.cred.sgid) {
     task.cred.egid = task.cred.fsgid = gid;
     task.lsm_cache.Clear();
+    if (TraceCredOn()) {
+      EmitCredChange(task, "setgid", StrFormat("egid %u->%u", old_egid, gid));
+    }
     return OkUnit();
   }
   return Error(Errno::kEPERM, "setgid");
@@ -658,6 +756,9 @@ Result<Unit> Kernel::SetgroupsImpl(Task& task, std::vector<Gid> groups) {
   }
   task.cred.groups = std::move(groups);
   task.lsm_cache.Clear();
+  if (TraceCredOn()) {
+    EmitCredChange(task, "setgroups", StrFormat("%zu groups", task.cred.groups.size()));
+  }
   return OkUnit();
 }
 
@@ -782,8 +883,15 @@ Result<int> Kernel::ExecveImpl(Task& task, const std::string& path, std::vector<
   }
   task.pending_setuid = PendingSetuid{};
 
+  Uid old_exec_euid = task.cred.euid;
+  Gid old_exec_egid = task.cred.egid;
   task.cred = new_cred;
   task.exe_path = full;
+  if (TraceCredOn()) {
+    EmitCredChange(task, "execve",
+                   StrFormat("%s euid %u->%u egid %u->%u", full.c_str(), old_exec_euid,
+                             new_cred.euid, old_exec_egid, new_cred.egid));
+  }
   // Cached verdict signatures embed the old creds and exe_path.
   task.lsm_cache.Clear();
   size_t slash = full.find_last_of('/');

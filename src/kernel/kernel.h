@@ -18,7 +18,9 @@
 #include <vector>
 
 #include "src/base/clock.h"
+#include "src/base/metrics.h"
 #include "src/base/result.h"
+#include "src/base/tracepoint.h"
 #include "src/kernel/audit_ring.h"
 #include "src/kernel/syscall.h"
 #include "src/kernel/task.h"
@@ -96,6 +98,17 @@ class Kernel {
   // through (seccomp filtering, counters, latency, trace ring).
   SyscallGate& syscalls() { return gate_; }
   const SyscallGate& syscalls() const { return gate_; }
+
+  // The kernel-wide tracepoint ring (decision spans; /proc/protego/trace)
+  // shared by the gate, the LSM stack, the VFS, and netfilter.
+  Tracer& tracer() { return tracer_; }
+  const Tracer& tracer() const { return tracer_; }
+
+  // The metrics registry exported at /proc/protego/metrics. The kernel
+  // registers a collector for its own subsystems at construction; trusted
+  // services (e.g. the Protego LSM's proc plumbing) may add more.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
 
   // --- Processes -------------------------------------------------------------
 
@@ -243,6 +256,19 @@ class Kernel {
   // Applies Linux's capability recomputation when uids change via setuid().
   static void RecomputeCapsAfterSetuid(Cred& cred, Uid old_euid);
 
+  // CheckPermission body; the public wrapper adds the kVfsPermission event.
+  Result<Unit> CheckPermissionImpl(Task& task, const std::string& path, const Inode& inode,
+                                   int may);
+
+  // Emits a kCredChange event (callers gate on the tracepoint being on, so
+  // the detail string is only built when traced).
+  void EmitCredChange(const Task& task, const char* what, std::string detail);
+  bool TraceCredOn() const { return tracer_.Enabled(TracepointId::kCredChange); }
+
+  // Registers the kernel-side metrics collector (gate, LSM, VFS, netfilter,
+  // audit, tracer) on metrics_.
+  void CollectKernelMetrics(MetricsBuilder& b) const;
+
   // Syscall bodies (DAC + LSM + work). The public methods above are thin
   // wrappers routing these through gate_.
   Result<int> SpawnImpl(Task& parent, const std::string& path, std::vector<std::string> argv,
@@ -279,6 +305,10 @@ class Kernel {
   Result<std::string> IoctlImpl(Task& task, int fd, uint32_t request, const std::string& arg);
 
   Clock clock_;
+  // mutable so const syscalls (GetPid) and const checks (Capable) can emit
+  // trace events.
+  mutable Tracer tracer_{&clock_, SyscallGate::kTraceCapacity};
+  MetricsRegistry metrics_;
   Vfs vfs_;
   // mutable so const syscalls (GetPid) can account themselves.
   mutable SyscallGate gate_;

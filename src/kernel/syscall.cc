@@ -74,29 +74,30 @@ uint64_t SyscallGate::TotalCalls() const {
 
 void SyscallGate::ExitSyscall(SyscallContext& ctx, Errno err) {
   uint64_t dur_ns = 0;
+  uint64_t dur_ticks = clock_->Now() - ctx.start_tick;
   PerSyscall& s = stats_[static_cast<size_t>(ctx.nr)];
   s.calls++;
   if (err != Errno::kOk) {
     s.errors++;
   }
-  s.total_ticks += clock_->Now() - ctx.start_tick;
+  s.total_ticks += dur_ticks;
+  s.lat_ticks.Observe(dur_ticks);
   if (wallclock_timing_) {
     dur_ns = MonotonicNanos() - ctx.start_ns;
     s.total_ns += dur_ns;
+    s.lat_ns.Observe(dur_ns);
   }
-  if (trace_enabled_) {
-    RecordTrace(ctx, err, dur_ns, /*seccomp_denied=*/false);
-  }
+  RecordTrace(ctx, err, dur_ns, /*seccomp_denied=*/false);
 }
 
 void SyscallGate::RecordDenial(SyscallContext& ctx) {
+  // Seccomp-killed semantic (see the header): the call is counted, but its
+  // latency is not — the body never ran.
   PerSyscall& s = stats_[static_cast<size_t>(ctx.nr)];
   s.calls++;
   s.errors++;
   s.seccomp_denied++;
-  if (trace_enabled_) {
-    RecordTrace(ctx, Errno::kEPERM, /*dur_ns=*/0, /*seccomp_denied=*/true);
-  }
+  RecordTrace(ctx, Errno::kEPERM, /*dur_ns=*/0, /*seccomp_denied=*/true);
   if (audit_sink_) {
     audit_sink_(StrFormat("seccomp: pid=%d comm=%s denied %s(%d)", ctx.pid,
                           ctx.comm ? ctx.comm->c_str() : "?", SysnoName(ctx.nr),
@@ -106,38 +107,61 @@ void SyscallGate::RecordDenial(SyscallContext& ctx) {
 
 void SyscallGate::RecordTrace(SyscallContext& ctx, Errno err, uint64_t dur_ns,
                               bool seccomp_denied) {
-  TraceRecord& rec = trace_ring_[trace_seq_ % kTraceCapacity];
-  rec.seq = trace_seq_++;
-  rec.tick = ctx.start_tick;
-  rec.pid = ctx.pid;
-  rec.nr = ctx.nr;
-  rec.err = err;
-  rec.dur_ns = dur_ns;
-  rec.seccomp_denied = seccomp_denied;
-  if (ctx.comm != nullptr) {
-    rec.comm.assign(*ctx.comm);  // reuses the slot's capacity
-  } else {
-    rec.comm.assign("?");
+  if (tracer_ == nullptr) {
+    return;
   }
-  rec.args = std::move(ctx.args);
+  if (tracer_->Enabled(TracepointId::kSyscall)) {
+    TraceEvent& ev = tracer_->EmitSpanRoot(TracepointId::kSyscall, ctx.pid, ctx.span);
+    ev.a = static_cast<uint64_t>(ctx.nr);
+    ev.code = static_cast<int>(err);
+    ev.dur = dur_ns;
+    ev.tick = ctx.start_tick;
+    ev.sname = SysnoName(ctx.nr);
+    if (seccomp_denied) {
+      ev.flags |= kTraceFlagSeccompDenied | kTraceFlagDenied;
+    } else if (err != Errno::kOk) {
+      ev.flags |= kTraceFlagDenied;
+    }
+    if (ctx.comm != nullptr) {
+      ev.comm.assign(*ctx.comm);  // reuses the slot's capacity
+    } else {
+      ev.comm.assign("?");
+    }
+    ev.detail = std::move(ctx.args);
+  }
+  if (ctx.span != 0) {
+    tracer_->EndSpan(ctx.span);
+  }
 }
 
 std::vector<SyscallGate::TraceRecord> SyscallGate::TraceSnapshot() const {
   std::vector<TraceRecord> out;
-  size_t count = std::min<uint64_t>(trace_seq_, kTraceCapacity);
-  out.reserve(count);
-  uint64_t first = trace_seq_ - count;
-  for (uint64_t seq = first; seq < trace_seq_; ++seq) {
-    out.push_back(trace_ring_[seq % kTraceCapacity]);
+  if (tracer_ == nullptr) {
+    return out;
+  }
+  for (const TraceEvent& ev : tracer_->Snapshot()) {
+    if (ev.tp != TracepointId::kSyscall) {
+      continue;
+    }
+    TraceRecord rec;
+    rec.seq = ev.seq;
+    rec.tick = ev.tick;
+    rec.pid = ev.pid;
+    rec.nr = static_cast<Sysno>(ev.a);
+    rec.err = static_cast<Errno>(ev.code);
+    rec.dur_ns = ev.dur;
+    rec.seccomp_denied = (ev.flags & kTraceFlagSeccompDenied) != 0;
+    rec.comm = ev.comm;
+    rec.args = ev.detail;
+    out.push_back(std::move(rec));
   }
   return out;
 }
 
 void SyscallGate::ClearTrace() {
-  for (TraceRecord& rec : trace_ring_) {
-    rec = TraceRecord{};
+  if (tracer_ != nullptr) {
+    tracer_->Clear();
   }
-  trace_seq_ = 0;
 }
 
 void SyscallGate::ResetStats() {
@@ -172,24 +196,31 @@ std::string SyscallGate::FormatStats() const {
 }
 
 std::string SyscallGate::FormatTrace() const {
-  // strace-flavored: seq tick pid comm syscall(args) = result [dur].
-  std::string out;
-  for (const TraceRecord& rec : TraceSnapshot()) {
-    std::string result =
-        rec.err == Errno::kOk ? "0" : StrFormat("-1 %s", ErrnoName(rec.err));
-    if (rec.seccomp_denied) {
-      result += " (seccomp)";
+  return tracer_ != nullptr ? tracer_->Format() : std::string();
+}
+
+void SyscallGate::CollectMetrics(MetricsBuilder& b) const {
+  for (Sysno nr : AllSysnos()) {
+    const PerSyscall& s = stats_[static_cast<size_t>(nr)];
+    if (s.calls == 0) {
+      continue;
     }
-    out += StrFormat("%llu t=%llu pid=%d %s %s(%s) = %s dur_ns=%llu\n",
-                     (unsigned long long)rec.seq, (unsigned long long)rec.tick,
-                     rec.pid, rec.comm.c_str(), SysnoName(rec.nr),
-                     rec.args.c_str(), result.c_str(),
-                     (unsigned long long)rec.dur_ns);
+    MetricLabels labels = {{"syscall", SysnoName(nr)}};
+    b.Counter("protego_syscall_calls_total", "Syscalls dispatched through the gate",
+              labels, s.calls);
+    b.Counter("protego_syscall_errors_total", "Syscalls that returned an errno", labels,
+              s.errors);
+    b.Counter("protego_syscall_seccomp_denied_total",
+              "Syscalls killed by the task seccomp filter at entry", labels,
+              s.seccomp_denied);
+    b.Histo("protego_syscall_latency_ticks",
+            "Per-syscall latency in virtual clock ticks", labels, s.lat_ticks);
+    if (s.lat_ns.count() > 0) {
+      b.Histo("protego_syscall_latency_ns",
+              "Per-syscall wall-clock latency in nanoseconds (profiling runs)", labels,
+              s.lat_ns);
+    }
   }
-  if (trace_dropped() > 0) {
-    out += StrFormat("# dropped: %llu\n", (unsigned long long)trace_dropped());
-  }
-  return out;
 }
 
 }  // namespace protego

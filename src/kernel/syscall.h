@@ -10,13 +10,25 @@
 //      any DAC or LSM work (as on Linux, where seccomp runs at syscall
 //      entry, ahead of the security hooks). Installation is a one-way
 //      latch: filters can only ever be narrowed, never widened or removed.
-//   2. accounting — per-syscall hit/error counters and latency totals.
-//   3. tracing — a bounded structured ring of recent calls (strace-shaped),
-//      exported at /proc/protego/trace; stats at /proc/protego/syscall_stats.
+//   2. accounting — per-syscall hit/error counters, latency totals, and
+//      log2-bucket latency histograms (exported at /proc/protego/metrics).
+//   3. tracing — each call opens a decision span on the kernel-wide Tracer;
+//      LSM/VFS/netfilter events emitted during the body are stamped with the
+//      span id, and the syscall's own record (the span root) is emitted at
+//      exit. /proc/protego/trace renders the resulting derivation trees;
+//      stats live at /proc/protego/syscall_stats.
+//
+// Seccomp-killed calls (the filter refuses the syscall at entry) follow ONE
+// consistent semantic everywhere:
+//   - stats: counted in calls, errors, and seccomp_denied;
+//   - trace: recorded as a span root with the seccomp_denied flag and EPERM;
+//   - latency: EXCLUDED from totals and histograms — the body never ran, so
+//     a duration would be meaningless and would skew the distributions.
+// So for any syscall: lat_ticks.count() == calls - seccomp_denied.
 //
 // The gate is deliberately cheap: counters are flat arrays indexed by
 // syscall number, trace slots are preallocated and reused, and argument
-// strings are only materialized when tracing is enabled.
+// strings are only materialized when the syscall tracepoint is enabled.
 
 #ifndef SRC_KERNEL_SYSCALL_H_
 #define SRC_KERNEL_SYSCALL_H_
@@ -28,11 +40,14 @@
 #include <vector>
 
 #include "src/base/clock.h"
+#include "src/base/metrics.h"
 #include "src/base/result.h"
+#include "src/base/tracepoint.h"
 
 namespace protego {
 
 struct Task;
+class MetricsBuilder;
 
 // Syscall numbers, with Linux x86-64 values so traces read like strace.
 // kClone stands in for the fork+execve+waitpid composite (Kernel::Spawn).
@@ -101,6 +116,7 @@ struct SyscallContext {
   const std::string* comm = nullptr;  // borrowed from the task
   uint64_t start_tick = 0;            // virtual clock at entry
   uint64_t start_ns = 0;              // monotonic wall clock at entry (if timed)
+  uint64_t span = 0;                  // decision span opened at entry (0 = untraced)
   std::string args;                   // formatted only when tracing is enabled
 };
 
@@ -114,9 +130,13 @@ class SyscallGate {
     uint64_t seccomp_denied = 0;  // refused by the task's filter (subset of errors)
     uint64_t total_ns = 0;        // wall-clock latency total (when timing is on)
     uint64_t total_ticks = 0;     // virtual-clock latency total
+    Histogram lat_ticks;          // virtual-clock latency distribution
+    Histogram lat_ns;             // wall-clock distribution (when timing is on)
   };
 
-  // One structured trace record (the /proc/protego/trace row).
+  // One row of the legacy structured trace view: the span-root (syscall)
+  // events of the shared Tracer ring, reprojected into the pre-tracepoint
+  // record shape. Kept so existing tests/tools keep working.
   struct TraceRecord {
     uint64_t seq = 0;
     uint64_t tick = 0;
@@ -129,9 +149,12 @@ class SyscallGate {
     std::string args;
   };
 
-  explicit SyscallGate(const Clock* clock) : clock_(clock) {
-    trace_ring_.resize(kTraceCapacity);
-  }
+  explicit SyscallGate(const Clock* clock) : clock_(clock) {}
+
+  // Attaches the kernel-wide tracer (the Kernel does this at boot). Without
+  // one, the gate still filters and accounts but emits no trace events.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() { return tracer_; }
 
   // Master switch. When off, the gate neither filters nor accounts — this
   // exists ONLY as the microbenchmark's no-gate baseline; a disabled gate
@@ -139,8 +162,14 @@ class SyscallGate {
   bool enabled() const { return enabled_; }
   void set_enabled(bool on) { enabled_ = on; }
 
-  bool trace_enabled() const { return trace_enabled_; }
-  void set_trace_enabled(bool on) { trace_enabled_ = on; }
+  // Tracing toggle: forwards to the shared Tracer's master switch (the
+  // /proc/protego/trace "on"/"off" commands land here).
+  bool trace_enabled() const { return tracer_ != nullptr && tracer_->enabled(); }
+  void set_trace_enabled(bool on) {
+    if (tracer_ != nullptr) {
+      tracer_->set_enabled(on);
+    }
+  }
 
   // Wall-clock latency accounting (two monotonic clock reads per syscall).
   // Off by default — latency totals normally come from the free virtual
@@ -156,34 +185,40 @@ class SyscallGate {
   const PerSyscall& stats(Sysno nr) const { return stats_[static_cast<size_t>(nr)]; }
   uint64_t TotalCalls() const;
 
-  // Trace records, oldest first.
+  // Trace records (syscall span roots only), oldest first.
   std::vector<TraceRecord> TraceSnapshot() const;
   void ClearTrace();
-  uint64_t trace_seq() const { return trace_seq_; }
-  // Records overwritten since the last clear (ring capacity exceeded).
-  uint64_t trace_dropped() const {
-    return trace_seq_ > kTraceCapacity ? trace_seq_ - kTraceCapacity : 0;
-  }
+  uint64_t trace_seq() const { return tracer_ != nullptr ? tracer_->seq() : 0; }
+  // Events overwritten since the last clear (ring capacity exceeded).
+  uint64_t trace_dropped() const { return tracer_ != nullptr ? tracer_->dropped() : 0; }
 
   // /proc/protego/syscall_stats and /proc/protego/trace bodies.
   std::string FormatStats() const;
   std::string FormatTrace() const;
   void ResetStats();
 
+  // Reports per-syscall counters and latency histograms to the metrics
+  // registry (protego_syscall_* families).
+  void CollectMetrics(MetricsBuilder& b) const;
+
   // --- The entry path ---------------------------------------------------------
   //
   // Templated on the task type only to avoid a header cycle (task.h includes
   // this header for SeccompFilter); the single instantiation is Task.
 
-  // Stamps the context and consults the task's seccomp filter. Returns false
-  // (after recording the denial) if the filter refuses the syscall — the
-  // caller must fail with EPERM without touching DAC or the LSM stack.
+  // Stamps the context, opens the decision span, and consults the task's
+  // seccomp filter. Returns false (after recording the denial) if the filter
+  // refuses the syscall — the caller must fail with EPERM without touching
+  // DAC or the LSM stack.
   template <typename TaskT>
   bool EnterSyscall(SyscallContext& ctx, const TaskT& task, Sysno nr) {
     ctx.nr = nr;
     ctx.pid = task.pid;
     ctx.comm = &task.comm;
     ctx.start_tick = clock_->Now();
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      ctx.span = tracer_->BeginSpan();
+    }
     if (task.seccomp != nullptr && !task.seccomp->Allows(nr)) {
       RecordDenial(ctx);
       return false;
@@ -194,19 +229,20 @@ class SyscallGate {
     return true;
   }
 
-  // Accounts the completed syscall and appends a trace record.
+  // Accounts the completed syscall, emits the span-root trace event, and
+  // closes the span.
   void ExitSyscall(SyscallContext& ctx, Errno err);
 
   // Wraps one syscall body. `args_fn() -> std::string` is only invoked when
-  // tracing is enabled; `body() -> Result<T>` is the pre-existing syscall
-  // implementation (DAC + LSM + work).
+  // the syscall tracepoint is enabled; `body() -> Result<T>` is the
+  // pre-existing syscall implementation (DAC + LSM + work).
   template <typename T, typename TaskT, typename ArgsFn, typename BodyFn>
   Result<T> Run(TaskT& task, Sysno nr, ArgsFn&& args_fn, BodyFn&& body) {
     if (!enabled_) {
       return body();
     }
     SyscallContext ctx;
-    if (trace_enabled_) {
+    if (tracer_ != nullptr && tracer_->Enabled(TracepointId::kSyscall)) {
       ctx.args = args_fn();
     }
     if (!EnterSyscall(ctx, task, nr)) {
@@ -234,16 +270,15 @@ class SyscallGate {
 
  private:
   void RecordDenial(SyscallContext& ctx);
-  // Consumes ctx.args (moved into the ring slot).
+  // Emits the span-root event for the completed call (consumes ctx.args)
+  // and closes the span.
   void RecordTrace(SyscallContext& ctx, Errno err, uint64_t dur_ns, bool seccomp_denied);
 
   const Clock* clock_;
+  Tracer* tracer_ = nullptr;
   bool enabled_ = true;
-  bool trace_enabled_ = true;
   bool wallclock_timing_ = false;
   PerSyscall stats_[kSysnoSlots] = {};
-  std::vector<TraceRecord> trace_ring_;  // fixed kTraceCapacity slots, reused
-  uint64_t trace_seq_ = 0;               // next sequence number
   std::function<void(std::string)> audit_sink_;
 };
 

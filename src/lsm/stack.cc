@@ -30,6 +30,20 @@ uint64_t MixStr(uint64_t h, const std::string& s) {
 
 uint64_t NonZero(uint64_t h) { return h == 0 ? 1 : h; }
 
+// Observes the virtual-clock duration of one hook dispatch on destruction.
+struct HookTimer {
+  HookTimer(const Clock* clock, Histogram* lat)
+      : clock_(clock), lat_(lat), t0_(clock != nullptr ? clock->Now() : 0) {}
+  ~HookTimer() {
+    if (clock_ != nullptr) {
+      lat_->Observe(clock_->Now() - t0_);
+    }
+  }
+  const Clock* clock_;
+  Histogram* lat_;
+  uint64_t t0_;
+};
+
 }  // namespace
 
 const char* HookVerdictName(HookVerdict v) {
@@ -37,6 +51,21 @@ const char* HookVerdictName(HookVerdict v) {
     case HookVerdict::kDefault: return "DEFAULT";
     case HookVerdict::kAllow: return "ALLOW";
     case HookVerdict::kDeny: return "DENY";
+  }
+  return "?";
+}
+
+const char* LsmHookName(LsmHook hook) {
+  switch (hook) {
+    case LsmHook::kInodePermission: return "inode_permission";
+    case LsmHook::kSbMount: return "sb_mount";
+    case LsmHook::kSbUmount: return "sb_umount";
+    case LsmHook::kSocketCreate: return "socket_create";
+    case LsmHook::kSocketBind: return "socket_bind";
+    case LsmHook::kTaskFixSetuid: return "task_fix_setuid";
+    case LsmHook::kBprmCheck: return "bprm_check";
+    case LsmHook::kFileIoctl: return "file_ioctl";
+    case LsmHook::kCount: break;
   }
   return "?";
 }
@@ -57,6 +86,7 @@ LsmStack::LsmStack() {
 void LsmStack::Register(std::unique_ptr<SecurityModule> module) {
   module->AttachStack(this);
   modules_.push_back(std::move(module));
+  module_verdicts_.push_back({});
 }
 
 SecurityModule* LsmStack::Find(const char* name) {
@@ -93,6 +123,69 @@ HookVerdict LsmStack::Combine(HookVerdict acc, HookVerdict v) {
     return HookVerdict::kAllow;
   }
   return HookVerdict::kDefault;
+}
+
+// --- Observability ----------------------------------------------------------------
+
+void LsmStack::TraceModule(LsmHook hook, const SecurityModule& module, HookVerdict v,
+                           int pid) const {
+  TraceEvent& ev = tracer_->Emit(TracepointId::kLsmHook, pid);
+  ev.a = static_cast<uint64_t>(hook);
+  ev.sname = LsmHookName(hook);
+  ev.sdetail = module.name();
+  ev.svalue = HookVerdictName(v);
+  if (v == HookVerdict::kDeny) {
+    ev.flags |= kTraceFlagDenied;
+  }
+}
+
+void LsmStack::TraceDecision(LsmHook hook, HookVerdict combined, uint32_t cache_flags,
+                             int pid) const {
+  if (tracer_ == nullptr || !tracer_->Enabled(TracepointId::kLsmDecision)) {
+    return;
+  }
+  TraceEvent& ev = tracer_->Emit(TracepointId::kLsmDecision, pid);
+  ev.a = static_cast<uint64_t>(hook);
+  ev.flags = cache_flags;
+  ev.sname = LsmHookName(hook);
+  ev.svalue = HookVerdictName(combined);
+  if (combined == HookVerdict::kDeny) {
+    ev.flags |= kTraceFlagDenied;
+  }
+}
+
+void LsmStack::CollectMetrics(MetricsBuilder& b) const {
+  for (size_t h = 0; h < static_cast<size_t>(LsmHook::kCount); ++h) {
+    if (hook_counts_[h] == 0) {
+      continue;
+    }
+    MetricLabels labels = {{"hook", LsmHookName(static_cast<LsmHook>(h))}};
+    b.Counter("protego_lsm_hook_invocations_total",
+              "LSM stack consultations per hook (cache hits included)", labels,
+              hook_counts_[h]);
+    b.Histo("protego_lsm_hook_latency_ticks",
+            "Per-hook dispatch latency in virtual clock ticks", labels, hook_lat_[h]);
+  }
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    for (size_t v = 0; v < 3; ++v) {
+      if (module_verdicts_[i][v] == 0) {
+        continue;
+      }
+      b.Counter("protego_lsm_module_verdicts_total",
+                "Verdicts returned by each security module",
+                {{"module", modules_[i]->name()},
+                 {"verdict", HookVerdictName(static_cast<HookVerdict>(v))}},
+                module_verdicts_[i][v]);
+    }
+  }
+  b.Counter("protego_lsm_decision_cache_hits_total",
+            "Combined verdicts served from the per-task decision cache", {}, cache_hits_);
+  b.Counter("protego_lsm_decision_cache_misses_total",
+            "Decision-cache probes that fell through to module dispatch", {},
+            cache_misses_);
+  b.Gauge("protego_policy_generation",
+          "Policy generation counter (bumped on every policy swap)", {},
+          static_cast<double>(policy_generation_));
 }
 
 // --- Decision cache ---------------------------------------------------------------
@@ -151,115 +244,189 @@ uint64_t LsmStack::BindKey(const Task& task, const BindRequest& req) const {
 }
 
 // --- Hook dispatch ----------------------------------------------------------------
+//
+// Each dispatch follows the same shape: count + time the consultation, probe
+// the decision cache (cacheable hooks), then walk the modules — tallying and
+// tracing each module's verdict — and trace the combined decision.
 
 HookVerdict LsmStack::InodePermission(Task& task, const std::string& path,
                                       const Inode& inode, int may) const {
   Count(LsmHook::kInodePermission);
+  HookTimer timer(clock_, &hook_lat_[static_cast<size_t>(LsmHook::kInodePermission)]);
   uint64_t key = 0;
   HookVerdict cached;
   if (decision_cache_enabled_) {
     key = InodeKey(task, path, may);
     if (CacheLookup(task, key, &cached)) {
+      TraceDecision(LsmHook::kInodePermission, cached, kTraceFlagCacheHit, task.pid);
       return cached;
     }
   }
   bool cacheable = true;
+  const bool trace_hooks = tracer_ != nullptr && tracer_->Enabled(TracepointId::kLsmHook);
   HookVerdict acc = HookVerdict::kDefault;
-  for (const auto& m : modules_) {
-    acc = Combine(acc, m->InodePermission(task, path, inode, may, &cacheable));
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    HookVerdict v = modules_[i]->InodePermission(task, path, inode, may, &cacheable);
+    module_verdicts_[i][static_cast<size_t>(v)]++;
+    if (trace_hooks) {
+      TraceModule(LsmHook::kInodePermission, *modules_[i], v, task.pid);
+    }
+    acc = Combine(acc, v);
   }
   if (key != 0 && cacheable) {
     CacheInsert(task, key, acc);
   }
+  TraceDecision(LsmHook::kInodePermission, acc,
+                decision_cache_enabled_ ? kTraceFlagCacheMiss : 0, task.pid);
   return acc;
 }
 
 HookVerdict LsmStack::SbMount(const Task& task, const MountRequest& req) const {
   Count(LsmHook::kSbMount);
+  HookTimer timer(clock_, &hook_lat_[static_cast<size_t>(LsmHook::kSbMount)]);
   uint64_t key = 0;
   HookVerdict cached;
   if (decision_cache_enabled_) {
     key = MountKey(task, req);
     if (CacheLookup(task, key, &cached)) {
+      TraceDecision(LsmHook::kSbMount, cached, kTraceFlagCacheHit, task.pid);
       return cached;
     }
   }
   bool cacheable = true;
+  const bool trace_hooks = tracer_ != nullptr && tracer_->Enabled(TracepointId::kLsmHook);
   HookVerdict acc = HookVerdict::kDefault;
-  for (const auto& m : modules_) {
-    acc = Combine(acc, m->SbMount(task, req, &cacheable));
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    HookVerdict v = modules_[i]->SbMount(task, req, &cacheable);
+    module_verdicts_[i][static_cast<size_t>(v)]++;
+    if (trace_hooks) {
+      TraceModule(LsmHook::kSbMount, *modules_[i], v, task.pid);
+    }
+    acc = Combine(acc, v);
   }
   if (key != 0 && cacheable) {
     CacheInsert(task, key, acc);
   }
+  TraceDecision(LsmHook::kSbMount, acc, decision_cache_enabled_ ? kTraceFlagCacheMiss : 0,
+                task.pid);
   return acc;
 }
 
 HookVerdict LsmStack::SbUmount(const Task& task, const std::string& mountpoint) const {
   Count(LsmHook::kSbUmount);
+  HookTimer timer(clock_, &hook_lat_[static_cast<size_t>(LsmHook::kSbUmount)]);
+  const bool trace_hooks = tracer_ != nullptr && tracer_->Enabled(TracepointId::kLsmHook);
   HookVerdict acc = HookVerdict::kDefault;
-  for (const auto& m : modules_) {
-    acc = Combine(acc, m->SbUmount(task, mountpoint));
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    HookVerdict v = modules_[i]->SbUmount(task, mountpoint);
+    module_verdicts_[i][static_cast<size_t>(v)]++;
+    if (trace_hooks) {
+      TraceModule(LsmHook::kSbUmount, *modules_[i], v, task.pid);
+    }
+    acc = Combine(acc, v);
   }
+  TraceDecision(LsmHook::kSbUmount, acc, 0, task.pid);
   return acc;
 }
 
 HookVerdict LsmStack::SocketCreate(const Task& task, const SocketRequest& req) const {
   Count(LsmHook::kSocketCreate);
+  HookTimer timer(clock_, &hook_lat_[static_cast<size_t>(LsmHook::kSocketCreate)]);
+  const bool trace_hooks = tracer_ != nullptr && tracer_->Enabled(TracepointId::kLsmHook);
   HookVerdict acc = HookVerdict::kDefault;
-  for (const auto& m : modules_) {
-    acc = Combine(acc, m->SocketCreate(task, req));
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    HookVerdict v = modules_[i]->SocketCreate(task, req);
+    module_verdicts_[i][static_cast<size_t>(v)]++;
+    if (trace_hooks) {
+      TraceModule(LsmHook::kSocketCreate, *modules_[i], v, task.pid);
+    }
+    acc = Combine(acc, v);
   }
+  TraceDecision(LsmHook::kSocketCreate, acc, 0, task.pid);
   return acc;
 }
 
 HookVerdict LsmStack::SocketBind(const Task& task, const BindRequest& req) const {
   Count(LsmHook::kSocketBind);
+  HookTimer timer(clock_, &hook_lat_[static_cast<size_t>(LsmHook::kSocketBind)]);
   uint64_t key = 0;
   HookVerdict cached;
   if (decision_cache_enabled_) {
     key = BindKey(task, req);
     if (CacheLookup(task, key, &cached)) {
+      TraceDecision(LsmHook::kSocketBind, cached, kTraceFlagCacheHit, task.pid);
       return cached;
     }
   }
   bool cacheable = true;
+  const bool trace_hooks = tracer_ != nullptr && tracer_->Enabled(TracepointId::kLsmHook);
   HookVerdict acc = HookVerdict::kDefault;
-  for (const auto& m : modules_) {
-    acc = Combine(acc, m->SocketBind(task, req, &cacheable));
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    HookVerdict v = modules_[i]->SocketBind(task, req, &cacheable);
+    module_verdicts_[i][static_cast<size_t>(v)]++;
+    if (trace_hooks) {
+      TraceModule(LsmHook::kSocketBind, *modules_[i], v, task.pid);
+    }
+    acc = Combine(acc, v);
   }
   if (key != 0 && cacheable) {
     CacheInsert(task, key, acc);
   }
+  TraceDecision(LsmHook::kSocketBind, acc,
+                decision_cache_enabled_ ? kTraceFlagCacheMiss : 0, task.pid);
   return acc;
 }
 
 HookVerdict LsmStack::TaskFixSetuid(Task& task, const SetuidRequest& req,
                                     SetuidDisposition* disposition) const {
   Count(LsmHook::kTaskFixSetuid);
+  HookTimer timer(clock_, &hook_lat_[static_cast<size_t>(LsmHook::kTaskFixSetuid)]);
+  const bool trace_hooks = tracer_ != nullptr && tracer_->Enabled(TracepointId::kLsmHook);
   HookVerdict acc = HookVerdict::kDefault;
-  for (const auto& m : modules_) {
-    acc = Combine(acc, m->TaskFixSetuid(task, req, disposition));
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    HookVerdict v = modules_[i]->TaskFixSetuid(task, req, disposition);
+    module_verdicts_[i][static_cast<size_t>(v)]++;
+    if (trace_hooks) {
+      TraceModule(LsmHook::kTaskFixSetuid, *modules_[i], v, task.pid);
+    }
+    acc = Combine(acc, v);
   }
+  TraceDecision(LsmHook::kTaskFixSetuid, acc, 0, task.pid);
   return acc;
 }
 
 HookVerdict LsmStack::BprmCheck(Task& task, const std::string& path, const Inode& inode,
                                 const std::vector<std::string>& argv, ExecControl* control) const {
   Count(LsmHook::kBprmCheck);
+  HookTimer timer(clock_, &hook_lat_[static_cast<size_t>(LsmHook::kBprmCheck)]);
+  const bool trace_hooks = tracer_ != nullptr && tracer_->Enabled(TracepointId::kLsmHook);
   HookVerdict acc = HookVerdict::kDefault;
-  for (const auto& m : modules_) {
-    acc = Combine(acc, m->BprmCheck(task, path, inode, argv, control));
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    HookVerdict v = modules_[i]->BprmCheck(task, path, inode, argv, control);
+    module_verdicts_[i][static_cast<size_t>(v)]++;
+    if (trace_hooks) {
+      TraceModule(LsmHook::kBprmCheck, *modules_[i], v, task.pid);
+    }
+    acc = Combine(acc, v);
   }
+  TraceDecision(LsmHook::kBprmCheck, acc, 0, task.pid);
   return acc;
 }
 
 HookVerdict LsmStack::FileIoctl(const Task& task, const IoctlRequest& req) const {
   Count(LsmHook::kFileIoctl);
+  HookTimer timer(clock_, &hook_lat_[static_cast<size_t>(LsmHook::kFileIoctl)]);
+  const bool trace_hooks = tracer_ != nullptr && tracer_->Enabled(TracepointId::kLsmHook);
   HookVerdict acc = HookVerdict::kDefault;
-  for (const auto& m : modules_) {
-    acc = Combine(acc, m->FileIoctl(task, req));
+  for (size_t i = 0; i < modules_.size(); ++i) {
+    HookVerdict v = modules_[i]->FileIoctl(task, req);
+    module_verdicts_[i][static_cast<size_t>(v)]++;
+    if (trace_hooks) {
+      TraceModule(LsmHook::kFileIoctl, *modules_[i], v, task.pid);
+    }
+    acc = Combine(acc, v);
   }
+  TraceDecision(LsmHook::kFileIoctl, acc, 0, task.pid);
   return acc;
 }
 

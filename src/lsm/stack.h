@@ -12,14 +12,25 @@
 // verdict computed under a superseded policy. Hooks whose decisions carry
 // side effects or depend on mutable kernel state (authentication, pending
 // setuid, mount/route tables) are never cached; see DESIGN.md §7.
+//
+// PR 3 adds observability (DESIGN.md §8): with a Tracer attached, every
+// dispatch emits one kLsmHook event per consulted module (module name +
+// verdict) and one kLsmDecision event for the combined verdict (flagged
+// cache hit/miss for the cacheable hooks) — all stamped with the calling
+// syscall's decision span. Per-hook invocation counts, latency histograms,
+// and per-module verdict tallies are reported via CollectMetrics().
 
 #ifndef SRC_LSM_STACK_H_
 #define SRC_LSM_STACK_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "src/base/clock.h"
+#include "src/base/metrics.h"
+#include "src/base/tracepoint.h"
 #include "src/lsm/module.h"
 
 namespace protego {
@@ -36,6 +47,9 @@ enum class LsmHook : uint8_t {
   kFileIoctl,
   kCount,  // sentinel
 };
+
+// "inode_permission", "sb_mount", ... — the hook's kernel-style name.
+const char* LsmHookName(LsmHook hook);
 
 class LsmStack {
  public:
@@ -73,6 +87,29 @@ class LsmStack {
   }
   uint64_t TotalHookInvocations() const;
 
+  // --- Observability ----------------------------------------------------------
+
+  // Attaches the kernel-wide tracer (hook/decision events) and the virtual
+  // clock (per-hook latency histograms). The Kernel wires this at boot.
+  void AttachObservability(Tracer* tracer, const Clock* clock) {
+    tracer_ = tracer;
+    clock_ = clock;
+  }
+
+  // Per-hook latency distribution in virtual clock ticks.
+  const Histogram& HookLatency(LsmHook hook) const {
+    return hook_lat_[static_cast<size_t>(hook)];
+  }
+
+  // Combined verdicts module `i` returned, indexed by HookVerdict value.
+  uint64_t ModuleVerdicts(size_t module_index, HookVerdict v) const {
+    return module_verdicts_[module_index][static_cast<size_t>(v)];
+  }
+
+  // Reports hook invocation counters, latency histograms, per-module
+  // verdict tallies, and decision-cache counters (protego_lsm_* families).
+  void CollectMetrics(MetricsBuilder& b) const;
+
   // --- Decision cache ---------------------------------------------------------
 
   // Monotonic counter tagged onto every cached verdict; starts at 1 so no
@@ -91,6 +128,14 @@ class LsmStack {
 
   void Count(LsmHook hook) const { hook_counts_[static_cast<size_t>(hook)]++; }
 
+  // Emits the per-module kLsmHook event (no-op when the point is off).
+  void TraceModule(LsmHook hook, const SecurityModule& module, HookVerdict v,
+                   int pid) const;
+  // Emits the combined kLsmDecision event; `cache_flags` is 0,
+  // kTraceFlagCacheHit, or kTraceFlagCacheMiss.
+  void TraceDecision(LsmHook hook, HookVerdict combined, uint32_t cache_flags,
+                     int pid) const;
+
   // Probes `task`'s cache; returns true on hit. On miss the caller
   // dispatches and calls CacheInsert if every module left the request
   // cacheable. Key 0 disables caching for that request.
@@ -106,6 +151,12 @@ class LsmStack {
   std::vector<std::unique_ptr<SecurityModule>> modules_;
   // mutable: accounting from the const hook methods.
   mutable uint64_t hook_counts_[static_cast<size_t>(LsmHook::kCount)] = {};
+  mutable Histogram hook_lat_[static_cast<size_t>(LsmHook::kCount)];
+  // Per-module verdict tallies, indexed [module][verdict].
+  mutable std::vector<std::array<uint64_t, 3>> module_verdicts_;
+
+  Tracer* tracer_ = nullptr;
+  const Clock* clock_ = nullptr;
 
   // Salted into every cache key so a task consulted by two different stacks
   // (benchmark comparisons, tests) can never cross-hit.

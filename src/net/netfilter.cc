@@ -85,6 +85,10 @@ bool Netfilter::Matches(const NfMatch& match, const Packet& packet) const {
   return true;
 }
 
+const char* Netfilter::ChainName(NfChain chain) const {
+  return chain == NfChain::kOutput ? "OUTPUT" : "INPUT";
+}
+
 NfVerdict Netfilter::Evaluate(NfChain chain, const Packet& packet) const {
   ++evaluated_;
   for (const NfRule& rule : rules_) {
@@ -95,8 +99,23 @@ NfVerdict Netfilter::Evaluate(NfChain chain, const Packet& packet) const {
       if (rule.verdict == NfVerdict::kDrop) {
         ++dropped_;
       }
+      if (tracer_ != nullptr && tracer_->Enabled(TracepointId::kNetfilter)) {
+        TraceEvent& ev = tracer_->Emit(TracepointId::kNetfilter, 0);
+        ev.sname = ChainName(chain);
+        ev.sdetail = rule.verdict == NfVerdict::kDrop ? "DROP" : "ACCEPT";
+        if (rule.verdict == NfVerdict::kDrop) {
+          ev.flags |= kTraceFlagDenied;
+        }
+        ev.detail = rule.comment;
+      }
       return rule.verdict;
     }
+  }
+  if (tracer_ != nullptr && tracer_->Enabled(TracepointId::kNetfilter)) {
+    TraceEvent& ev = tracer_->Emit(TracepointId::kNetfilter, 0);
+    ev.sname = ChainName(chain);
+    ev.sdetail = "ACCEPT";
+    ev.detail = "(default policy)";
   }
   return NfVerdict::kAccept;  // default policy
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/base/result.h"
+#include "src/base/tracepoint.h"
 #include "src/net/packet.h"
 
 namespace protego {
@@ -60,6 +61,10 @@ class Netfilter {
 
   void set_port_owner_fn(PortOwnerFn fn) { port_owner_ = std::move(fn); }
 
+  // Attaches the kernel-wide tracer: every Evaluate() emits a kNetfilter
+  // event (chain, verdict, matched rule) under the calling syscall's span.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
   // Appends a rule to its chain (iptables -A).
   void Append(NfRule rule);
 
@@ -87,8 +92,11 @@ class Netfilter {
  private:
   bool Matches(const NfMatch& match, const Packet& packet) const;
 
+  const char* ChainName(NfChain chain) const;
+
   std::vector<NfRule> rules_;
   PortOwnerFn port_owner_;
+  Tracer* tracer_ = nullptr;
   mutable uint64_t evaluated_ = 0;
   mutable uint64_t dropped_ = 0;
 };

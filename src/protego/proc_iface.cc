@@ -42,6 +42,46 @@ Result<UserDb> ParseUserDbSections(std::string_view content) {
   return UserDb(std::move(users), std::move(shadows), std::move(groups));
 }
 
+Result<TraceFilter> ParseTraceQuery(std::string_view query) {
+  if (query.empty() || query[0] != '?') {
+    return Error(Errno::kEINVAL, "trace filter: expected leading '?'");
+  }
+  TraceFilter filter;
+  std::string_view rest = query.substr(1);
+  if (rest.empty()) {
+    return filter;  // "?" resets to match-everything
+  }
+  for (const std::string& pair : Split(rest, '&')) {
+    size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return Error(Errno::kEINVAL, "trace filter token: " + pair);
+    }
+    std::string key = pair.substr(0, eq);
+    std::string value = pair.substr(eq + 1);
+    if (key == "pid") {
+      auto v = ParseUint(value);
+      if (!v) {
+        return Error(Errno::kEINVAL, "trace filter pid: " + value);
+      }
+      filter.pid = static_cast<int>(*v);
+    } else if (key == "syscall") {
+      if (value.empty()) {
+        return Error(Errno::kEINVAL, "trace filter syscall: empty");
+      }
+      filter.syscall = value;
+    } else if (key == "span") {
+      auto v = ParseUint(value);
+      if (!v || *v == 0) {
+        return Error(Errno::kEINVAL, "trace filter span: " + value);
+      }
+      filter.span = *v;
+    } else {
+      return Error(Errno::kEINVAL, "trace filter key: " + key);
+    }
+  }
+  return filter;
+}
+
 Result<Unit> InstallProtegoProcFiles(Kernel* kernel, ProtegoLsm* lsm) {
   Vfs& vfs = kernel->vfs();
 
@@ -142,8 +182,10 @@ Result<Unit> InstallProtegoProcFiles(Kernel* kernel, ProtegoLsm* lsm) {
   RETURN_IF_ERROR(
       vfs.CreateSynthetic("/proc/protego/syscall_stats", 0444, std::move(stats_ops)));
 
-  // Recent-syscall trace ring. Root-only (it exposes other tasks' activity);
-  // writing "clear" drops the ring, "on"/"off" toggle tracing.
+  // Recent-event trace ring. Root-only (it exposes other tasks' activity);
+  // writing "clear" drops the ring, "on"/"off" toggle tracing, and a query
+  // string ("?pid=12&syscall=mount&span=3", any subset) sets the read-side
+  // filter applied by subsequent reads. Writing "?" alone clears the filter.
   SyntheticOps trace_ops;
   trace_ops.read = [kernel]() { return kernel->syscalls().FormatTrace(); };
   trace_ops.write = [kernel](std::string_view data) -> Result<Unit> {
@@ -154,12 +196,50 @@ Result<Unit> InstallProtegoProcFiles(Kernel* kernel, ProtegoLsm* lsm) {
       kernel->syscalls().set_trace_enabled(true);
     } else if (cmd == "off") {
       kernel->syscalls().set_trace_enabled(false);
+    } else if (!cmd.empty() && cmd[0] == '?') {
+      ASSIGN_OR_RETURN(TraceFilter filter, ParseTraceQuery(cmd));
+      kernel->tracer().set_read_filter(std::move(filter));
     } else {
-      return Error(Errno::kEINVAL, "trace: expected clear|on|off");
+      return Error(Errno::kEINVAL, "trace: expected clear|on|off|?k=v&...");
     }
     return OkUnit();
   };
   RETURN_IF_ERROR(vfs.CreateSynthetic("/proc/protego/trace", 0600, std::move(trace_ops)));
+
+  // Metrics registry in Prometheus text exposition format, world-readable
+  // like /proc/stat. The JSON form is reached programmatically
+  // (kernel->metrics().Json()) by the bench harness.
+  SyntheticOps metrics_ops;
+  metrics_ops.read = [kernel]() { return kernel->metrics().PrometheusText(); };
+  RETURN_IF_ERROR(vfs.CreateSynthetic("/proc/protego/metrics", 0444, std::move(metrics_ops)));
+
+  // Protego's own policy-outcome counters, re-exported through the registry
+  // so the legacy /proc/protego/status numbers and the metrics file can never
+  // disagree (they read the same ProtegoStats fields).
+  kernel->metrics().AddCollector([lsm](MetricsBuilder& b) {
+    const ProtegoStats& s = lsm->stats();
+    const char* help = "Protego policy decisions by operation and outcome.";
+    auto row = [&](const char* op, const char* outcome, uint64_t n) {
+      b.Counter("protego_policy_decisions_total", help, {{"op", op}, {"outcome", outcome}}, n);
+    };
+    row("mount", "allowed", s.mount_allowed);
+    row("mount", "denied", s.mount_denied);
+    row("umount", "allowed", s.umount_allowed);
+    row("umount", "denied", s.umount_denied);
+    row("bind", "allowed", s.bind_allowed);
+    row("bind", "denied", s.bind_denied);
+    row("setuid", "allowed", s.setuid_allowed);
+    row("setuid", "deferred", s.setuid_deferred);
+    row("setuid", "denied", s.setuid_denied);
+    row("exec", "transition", s.exec_transitions);
+    row("exec", "denied", s.exec_denied);
+    row("raw_socket", "allowed", s.raw_sockets_allowed);
+    row("route", "allowed", s.route_allowed);
+    row("route", "denied", s.route_denied);
+    row("file", "delegated", s.file_delegations);
+    b.Counter("protego_reauth_reads_total",
+              "Reads of re-authentication state by the auth agent.", {}, s.reauth_reads);
+  });
 
   return OkUnit();
 }

@@ -11,11 +11,14 @@
 //   /proc/protego/ppp     — ppp options grammar
 //   /proc/protego/userdb  — sectioned passwd/shadow/group snapshot
 //   /proc/protego/status  — read-only decision counters
+//   /proc/protego/metrics — Prometheus text exposition of the registry
+//   /proc/protego/trace   — decision-span trees; writable control file
 
 #ifndef SRC_PROTEGO_PROC_IFACE_H_
 #define SRC_PROTEGO_PROC_IFACE_H_
 
 #include "src/base/result.h"
+#include "src/base/tracepoint.h"
 
 namespace protego {
 
@@ -25,6 +28,11 @@ class ProtegoLsm;
 // Creates the /proc/protego files in `kernel`'s VFS, wired to `lsm`.
 // Both must outlive the filesystem.
 Result<Unit> InstallProtegoProcFiles(Kernel* kernel, ProtegoLsm* lsm);
+
+// Parses a /proc/protego/trace filter write: "?pid=N&syscall=name&span=N"
+// (any subset, any order). "?" alone yields the match-everything filter.
+// Unknown keys and malformed numbers are EINVAL.
+Result<TraceFilter> ParseTraceQuery(std::string_view query);
 
 // Serializes / parses the /proc/protego/userdb sectioned format.
 std::string SerializeUserDbSections(const class UserDb& db);

@@ -109,6 +109,7 @@ Result<Vnode*> Vfs::ResolveInternal(std::string_view path, bool want_parent,
 }
 
 Result<Vnode*> Vfs::Resolve(std::string_view path) const {
+  ++resolves_;
   std::string unused;
   return ResolveInternal(path, /*want_parent=*/false, &unused);
 }
@@ -357,6 +358,12 @@ Result<Unit> Vfs::AddMount(std::string_view mountpoint, std::string source, std:
   }
 
   target->covered_by_ = entry.get();
+  if (tracer_ != nullptr && tracer_->Enabled(TracepointId::kVfsMount)) {
+    TraceEvent& ev = tracer_->Emit(TracepointId::kVfsMount, 0);
+    ev.sname = "mount";
+    ev.detail = StrFormat("%s on %s type %s", entry->source.c_str(),
+                          entry->mountpoint.c_str(), entry->fstype.c_str());
+  }
   mounts_.push_back(std::move(entry));
   return OkUnit();
 }
@@ -367,6 +374,11 @@ Result<Unit> Vfs::RemoveMount(std::string_view mountpoint) {
     if ((*it)->mountpoint == normalized) {
       (*it)->covered->covered_by_ = nullptr;
       mounts_.erase(it);
+      if (tracer_ != nullptr && tracer_->Enabled(TracepointId::kVfsMount)) {
+        TraceEvent& ev = tracer_->Emit(TracepointId::kVfsMount, 0);
+        ev.sname = "umount";
+        ev.detail = normalized;
+      }
       return OkUnit();
     }
   }

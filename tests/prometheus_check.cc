@@ -1,0 +1,27 @@
+// CLI wrapper around the Prometheus exposition-format linter: reads an
+// exposition from stdin, prints the first problem (if any), exits nonzero
+// on malformed input. CI pipes the quickstart's /proc/protego/metrics dump
+// through this.
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "tests/prometheus_lint.h"
+
+int main() {
+  std::ostringstream buf;
+  buf << std::cin.rdbuf();
+  std::string text = buf.str();
+  if (text.empty()) {
+    std::fprintf(stderr, "prometheus_check: empty input\n");
+    return 1;
+  }
+  if (auto err = protego::prom::LintPrometheusText(text)) {
+    std::fprintf(stderr, "prometheus_check: %s\n", err->c_str());
+    return 1;
+  }
+  std::printf("prometheus_check: OK (%zu bytes)\n", text.size());
+  return 0;
+}

@@ -1,0 +1,240 @@
+// A small Prometheus text-exposition-format checker, shared by the unit
+// tests and the prometheus_check CLI that CI runs against the quickstart's
+// /proc/protego/metrics output.
+//
+// Checks structure (HELP/TYPE comments, metric and label name grammar,
+// sample syntax) and the histogram contract: every histogram family must
+// emit cumulative, non-decreasing buckets ending in le="+Inf", plus _sum
+// and _count samples with _count equal to the +Inf bucket.
+
+#ifndef TESTS_PROMETHEUS_LINT_H_
+#define TESTS_PROMETHEUS_LINT_H_
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace protego {
+namespace prom {
+
+inline bool ValidMetricName(std::string_view name) {
+  if (name.empty()) {
+    return false;
+  }
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  auto tail = [&head](char c) { return head(c) || std::isdigit(static_cast<unsigned char>(c)); };
+  if (!head(name[0])) {
+    return false;
+  }
+  for (char c : name.substr(1)) {
+    if (!tail(c)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+inline bool ValidLabelName(std::string_view name) {
+  return ValidMetricName(name) && name.find(':') == std::string_view::npos;
+}
+
+struct Sample {
+  std::string name;
+  std::string le;          // value of the "le" label, if present
+  std::string label_key;   // serialized labels minus "le" (bucket grouping)
+  double value = 0;
+};
+
+// Parses one sample line into `out`; returns an error message on failure.
+inline std::optional<std::string> ParseSampleLine(const std::string& line, Sample* out) {
+  size_t i = 0;
+  while (i < line.size() && line[i] != '{' && line[i] != ' ') {
+    ++i;
+  }
+  out->name = line.substr(0, i);
+  if (!ValidMetricName(out->name)) {
+    return "bad metric name in: " + line;
+  }
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    while (i < line.size() && line[i] != '}') {
+      size_t eq = line.find('=', i);
+      if (eq == std::string::npos) {
+        return "label without '=' in: " + line;
+      }
+      std::string lname = line.substr(i, eq - i);
+      if (!ValidLabelName(lname)) {
+        return "bad label name '" + lname + "' in: " + line;
+      }
+      if (eq + 1 >= line.size() || line[eq + 1] != '"') {
+        return "unquoted label value in: " + line;
+      }
+      std::string lvalue;
+      size_t j = eq + 2;
+      for (; j < line.size() && line[j] != '"'; ++j) {
+        if (line[j] == '\\') {
+          if (j + 1 >= line.size()) {
+            return "dangling escape in: " + line;
+          }
+          char esc = line[j + 1];
+          if (esc != '\\' && esc != '"' && esc != 'n') {
+            return "bad escape in: " + line;
+          }
+          lvalue.push_back(esc == 'n' ? '\n' : esc);
+          ++j;
+        } else {
+          lvalue.push_back(line[j]);
+        }
+      }
+      if (j >= line.size()) {
+        return "unterminated label value in: " + line;
+      }
+      i = j + 1;  // past closing quote
+      if (lname == "le") {
+        out->le = lvalue;
+      } else {
+        out->label_key += lname + "=" + lvalue + ";";
+      }
+      if (i < line.size() && line[i] == ',') {
+        ++i;
+      } else if (i < line.size() && line[i] != '}') {
+        return "expected ',' or '}' in: " + line;
+      }
+    }
+    if (i >= line.size() || line[i] != '}') {
+      return "unterminated label set in: " + line;
+    }
+    ++i;
+  }
+  if (i >= line.size() || line[i] != ' ') {
+    return "missing value separator in: " + line;
+  }
+  std::string value_str = line.substr(i + 1);
+  if (value_str == "+Inf") {
+    out->value = HUGE_VAL;
+    return std::nullopt;
+  }
+  char* end = nullptr;
+  out->value = std::strtod(value_str.c_str(), &end);
+  if (end == value_str.c_str() || *end != '\0') {
+    return "unparseable value '" + value_str + "' in: " + line;
+  }
+  return std::nullopt;
+}
+
+// Validates `text`; returns std::nullopt when it is well-formed Prometheus
+// text exposition format, otherwise the first problem found.
+inline std::optional<std::string> LintPrometheusText(std::string_view text) {
+  if (!text.empty() && text.back() != '\n') {
+    return "exposition must end with a newline";
+  }
+  std::map<std::string, std::string> types;  // family -> counter|gauge|histogram
+  std::vector<Sample> samples;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    std::string line(text.substr(pos, nl - pos));
+    pos = nl + 1;
+    if (line.empty()) {
+      continue;
+    }
+    if (line[0] == '#') {
+      // "# HELP name text" or "# TYPE name kind".
+      if (line.rfind("# HELP ", 0) == 0) {
+        continue;
+      }
+      if (line.rfind("# TYPE ", 0) == 0) {
+        std::string rest = line.substr(7);
+        size_t sp = rest.find(' ');
+        if (sp == std::string::npos) {
+          return "malformed TYPE line: " + line;
+        }
+        std::string fam = rest.substr(0, sp);
+        std::string kind = rest.substr(sp + 1);
+        if (!ValidMetricName(fam)) {
+          return "bad family name in TYPE line: " + line;
+        }
+        if (kind != "counter" && kind != "gauge" && kind != "histogram" &&
+            kind != "summary" && kind != "untyped") {
+          return "unknown type '" + kind + "' in: " + line;
+        }
+        if (types.count(fam) != 0) {
+          return "duplicate TYPE for family " + fam;
+        }
+        types[fam] = kind;
+        continue;
+      }
+      return "unknown comment line: " + line;
+    }
+    Sample s;
+    if (auto err = ParseSampleLine(line, &s)) {
+      return err;
+    }
+    samples.push_back(std::move(s));
+  }
+
+  // Histogram contract per (family, non-le label set).
+  for (const auto& [fam, kind] : types) {
+    if (kind != "histogram") {
+      continue;
+    }
+    std::map<std::string, std::vector<Sample>> buckets;
+    std::map<std::string, double> counts;
+    std::map<std::string, bool> sums;
+    for (const Sample& s : samples) {
+      if (s.name == fam + "_bucket") {
+        buckets[s.label_key].push_back(s);
+      } else if (s.name == fam + "_count") {
+        counts[s.label_key] = s.value;
+      } else if (s.name == fam + "_sum") {
+        sums[s.label_key] = true;
+      }
+    }
+    if (buckets.empty()) {
+      return "histogram " + fam + " has no _bucket samples";
+    }
+    for (const auto& [key, series] : buckets) {
+      double prev = -1;
+      double prev_le = -HUGE_VAL;
+      for (const Sample& s : series) {
+        if (s.le.empty()) {
+          return fam + "_bucket sample missing le label";
+        }
+        double le = s.le == "+Inf" ? HUGE_VAL : std::strtod(s.le.c_str(), nullptr);
+        if (le <= prev_le) {
+          return "histogram " + fam + " buckets not in increasing le order";
+        }
+        if (s.value < prev) {
+          return "histogram " + fam + " buckets not cumulative";
+        }
+        prev = s.value;
+        prev_le = le;
+      }
+      if (series.back().le != "+Inf") {
+        return "histogram " + fam + " missing le=\"+Inf\" bucket";
+      }
+      if (counts.count(key) == 0) {
+        return "histogram " + fam + " missing _count";
+      }
+      if (sums.count(key) == 0) {
+        return "histogram " + fam + " missing _sum";
+      }
+      if (counts[key] != series.back().value) {
+        return "histogram " + fam + " _count != +Inf bucket";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace prom
+}  // namespace protego
+
+#endif  // TESTS_PROMETHEUS_LINT_H_
