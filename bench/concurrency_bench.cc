@@ -1,0 +1,145 @@
+// Cost of the deterministic scheduler's token hand-off, emitted as
+// BENCH_concurrency.json.
+//
+// The scheduler serializes one OS thread per task through a single hand-off
+// token, yielding at every syscall entry. The price of that determinism is
+// one mutex + condvar hand-off per context switch, paid only when a
+// scheduler is attached — the sequential path (no scheduler) is the
+// baseline. Round-robin is the worst case: it switches at EVERY yield, so
+// with N > 1 tasks every syscall buys a full thread-to-thread hand-off.
+//
+// Configurations, each running `tasks * kSyscallsPerTask` getpid(2) calls:
+//   sequential    no scheduler attached; task bodies run back-to-back on
+//                 the driver thread (the plain PR 1 gate path)
+//   scheduled     DetScheduler round-robin, decision recording off
+//
+// Reported per row: ns per syscall, context switches performed, and the
+// derived ns per hand-off ((scheduled - sequential) * syscalls / switches).
+// Tracing is off throughout so the hand-off is the only delta.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/conc/scheduler.h"
+#include "src/kernel/kernel.h"
+
+namespace protego {
+namespace {
+
+constexpr int kSyscallsPerTask = 20000;
+constexpr int kReps = 5;
+
+struct Row {
+  int tasks = 0;
+  double sequential_ns = 0;  // per syscall
+  double scheduled_ns = 0;   // per syscall
+  uint64_t switches = 0;     // context switches in one scheduled run
+  double handoff_ns = 0;     // per context switch
+};
+
+std::vector<Task*> MakeTasks(Kernel& kernel, int n) {
+  std::vector<Task*> tasks;
+  for (int i = 0; i < n; ++i) {
+    tasks.push_back(&kernel.CreateTask("bench" + std::to_string(i),
+                                       Cred::ForUser(1000 + i, 1000 + i), nullptr));
+  }
+  return tasks;
+}
+
+Row Measure(int num_tasks) {
+  Row row;
+  row.tasks = num_tasks;
+  const double total_syscalls = static_cast<double>(num_tasks) * kSyscallsPerTask;
+
+  double best_seq = 1e18;
+  for (int r = 0; r < kReps; ++r) {
+    Kernel kernel;
+    kernel.tracer().set_enabled(false);
+    std::vector<Task*> tasks = MakeTasks(kernel, num_tasks);
+    uint64_t t0 = MonotonicNanos();
+    for (Task* task : tasks) {
+      for (int i = 0; i < kSyscallsPerTask; ++i) {
+        (void)kernel.GetPid(*task);
+      }
+    }
+    uint64_t t1 = MonotonicNanos();
+    best_seq = std::min(best_seq, (t1 - t0) / total_syscalls);
+  }
+  row.sequential_ns = best_seq;
+
+  double best_sched = 1e18;
+  for (int r = 0; r < kReps; ++r) {
+    Kernel kernel;
+    kernel.tracer().set_enabled(false);
+    std::vector<Task*> tasks = MakeTasks(kernel, num_tasks);
+    conc::DetScheduler sched;
+    sched.set_mode(conc::SchedMode::kRoundRobin);
+    sched.set_record_decisions(false);
+    kernel.set_scheduler(&sched);
+    for (Task* task : tasks) {
+      sched.StartTask(task->pid, [&kernel, task] {
+        for (int i = 0; i < kSyscallsPerTask; ++i) {
+          (void)kernel.GetPid(*task);
+        }
+      });
+    }
+    uint64_t t0 = MonotonicNanos();
+    sched.Run();
+    uint64_t t1 = MonotonicNanos();
+    kernel.set_scheduler(nullptr);
+    best_sched = std::min(best_sched, (t1 - t0) / total_syscalls);
+    row.switches = sched.steps();
+  }
+  row.scheduled_ns = best_sched;
+  // Initial dispatches are not hand-offs; with one task there are none at
+  // all and the per-syscall delta is pure yield bookkeeping.
+  uint64_t handoffs = row.switches > static_cast<uint64_t>(num_tasks)
+                          ? row.switches - num_tasks
+                          : 0;
+  row.handoff_ns =
+      handoffs > 0 ? (row.scheduled_ns - row.sequential_ns) * total_syscalls / handoffs : 0;
+  return row;
+}
+
+}  // namespace
+}  // namespace protego
+
+int main(int argc, char** argv) {
+  using namespace protego;
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_concurrency.json";
+
+  std::vector<Row> rows;
+  for (int tasks : {1, 4, 16}) {
+    Row row = Measure(tasks);
+    rows.push_back(row);
+    std::printf("tasks=%-3d sequential %7.1f ns/call  scheduled %8.1f ns/call  "
+                "switches %7llu  handoff %8.1f ns\n",
+                row.tasks, row.sequential_ns, row.scheduled_ns,
+                static_cast<unsigned long long>(row.switches), row.handoff_ns);
+  }
+
+  FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"concurrency\",\n");
+  std::fprintf(f, "  \"syscalls_per_task\": %d,\n  \"reps\": %d,\n  \"rows\": [\n",
+               kSyscallsPerTask, kReps);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"tasks\": %d, \"sequential_ns_per_syscall\": %.1f, "
+                 "\"scheduled_ns_per_syscall\": %.1f, \"context_switches\": %llu, "
+                 "\"handoff_ns_per_switch\": %.1f}%s\n",
+                 rows[i].tasks, rows[i].sequential_ns, rows[i].scheduled_ns,
+                 static_cast<unsigned long long>(rows[i].switches), rows[i].handoff_ns,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

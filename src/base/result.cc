@@ -37,6 +37,7 @@ const char* ErrnoName(Errno e) {
     case Errno::kEMLINK: return "EMLINK";
     case Errno::kEPIPE: return "EPIPE";
     case Errno::kERANGE: return "ERANGE";
+    case Errno::kEDEADLK: return "EDEADLK";
     case Errno::kENAMETOOLONG: return "ENAMETOOLONG";
     case Errno::kENOSYS: return "ENOSYS";
     case Errno::kENOTEMPTY: return "ENOTEMPTY";
@@ -93,6 +94,7 @@ const char* ErrnoMessage(Errno e) {
     case Errno::kEMLINK: return "Too many links";
     case Errno::kEPIPE: return "Broken pipe";
     case Errno::kERANGE: return "Numerical result out of range";
+    case Errno::kEDEADLK: return "Resource deadlock would occur";
     case Errno::kENAMETOOLONG: return "File name too long";
     case Errno::kENOSYS: return "Function not implemented";
     case Errno::kENOTEMPTY: return "Directory not empty";

@@ -51,6 +51,7 @@ enum class Errno : int {
   kEMLINK = 31,    // Too many links
   kEPIPE = 32,     // Broken pipe
   kERANGE = 34,    // Math result not representable
+  kEDEADLK = 35,   // Resource deadlock would occur
   kENAMETOOLONG = 36,  // File name too long
   kENOSYS = 38,        // Function not implemented
   kENOTEMPTY = 39,     // Directory not empty

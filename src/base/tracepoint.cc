@@ -19,31 +19,53 @@ const char* TracepointName(TracepointId tp) {
     case TracepointId::kVfsMount: return "vfs_mount";
     case TracepointId::kNetfilter: return "netfilter";
     case TracepointId::kCredChange: return "cred_change";
+    case TracepointId::kContextSwitch: return "context_switch";
+    case TracepointId::kFileLock: return "file_lock";
     case TracepointId::kCount: break;
   }
   return "?";
 }
 
-uint64_t Tracer::BeginSpan() {
+uint64_t Tracer::BeginSpan(int pid) {
+  std::vector<OpenSpan>& stack = open_spans_[pid];
   OpenSpan s;
   s.id = next_span_++;
-  s.parent = current_span();
-  open_spans_.push_back(s);
+  s.parent = stack.empty() ? 0 : stack.back().id;
+  stack.push_back(s);
   return s.id;
 }
 
-void Tracer::EndSpan(uint64_t span) {
-  if (!open_spans_.empty() && open_spans_.back().id == span) {
-    open_spans_.pop_back();
+void Tracer::EndSpan(int pid, uint64_t span) {
+  auto it = open_spans_.find(pid);
+  if (it == open_spans_.end()) {
+    return;
+  }
+  std::vector<OpenSpan>& stack = it->second;
+  if (!stack.empty() && stack.back().id == span) {
+    stack.pop_back();
+  }
+  if (stack.empty()) {
+    open_spans_.erase(it);  // reaped tasks leave no residue in the map
   }
 }
 
+uint64_t Tracer::current_span(int pid) const {
+  auto it = open_spans_.find(pid);
+  if (it == open_spans_.end() || it->second.empty()) {
+    return 0;
+  }
+  return it->second.back().id;
+}
+
 TraceEvent& Tracer::Emit(TracepointId tp, int pid) {
+  auto it = open_spans_.find(pid);
+  const std::vector<OpenSpan>* stack =
+      it == open_spans_.end() ? nullptr : &it->second;
   TraceEvent& ev = ring_[seq_ % capacity_];
   ev.seq = seq_++;
   ev.tick = clock_->Now();
-  ev.span = current_span();
-  ev.parent = open_spans_.empty() ? 0 : open_spans_.back().parent;
+  ev.span = stack == nullptr || stack->empty() ? 0 : stack->back().id;
+  ev.parent = stack == nullptr || stack->empty() ? 0 : stack->back().parent;
   ev.tp = tp;
   ev.pid = pid;
   ev.code = 0;
@@ -63,11 +85,15 @@ TraceEvent& Tracer::EmitSpanRoot(TracepointId tp, int pid, uint64_t span) {
   ev.span = span;
   ev.parent = 0;
   // The span is normally still open (roots are emitted at syscall exit,
-  // just before EndSpan), so its parent is on the open stack.
-  for (auto it = open_spans_.rbegin(); it != open_spans_.rend(); ++it) {
-    if (it->id == span) {
-      ev.parent = it->parent;
-      break;
+  // just before EndSpan), so its parent is on `pid`'s open stack.
+  auto sit = open_spans_.find(pid);
+  if (sit != open_spans_.end()) {
+    const std::vector<OpenSpan>& stack = sit->second;
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      if (it->id == span) {
+        ev.parent = it->parent;
+        break;
+      }
     }
   }
   return ev;
@@ -147,6 +173,17 @@ std::string RenderEvent(const TraceEvent& ev, bool orphan) {
     case TracepointId::kCredChange:
       line = StrFormat("%llu cred:%s pid=%d %s", (unsigned long long)ev.seq, ev.sname,
                        ev.pid, ev.detail.c_str());
+      break;
+    case TracepointId::kContextSwitch:
+      // a = schedule step index, code = pid the token came from (0 at start).
+      line = StrFormat("%llu sched:switch step=%llu pid=%d->%d %s",
+                       (unsigned long long)ev.seq, (unsigned long long)ev.a, ev.code,
+                       ev.pid, ev.comm.c_str());
+      break;
+    case TracepointId::kFileLock:
+      // a = inode number, sname = operation, svalue = outcome.
+      line = StrFormat("%llu flock:%s \"%s\" ino=%llu -> %s", (unsigned long long)ev.seq,
+                       ev.sname, ev.detail.c_str(), (unsigned long long)ev.a, ev.svalue);
       break;
     case TracepointId::kCount:
       break;

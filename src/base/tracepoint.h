@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/base/clock.h"
@@ -43,6 +44,8 @@ enum class TracepointId : uint8_t {
   kVfsMount,        // mount table change (attach/detach)
   kNetfilter,       // chain verdict for one packet
   kCredChange,      // setuid/setgid/execve credential transition
+  kContextSwitch,   // deterministic scheduler handed the token to a task
+  kFileLock,        // advisory flock acquire/release/block outcome
   kCount,           // sentinel
 };
 
@@ -123,21 +126,26 @@ class Tracer {
   }
 
   // --- Decision spans --------------------------------------------------------
+  //
+  // Span stacks are per-pid: under the deterministic scheduler two tasks'
+  // syscalls interleave at yield points, and a single global stack would
+  // nest task B's span under whatever task A still has open. Keying the
+  // stack by pid keeps each derivation tree attached to the task that
+  // produced it regardless of the schedule.
 
-  // Opens a span nested inside the current one; returns its id (never 0).
-  uint64_t BeginSpan();
-  // Closes `span`. Tolerates mismatched ids (pops only if it is innermost).
-  void EndSpan(uint64_t span);
-  // Innermost open span id, or 0.
-  uint64_t current_span() const {
-    return open_spans_.empty() ? 0 : open_spans_.back().id;
-  }
+  // Opens a span nested inside `pid`'s current one; returns its id (never 0).
+  uint64_t BeginSpan(int pid);
+  // Closes `span`. Tolerates mismatched ids (pops only if it is innermost
+  // for `pid`).
+  void EndSpan(int pid, uint64_t span);
+  // Innermost open span id for `pid`, or 0.
+  uint64_t current_span(int pid) const;
 
   // --- Emission --------------------------------------------------------------
 
-  // Claims the next ring slot, stamps seq/tick/pid and the current span, and
-  // resets the payload fields. Callers fill in the rest. Callers MUST gate
-  // on Enabled(tp) themselves.
+  // Claims the next ring slot, stamps seq/tick/pid and `pid`'s current span,
+  // and resets the payload fields. Callers fill in the rest. Callers MUST
+  // gate on Enabled(tp) themselves.
   TraceEvent& Emit(TracepointId tp, int pid);
 
   // Emission variant for span roots (syscall exit): the event is stamped
@@ -176,7 +184,7 @@ class Tracer {
   std::vector<TraceEvent> ring_;  // fixed `capacity_` slots, reused
   uint64_t seq_ = 0;              // next sequence number
   uint64_t next_span_ = 1;        // span ids survive Clear() (spans may be open)
-  std::vector<OpenSpan> open_spans_;
+  std::unordered_map<int, std::vector<OpenSpan>> open_spans_;  // keyed by pid
   TraceFilter read_filter_;
 };
 

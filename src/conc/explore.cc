@@ -1,0 +1,173 @@
+#include "src/conc/explore.h"
+
+#include "src/base/strings.h"
+
+namespace protego::conc {
+
+namespace {
+
+struct RunOutcome {
+  std::optional<std::string> violation;
+  std::vector<SchedDecision> decisions;
+  std::vector<uint32_t> executed;
+};
+
+RunOutcome RunOnce(const ScenarioFactory& factory, SchedMode mode, uint64_t seed,
+                   const std::vector<uint32_t>* choices) {
+  std::unique_ptr<ScenarioRun> run = factory();
+  DetScheduler sched(&run->kernel().tracer());
+  sched.set_mode(mode);
+  sched.set_seed(seed);
+  if (choices != nullptr) {
+    sched.set_choices(*choices);
+  }
+  run->kernel().set_scheduler(&sched);
+  run->RegisterTasks(sched);
+  sched.Run();
+  run->kernel().set_scheduler(nullptr);
+
+  RunOutcome out;
+  out.violation = run->CheckInvariant();
+  out.decisions = sched.decisions();
+  out.executed = sched.executed_choices();
+  return out;
+}
+
+// Choosing `choice` at decision `d` preempts iff the previous token holder
+// was still runnable and a different unit was picked. Switches forced by
+// blocking or exit are not preemptions — that is the CHESS bound semantics.
+bool IsPreemption(const SchedDecision& d, uint32_t choice) {
+  if (d.prev_pid == 0) {
+    return false;  // initial dispatch
+  }
+  bool prev_runnable = false;
+  for (int pid : d.runnable) {
+    if (pid == d.prev_pid) {
+      prev_runnable = true;
+      break;
+    }
+  }
+  return prev_runnable && d.runnable[choice] != d.prev_pid;
+}
+
+}  // namespace
+
+const char* ExploreModeName(ExploreMode mode) {
+  switch (mode) {
+    case ExploreMode::kRoundRobin: return "round-robin";
+    case ExploreMode::kRandom: return "random";
+    case ExploreMode::kExhaustive: return "exhaustive";
+  }
+  return "?";
+}
+
+std::string FormatTrace(const ScheduleTrace& trace) {
+  std::string out = StrFormat("mode=%s seed=%llu choices=[", SchedModeName(trace.mode),
+                              static_cast<unsigned long long>(trace.seed));
+  for (size_t i = 0; i < trace.choices.size(); ++i) {
+    if (i > 0) out += ",";
+    out += StrFormat("%u", trace.choices[i]);
+  }
+  out += "]";
+  return out;
+}
+
+ExploreResult Explore(const ScenarioFactory& factory, const ExploreOptions& options) {
+  ExploreResult result;
+
+  switch (options.mode) {
+    case ExploreMode::kRoundRobin: {
+      RunOutcome out = RunOnce(factory, SchedMode::kRoundRobin, 0, nullptr);
+      result.schedules_run = 1;
+      if (out.violation.has_value()) {
+        result.violation_found = true;
+        result.detail = *out.violation;
+        result.violating = {SchedMode::kRoundRobin, 0, out.executed};
+      }
+      return result;
+    }
+
+    case ExploreMode::kRandom: {
+      for (uint32_t i = 0; i < options.num_seeds; ++i) {
+        uint64_t seed = options.seed + i;
+        RunOutcome out = RunOnce(factory, SchedMode::kRandom, seed, nullptr);
+        ++result.schedules_run;
+        if (out.violation.has_value()) {
+          result.violation_found = true;
+          result.detail = *out.violation;
+          result.violating = {SchedMode::kRandom, seed, out.executed};
+          return result;
+        }
+      }
+      result.exhausted = true;  // budget spent without a violation
+      return result;
+    }
+
+    case ExploreMode::kExhaustive:
+      break;  // below
+  }
+
+  // Bounded-exhaustive enumeration. Each executed run expands into sibling
+  // runs: at every decision at or past its prefix with more than one
+  // runnable unit, every untaken choice (within the preemption bound) forms
+  // a new prefix. Because the continuation past a prefix is deterministic
+  // and adds no preemptions, each distinct complete schedule is executed
+  // exactly once.
+  std::vector<std::vector<uint32_t>> stack;
+  stack.push_back({});
+  while (!stack.empty()) {
+    if (result.schedules_run >= options.max_schedules) {
+      return result;  // budget hit; exhausted stays false
+    }
+    std::vector<uint32_t> prefix = std::move(stack.back());
+    stack.pop_back();
+
+    RunOutcome out = RunOnce(factory, SchedMode::kFixed, 0, &prefix);
+    ++result.schedules_run;
+    if (out.violation.has_value()) {
+      result.violation_found = true;
+      result.detail = *out.violation;
+      result.violating = {SchedMode::kFixed, 0, out.executed};
+      return result;
+    }
+
+    // Preemptions accumulated by the executed schedule up to (exclusive)
+    // each decision index.
+    std::vector<uint32_t> preempts(out.decisions.size() + 1, 0);
+    for (size_t i = 0; i < out.decisions.size(); ++i) {
+      preempts[i + 1] =
+          preempts[i] + (IsPreemption(out.decisions[i], out.decisions[i].chosen_index) ? 1 : 0);
+    }
+
+    for (size_t i = prefix.size(); i < out.decisions.size(); ++i) {
+      const SchedDecision& d = out.decisions[i];
+      if (d.runnable.size() < 2) {
+        continue;  // forced
+      }
+      for (uint32_t alt = 0; alt < d.runnable.size(); ++alt) {
+        if (alt == d.chosen_index) continue;
+        if (preempts[i] + (IsPreemption(d, alt) ? 1 : 0) > options.preemption_bound) {
+          continue;
+        }
+        std::vector<uint32_t> child(out.executed.begin(), out.executed.begin() + i);
+        child.push_back(alt);
+        stack.push_back(std::move(child));
+      }
+    }
+  }
+  result.exhausted = true;
+  return result;
+}
+
+std::optional<std::string> Replay(const ScenarioFactory& factory, const ScheduleTrace& trace,
+                                  std::vector<SchedDecision>* decisions_out) {
+  const std::vector<uint32_t>* choices =
+      trace.mode == SchedMode::kFixed ? &trace.choices : nullptr;
+  RunOutcome out = RunOnce(factory, trace.mode, trace.seed, choices);
+  if (decisions_out != nullptr) {
+    *decisions_out = std::move(out.decisions);
+  }
+  return out.violation;
+}
+
+}  // namespace protego::conc

@@ -1,0 +1,102 @@
+// Schedule exploration: run a concurrency scenario under many interleavings
+// and report the first one that violates its invariant, as a replayable
+// trace.
+//
+// A scenario is a factory producing fresh, isolated runs (each with its own
+// simulated system). The explorer attaches a DetScheduler to the run's
+// kernel, registers the scenario's tasks, runs them to completion under one
+// schedule, and evaluates the invariant. Three strategies:
+//
+//   kRoundRobin  — the one canonical fair schedule (smoke check).
+//   kRandom      — N seeded pseudo-random schedules; a violation reports
+//                  the seed, and replaying that seed reproduces the run
+//                  bit-for-bit.
+//   kExhaustive  — bounded-exhaustive enumeration (dBug/CHESS style): every
+//                  schedule with at most `preemption_bound` preemptions,
+//                  each distinct interleaving executed exactly once.
+
+#ifndef SRC_CONC_EXPLORE_H_
+#define SRC_CONC_EXPLORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/conc/scheduler.h"
+#include "src/kernel/kernel.h"
+
+namespace protego::conc {
+
+// One isolated execution of a concurrency scenario. The factory builds a
+// fresh instance per schedule, so runs cannot contaminate each other.
+class ScenarioRun {
+ public:
+  virtual ~ScenarioRun() = default;
+
+  // The kernel the scheduler attaches to.
+  virtual Kernel& kernel() = 0;
+
+  // Registers the scenario's tasks with the scheduler (directly via
+  // StartTask or through Kernel::SpawnAsync). Called once, before Run().
+  virtual void RegisterTasks(DetScheduler& sched) = 0;
+
+  // Evaluated after all tasks finish: nullopt if the run upheld the
+  // invariant, else a description of the violation.
+  virtual std::optional<std::string> CheckInvariant() = 0;
+};
+
+using ScenarioFactory = std::function<std::unique_ptr<ScenarioRun>()>;
+
+enum class ExploreMode {
+  kRoundRobin,
+  kRandom,
+  kExhaustive,
+};
+
+const char* ExploreModeName(ExploreMode mode);
+
+// A schedule, in replayable form. For kRandom violations both the seed and
+// the executed choice list are filled in; either replays the run (the
+// choice list also replays schedules found by enumeration).
+struct ScheduleTrace {
+  SchedMode mode = SchedMode::kFixed;
+  uint64_t seed = 0;
+  std::vector<uint32_t> choices;
+};
+
+std::string FormatTrace(const ScheduleTrace& trace);
+
+struct ExploreOptions {
+  ExploreMode mode = ExploreMode::kExhaustive;
+  uint64_t seed = 1;         // first seed tried (kRandom)
+  uint32_t num_seeds = 16;   // schedules tried (kRandom)
+  uint32_t preemption_bound = 2;  // max preemptions per schedule (kExhaustive)
+  uint64_t max_schedules = 100000;  // safety valve for enumeration
+};
+
+struct ExploreResult {
+  uint64_t schedules_run = 0;
+  bool violation_found = false;
+  ScheduleTrace violating;  // meaningful when violation_found
+  std::string detail;       // the invariant's message
+  // kExhaustive: the bounded space was fully enumerated (did not stop at
+  // max_schedules or at a violation).
+  bool exhausted = false;
+};
+
+// Explores schedules until a violation is found or the strategy's budget is
+// spent. Stops at the first violation.
+ExploreResult Explore(const ScenarioFactory& factory, const ExploreOptions& options);
+
+// Re-executes a single schedule. Returns the invariant violation it
+// produced (nullopt = clean run). `decisions_out`, when non-null, receives
+// the run's full decision sequence (for trace inspection).
+std::optional<std::string> Replay(const ScenarioFactory& factory, const ScheduleTrace& trace,
+                                  std::vector<SchedDecision>* decisions_out = nullptr);
+
+}  // namespace protego::conc
+
+#endif  // SRC_CONC_EXPLORE_H_

@@ -108,6 +108,8 @@ void Kernel::ReapTask(int pid) {
       net_.DestroySocket(entry.socket_id);
     }
   }
+  // Exit drops any advisory file locks the task still held.
+  ReleaseFileLocks(pid);
   tasks_.erase(it);
 }
 
@@ -436,6 +438,141 @@ Result<Unit> Kernel::RenameImpl(Task& task, const std::string& from, const std::
   ASSIGN_OR_RETURN(auto to_pl, vfs_.ResolveParent(to_full));
   RETURN_IF_ERROR(CheckPermission(task, vfs_.PathOf(to_pl.first), to_pl.first->inode(), kMayWrite));
   return vfs_.Rename(from_full, to_full);
+}
+
+Result<Unit> Kernel::Symlink(Task& task, const std::string& target, const std::string& linkpath) {
+  return gate_.Run<Unit>(
+      task, Sysno::kSymlink,
+      [&] { return StrFormat("\"%s\", \"%s\"", target.c_str(), linkpath.c_str()); },
+      [&] { return SymlinkImpl(task, target, linkpath); });
+}
+
+Result<Unit> Kernel::SymlinkImpl(Task& task, const std::string& target,
+                                 const std::string& linkpath) {
+  std::string full = JoinPath(task, linkpath);
+  ASSIGN_OR_RETURN(auto parent_leaf, vfs_.ResolveParent(full));
+  auto [parent, leaf] = parent_leaf;
+  RETURN_IF_ERROR(CheckPermission(task, vfs_.PathOf(parent), parent->inode(), kMayWrite));
+  RETURN_IF_ERROR(vfs_.CreateSymlink(full, target, task.cred.fsuid, task.cred.fsgid));
+  return OkUnit();
+}
+
+Result<Unit> Kernel::Flock(Task& task, int fd, int op) {
+  return gate_.Run<Unit>(
+      task, Sysno::kFlock, [&] { return StrFormat("%d, %d", fd, op); },
+      [&] { return FlockImpl(task, fd, op); });
+}
+
+Result<Unit> Kernel::FlockImpl(Task& task, int fd, int op) {
+  FdEntry* entry = task.fds.Get(fd);
+  if (entry == nullptr || entry->kind != FdEntry::Kind::kFile) {
+    return Error(Errno::kEBADF);
+  }
+  uint64_t ino = entry->file->node->inode().ino;
+  std::string path = vfs_.PathOf(entry->file->node);
+
+  if (op & kLockUn) {
+    auto it = file_locks_.find(ino);
+    if (it != file_locks_.end()) {
+      if (it->second.exclusive == task.pid) {
+        it->second.exclusive = 0;
+      }
+      it->second.shared.erase(task.pid);
+      if (it->second.exclusive == 0 && it->second.shared.empty()) {
+        file_locks_.erase(it);
+      }
+      if (TaskScheduler* sched = gate_.scheduler()) {
+        sched->Signal(kWaitKeyFileLock | ino);
+      }
+    }
+    EmitFileLockEvent(task, "LOCK_UN", path, ino, "released");
+    return OkUnit();
+  }
+
+  int op_base = op & ~kLockNb;
+  if (op_base != kLockSh && op_base != kLockEx) {
+    return Error(Errno::kEINVAL, StrFormat("flock op %d", op));
+  }
+  const char* op_name = op_base == kLockEx ? "LOCK_EX" : "LOCK_SH";
+  while (true) {
+    FileLockState& state = file_locks_[ino];
+    bool other_exclusive = state.exclusive != 0 && state.exclusive != task.pid;
+    bool other_shared = false;
+    for (int holder : state.shared) {
+      if (holder != task.pid) {
+        other_shared = true;
+        break;
+      }
+    }
+    bool conflict =
+        op_base == kLockEx ? (other_exclusive || other_shared) : other_exclusive;
+    if (!conflict) {
+      // Acquire; a holder re-locking converts its own lock (upgrade or
+      // downgrade), as flock(2) specifies.
+      if (op_base == kLockEx) {
+        state.shared.erase(task.pid);
+        state.exclusive = task.pid;
+      } else {
+        if (state.exclusive == task.pid) {
+          state.exclusive = 0;
+        }
+        state.shared.insert(task.pid);
+        if (TaskScheduler* sched = gate_.scheduler()) {
+          sched->Signal(kWaitKeyFileLock | ino);  // downgrade admits other readers
+        }
+      }
+      EmitFileLockEvent(task, op_name, path, ino, "acquired");
+      return OkUnit();
+    }
+    if (op & kLockNb) {
+      EmitFileLockEvent(task, op_name, path, ino, "would-block");
+      return Error(Errno::kEAGAIN, path);
+    }
+    EmitFileLockEvent(task, op_name, path, ino, "blocked");
+    TaskScheduler* sched = gate_.scheduler();
+    if (sched == nullptr || !sched->WaitOn(task.pid, kWaitKeyFileLock | ino)) {
+      // No scheduler to block under, or blocking would leave no runnable
+      // unit: the lock can never be released.
+      EmitFileLockEvent(task, op_name, path, ino, "deadlock");
+      return Error(Errno::kEDEADLK, path);
+    }
+  }
+}
+
+void Kernel::EmitFileLockEvent(const Task& task, const char* op, const std::string& path,
+                               uint64_t ino, const char* outcome) {
+  if (!tracer_.Enabled(TracepointId::kFileLock)) {
+    return;
+  }
+  TraceEvent& ev = tracer_.Emit(TracepointId::kFileLock, task.pid);
+  ev.comm = task.comm;
+  ev.sname = op;
+  ev.detail = path;
+  ev.a = ino;
+  ev.svalue = outcome;
+}
+
+void Kernel::ReleaseFileLocks(int pid) {
+  for (auto it = file_locks_.begin(); it != file_locks_.end();) {
+    FileLockState& state = it->second;
+    bool changed = false;
+    if (state.exclusive == pid) {
+      state.exclusive = 0;
+      changed = true;
+    }
+    changed |= state.shared.erase(pid) > 0;
+    uint64_t ino = it->first;
+    if (state.exclusive == 0 && state.shared.empty()) {
+      it = file_locks_.erase(it);
+    } else {
+      ++it;
+    }
+    if (changed) {
+      if (TaskScheduler* sched = gate_.scheduler()) {
+        sched->Signal(kWaitKeyFileLock | ino);
+      }
+    }
+  }
 }
 
 Result<std::vector<std::string>> Kernel::ReadDir(Task& task, const std::string& path) {
@@ -793,8 +930,7 @@ Result<int> Kernel::Spawn(Task& parent, const std::string& path, std::vector<std
       [&] { return SpawnImpl(parent, path, std::move(argv), std::move(env)); });
 }
 
-Result<int> Kernel::SpawnImpl(Task& parent, const std::string& path, std::vector<std::string> argv,
-                              std::map<std::string, std::string> env) {
+Task& Kernel::ForkTask(Task& parent) {
   // fork(): child inherits credentials, cwd, terminal, fds, and the Protego
   // security metadata (auth recency, pending setuid-on-exec, seccomp filter).
   Task& child = CreateTask(parent.comm, parent.cred, parent.terminal, parent.pid);
@@ -813,7 +949,12 @@ Result<int> Kernel::SpawnImpl(Task& parent, const std::string& path, std::vector
   // The parent's pending transition is consumed by the child's exec, as when
   // sudo execs the target in-process; clear it on the parent.
   parent.pending_setuid = PendingSetuid{};
+  return child;
+}
 
+Result<int> Kernel::SpawnImpl(Task& parent, const std::string& path, std::vector<std::string> argv,
+                              std::map<std::string, std::string> env) {
+  Task& child = ForkTask(parent);
   auto status = Execve(child, path, std::move(argv), std::move(env));
   // waitpid(): surface the child's output on the parent, then reap.
   parent.stdout_buf += child.stdout_buf;
@@ -826,6 +967,87 @@ Result<int> Kernel::SpawnImpl(Task& parent, const std::string& path, std::vector
   int code = status.value();
   ReapTask(child_pid);
   return code;
+}
+
+Result<int> Kernel::SpawnAsync(Task& parent, const std::string& path,
+                               std::vector<std::string> argv,
+                               std::map<std::string, std::string> env) {
+  return gate_.Run<int>(
+      parent, Sysno::kClone, [&] { return path + " [async]"; },
+      [&] { return SpawnAsyncImpl(parent, path, std::move(argv), std::move(env)); });
+}
+
+Result<int> Kernel::SpawnAsyncImpl(Task& parent, const std::string& path,
+                                   std::vector<std::string> argv,
+                                   std::map<std::string, std::string> env) {
+  TaskScheduler* sched = gate_.scheduler();
+  if (sched == nullptr) {
+    return Error(Errno::kENOSYS, "SpawnAsync requires an attached scheduler");
+  }
+  Task& child = ForkTask(parent);
+  int child_pid = child.pid;
+  // The child's execve becomes a schedulable unit: it runs on the
+  // scheduler's thread for this pid and interleaves with every other unit
+  // at syscall-entry yield points. The task stays in the process table as a
+  // zombie (exit status parked in exit_records_) until the parent's WaitPid.
+  sched->StartTask(child_pid, [this, child_pid, path, argv = std::move(argv),
+                               env = std::move(env)]() mutable {
+    Task* child_task = FindTask(child_pid);
+    if (child_task == nullptr) {
+      return;  // reaped before ever being scheduled
+    }
+    auto status = Execve(*child_task, path, std::move(argv), std::move(env));
+    ExitRecord rec;
+    if (status.ok()) {
+      rec.status = status.value();
+    } else {
+      rec.err = status.code();
+      rec.context = status.error().context();
+    }
+    exit_records_[child_pid] = std::move(rec);
+    ReleaseFileLocks(child_pid);  // exit drops advisory locks even pre-reap
+    TaskScheduler* s = gate_.scheduler();
+    if (s != nullptr) {
+      s->Signal(kWaitKeyChildExit | static_cast<uint32_t>(child_pid));
+    }
+  });
+  return child_pid;
+}
+
+Result<int> Kernel::WaitPid(Task& parent, int pid) {
+  return gate_.Run<int>(
+      parent, Sysno::kWait4, [&] { return StrFormat("%d", pid); },
+      [&] { return WaitPidImpl(parent, pid); });
+}
+
+Result<int> Kernel::WaitPidImpl(Task& parent, int pid) {
+  while (true) {
+    auto rec_it = exit_records_.find(pid);
+    if (rec_it != exit_records_.end()) {
+      ExitRecord rec = std::move(rec_it->second);
+      exit_records_.erase(rec_it);
+      // waitpid(): surface the child's output on the parent, then reap.
+      if (Task* child = FindTask(pid)) {
+        parent.stdout_buf += child->stdout_buf;
+        parent.stderr_buf += child->stderr_buf;
+      }
+      ReapTask(pid);
+      if (rec.err != Errno::kOk) {
+        return Error(rec.err, rec.context);
+      }
+      return rec.status;
+    }
+    if (FindTask(pid) == nullptr) {
+      return Error(Errno::kECHILD, StrFormat("pid %d", pid));
+    }
+    TaskScheduler* sched = gate_.scheduler();
+    if (sched == nullptr ||
+        !sched->WaitOn(parent.pid, kWaitKeyChildExit | static_cast<uint32_t>(pid))) {
+      // No scheduler, or blocking would leave no runnable unit: the child
+      // can never exit.
+      return Error(Errno::kEDEADLK, StrFormat("wait4 pid %d", pid));
+    }
+  }
 }
 
 Result<int> Kernel::Execve(Task& task, const std::string& path, std::vector<std::string> argv,

@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,12 @@
 namespace protego {
 
 class Kernel;
+
+// flock(2) operation bits (Linux values).
+inline constexpr int kLockSh = 1;  // shared lock
+inline constexpr int kLockEx = 2;  // exclusive lock
+inline constexpr int kLockNb = 4;  // don't block; fail with EAGAIN
+inline constexpr int kLockUn = 8;  // release
 
 // Execution context handed to a simulated userspace program.
 struct ProcessContext {
@@ -99,6 +106,12 @@ class Kernel {
   SyscallGate& syscalls() { return gate_; }
   const SyscallGate& syscalls() const { return gate_; }
 
+  // Attaches/detaches the deterministic scheduler (forwarded to the gate,
+  // which owns the per-syscall yield point). Detach before destroying the
+  // scheduler.
+  void set_scheduler(TaskScheduler* scheduler) { gate_.set_scheduler(scheduler); }
+  TaskScheduler* scheduler() { return gate_.scheduler(); }
+
   // The kernel-wide tracepoint ring (decision spans; /proc/protego/trace)
   // shared by the gate, the LSM stack, the VFS, and netfilter.
   Tracer& tracer() { return tracer_; }
@@ -137,6 +150,20 @@ class Kernel {
   Result<int> Spawn(Task& parent, const std::string& path, std::vector<std::string> argv,
                     std::map<std::string, std::string> env);
 
+  // fork + execve without the wait: the child's exec runs as a schedulable
+  // unit of the attached TaskScheduler (set_scheduler), interleaving with
+  // other tasks at syscall-entry yield points. Returns the child pid
+  // immediately; collect it with WaitPid. ENOSYS without a scheduler.
+  Result<int> SpawnAsync(Task& parent, const std::string& path,
+                         std::vector<std::string> argv,
+                         std::map<std::string, std::string> env);
+
+  // wait4(2) analog for SpawnAsync children: blocks (via the scheduler)
+  // until `pid` exits, merges its captured output into `parent`, reaps it,
+  // and returns its exit status. ECHILD if `pid` is not an un-reaped child;
+  // EDEADLK if blocking could never be satisfied.
+  Result<int> WaitPid(Task& parent, int pid);
+
   // execve(2) semantics applied to `task` itself (setuid bit, capability
   // recomputation, bprm LSM hook, close-on-exec), then runs the new image
   // to completion and returns its exit status.
@@ -157,6 +184,17 @@ class Kernel {
   Result<Unit> Rename(Task& task, const std::string& from, const std::string& to);
   Result<std::vector<std::string>> ReadDir(Task& task, const std::string& path);
   Result<Unit> Access(Task& task, const std::string& path, int may);
+
+  // symlink(2): creates `linkpath` pointing at `target` (which need not
+  // exist). Needs write permission on linkpath's parent directory.
+  Result<Unit> Symlink(Task& task, const std::string& target, const std::string& linkpath);
+
+  // flock(2): advisory inode-level lock on an open fd. op is kLockSh /
+  // kLockEx / kLockUn, optionally | kLockNb. Conflicting requests block via
+  // the attached scheduler (EAGAIN with kLockNb, EDEADLK when blocking can
+  // never succeed). Locks are tracked per (task, inode) and released on
+  // kLockUn or task reap.
+  Result<Unit> Flock(Task& task, int fd, int op);
 
   // Whole-file conveniences used heavily by utilities (open+read+close).
   Result<std::string> ReadWholeFile(Task& task, const std::string& path);
@@ -273,6 +311,20 @@ class Kernel {
   // wrappers routing these through gate_.
   Result<int> SpawnImpl(Task& parent, const std::string& path, std::vector<std::string> argv,
                         std::map<std::string, std::string> env);
+  Result<int> SpawnAsyncImpl(Task& parent, const std::string& path,
+                             std::vector<std::string> argv,
+                             std::map<std::string, std::string> env);
+  Result<int> WaitPidImpl(Task& parent, int pid);
+  // fork() half shared by Spawn and SpawnAsync: duplicates `parent` into a
+  // fresh child task (credentials, cwd, fds, Protego metadata).
+  Task& ForkTask(Task& parent);
+  Result<Unit> SymlinkImpl(Task& task, const std::string& target, const std::string& linkpath);
+  Result<Unit> FlockImpl(Task& task, int fd, int op);
+  // Drops every advisory lock held by `pid` and wakes its waiters (process
+  // exit semantics, called from ReapTask).
+  void ReleaseFileLocks(int pid);
+  void EmitFileLockEvent(const Task& task, const char* op, const std::string& path,
+                         uint64_t ino, const char* outcome);
   Result<int> ExecveImpl(Task& task, const std::string& path, std::vector<std::string> argv,
                          std::map<std::string, std::string> env);
   Result<int> OpenImpl(Task& task, const std::string& path, int flags, uint32_t mode);
@@ -304,6 +356,23 @@ class Kernel {
   Result<std::optional<Packet>> RecvCallImpl(Task& task, int fd);
   Result<std::string> IoctlImpl(Task& task, int fd, uint32_t request, const std::string& arg);
 
+  // A child launched with SpawnAsync that has exited but not been reaped
+  // (zombie-style): its status parks here until the parent's WaitPid.
+  struct ExitRecord {
+    Errno err = Errno::kOk;  // kOk -> `status` is the exit code
+    int status = 0;
+    std::string context;  // error context when err != kOk
+  };
+
+  // Advisory flock state for one inode: one exclusive holder XOR any number
+  // of shared holders (pids). Linux tracks flock by open file description;
+  // the simulation's (pid, inode) granularity is equivalent for programs
+  // that open-lock-write-unlock-close, which is all the corpus does.
+  struct FileLockState {
+    int exclusive = 0;      // holder pid, 0 = none
+    std::set<int> shared;   // shared holder pids
+  };
+
   Clock clock_;
   // mutable so const syscalls (GetPid) and const checks (Capable) can emit
   // trace events.
@@ -319,6 +388,8 @@ class Kernel {
   std::map<std::string, FsTypeFactory> fs_types_;
   std::map<uint64_t, IoctlHandler> ioctl_handlers_;  // (major<<32)|minor
   AuthAgent auth_agent_;
+  std::map<int, ExitRecord> exit_records_;     // async children awaiting WaitPid
+  std::map<uint64_t, FileLockState> file_locks_;  // keyed by inode number
   AuditRing audit_ring_{512};
   int next_pid_ = 1;
   int next_userns_ = 1;

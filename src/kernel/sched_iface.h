@@ -1,0 +1,62 @@
+// The kernel-side scheduler interface.
+//
+// The kernel itself has no scheduling policy: Kernel::Spawn runs programs to
+// completion synchronously, exactly as before. When a TaskScheduler is
+// attached (SyscallGate::set_scheduler), three capabilities appear:
+//
+//   - preemption points: the gate reports every syscall entry via
+//     OnSyscallEntry(), and the scheduler may park the calling OS thread
+//     there and hand the execution token to another task (CHESS/dBug-style
+//     cooperative determinism — see src/conc/scheduler.h);
+//   - asynchronous tasks: Kernel::SpawnAsync registers the child program as
+//     a schedulable unit via StartTask() instead of running it inline;
+//   - blocking: syscalls that must sleep (waitpid on a live child, flock on
+//     a held lock) call WaitOn(resource) and are removed from the runnable
+//     set until Signal(resource); WaitOn returns false when blocking would
+//     leave no runnable unit — the kernel surfaces that as EDEADLK.
+//
+// The interface lives in src/kernel (not src/conc) so the kernel never
+// depends on the concurrency subsystem; src/conc implements it on top.
+
+#ifndef SRC_KERNEL_SCHED_IFACE_H_
+#define SRC_KERNEL_SCHED_IFACE_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace protego {
+
+enum class Sysno : uint16_t;
+
+// Resources a blocked task can wait on are identified by a uint64 key. The
+// kernel uses disjoint key spaces for the two blocking syscalls it has.
+inline constexpr uint64_t kWaitKeyChildExit = 1ull << 32;  // | child pid
+inline constexpr uint64_t kWaitKeyFileLock = 2ull << 32;   // | inode number
+
+class TaskScheduler {
+ public:
+  virtual ~TaskScheduler() = default;
+
+  // Called by the SyscallGate at the top of every dispatched syscall, before
+  // seccomp, accounting, or the body. A deterministic scheduler yields the
+  // execution token here; for OS threads it does not manage, this must be a
+  // no-op.
+  virtual void OnSyscallEntry(int pid, Sysno nr) = 0;
+
+  // Registers `body` as a schedulable unit for task `pid`. The body starts
+  // executing only when the scheduler's run loop hands it the token.
+  virtual void StartTask(int pid, std::function<void()> body) = 0;
+
+  // Parks the calling unit until Signal(resource). Wakeups may be spurious —
+  // callers re-check their predicate and loop. Returns false if parking
+  // would deadlock (no runnable unit remains to ever signal), in which case
+  // the caller still holds the token and must fail the syscall.
+  virtual bool WaitOn(int pid, uint64_t resource) = 0;
+
+  // Marks every unit parked on `resource` runnable again.
+  virtual void Signal(uint64_t resource) = 0;
+};
+
+}  // namespace protego
+
+#endif  // SRC_KERNEL_SCHED_IFACE_H_

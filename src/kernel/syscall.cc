@@ -24,10 +24,13 @@ const char* SysnoName(Sysno nr) {
     case Sysno::kListen: return "listen";
     case Sysno::kClone: return "clone";
     case Sysno::kExecve: return "execve";
+    case Sysno::kWait4: return "wait4";
+    case Sysno::kFlock: return "flock";
     case Sysno::kGetDents: return "getdents";
     case Sysno::kRename: return "rename";
     case Sysno::kMkdir: return "mkdir";
     case Sysno::kUnlink: return "unlink";
+    case Sysno::kSymlink: return "symlink";
     case Sysno::kChmod: return "chmod";
     case Sysno::kChown: return "chown";
     case Sysno::kSetuid: return "setuid";
@@ -48,10 +51,11 @@ const std::vector<Sysno>& AllSysnos() {
       Sysno::kStat,      Sysno::kIoctl,    Sysno::kAccess,   Sysno::kGetPid,
       Sysno::kSocket,    Sysno::kConnect,  Sysno::kSendTo,   Sysno::kRecvFrom,
       Sysno::kBind,      Sysno::kListen,   Sysno::kClone,    Sysno::kExecve,
-      Sysno::kGetDents,  Sysno::kRename,   Sysno::kMkdir,    Sysno::kUnlink,
-      Sysno::kChmod,     Sysno::kChown,    Sysno::kSetuid,   Sysno::kSetgid,
-      Sysno::kSetreuid,  Sysno::kSetgroups, Sysno::kMount,   Sysno::kUmount2,
-      Sysno::kUnshare,   Sysno::kSeccomp,
+      Sysno::kWait4,     Sysno::kFlock,    Sysno::kGetDents, Sysno::kRename,
+      Sysno::kMkdir,     Sysno::kUnlink,   Sysno::kSymlink,  Sysno::kChmod,
+      Sysno::kChown,     Sysno::kSetuid,   Sysno::kSetgid,   Sysno::kSetreuid,
+      Sysno::kSetgroups, Sysno::kMount,    Sysno::kUmount2,  Sysno::kUnshare,
+      Sysno::kSeccomp,
   };
   return kAll;
 }
@@ -130,7 +134,7 @@ void SyscallGate::RecordTrace(SyscallContext& ctx, Errno err, uint64_t dur_ns,
     ev.detail = std::move(ctx.args);
   }
   if (ctx.span != 0) {
-    tracer_->EndSpan(ctx.span);
+    tracer_->EndSpan(ctx.pid, ctx.span);
   }
 }
 

@@ -43,6 +43,7 @@
 #include "src/base/metrics.h"
 #include "src/base/result.h"
 #include "src/base/tracepoint.h"
+#include "src/kernel/sched_iface.h"
 
 namespace protego {
 
@@ -68,10 +69,13 @@ enum class Sysno : uint16_t {
   kListen = 50,
   kClone = 56,
   kExecve = 59,
+  kWait4 = 61,  // Kernel::WaitPid (collect an async child's exit status)
+  kFlock = 73,
   kGetDents = 78,
   kRename = 82,
   kMkdir = 83,
   kUnlink = 87,
+  kSymlink = 88,
   kChmod = 90,
   kChown = 92,
   kSetuid = 105,
@@ -156,6 +160,13 @@ class SyscallGate {
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   Tracer* tracer() { return tracer_; }
 
+  // Attaches a deterministic scheduler: every syscall entry becomes a yield
+  // point (the scheduler may hand the token to another task before the body
+  // runs). Detached (nullptr) by default — the sequential fast path pays one
+  // null check per syscall.
+  void set_scheduler(TaskScheduler* scheduler) { scheduler_ = scheduler; }
+  TaskScheduler* scheduler() { return scheduler_; }
+
   // Master switch. When off, the gate neither filters nor accounts — this
   // exists ONLY as the microbenchmark's no-gate baseline; a disabled gate
   // does not enforce seccomp filters.
@@ -217,7 +228,7 @@ class SyscallGate {
     ctx.comm = &task.comm;
     ctx.start_tick = clock_->Now();
     if (tracer_ != nullptr && tracer_->enabled()) {
-      ctx.span = tracer_->BeginSpan();
+      ctx.span = tracer_->BeginSpan(ctx.pid);
     }
     if (task.seccomp != nullptr && !task.seccomp->Allows(nr)) {
       RecordDenial(ctx);
@@ -238,6 +249,13 @@ class SyscallGate {
   // pre-existing syscall implementation (DAC + LSM + work).
   template <typename T, typename TaskT, typename ArgsFn, typename BodyFn>
   Result<T> Run(TaskT& task, Sysno nr, ArgsFn&& args_fn, BodyFn&& body) {
+    if (scheduler_ != nullptr) {
+      // The yield point: under the deterministic scheduler every syscall
+      // entry is a potential context switch, BEFORE any gate work, so the
+      // trace/stats a schedule produces reflect the order the scheduler
+      // chose.
+      scheduler_->OnSyscallEntry(task.pid, nr);
+    }
     if (!enabled_) {
       return body();
     }
@@ -257,6 +275,9 @@ class SyscallGate {
   // denies getpid yields -1 (and the denial is traced) rather than an errno.
   template <typename TaskT>
   int RunGetPid(const TaskT& task) {
+    if (scheduler_ != nullptr) {
+      scheduler_->OnSyscallEntry(task.pid, Sysno::kGetPid);
+    }
     if (!enabled_) {
       return task.pid;
     }
@@ -276,6 +297,7 @@ class SyscallGate {
 
   const Clock* clock_;
   Tracer* tracer_ = nullptr;
+  TaskScheduler* scheduler_ = nullptr;
   bool enabled_ = true;
   bool wallclock_timing_ = false;
   PerSyscall stats_[kSysnoSlots] = {};

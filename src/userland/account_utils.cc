@@ -21,8 +21,12 @@ std::vector<std::string> Positionals(const ProcessContext& ctx) {
 }
 
 // Rewrites one user's record inside the shared /etc/passwd (stock path).
+// The exclusive flock spans the whole read-modify-write (lckpwdf(3)-style)
+// so a concurrent updater can neither interleave its rewrite inside ours
+// (lost update) nor observe the truncate-then-write window.
 Result<Unit> StockUpdatePasswdRecord(ProcessContext& ctx, const std::string& user,
                                      const std::function<void(PasswdEntry*)>& edit) {
+  FileLockGuard lock(ctx, "/etc/passwd", /*exclusive=*/true);
   ASSIGN_OR_RETURN(std::string content, ctx.kernel.ReadWholeFile(ctx.task, "/etc/passwd"));
   ASSIGN_OR_RETURN(auto entries, ParsePasswd(content));
   bool found = false;
@@ -110,7 +114,10 @@ ProgramMain MakePasswdMain(bool protego_mode) {
         ctx.Err("passwd: must be setuid root\n");
         return 1;
       }
-      // Verify the current password (root skips).
+      // Verify the current password (root skips). The lock spans the whole
+      // read-verify-rewrite so a concurrent passwd run cannot interleave its
+      // own rewrite inside ours and lose one of the updates.
+      FileLockGuard shadow_lock(ctx, "/etc/shadow", /*exclusive=*/true);
       auto shadow = ctx.kernel.ReadWholeFile(ctx.task, "/etc/shadow");
       if (!shadow.ok()) {
         ctx.Err("passwd: cannot read shadow database\n");

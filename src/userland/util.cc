@@ -5,7 +5,31 @@
 
 namespace protego {
 
+FileLockGuard::FileLockGuard(ProcessContext& ctx, const std::string& path, bool exclusive)
+    : ctx_(ctx) {
+  auto opt_out = ctx.env.find("PROTEGO_NO_FLOCK");
+  if (opt_out != ctx.env.end() && opt_out->second == "1") {
+    return;
+  }
+  auto fd = ctx.kernel.Open(ctx.task, path, kORdOnly, 0);
+  if (!fd.ok()) {
+    return;  // nothing to lock against; the caller's own read will fail
+  }
+  fd_ = fd.value();
+  locked_ = ctx.kernel.Flock(ctx.task, fd_, exclusive ? kLockEx : kLockSh).ok();
+}
+
+FileLockGuard::~FileLockGuard() {
+  if (fd_ >= 0) {
+    if (locked_) {
+      (void)ctx_.kernel.Flock(ctx_.task, fd_, kLockUn);
+    }
+    (void)ctx_.kernel.Close(ctx_.task, fd_);
+  }
+}
+
 std::optional<PasswdEntry> LookupUser(ProcessContext& ctx, const std::string& name_or_uid) {
+  FileLockGuard lock(ctx, "/etc/passwd", /*exclusive=*/false);
   auto content = ctx.kernel.ReadWholeFile(ctx.task, "/etc/passwd");
   if (!content.ok()) {
     return std::nullopt;

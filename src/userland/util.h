@@ -19,6 +19,26 @@ std::optional<PasswdEntry> LookupUser(ProcessContext& ctx, const std::string& na
 std::optional<PasswdEntry> LookupUserByUid(ProcessContext& ctx, Uid uid);
 std::optional<GroupEntry> LookupGroup(ProcessContext& ctx, const std::string& name);
 
+// Advisory flock bracket over a shared database file, lckpwdf(3)-style:
+// readers hold a shared lock, updaters hold an exclusive lock across their
+// whole read-modify-write so concurrent rewrites can neither interleave
+// (lost update) nor expose the truncate-then-write window to readers.
+// PROTEGO_NO_FLOCK=1 in the environment skips locking; the interleaving
+// explorer uses that to reproduce the unlocked races.
+class FileLockGuard {
+ public:
+  FileLockGuard(ProcessContext& ctx, const std::string& path, bool exclusive);
+  ~FileLockGuard();
+
+  FileLockGuard(const FileLockGuard&) = delete;
+  FileLockGuard& operator=(const FileLockGuard&) = delete;
+
+ private:
+  ProcessContext& ctx_;
+  int fd_ = -1;
+  bool locked_ = false;
+};
+
 // The attacker payload for the historical-CVE study (Table 6). A utility
 // whose documented vulnerable point is reached with the exploit trigger set
 // calls this; the payload then attempts every privilege-escalation action

@@ -10,6 +10,7 @@ std::string ModeString(uint32_t mode) {
     case kIfChr: out.push_back('c'); break;
     case kIfBlk: out.push_back('b'); break;
     case kIfFifo: out.push_back('p'); break;
+    case kIfLnk: out.push_back('l'); break;
     case kIfSock: out.push_back('s'); break;
     default: out.push_back('-'); break;
   }

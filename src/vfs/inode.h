@@ -30,7 +30,7 @@ struct Inode {
   Gid gid = kRootGid;
   uint32_t nlink = 1;
   uint64_t mtime = 0;
-  std::string data;  // regular-file contents
+  std::string data;  // regular-file contents; symlink target for kIfLnk
 
   // Device node identity (kIfChr/kIfBlk only).
   uint32_t rdev_major = 0;
@@ -41,6 +41,7 @@ struct Inode {
 
   bool IsDir() const { return IsDirMode(mode); }
   bool IsReg() const { return IsRegMode(mode); }
+  bool IsSymlink() const { return IsLnkMode(mode); }
   bool IsDevice() const { return IsDeviceMode(mode); }
   bool IsSetUid() const { return (mode & kSetUidBit) != 0; }
   bool IsSetGid() const { return (mode & kSetGidBit) != 0; }

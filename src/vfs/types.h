@@ -23,6 +23,7 @@ inline constexpr uint32_t kIfDir = 0040000;
 inline constexpr uint32_t kIfChr = 0020000;
 inline constexpr uint32_t kIfBlk = 0060000;
 inline constexpr uint32_t kIfFifo = 0010000;
+inline constexpr uint32_t kIfLnk = 0120000;
 inline constexpr uint32_t kIfSock = 0140000;
 
 // Permission/special bits.
@@ -49,6 +50,7 @@ inline constexpr int kOCloExec = 02000000;
 
 inline bool IsDirMode(uint32_t mode) { return (mode & kIfMask) == kIfDir; }
 inline bool IsRegMode(uint32_t mode) { return (mode & kIfMask) == kIfReg; }
+inline bool IsLnkMode(uint32_t mode) { return (mode & kIfMask) == kIfLnk; }
 inline bool IsDeviceMode(uint32_t mode) {
   uint32_t type = mode & kIfMask;
   return type == kIfChr || type == kIfBlk;

@@ -71,7 +71,7 @@ std::string Vfs::Normalize(std::string_view path) {
 }
 
 Result<Vnode*> Vfs::ResolveInternal(std::string_view path, bool want_parent,
-                                    std::string* leaf_out) const {
+                                    std::string* leaf_out, bool follow_leaf) const {
   if (path.empty() || path[0] != '/') {
     return Error(Errno::kEINVAL, "path must be absolute: " + std::string(path));
   }
@@ -88,30 +88,66 @@ Result<Vnode*> Vfs::ResolveInternal(std::string_view path, bool want_parent,
     parts.pop_back();
   }
 
-  Vnode* node = root_.get();
-  while (node->covered_by_ != nullptr) {
-    node = node->covered_by_->root.get();
+  // Each symlink followed consumes one unit of budget; a cycle exhausts it
+  // and surfaces as ELOOP, as in Linux's nested_symlinks limit.
+  int links_left = kMaxSymlinkDepth;
+  while (true) {
+    Vnode* node = root_.get();
+    while (node->covered_by_ != nullptr) {
+      node = node->covered_by_->root.get();
+    }
+    bool restarted = false;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      const std::string& part = parts[i];
+      if (!node->inode().IsDir()) {
+        return Error(Errno::kENOTDIR, normalized);
+      }
+      Vnode* child = node->Lookup(part);
+      if (child == nullptr) {
+        return Error(Errno::kENOENT, normalized);
+      }
+      while (child->covered_by_ != nullptr) {
+        child = child->covered_by_->root.get();
+      }
+      bool is_leaf = i + 1 == parts.size();
+      if (child->inode().IsSymlink() && (!is_leaf || follow_leaf)) {
+        if (--links_left < 0) {
+          return Error(Errno::kELOOP, normalized);
+        }
+        // Splice the target in front of the remaining components and walk
+        // again from the root (relative targets resolve against `node`).
+        const std::string& target = child->inode().data;
+        std::string rebuilt =
+            !target.empty() && target[0] == '/' ? target : PathOf(node) + "/" + target;
+        for (size_t j = i + 1; j < parts.size(); ++j) {
+          rebuilt += "/" + parts[j];
+        }
+        normalized = Normalize(rebuilt);
+        parts = Split(normalized.substr(1), '/');
+        if (normalized == "/") {
+          parts.clear();
+        }
+        restarted = true;
+        break;
+      }
+      node = child;
+    }
+    if (!restarted) {
+      return node;
+    }
   }
-  for (const std::string& part : parts) {
-    if (!node->inode().IsDir()) {
-      return Error(Errno::kENOTDIR, normalized);
-    }
-    Vnode* child = node->Lookup(part);
-    if (child == nullptr) {
-      return Error(Errno::kENOENT, normalized);
-    }
-    while (child->covered_by_ != nullptr) {
-      child = child->covered_by_->root.get();
-    }
-    node = child;
-  }
-  return node;
 }
 
 Result<Vnode*> Vfs::Resolve(std::string_view path) const {
   ++resolves_;
   std::string unused;
   return ResolveInternal(path, /*want_parent=*/false, &unused);
+}
+
+Result<Vnode*> Vfs::ResolveNoFollow(std::string_view path) const {
+  ++resolves_;
+  std::string unused;
+  return ResolveInternal(path, /*want_parent=*/false, &unused, /*follow_leaf=*/false);
 }
 
 Result<std::pair<Vnode*, std::string>> Vfs::ResolveParent(std::string_view path) const {
@@ -171,6 +207,19 @@ Result<Vnode*> Vfs::CreateDir(std::string_view path, uint32_t perms, Uid uid, Gi
   inode.mode = kIfDir | (perms & kPermMask);
   inode.uid = uid;
   inode.gid = gid;
+  return CreateNode(path, std::move(inode));
+}
+
+Result<Vnode*> Vfs::CreateSymlink(std::string_view path, std::string_view target, Uid uid,
+                                  Gid gid) {
+  if (target.empty()) {
+    return Error(Errno::kEINVAL, "empty symlink target");
+  }
+  Inode inode;
+  inode.mode = kIfLnk | 0777;
+  inode.uid = uid;
+  inode.gid = gid;
+  inode.data = std::string(target);
   return CreateNode(path, std::move(inode));
 }
 
@@ -240,7 +289,9 @@ Result<Unit> Vfs::Unlink(std::string_view path) {
     return Error(Errno::kENOTEMPTY, std::string(path));
   }
   std::string full = PathOf(child);
-  parent->children_.erase(leaf);
+  auto child_it = parent->children_.find(leaf);
+  orphans_.push_back(std::move(child_it->second));
+  parent->children_.erase(child_it);
   FireEvent(FsEvent::kDeleted, full);
   return OkUnit();
 }
@@ -265,7 +316,9 @@ Result<Unit> Vfs::Rename(std::string_view from, std::string_view to) {
     if (existing->inode().IsDir() && existing->HasChildren()) {
       return Error(Errno::kENOTEMPTY, std::string(to));
     }
-    to_parent->children_.erase(to_leaf);
+    auto existing_it = to_parent->children_.find(to_leaf);
+    orphans_.push_back(std::move(existing_it->second));
+    to_parent->children_.erase(existing_it);
   }
   std::string old_path = PathOf(source);
   auto it = from_parent->children_.find(from_leaf);

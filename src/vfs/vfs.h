@@ -112,8 +112,18 @@ class Vfs {
   // Collapses ".", "..", duplicate slashes. `path` must be absolute.
   static std::string Normalize(std::string_view path);
 
-  // Resolves an absolute path to its Vnode, crossing mountpoints.
+  // Symlink chains longer than this fail with ELOOP (Linux uses 40; the
+  // simulation's filesystems are small enough that 8 suffices).
+  static constexpr int kMaxSymlinkDepth = 8;
+
+  // Resolves an absolute path to its Vnode, crossing mountpoints and
+  // following symlinks (including the final component; use ResolveNoFollow
+  // for lstat-style leaf access).
   Result<Vnode*> Resolve(std::string_view path) const;
+
+  // Like Resolve, but does not follow a symlink in the FINAL component
+  // (intermediate symlinks are still followed).
+  Result<Vnode*> ResolveNoFollow(std::string_view path) const;
 
   // Resolves all but the last component; returns (parent dir, leaf name).
   Result<std::pair<Vnode*, std::string>> ResolveParent(std::string_view path) const;
@@ -126,6 +136,10 @@ class Vfs {
   Result<Vnode*> CreateFile(std::string_view path, uint32_t perms, Uid uid, Gid gid,
                             std::string data = "");
   Result<Vnode*> CreateDir(std::string_view path, uint32_t perms, Uid uid, Gid gid);
+  // Creates a symbolic link at `path` pointing at `target` (not required to
+  // exist — dangling links are legal, as on Linux). Mode is always 0777.
+  Result<Vnode*> CreateSymlink(std::string_view path, std::string_view target, Uid uid,
+                               Gid gid);
   Result<Vnode*> CreateDevice(std::string_view path, uint32_t perms, Uid uid, Gid gid,
                               bool block, uint32_t major, uint32_t minor);
 
@@ -174,7 +188,7 @@ class Vfs {
  private:
   Vnode* root() const { return root_.get(); }
   Result<Vnode*> ResolveInternal(std::string_view path, bool want_parent,
-                                 std::string* leaf_out) const;
+                                 std::string* leaf_out, bool follow_leaf = true) const;
   Result<Vnode*> CreateNode(std::string_view path, Inode inode);
   void FireEvent(FsEvent event, const std::string& path);
   uint64_t NextIno() { return next_ino_++; }
@@ -190,6 +204,10 @@ class Vfs {
   Tracer* tracer_ = nullptr;
   mutable uint64_t resolves_ = 0;  // accounting from const Resolve()
   std::unique_ptr<Vnode> root_;
+  // Vnodes unlinked or displaced by rename stay alive here until the Vfs is
+  // destroyed: open file descriptions hold raw Vnode*, and on a real system
+  // an open inode outlives its last directory entry.
+  std::vector<std::unique_ptr<Vnode>> orphans_;
   std::vector<std::unique_ptr<MountEntry>> mounts_;
   std::vector<Watch> watches_;
   uint64_t next_ino_ = 2;  // 1 is the root inode, per ext tradition

@@ -51,7 +51,7 @@ TEST(TracerTest, SpanTreeSurvivesRingWrap) {
   Clock clock;
   Tracer tracer(&clock, 4);
 
-  uint64_t span = tracer.BeginSpan();
+  uint64_t span = tracer.BeginSpan(7);
   // Six children through a 4-slot ring: only the last three survive
   // alongside the root.
   for (int i = 0; i < 6; ++i) {
@@ -63,7 +63,7 @@ TEST(TracerTest, SpanTreeSurvivesRingWrap) {
   TraceEvent& root = tracer.EmitSpanRoot(TracepointId::kSyscall, 7, span);
   root.sname = "mount";
   root.code = static_cast<int>(Errno::kEPERM);
-  tracer.EndSpan(span);
+  tracer.EndSpan(7, span);
 
   auto snap = tracer.Snapshot();
   ASSERT_EQ(snap.size(), 4u);
@@ -87,7 +87,7 @@ TEST(TracerTest, SpanTreeSurvivesRingWrap) {
 TEST(TracerTest, EventsOfStillOpenSpanRenderAsOrphans) {
   Clock clock;
   Tracer tracer(&clock, 8);
-  uint64_t span = tracer.BeginSpan();
+  uint64_t span = tracer.BeginSpan(3);
   TraceEvent& ev = tracer.Emit(TracepointId::kCapable, 3);
   ev.sname = "CAP_SYS_ADMIN";
   // Span never rooted (as when /proc/protego/trace is read from inside the
@@ -95,7 +95,7 @@ TEST(TracerTest, EventsOfStillOpenSpanRenderAsOrphans) {
   std::string text = tracer.Format();
   EXPECT_NE(text.find("capable CAP_SYS_ADMIN -> denied"), std::string::npos);
   EXPECT_NE(text.find("[orphan span="), std::string::npos);
-  tracer.EndSpan(span);
+  tracer.EndSpan(3, span);
 }
 
 TEST(TracerTest, EnableBitsGateEmission) {
