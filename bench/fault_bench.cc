@@ -1,0 +1,142 @@
+// Cost of the fault-injection framework on the syscall hot path, emitted as
+// BENCH_faults.json. The claim under test: a disabled registry is one
+// relaxed load and a branch — attaching the framework to every syscall,
+// fd allocation, and LSM hook costs ≈ 0 until a site is armed.
+//
+// Configurations measured (getpid = null syscall; open+close = fd + VFS
+// + LSM path, crossing three fault sites per iteration):
+//   disabled        no site armed: the any_enabled() fast path
+//   armed-filtered  a site armed with a never-matching pid filter — the
+//                   slow path runs but always declines
+//   armed-1/1024    probabilistic injection on fd_alloc; the workload
+//                   swallows the occasional EMFILE (real injection cost
+//                   amortized into the mean)
+//
+// The disabled row is the regression gate: CI compares it against the
+// armed rows and (more importantly) against the syscall_gate bench history.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/sim/system.h"
+
+namespace protego {
+namespace {
+
+// Best-of-reps timing, same scheme as syscall_gate_bench.
+template <typename Fn>
+double NsPerOp(Fn&& fn, int iters, int reps) {
+  double best = 1e18;
+  for (int r = 0; r < reps; ++r) {
+    uint64_t t0 = MonotonicNanos();
+    for (int i = 0; i < iters; ++i) {
+      fn();
+    }
+    uint64_t t1 = MonotonicNanos();
+    best = std::min(best, static_cast<double>(t1 - t0) / iters);
+  }
+  return best;
+}
+
+struct Row {
+  std::string workload;
+  std::string config;
+  double ns_per_op = 0;
+  double overhead_vs_disabled_pct = 0;
+};
+
+}  // namespace
+}  // namespace protego
+
+int main(int argc, char** argv) {
+  using namespace protego;
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_faults.json";
+  constexpr int kIters = 20000;
+  constexpr int kReps = 5;
+
+  SimSystem sys(SimMode::kProtego);
+  Kernel& k = sys.kernel();
+  Task& alice = sys.Login("alice");
+  // Tracing off: this bench isolates the fault-site checks themselves.
+  k.tracer().set_enabled(false);
+
+  FaultConfig filtered;
+  filtered.enabled = true;
+  filtered.error = Errno::kEIO;
+  filtered.pid = 1 << 20;  // matches no task
+  FaultConfig prob;
+  prob.enabled = true;
+  prob.error = Errno::kEMFILE;
+  prob.prob_num = 1;
+  prob.prob_den = 1024;
+  prob.seed = 7;
+
+  struct Config {
+    const char* name;
+    const FaultConfig* cfg;  // nullptr = disabled
+  };
+  const Config kConfigs[] = {
+      {"disabled", nullptr},
+      {"armed-filtered", &filtered},
+      {"armed-1/1024", &prob},
+  };
+
+  std::vector<Row> rows;
+  double base[2] = {0, 0};
+  for (const Config& cfg : kConfigs) {
+    k.faults().Reset();
+    if (cfg.cfg != nullptr) {
+      k.faults().Configure(FaultSite::kFdAlloc, *cfg.cfg).take();
+    }
+
+    double ns[2];
+    ns[0] = NsPerOp([&] { (void)k.GetPid(alice); }, kIters, kReps);
+    ns[1] = NsPerOp(
+        [&] {
+          auto fd = k.Open(alice, "/etc/hosts", kORdOnly);
+          if (fd.ok()) {
+            (void)k.Close(alice, fd.value());
+          }
+        },
+        kIters, kReps);
+
+    const char* workloads[2] = {"getpid", "open+close"};
+    for (int w = 0; w < 2; ++w) {
+      if (cfg.cfg == nullptr) {
+        base[w] = ns[w];
+      }
+      Row row;
+      row.workload = workloads[w];
+      row.config = cfg.name;
+      row.ns_per_op = ns[w];
+      row.overhead_vs_disabled_pct = base[w] > 0 ? (ns[w] / base[w] - 1.0) * 100.0 : 0;
+      rows.push_back(row);
+      std::printf("%-10s %-15s %9.2f ns/op  %+7.2f%%\n", workloads[w], cfg.name, ns[w],
+                  row.overhead_vs_disabled_pct);
+    }
+  }
+  k.faults().Reset();
+  k.tracer().set_enabled(true);
+
+  FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"faults\",\n  \"unit\": \"ns/op\",\n");
+  std::fprintf(f, "  \"reps\": %d,\n  \"rows\": [\n", kReps);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"workload\": \"%s\", \"config\": \"%s\", \"ns_per_op\": %.2f, "
+                 "\"overhead_vs_disabled_pct\": %.2f}%s\n",
+                 rows[i].workload.c_str(), rows[i].config.c_str(), rows[i].ns_per_op,
+                 rows[i].overhead_vs_disabled_pct, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

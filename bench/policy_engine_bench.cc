@@ -98,9 +98,9 @@ int main(int argc, char** argv) {
       fstab += StrFormat("/dev/disk%d /media/m%d ext4 rw,user 0 0\n", i, i);
       sudoers += StrFormat("File_Delegate /usr/lib/helper%d /var/lib/app%d/* r\n", i, i);
     }
-    protego_lsm->SetBindTable(ParseBindConf(bind_conf).take());
-    protego_lsm->SetMountPolicy(ParseFstab(fstab).take());
-    protego_lsm->SetDelegation(ParseSudoers(sudoers).take());
+    protego_lsm->SetBindTable(ParseBindConf(bind_conf).take()).take();
+    protego_lsm->SetMountPolicy(ParseFstab(fstab).take()).take();
+    protego_lsm->SetDelegation(ParseSudoers(sudoers).take()).take();
 
     // Bind probe: the LAST allocation in the table (worst case for the
     // scan, a bucket hit for the index).

@@ -116,6 +116,34 @@ const char* ErrnoMessage(Errno e) {
   return "Unknown error";
 }
 
+std::optional<Errno> ErrnoFromName(std::string_view name) {
+  static constexpr Errno kAll[] = {
+      Errno::kOk,           Errno::kEPERM,         Errno::kENOENT,
+      Errno::kESRCH,        Errno::kEINTR,         Errno::kEIO,
+      Errno::kENXIO,        Errno::kE2BIG,         Errno::kENOEXEC,
+      Errno::kEBADF,        Errno::kECHILD,        Errno::kEAGAIN,
+      Errno::kENOMEM,       Errno::kEACCES,        Errno::kEFAULT,
+      Errno::kEBUSY,        Errno::kEEXIST,        Errno::kEXDEV,
+      Errno::kENODEV,       Errno::kENOTDIR,       Errno::kEISDIR,
+      Errno::kEINVAL,       Errno::kENFILE,        Errno::kEMFILE,
+      Errno::kENOTTY,       Errno::kETXTBSY,       Errno::kEFBIG,
+      Errno::kENOSPC,       Errno::kESPIPE,        Errno::kEROFS,
+      Errno::kEMLINK,       Errno::kEPIPE,         Errno::kERANGE,
+      Errno::kEDEADLK,      Errno::kENAMETOOLONG,  Errno::kENOSYS,
+      Errno::kENOTEMPTY,    Errno::kELOOP,         Errno::kENOPROTOOPT,
+      Errno::kEPROTONOSUPPORT, Errno::kEOPNOTSUPP, Errno::kEAFNOSUPPORT,
+      Errno::kEADDRINUSE,   Errno::kEADDRNOTAVAIL, Errno::kENETUNREACH,
+      Errno::kECONNRESET,   Errno::kEISCONN,       Errno::kENOTCONN,
+      Errno::kETIMEDOUT,    Errno::kECONNREFUSED,  Errno::kEHOSTUNREACH,
+  };
+  for (Errno e : kAll) {
+    if (name == ErrnoName(e)) {
+      return e;
+    }
+  }
+  return std::nullopt;
+}
+
 std::string Error::ToString() const {
   std::string out = ErrnoName(code_);
   out += " (";

@@ -10,7 +10,9 @@
 #define SRC_BASE_RESULT_H_
 
 #include <cassert>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 
@@ -76,6 +78,10 @@ const char* ErrnoName(Errno e);
 
 // Human-readable description mirroring strerror().
 const char* ErrnoMessage(Errno e);
+
+// Reverse lookup of ErrnoName ("EPERM" -> kEPERM); nullopt for unknown
+// names. Used by control-file parsers (fault injection directives).
+std::optional<Errno> ErrnoFromName(std::string_view name);
 
 // A failed operation: errno plus optional context describing what failed.
 class Error {

@@ -21,6 +21,7 @@ const char* TracepointName(TracepointId tp) {
     case TracepointId::kCredChange: return "cred_change";
     case TracepointId::kContextSwitch: return "context_switch";
     case TracepointId::kFileLock: return "file_lock";
+    case TracepointId::kFaultInject: return "fault_inject";
     case TracepointId::kCount: break;
   }
   return "?";
@@ -184,6 +185,14 @@ std::string RenderEvent(const TraceEvent& ev, bool orphan) {
       // a = inode number, sname = operation, svalue = outcome.
       line = StrFormat("%llu flock:%s \"%s\" ino=%llu -> %s", (unsigned long long)ev.seq,
                        ev.sname, ev.detail.c_str(), (unsigned long long)ev.a, ev.svalue);
+      break;
+    case TracepointId::kFaultInject:
+      // sname = site name, sdetail = injected errno name, a = injection count.
+      line = StrFormat("%llu fault:%s inject=%s hit=%llu", (unsigned long long)ev.seq,
+                       ev.sname, ev.sdetail, (unsigned long long)ev.a);
+      if (!ev.detail.empty()) {
+        line += StrFormat(" %s", ev.detail.c_str());
+      }
       break;
     case TracepointId::kCount:
       break;

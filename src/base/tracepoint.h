@@ -46,6 +46,7 @@ enum class TracepointId : uint8_t {
   kCredChange,      // setuid/setgid/execve credential transition
   kContextSwitch,   // deterministic scheduler handed the token to a task
   kFileLock,        // advisory flock acquire/release/block outcome
+  kFaultInject,     // deterministic fault-injection site fired
   kCount,           // sentinel
 };
 

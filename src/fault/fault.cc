@@ -1,0 +1,195 @@
+#include "src/fault/fault.h"
+
+#include "src/base/strings.h"
+
+namespace protego {
+
+namespace {
+
+// Same generator as the deterministic scheduler's kRandom mode: replaying a
+// recorded seed reproduces the identical draw sequence.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kVfsVnodeAlloc: return "vfs_vnode_alloc";
+    case FaultSite::kVfsBlockAlloc: return "vfs_block_alloc";
+    case FaultSite::kFdAlloc: return "fd_alloc";
+    case FaultSite::kSyscallEntry: return "syscall_entry";
+    case FaultSite::kLsmHook: return "lsm_hook";
+    case FaultSite::kNetfilterEval: return "netfilter_eval";
+    case FaultSite::kPolicyCompile: return "policy_compile";
+    case FaultSite::kAuthRoundTrip: return "auth_round_trip";
+    case FaultSite::kCount: break;
+  }
+  return "?";
+}
+
+std::optional<FaultSite> FaultSiteFromName(std::string_view name) {
+  for (size_t i = 0; i < kFaultSiteCount; ++i) {
+    FaultSite site = static_cast<FaultSite>(i);
+    if (name == FaultSiteName(site)) {
+      return site;
+    }
+  }
+  return std::nullopt;
+}
+
+Result<Unit> FaultRegistry::Configure(FaultSite site, const FaultConfig& config) {
+  if (config.prob_den == 0 || config.prob_num > config.prob_den) {
+    return Error(Errno::kEINVAL, "fault probability must be num/den with num <= den");
+  }
+  if (config.interval == 0) {
+    return Error(Errno::kEINVAL, "fault interval must be >= 1");
+  }
+  if (config.error == Errno::kOk) {
+    return Error(Errno::kEINVAL, "fault error must be a nonzero errno");
+  }
+  SiteState& st = sites_[static_cast<size_t>(site)];
+  if (st.config.enabled && !config.enabled) {
+    --enabled_count_;
+  } else if (!st.config.enabled && config.enabled) {
+    ++enabled_count_;
+  }
+  st.config = config;
+  st.evaluations = 0;
+  st.matched = 0;
+  st.injected = 0;
+  st.rng = config.seed;
+  return OkUnit();
+}
+
+void FaultRegistry::Disable(FaultSite site) {
+  SiteState& st = sites_[static_cast<size_t>(site)];
+  if (st.config.enabled) {
+    st.config.enabled = false;
+    --enabled_count_;
+  }
+}
+
+void FaultRegistry::Reset() {
+  for (SiteState& st : sites_) {
+    st = SiteState{};
+  }
+  enabled_count_ = 0;
+}
+
+Errno FaultRegistry::Evaluate(FaultSite site, int hook) {
+  if (enabled_count_ == 0) {
+    return Errno::kOk;  // the only cost with injection off: one load+branch
+  }
+  SiteState& st = sites_[static_cast<size_t>(site)];
+  const FaultConfig& c = st.config;
+  if (!c.enabled) {
+    return Errno::kOk;
+  }
+  ++st.evaluations;
+  if (c.pid >= 0 && context_.pid != c.pid) {
+    return Errno::kOk;
+  }
+  if (c.sysno >= 0 && context_.sysno != c.sysno) {
+    return Errno::kOk;
+  }
+  if (c.hook >= 0 && hook != c.hook) {
+    return Errno::kOk;
+  }
+  ++st.matched;
+  if (c.times != 0 && st.injected >= c.times) {
+    return Errno::kOk;
+  }
+  if (c.interval > 1 && st.matched % c.interval != 0) {
+    return Errno::kOk;
+  }
+  if (c.prob_num < c.prob_den) {
+    if (SplitMix64(&st.rng) % c.prob_den >= c.prob_num) {
+      return Errno::kOk;
+    }
+  }
+  ++st.injected;
+  if (tracer_ != nullptr && tracer_->Enabled(TracepointId::kFaultInject)) {
+    TraceEvent& ev = tracer_->Emit(TracepointId::kFaultInject, context_.pid);
+    ev.sname = FaultSiteName(site);
+    ev.sdetail = ErrnoName(c.error);
+    ev.code = static_cast<int>(c.error);
+    ev.flags = kTraceFlagDenied;
+    ev.a = st.injected;
+  }
+  return c.error;
+}
+
+Result<Unit> FaultRegistry::Check(FaultSite site, const char* what, int hook) {
+  Errno e = Evaluate(site, hook);
+  if (e == Errno::kOk) {
+    return OkUnit();
+  }
+  return Error(e, StrFormat("fault-injected at %s", what));
+}
+
+uint64_t FaultRegistry::total_injected() const {
+  uint64_t total = 0;
+  for (const SiteState& st : sites_) {
+    total += st.injected;
+  }
+  return total;
+}
+
+std::string FaultRegistry::Format() const {
+  std::string out;
+  for (size_t i = 0; i < kFaultSiteCount; ++i) {
+    const SiteState& st = sites_[i];
+    const FaultConfig& c = st.config;
+    if (!c.enabled) {
+      continue;
+    }
+    out += StrFormat("site=%s error=%s prob=%llu/%llu interval=%llu times=%llu seed=%llu",
+                     FaultSiteName(static_cast<FaultSite>(i)), ErrnoName(c.error),
+                     (unsigned long long)c.prob_num, (unsigned long long)c.prob_den,
+                     (unsigned long long)c.interval, (unsigned long long)c.times,
+                     (unsigned long long)c.seed);
+    if (c.pid >= 0) {
+      out += StrFormat(" pid=%d", c.pid);
+    }
+    if (c.sysno >= 0) {
+      out += StrFormat(" sysno=%d", c.sysno);
+    }
+    if (c.hook >= 0) {
+      out += StrFormat(" hook=%d", c.hook);
+    }
+    out += "\n";
+  }
+  for (size_t i = 0; i < kFaultSiteCount; ++i) {
+    const SiteState& st = sites_[i];
+    if (st.evaluations == 0 && st.injected == 0) {
+      continue;
+    }
+    out += StrFormat("# %s: evaluations=%llu matched=%llu injected=%llu\n",
+                     FaultSiteName(static_cast<FaultSite>(i)),
+                     (unsigned long long)st.evaluations, (unsigned long long)st.matched,
+                     (unsigned long long)st.injected);
+  }
+  if (out.empty()) {
+    out = "# no fault sites enabled\n";
+  }
+  return out;
+}
+
+void FaultRegistry::CollectMetrics(MetricsBuilder& mb) const {
+  for (size_t i = 0; i < kFaultSiteCount; ++i) {
+    const SiteState& st = sites_[i];
+    const std::string site = FaultSiteName(static_cast<FaultSite>(i));
+    mb.Counter("protego_fault_evaluations_total",
+               "Fault-site evaluations while the site was enabled",
+               {{"site", site}}, st.evaluations);
+    mb.Counter("protego_fault_injections_total", "Faults actually injected",
+               {{"site", site}}, st.injected);
+  }
+}
+
+}  // namespace protego

@@ -54,9 +54,17 @@ Kernel::Kernel() : vfs_(&clock_), gate_(&clock_) {
   lsm_.AttachObservability(&tracer_, &clock_);
   vfs_.set_tracer(&tracer_);
   net_.netfilter().set_tracer(&tracer_);
+  // The fault registry is threaded through every subsystem that hosts a
+  // fault site; injections stamp kFaultInject events into the same tracer.
+  faults_.set_tracer(&tracer_);
+  gate_.set_faults(&faults_);
+  vfs_.set_faults(&faults_);
+  lsm_.set_faults(&faults_);
+  net_.netfilter().set_faults(&faults_);
   metrics_.AddCollector([this](MetricsBuilder& b) {
     gate_.CollectMetrics(b);
     lsm_.CollectMetrics(b);
+    faults_.CollectMetrics(b);
     CollectKernelMetrics(b);
   });
 }
@@ -76,6 +84,11 @@ void Kernel::CollectKernelMetrics(MetricsBuilder& b) const {
             tracer_.seq());
   b.Counter("protego_trace_dropped_total", "Trace events overwritten in the ring.", {},
             tracer_.dropped());
+  b.Counter("protego_lsm_fail_closed_total",
+            "LSM hook dispatches denied because a fault was injected.", {},
+            lsm_.fail_closed_denials());
+  b.Gauge("protego_open_files", "Open file descriptions across all tasks.", {},
+          static_cast<double>(OpenFileCount()));
   b.Gauge("protego_tasks", "Live tasks.", {}, static_cast<double>(tasks_.size()));
 }
 
@@ -172,6 +185,15 @@ std::optional<Uid> Kernel::AuthenticateAny(Task& task, const std::vector<Uid>& a
   if (!auth_agent_) {
     return std::nullopt;
   }
+  // Fail closed: if the auth-service round trip faults (the daemon crashed,
+  // the socket dropped), authentication DID NOT HAPPEN — never fall back to
+  // an open gate.
+  if (faults_.any_enabled() &&
+      faults_.Evaluate(FaultSite::kAuthRoundTrip) != Errno::kOk) {
+    Audit(StrFormat("auth: round-trip fault injected; denying authentication for pid %d",
+                    task.pid));
+    return std::nullopt;
+  }
   return auth_agent_(task, accounts);
 }
 
@@ -236,6 +258,9 @@ Result<int> Kernel::Open(Task& task, const std::string& path, int flags, uint32_
 }
 
 Result<int> Kernel::OpenImpl(Task& task, const std::string& path, int flags, uint32_t mode) {
+  // Linux allocates the fd slot before walking the path (get_unused_fd_flags
+  // in do_sys_open), so resource exhaustion is reported before ENOENT.
+  RETURN_IF_ERROR(CheckFdAvailable(task));
   std::string full = JoinPath(task, path);
   auto resolved = vfs_.Resolve(full);
   Vnode* node = nullptr;
@@ -881,6 +906,71 @@ Result<Unit> Kernel::SetgidImpl(Task& task, Gid gid) {
   return Error(Errno::kEPERM, "setgid");
 }
 
+// --- Resource limits -------------------------------------------------------------
+
+Result<RLimit> Kernel::GetRlimit(Task& task, int resource) {
+  return gate_.Run<RLimit>(
+      task, Sysno::kGetRlimit, [&] { return StrFormat("%d", resource); },
+      [&] { return GetRlimitImpl(task, resource); });
+}
+
+Result<RLimit> Kernel::GetRlimitImpl(Task& task, int resource) {
+  if (resource != kRlimitNofile) {
+    return Error(Errno::kEINVAL, StrFormat("getrlimit: unsupported resource %d", resource));
+  }
+  return task.rlimit_nofile;
+}
+
+Result<Unit> Kernel::SetRlimit(Task& task, int resource, RLimit limit) {
+  return gate_.Run<Unit>(
+      task, Sysno::kSetRlimit,
+      [&] {
+        return StrFormat("%d, {cur=%llu, max=%llu}", resource,
+                         (unsigned long long)limit.cur, (unsigned long long)limit.max);
+      },
+      [&] { return SetRlimitImpl(task, resource, limit); });
+}
+
+Result<Unit> Kernel::SetRlimitImpl(Task& task, int resource, RLimit limit) {
+  if (resource != kRlimitNofile) {
+    return Error(Errno::kEINVAL, StrFormat("setrlimit: unsupported resource %d", resource));
+  }
+  if (limit.cur > limit.max) {
+    return Error(Errno::kEINVAL, "setrlimit: soft limit above hard limit");
+  }
+  if (limit.max > task.rlimit_nofile.max && !Capable(task, Capability::kSysResource)) {
+    return Error(Errno::kEPERM, "setrlimit: raising the hard limit needs CAP_SYS_RESOURCE");
+  }
+  task.rlimit_nofile = limit;
+  return OkUnit();
+}
+
+Result<Unit> Kernel::CheckFdAvailable(Task& task) {
+  if (faults_.any_enabled()) {
+    RETURN_IF_ERROR(faults_.Check(FaultSite::kFdAlloc, "fd-table slot allocation"));
+  }
+  if (task.fds.size() >= task.rlimit_nofile.cur) {
+    return Error(Errno::kEMFILE,
+                 StrFormat("RLIMIT_NOFILE: %zu open, limit %llu", task.fds.size(),
+                           (unsigned long long)task.rlimit_nofile.cur));
+  }
+  if (OpenFileCount() >= file_max_) {
+    return Error(Errno::kENFILE,
+                 StrFormat("file-max: %llu open system-wide, limit %llu",
+                           (unsigned long long)OpenFileCount(),
+                           (unsigned long long)file_max_));
+  }
+  return OkUnit();
+}
+
+uint64_t Kernel::OpenFileCount() const {
+  uint64_t total = 0;
+  for (const auto& [pid, task] : tasks_) {
+    total += task->fds.size();
+  }
+  return total;
+}
+
 Result<Unit> Kernel::Setgroups(Task& task, std::vector<Gid> groups) {
   return gate_.Run<Unit>(
       task, Sysno::kSetgroups, [&] { return StrFormat("%zu groups", groups.size()); },
@@ -936,6 +1026,7 @@ Task& Kernel::ForkTask(Task& parent) {
   Task& child = CreateTask(parent.comm, parent.cred, parent.terminal, parent.pid);
   child.cwd = parent.cwd;
   child.exe_path = parent.exe_path;
+  child.rlimit_nofile = parent.rlimit_nofile;
   child.ns = parent.ns;
   child.auth_times = parent.auth_times;
   child.pending_setuid = parent.pending_setuid;
@@ -1144,6 +1235,8 @@ Result<int> Kernel::SocketCall(Task& task, int family, int type, int protocol) {
 }
 
 Result<int> Kernel::SocketCallImpl(Task& task, int family, int type, int protocol) {
+  // Socket creation consumes an fd slot; same exhaustion contract as open.
+  RETURN_IF_ERROR(CheckFdAvailable(task));
   SocketRequest req{family, type, protocol};
   HookVerdict verdict = lsm_.SocketCreate(task, req);
   if (verdict == HookVerdict::kDeny) {

@@ -22,6 +22,7 @@
 #include "src/base/metrics.h"
 #include "src/base/result.h"
 #include "src/base/tracepoint.h"
+#include "src/fault/fault.h"
 #include "src/kernel/audit_ring.h"
 #include "src/kernel/syscall.h"
 #include "src/kernel/task.h"
@@ -122,6 +123,11 @@ class Kernel {
   // services (e.g. the Protego LSM's proc plumbing) may add more.
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
+
+  // The deterministic fault-injection registry, threaded through the gate,
+  // VFS, LSM stack, and netfilter (configured at /proc/protego/fault_inject).
+  FaultRegistry& faults() { return faults_; }
+  const FaultRegistry& faults() const { return faults_; }
 
   // --- Processes -------------------------------------------------------------
 
@@ -233,6 +239,25 @@ class Kernel {
   Result<Unit> Seteuid(Task& task, Uid uid);
   Result<Unit> Setgid(Task& task, Gid gid);
   Result<Unit> Setgroups(Task& task, std::vector<Gid> groups);
+
+  // --- Resource limits -------------------------------------------------------
+
+  // The only modeled resource (RLIMIT_NOFILE's Linux value).
+  static constexpr int kRlimitNofile = 7;
+
+  // getrlimit(2)/setrlimit(2) analogs. Only kRlimitNofile is supported
+  // (EINVAL otherwise). setrlimit enforces cur <= max and requires
+  // CAP_SYS_RESOURCE to raise the hard limit (EPERM).
+  Result<RLimit> GetRlimit(Task& task, int resource);
+  Result<Unit> SetRlimit(Task& task, int resource, RLimit limit);
+
+  // System-wide open-file ceiling (/proc/sys/fs/file-max analog): when the
+  // sum of all tasks' fd-table sizes reaches it, fd allocation fails with
+  // ENFILE.
+  void set_file_max(uint64_t file_max) { file_max_ = file_max; }
+  uint64_t file_max() const { return file_max_; }
+  // Open file descriptions across every task (the ENFILE numerator).
+  uint64_t OpenFileCount() const;
 
   // --- Seccomp ---------------------------------------------------------------
 
@@ -347,6 +372,12 @@ class Kernel {
   Result<Unit> SeteuidImpl(Task& task, Uid uid);
   Result<Unit> SetgidImpl(Task& task, Gid gid);
   Result<Unit> SetgroupsImpl(Task& task, std::vector<Gid> groups);
+  Result<RLimit> GetRlimitImpl(Task& task, int resource);
+  Result<Unit> SetRlimitImpl(Task& task, int resource, RLimit limit);
+  // The fd-allocation choke point: RLIMIT_NOFILE (EMFILE), the system-wide
+  // file-max (ENFILE), and the fd_alloc fault site, checked before a new fd
+  // is installed in `task`'s table.
+  Result<Unit> CheckFdAvailable(Task& task);
   Result<Unit> SeccompSetFilterImpl(Task& task, const std::vector<Sysno>& allowed);
   Result<int> SocketCallImpl(Task& task, int family, int type, int protocol);
   Result<Unit> BindCallImpl(Task& task, int fd, uint16_t port);
@@ -378,6 +409,7 @@ class Kernel {
   // trace events.
   mutable Tracer tracer_{&clock_, SyscallGate::kTraceCapacity};
   MetricsRegistry metrics_;
+  FaultRegistry faults_;
   Vfs vfs_;
   // mutable so const syscalls (GetPid) can account themselves.
   mutable SyscallGate gate_;
@@ -394,6 +426,7 @@ class Kernel {
   int next_pid_ = 1;
   int next_userns_ = 1;
   bool unprivileged_userns_enabled_ = true;
+  uint64_t file_max_ = 1024;  // system-wide open-file ceiling (ENFILE)
 };
 
 }  // namespace protego

@@ -33,6 +33,8 @@ const char* SysnoName(Sysno nr) {
     case Sysno::kSymlink: return "symlink";
     case Sysno::kChmod: return "chmod";
     case Sysno::kChown: return "chown";
+    case Sysno::kGetRlimit: return "getrlimit";
+    case Sysno::kSetRlimit: return "setrlimit";
     case Sysno::kSetuid: return "setuid";
     case Sysno::kSetgid: return "setgid";
     case Sysno::kSetreuid: return "setreuid";
@@ -53,9 +55,9 @@ const std::vector<Sysno>& AllSysnos() {
       Sysno::kBind,      Sysno::kListen,   Sysno::kClone,    Sysno::kExecve,
       Sysno::kWait4,     Sysno::kFlock,    Sysno::kGetDents, Sysno::kRename,
       Sysno::kMkdir,     Sysno::kUnlink,   Sysno::kSymlink,  Sysno::kChmod,
-      Sysno::kChown,     Sysno::kSetuid,   Sysno::kSetgid,   Sysno::kSetreuid,
-      Sysno::kSetgroups, Sysno::kMount,    Sysno::kUmount2,  Sysno::kUnshare,
-      Sysno::kSeccomp,
+      Sysno::kChown,     Sysno::kGetRlimit, Sysno::kSetuid,  Sysno::kSetgid,
+      Sysno::kSetreuid,  Sysno::kSetgroups, Sysno::kSetRlimit, Sysno::kMount,
+      Sysno::kUmount2,   Sysno::kUnshare,  Sysno::kSeccomp,
   };
   return kAll;
 }

@@ -43,6 +43,7 @@
 #include "src/base/metrics.h"
 #include "src/base/result.h"
 #include "src/base/tracepoint.h"
+#include "src/fault/fault.h"
 #include "src/kernel/sched_iface.h"
 
 namespace protego {
@@ -78,10 +79,12 @@ enum class Sysno : uint16_t {
   kSymlink = 88,
   kChmod = 90,
   kChown = 92,
+  kGetRlimit = 97,
   kSetuid = 105,
   kSetgid = 106,
   kSetreuid = 113,  // Kernel::Seteuid (glibc implements seteuid via setreuid)
   kSetgroups = 116,
+  kSetRlimit = 160,
   kMount = 165,
   kUmount2 = 166,
   kUnshare = 272,
@@ -159,6 +162,12 @@ class SyscallGate {
   // one, the gate still filters and accounts but emits no trace events.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
   Tracer* tracer() { return tracer_; }
+
+  // Attaches the fault-injection registry: the gate stamps the per-call
+  // {pid, sysno} fault context and evaluates the syscall_entry site before
+  // running the body. Detached (nullptr) costs nothing.
+  void set_faults(FaultRegistry* faults) { faults_ = faults; }
+  FaultRegistry* faults() { return faults_; }
 
   // Attaches a deterministic scheduler: every syscall entry becomes a yield
   // point (the scheduler may hand the token to another task before the body
@@ -266,6 +275,25 @@ class SyscallGate {
     if (!EnterSyscall(ctx, task, nr)) {
       return Error(Errno::kEPERM, std::string("seccomp: ") + SysnoName(nr));
     }
+    if (faults_ != nullptr && faults_->any_enabled()) {
+      // Stamp the fault context for the body's duration so pid/syscall
+      // filters on nested sites (vfs/lsm/fd alloc) match this call. The
+      // previous context is restored on exit — syscalls nest via
+      // Spawn/Execve, and the outer call's filters must survive.
+      FaultContext prev =
+          faults_->SwapContext(FaultContext{task.pid, static_cast<int>(nr)});
+      Errno fault = faults_->Evaluate(FaultSite::kSyscallEntry);
+      if (fault != Errno::kOk) {
+        ExitSyscall(ctx, fault);
+        faults_->SwapContext(prev);
+        return Error(fault,
+                     std::string("fault-injected at syscall entry: ") + SysnoName(nr));
+      }
+      Result<T> r = body();
+      ExitSyscall(ctx, r.code());
+      faults_->SwapContext(prev);
+      return r;
+    }
     Result<T> r = body();
     ExitSyscall(ctx, r.code());
     return r;
@@ -297,6 +325,7 @@ class SyscallGate {
 
   const Clock* clock_;
   Tracer* tracer_ = nullptr;
+  FaultRegistry* faults_ = nullptr;
   TaskScheduler* scheduler_ = nullptr;
   bool enabled_ = true;
   bool wallclock_timing_ = false;

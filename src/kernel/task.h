@@ -115,6 +115,19 @@ struct NamespaceSet {
   int user_ns = 0;
 };
 
+// A struct rlimit analog: soft (enforced) and hard (ceiling) limits.
+// Only RLIMIT_NOFILE (resource 7) is modeled; 0 in `max` means unlimited
+// is NOT modeled — both fields are always concrete counts.
+struct RLimit {
+  uint64_t cur = 0;  // soft limit, enforced at fd allocation
+  uint64_t max = 0;  // hard ceiling; raising it requires CAP_SYS_RESOURCE
+};
+
+// RLIMIT_NOFILE defaults, mirroring a typical login shell (ulimit -n) and
+// its hard ceiling.
+inline constexpr uint64_t kDefaultNofileCur = 256;
+inline constexpr uint64_t kDefaultNofileMax = 4096;
+
 // Pending deferred uid/gid transition: setuid() under a Protego delegation
 // rule returns 0 but records the target here; the switch is validated and
 // applied at the next execve (§4.3, "setuid-on-exec").
@@ -135,6 +148,10 @@ struct Task {
   std::string cwd = "/";
   FdTable fds;
   Terminal* terminal = nullptr;
+
+  // RLIMIT_NOFILE: fd allocation fails with EMFILE once the table holds
+  // cur entries. Copied across fork, kept across exec (as on Linux).
+  RLimit rlimit_nofile{kDefaultNofileCur, kDefaultNofileMax};
 
   // Namespace membership (copied across fork, kept across exec).
   NamespaceSet ns;

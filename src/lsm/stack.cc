@@ -154,6 +154,21 @@ void LsmStack::TraceDecision(LsmHook hook, HookVerdict combined, uint32_t cache_
   }
 }
 
+bool LsmStack::FaultDeny(LsmHook hook, int pid) const {
+  if (faults_ == nullptr || !faults_->any_enabled()) {
+    return false;
+  }
+  Errno e = faults_->Evaluate(FaultSite::kLsmHook, static_cast<int>(hook));
+  if (e == Errno::kOk) {
+    return false;
+  }
+  // Fail closed: an undecidable hook refuses. The verdict is NOT cached —
+  // it reflects the injected fault, not policy.
+  ++fail_closed_;
+  TraceDecision(hook, HookVerdict::kDeny, 0, pid);
+  return true;
+}
+
 void LsmStack::CollectMetrics(MetricsBuilder& b) const {
   for (size_t h = 0; h < static_cast<size_t>(LsmHook::kCount); ++h) {
     if (hook_counts_[h] == 0) {
@@ -253,6 +268,9 @@ HookVerdict LsmStack::InodePermission(Task& task, const std::string& path,
                                       const Inode& inode, int may) const {
   Count(LsmHook::kInodePermission);
   HookTimer timer(clock_, &hook_lat_[static_cast<size_t>(LsmHook::kInodePermission)]);
+  if (FaultDeny(LsmHook::kInodePermission, task.pid)) {
+    return HookVerdict::kDeny;
+  }
   uint64_t key = 0;
   HookVerdict cached;
   if (decision_cache_enabled_) {
@@ -284,6 +302,9 @@ HookVerdict LsmStack::InodePermission(Task& task, const std::string& path,
 HookVerdict LsmStack::SbMount(const Task& task, const MountRequest& req) const {
   Count(LsmHook::kSbMount);
   HookTimer timer(clock_, &hook_lat_[static_cast<size_t>(LsmHook::kSbMount)]);
+  if (FaultDeny(LsmHook::kSbMount, task.pid)) {
+    return HookVerdict::kDeny;
+  }
   uint64_t key = 0;
   HookVerdict cached;
   if (decision_cache_enabled_) {
@@ -315,6 +336,9 @@ HookVerdict LsmStack::SbMount(const Task& task, const MountRequest& req) const {
 HookVerdict LsmStack::SbUmount(const Task& task, const std::string& mountpoint) const {
   Count(LsmHook::kSbUmount);
   HookTimer timer(clock_, &hook_lat_[static_cast<size_t>(LsmHook::kSbUmount)]);
+  if (FaultDeny(LsmHook::kSbUmount, task.pid)) {
+    return HookVerdict::kDeny;
+  }
   const bool trace_hooks = tracer_ != nullptr && tracer_->Enabled(TracepointId::kLsmHook);
   HookVerdict acc = HookVerdict::kDefault;
   for (size_t i = 0; i < modules_.size(); ++i) {
@@ -332,6 +356,9 @@ HookVerdict LsmStack::SbUmount(const Task& task, const std::string& mountpoint) 
 HookVerdict LsmStack::SocketCreate(const Task& task, const SocketRequest& req) const {
   Count(LsmHook::kSocketCreate);
   HookTimer timer(clock_, &hook_lat_[static_cast<size_t>(LsmHook::kSocketCreate)]);
+  if (FaultDeny(LsmHook::kSocketCreate, task.pid)) {
+    return HookVerdict::kDeny;
+  }
   const bool trace_hooks = tracer_ != nullptr && tracer_->Enabled(TracepointId::kLsmHook);
   HookVerdict acc = HookVerdict::kDefault;
   for (size_t i = 0; i < modules_.size(); ++i) {
@@ -349,6 +376,9 @@ HookVerdict LsmStack::SocketCreate(const Task& task, const SocketRequest& req) c
 HookVerdict LsmStack::SocketBind(const Task& task, const BindRequest& req) const {
   Count(LsmHook::kSocketBind);
   HookTimer timer(clock_, &hook_lat_[static_cast<size_t>(LsmHook::kSocketBind)]);
+  if (FaultDeny(LsmHook::kSocketBind, task.pid)) {
+    return HookVerdict::kDeny;
+  }
   uint64_t key = 0;
   HookVerdict cached;
   if (decision_cache_enabled_) {
@@ -381,6 +411,9 @@ HookVerdict LsmStack::TaskFixSetuid(Task& task, const SetuidRequest& req,
                                     SetuidDisposition* disposition) const {
   Count(LsmHook::kTaskFixSetuid);
   HookTimer timer(clock_, &hook_lat_[static_cast<size_t>(LsmHook::kTaskFixSetuid)]);
+  if (FaultDeny(LsmHook::kTaskFixSetuid, task.pid)) {
+    return HookVerdict::kDeny;
+  }
   const bool trace_hooks = tracer_ != nullptr && tracer_->Enabled(TracepointId::kLsmHook);
   HookVerdict acc = HookVerdict::kDefault;
   for (size_t i = 0; i < modules_.size(); ++i) {
@@ -399,6 +432,9 @@ HookVerdict LsmStack::BprmCheck(Task& task, const std::string& path, const Inode
                                 const std::vector<std::string>& argv, ExecControl* control) const {
   Count(LsmHook::kBprmCheck);
   HookTimer timer(clock_, &hook_lat_[static_cast<size_t>(LsmHook::kBprmCheck)]);
+  if (FaultDeny(LsmHook::kBprmCheck, task.pid)) {
+    return HookVerdict::kDeny;
+  }
   const bool trace_hooks = tracer_ != nullptr && tracer_->Enabled(TracepointId::kLsmHook);
   HookVerdict acc = HookVerdict::kDefault;
   for (size_t i = 0; i < modules_.size(); ++i) {
@@ -416,6 +452,9 @@ HookVerdict LsmStack::BprmCheck(Task& task, const std::string& path, const Inode
 HookVerdict LsmStack::FileIoctl(const Task& task, const IoctlRequest& req) const {
   Count(LsmHook::kFileIoctl);
   HookTimer timer(clock_, &hook_lat_[static_cast<size_t>(LsmHook::kFileIoctl)]);
+  if (FaultDeny(LsmHook::kFileIoctl, task.pid)) {
+    return HookVerdict::kDeny;
+  }
   const bool trace_hooks = tracer_ != nullptr && tracer_->Enabled(TracepointId::kLsmHook);
   HookVerdict acc = HookVerdict::kDefault;
   for (size_t i = 0; i < modules_.size(); ++i) {

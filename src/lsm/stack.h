@@ -31,6 +31,7 @@
 #include "src/base/clock.h"
 #include "src/base/metrics.h"
 #include "src/base/tracepoint.h"
+#include "src/fault/fault.h"
 #include "src/lsm/module.h"
 
 namespace protego {
@@ -96,6 +97,16 @@ class LsmStack {
     clock_ = clock;
   }
 
+  // Attaches the fault-injection registry. A fault injected at the kLsmHook
+  // site makes the dispatch fail CLOSED — the combined verdict is kDeny, no
+  // module is consulted, nothing is cached, and the denial is counted in
+  // fail_closed_denials(). Availability is sacrificed for safety: a hook
+  // that cannot decide must refuse (the paper's core safety claim).
+  void set_faults(FaultRegistry* faults) { faults_ = faults; }
+
+  // Dispatches denied because a fault was injected at the hook site.
+  uint64_t fail_closed_denials() const { return fail_closed_; }
+
   // Per-hook latency distribution in virtual clock ticks.
   const Histogram& HookLatency(LsmHook hook) const {
     return hook_lat_[static_cast<size_t>(hook)];
@@ -128,6 +139,11 @@ class LsmStack {
 
   void Count(LsmHook hook) const { hook_counts_[static_cast<size_t>(hook)]++; }
 
+  // The fail-closed gate every dispatch runs after Count(): true when a
+  // fault fired for `hook`, in which case the caller must return kDeny
+  // immediately (the denial has been counted and traced).
+  bool FaultDeny(LsmHook hook, int pid) const;
+
   // Emits the per-module kLsmHook event (no-op when the point is off).
   void TraceModule(LsmHook hook, const SecurityModule& module, HookVerdict v,
                    int pid) const;
@@ -157,6 +173,8 @@ class LsmStack {
 
   Tracer* tracer_ = nullptr;
   const Clock* clock_ = nullptr;
+  FaultRegistry* faults_ = nullptr;
+  mutable uint64_t fail_closed_ = 0;  // fault-injected dispatches denied
 
   // Salted into every cache key so a task consulted by two different stacks
   // (benchmark comparisons, tests) can never cross-hit.

@@ -91,6 +91,21 @@ const char* Netfilter::ChainName(NfChain chain) const {
 
 NfVerdict Netfilter::Evaluate(NfChain chain, const Packet& packet) const {
   ++evaluated_;
+  // Fail closed: if chain evaluation faults, the packet is dropped — a
+  // filtering layer that cannot decide must not pass traffic.
+  if (faults_ != nullptr && faults_->any_enabled() &&
+      faults_->Evaluate(FaultSite::kNetfilterEval) != Errno::kOk) {
+    ++dropped_;
+    ++fail_closed_drops_;
+    if (tracer_ != nullptr && tracer_->Enabled(TracepointId::kNetfilter)) {
+      TraceEvent& ev = tracer_->Emit(TracepointId::kNetfilter, 0);
+      ev.sname = ChainName(chain);
+      ev.sdetail = "DROP";
+      ev.flags |= kTraceFlagDenied;
+      ev.detail = "(fail-closed: fault injected)";
+    }
+    return NfVerdict::kDrop;
+  }
   for (const NfRule& rule : rules_) {
     if (rule.chain != chain) {
       continue;

@@ -16,6 +16,7 @@
 
 #include "src/base/result.h"
 #include "src/base/tracepoint.h"
+#include "src/fault/fault.h"
 #include "src/net/packet.h"
 
 namespace protego {
@@ -65,6 +66,11 @@ class Netfilter {
   // event (chain, verdict, matched rule) under the calling syscall's span.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
+  // Attaches the fault-injection registry. A fault at the netfilter_eval
+  // site makes the chain fail CLOSED: the packet is dropped without
+  // consulting any rule (counted in fail_closed_drops()).
+  void set_faults(FaultRegistry* faults) { faults_ = faults; }
+
   // Appends a rule to its chain (iptables -A).
   void Append(NfRule rule);
 
@@ -88,6 +94,9 @@ class Netfilter {
   // Counters for tests/benchmarks.
   uint64_t evaluated() const { return evaluated_; }
   uint64_t dropped() const { return dropped_; }
+  // Packets dropped because a fault was injected mid-evaluation (subset of
+  // dropped()).
+  uint64_t fail_closed_drops() const { return fail_closed_drops_; }
 
  private:
   bool Matches(const NfMatch& match, const Packet& packet) const;
@@ -97,8 +106,10 @@ class Netfilter {
   std::vector<NfRule> rules_;
   PortOwnerFn port_owner_;
   Tracer* tracer_ = nullptr;
+  FaultRegistry* faults_ = nullptr;
   mutable uint64_t evaluated_ = 0;
   mutable uint64_t dropped_ = 0;
+  mutable uint64_t fail_closed_drops_ = 0;
 };
 
 // Wire grammar for rules crossing the kernel boundary (the iptables

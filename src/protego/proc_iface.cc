@@ -3,9 +3,153 @@
 #include "src/base/strings.h"
 #include "src/config/passwd_db.h"
 #include "src/kernel/kernel.h"
+#include "src/kernel/syscall.h"
+#include "src/lsm/stack.h"
 #include "src/protego/protego_lsm.h"
 
 namespace protego {
+
+namespace {
+
+std::optional<int> SysnoFromName(std::string_view name) {
+  for (Sysno nr : AllSysnos()) {
+    if (name == SysnoName(nr)) {
+      return static_cast<int>(nr);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<int> LsmHookFromName(std::string_view name) {
+  for (size_t i = 0; i < static_cast<size_t>(LsmHook::kCount); ++i) {
+    if (name == LsmHookName(static_cast<LsmHook>(i))) {
+      return static_cast<int>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Result<std::vector<FaultDirective>> ParseFaultDirectives(std::string_view content) {
+  std::vector<FaultDirective> directives;
+  for (const std::string& raw_line : Split(content, '\n')) {
+    std::string_view line = Trim(raw_line);
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::vector<std::string> tokens = SplitWhitespace(line);
+    if (tokens[0] == "reset") {
+      if (tokens.size() != 1) {
+        return Error(Errno::kEINVAL, "fault_inject: reset takes no arguments");
+      }
+      FaultDirective d;
+      d.kind = FaultDirective::Kind::kReset;
+      directives.push_back(d);
+      continue;
+    }
+    FaultDirective d;
+    size_t first_kv = 0;
+    if (tokens[0] == "off") {
+      d.kind = FaultDirective::Kind::kOff;
+      first_kv = 1;
+    }
+    bool have_site = false;
+    bool have_error = false;
+    for (size_t i = first_kv; i < tokens.size(); ++i) {
+      const std::string& token = tokens[i];
+      size_t eq = token.find('=');
+      if (eq == std::string::npos) {
+        return Error(Errno::kEINVAL, "fault_inject token: " + token);
+      }
+      std::string key = token.substr(0, eq);
+      std::string value = token.substr(eq + 1);
+      if (key == "site") {
+        std::optional<FaultSite> site = FaultSiteFromName(value);
+        if (!site) {
+          return Error(Errno::kEINVAL, "fault_inject site: " + value);
+        }
+        d.site = *site;
+        have_site = true;
+      } else if (key == "error") {
+        std::optional<Errno> e = ErrnoFromName(value);
+        if (!e || *e == Errno::kOk) {
+          return Error(Errno::kEINVAL, "fault_inject error: " + value);
+        }
+        d.config.error = *e;
+        have_error = true;
+      } else if (key == "prob") {
+        std::vector<std::string> frac = Split(value, '/');
+        std::optional<uint64_t> num = frac.size() == 2 ? ParseUint(frac[0]) : std::nullopt;
+        std::optional<uint64_t> den = frac.size() == 2 ? ParseUint(frac[1]) : std::nullopt;
+        if (!num || !den || *den == 0 || *num > *den) {
+          return Error(Errno::kEINVAL, "fault_inject prob: " + value);
+        }
+        d.config.prob_num = *num;
+        d.config.prob_den = *den;
+      } else if (key == "interval") {
+        std::optional<uint64_t> v = ParseUint(value);
+        if (!v || *v == 0) {
+          return Error(Errno::kEINVAL, "fault_inject interval: " + value);
+        }
+        d.config.interval = *v;
+      } else if (key == "times") {
+        std::optional<uint64_t> v = ParseUint(value);
+        if (!v) {
+          return Error(Errno::kEINVAL, "fault_inject times: " + value);
+        }
+        d.config.times = *v;
+      } else if (key == "pid") {
+        std::optional<uint64_t> v = ParseUint(value);
+        if (!v) {
+          return Error(Errno::kEINVAL, "fault_inject pid: " + value);
+        }
+        d.config.pid = static_cast<int>(*v);
+      } else if (key == "syscall" || key == "sysno") {
+        // By name ("open") or by number ("2") — Format() emits the numeric
+        // form, so the read body must parse back.
+        std::optional<int> nr = SysnoFromName(value);
+        if (!nr) {
+          std::optional<uint64_t> v = ParseUint(value);
+          if (!v) {
+            return Error(Errno::kEINVAL, "fault_inject syscall: " + value);
+          }
+          nr = static_cast<int>(*v);
+        }
+        d.config.sysno = *nr;
+      } else if (key == "hook") {
+        std::optional<int> hook = LsmHookFromName(value);
+        if (!hook) {
+          std::optional<uint64_t> v = ParseUint(value);
+          if (!v) {
+            return Error(Errno::kEINVAL, "fault_inject hook: " + value);
+          }
+          hook = static_cast<int>(*v);
+        }
+        d.config.hook = *hook;
+      } else if (key == "seed") {
+        std::optional<uint64_t> v = ParseUint(value);
+        if (!v) {
+          return Error(Errno::kEINVAL, "fault_inject seed: " + value);
+        }
+        d.config.seed = *v;
+      } else {
+        return Error(Errno::kEINVAL, "fault_inject key: " + key);
+      }
+    }
+    if (!have_site) {
+      return Error(Errno::kEINVAL, "fault_inject: directive needs site=");
+    }
+    if (d.kind == FaultDirective::Kind::kConfigure) {
+      if (!have_error) {
+        return Error(Errno::kEINVAL, "fault_inject: directive needs error=");
+      }
+      d.config.enabled = true;
+    }
+    directives.push_back(d);
+  }
+  return directives;
+}
 
 std::string SerializeUserDbSections(const UserDb& db) {
   std::string out = "[passwd]\n";
@@ -89,8 +233,7 @@ Result<Unit> InstallProtegoProcFiles(Kernel* kernel, ProtegoLsm* lsm) {
   mounts_ops.read = [lsm]() { return SerializeFstab(lsm->mount_policy()); };
   mounts_ops.write = [lsm](std::string_view data) -> Result<Unit> {
     ASSIGN_OR_RETURN(auto entries, ParseFstab(data));
-    lsm->SetMountPolicy(std::move(entries));
-    return OkUnit();
+    return lsm->SetMountPolicy(std::move(entries));
   };
   RETURN_IF_ERROR(vfs.CreateSynthetic("/proc/protego/mounts", 0600, std::move(mounts_ops)));
 
@@ -98,8 +241,7 @@ Result<Unit> InstallProtegoProcFiles(Kernel* kernel, ProtegoLsm* lsm) {
   ports_ops.read = [lsm]() { return SerializeBindConf(lsm->bind_table()); };
   ports_ops.write = [lsm](std::string_view data) -> Result<Unit> {
     ASSIGN_OR_RETURN(auto entries, ParseBindConf(data));
-    lsm->SetBindTable(std::move(entries));
-    return OkUnit();
+    return lsm->SetBindTable(std::move(entries));
   };
   RETURN_IF_ERROR(vfs.CreateSynthetic("/proc/protego/ports", 0600, std::move(ports_ops)));
 
@@ -107,8 +249,7 @@ Result<Unit> InstallProtegoProcFiles(Kernel* kernel, ProtegoLsm* lsm) {
   sudoers_ops.read = [lsm]() { return SerializeSudoers(lsm->delegation()); };
   sudoers_ops.write = [lsm](std::string_view data) -> Result<Unit> {
     ASSIGN_OR_RETURN(auto policy, ParseSudoers(data));
-    lsm->SetDelegation(std::move(policy));
-    return OkUnit();
+    return lsm->SetDelegation(std::move(policy));
   };
   RETURN_IF_ERROR(vfs.CreateSynthetic("/proc/protego/sudoers", 0600, std::move(sudoers_ops)));
 
@@ -116,8 +257,7 @@ Result<Unit> InstallProtegoProcFiles(Kernel* kernel, ProtegoLsm* lsm) {
   ppp_ops.read = [lsm]() { return SerializePppOptions(lsm->ppp_options()); };
   ppp_ops.write = [lsm](std::string_view data) -> Result<Unit> {
     ASSIGN_OR_RETURN(auto options, ParsePppOptions(data));
-    lsm->SetPppOptions(std::move(options));
-    return OkUnit();
+    return lsm->SetPppOptions(std::move(options));
   };
   RETURN_IF_ERROR(vfs.CreateSynthetic("/proc/protego/ppp", 0600, std::move(ppp_ops)));
 
@@ -125,8 +265,7 @@ Result<Unit> InstallProtegoProcFiles(Kernel* kernel, ProtegoLsm* lsm) {
   userdb_ops.read = [lsm]() { return SerializeUserDbSections(lsm->user_db()); };
   userdb_ops.write = [lsm](std::string_view data) -> Result<Unit> {
     ASSIGN_OR_RETURN(UserDb db, ParseUserDbSections(data));
-    lsm->SetUserDb(std::move(db));
-    return OkUnit();
+    return lsm->SetUserDb(std::move(db));
   };
   RETURN_IF_ERROR(vfs.CreateSynthetic("/proc/protego/userdb", 0600, std::move(userdb_ops)));
 
@@ -159,6 +298,14 @@ Result<Unit> InstallProtegoProcFiles(Kernel* kernel, ProtegoLsm* lsm) {
                      (unsigned long long)kernel->lsm().decision_cache_hits());
     out += StrFormat("decision_cache_misses %llu\n",
                      (unsigned long long)kernel->lsm().decision_cache_misses());
+    // Fail-closed accounting: dispatches denied / packets dropped because a
+    // fault was injected at the decision point (ISSUE: degrade gracefully).
+    out += StrFormat("lsm_fail_closed_denials %llu\n",
+                     (unsigned long long)kernel->lsm().fail_closed_denials());
+    out += StrFormat("netfilter_fail_closed_drops %llu\n",
+                     (unsigned long long)kernel->net().netfilter().fail_closed_drops());
+    out += StrFormat("fault_injections %llu\n",
+                     (unsigned long long)kernel->faults().total_injected());
     return out;
   };
   RETURN_IF_ERROR(vfs.CreateSynthetic("/proc/protego/status", 0444, std::move(status_ops)));
@@ -205,6 +352,36 @@ Result<Unit> InstallProtegoProcFiles(Kernel* kernel, ProtegoLsm* lsm) {
     return OkUnit();
   };
   RETURN_IF_ERROR(vfs.CreateSynthetic("/proc/protego/trace", 0600, std::move(trace_ops)));
+
+  // Fault-injection control file, root-only. Reads render the enabled
+  // sites as re-writable directive lines (the recorded {seed, site-config}
+  // replay tuple) plus counter comments; writes are parsed and validated in
+  // full before any directive is applied, so a rejected write leaves the
+  // registry byte-identical.
+  SyntheticOps fault_ops;
+  fault_ops.read = [kernel]() { return kernel->faults().Format(); };
+  fault_ops.write = [kernel](std::string_view data) -> Result<Unit> {
+    ASSIGN_OR_RETURN(std::vector<FaultDirective> directives, ParseFaultDirectives(data));
+    FaultRegistry& faults = kernel->faults();
+    for (const FaultDirective& d : directives) {
+      switch (d.kind) {
+        case FaultDirective::Kind::kReset:
+          faults.Reset();
+          break;
+        case FaultDirective::Kind::kOff:
+          faults.Disable(d.site);
+          break;
+        case FaultDirective::Kind::kConfigure:
+          // Cannot fail: ParseFaultDirectives already enforced Configure's
+          // constraints, keeping the apply loop failure-free (atomic).
+          RETURN_IF_ERROR(faults.Configure(d.site, d.config));
+          break;
+      }
+    }
+    return OkUnit();
+  };
+  RETURN_IF_ERROR(
+      vfs.CreateSynthetic("/proc/protego/fault_inject", 0600, std::move(fault_ops)));
 
   // Metrics registry in Prometheus text exposition format, world-readable
   // like /proc/stat. The JSON form is reached programmatically

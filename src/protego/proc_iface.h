@@ -13,17 +13,41 @@
 //   /proc/protego/status  — read-only decision counters
 //   /proc/protego/metrics — Prometheus text exposition of the registry
 //   /proc/protego/trace   — decision-span trees; writable control file
+//   /proc/protego/fault_inject — deterministic fault-site configuration
 
 #ifndef SRC_PROTEGO_PROC_IFACE_H_
 #define SRC_PROTEGO_PROC_IFACE_H_
 
+#include <vector>
+
 #include "src/base/result.h"
 #include "src/base/tracepoint.h"
+#include "src/fault/fault.h"
 
 namespace protego {
 
 class Kernel;
 class ProtegoLsm;
+
+// One parsed /proc/protego/fault_inject directive. Exactly one of the three
+// kinds per line:
+//   site=<name> error=<ERRNO> [prob=N/M] [interval=N] [times=N]
+//                [pid=N] [syscall=<name>|sysno=N] [hook=<name>|N] [seed=N]
+//   off site=<name>
+//   reset
+struct FaultDirective {
+  enum class Kind { kConfigure, kOff, kReset };
+  Kind kind = Kind::kConfigure;
+  FaultSite site = FaultSite::kCount;
+  FaultConfig config;
+};
+
+// Parses a full fault_inject write into directives, validating every line
+// (including the constraints Configure() enforces) before anything is
+// applied — a failed parse leaves the registry byte-identical. Blank lines
+// and '#' comments are skipped; the read side's counter comments re-parse
+// cleanly, so a saved snapshot can be written back verbatim for replay.
+Result<std::vector<FaultDirective>> ParseFaultDirectives(std::string_view content);
 
 // Creates the /proc/protego files in `kernel`'s VFS, wired to `lsm`.
 // Both must outlive the filesystem.

@@ -25,39 +25,80 @@ bool IsSafeExtraOption(const std::string& opt) {
 
 }  // namespace
 
-void ProtegoLsm::RecompilePolicies() {
-  engine_.bind.Build(bind_table_);
-  engine_.mount.Build(mount_whitelist_);
-  engine_.files.Build(delegation_);
-  engine_.sudoers.Build(delegation_, user_db_);
+Result<Unit> ProtegoLsm::RecompilePolicies() {
+  // Compile into a fresh engine so a failure part-way through (an injected
+  // kPolicyCompile fault standing in for OOM during index construction)
+  // leaves the live engine_ untouched. Two fault evaluation points — before
+  // any index is built and after half of them — so the sweep can prove that
+  // a fault at either boundary rolls back identically.
+  FaultRegistry* faults = kernel_ != nullptr ? &kernel_->faults() : nullptr;
+  if (faults != nullptr && faults->any_enabled()) {
+    RETURN_IF_ERROR(faults->Check(FaultSite::kPolicyCompile, "policy compile (start)"));
+  }
+  PolicyEngine fresh;
+  fresh.bind.Build(bind_table_);
+  fresh.mount.Build(mount_whitelist_);
+  if (faults != nullptr && faults->any_enabled()) {
+    RETURN_IF_ERROR(faults->Check(FaultSite::kPolicyCompile, "policy compile (mid-swap)"));
+  }
+  fresh.files.Build(delegation_);
+  fresh.sudoers.Build(delegation_, user_db_);
+  engine_ = std::move(fresh);
   // Any swap invalidates every cached verdict, keeping parse-validate-swap
-  // atomic from the hooks' point of view.
+  // atomic from the hooks' point of view. Only reached on success: a failed
+  // swap must leave cached verdicts valid (they still match engine_).
   BumpPolicyGeneration();
+  return OkUnit();
 }
 
-void ProtegoLsm::SetMountPolicy(std::vector<FstabEntry> whitelist) {
+Result<Unit> ProtegoLsm::SetMountPolicy(std::vector<FstabEntry> whitelist) {
+  std::vector<FstabEntry> prev = std::move(mount_whitelist_);
   mount_whitelist_ = std::move(whitelist);
-  RecompilePolicies();
+  Result<Unit> compiled = RecompilePolicies();
+  if (!compiled.ok()) {
+    mount_whitelist_ = std::move(prev);
+  }
+  return compiled;
 }
 
-void ProtegoLsm::SetBindTable(std::vector<BindConfEntry> table) {
+Result<Unit> ProtegoLsm::SetBindTable(std::vector<BindConfEntry> table) {
+  std::vector<BindConfEntry> prev = std::move(bind_table_);
   bind_table_ = std::move(table);
-  RecompilePolicies();
+  Result<Unit> compiled = RecompilePolicies();
+  if (!compiled.ok()) {
+    bind_table_ = std::move(prev);
+  }
+  return compiled;
 }
 
-void ProtegoLsm::SetDelegation(SudoersPolicy policy) {
+Result<Unit> ProtegoLsm::SetDelegation(SudoersPolicy policy) {
+  SudoersPolicy prev = std::move(delegation_);
   delegation_ = std::move(policy);
-  RecompilePolicies();
+  Result<Unit> compiled = RecompilePolicies();
+  if (!compiled.ok()) {
+    delegation_ = std::move(prev);
+  }
+  return compiled;
 }
 
-void ProtegoLsm::SetUserDb(UserDb db) {
+Result<Unit> ProtegoLsm::SetUserDb(UserDb db) {
+  UserDb prev = std::move(user_db_);
   user_db_ = std::move(db);
-  RecompilePolicies();
+  Result<Unit> compiled = RecompilePolicies();
+  if (!compiled.ok()) {
+    user_db_ = std::move(prev);
+  }
+  return compiled;
 }
 
-void ProtegoLsm::SetPppOptions(PppOptions options) {
+Result<Unit> ProtegoLsm::SetPppOptions(PppOptions options) {
+  PppOptions prev = std::move(ppp_options_);
   ppp_options_ = std::move(options);
-  RecompilePolicies();
+  Result<Unit> compiled = RecompilePolicies();
+  if (!compiled.ok()) {
+    ppp_options_ = std::move(prev);
+  }
+  return compiled;
 }
 
 // --- Mount (§4.2) ---------------------------------------------------------------

@@ -70,12 +70,20 @@ class ProtegoLsm : public SecurityModule {
   const char* name() const override { return "protego"; }
 
   // --- Policy configuration (called by the /proc interface) -----------------
+  //
+  // Each swap is transactional: the new raw table is staged, the compiled
+  // indices are rebuilt into a fresh engine, and only if compilation
+  // succeeds does the engine move into place and the policy generation
+  // bump. On failure (including an injected kPolicyCompile fault) the
+  // previous raw table is restored, engine_ and the generation are left
+  // untouched, and every cached verdict remains valid — hooks never observe
+  // a half-swapped policy.
 
-  void SetMountPolicy(std::vector<FstabEntry> whitelist);
-  void SetBindTable(std::vector<BindConfEntry> table);
-  void SetDelegation(SudoersPolicy policy);
-  void SetUserDb(UserDb db);
-  void SetPppOptions(PppOptions options);
+  [[nodiscard]] Result<Unit> SetMountPolicy(std::vector<FstabEntry> whitelist);
+  [[nodiscard]] Result<Unit> SetBindTable(std::vector<BindConfEntry> table);
+  [[nodiscard]] Result<Unit> SetDelegation(SudoersPolicy policy);
+  [[nodiscard]] Result<Unit> SetUserDb(UserDb db);
+  [[nodiscard]] Result<Unit> SetPppOptions(PppOptions options);
 
   // When enabled (the default), hooks consult the compiled indices built at
   // swap time; when disabled they linear-scan the raw tables. The scan path
@@ -107,9 +115,11 @@ class ProtegoLsm : public SecurityModule {
   HookVerdict FileIoctl(const Task& task, const IoctlRequest& req) override;
 
  private:
-  // Rebuilds every compiled index from the raw tables and invalidates
-  // cached verdicts. Called by each Set*Policy (parse-validate-SWAP-compile).
-  void RecompilePolicies();
+  // Rebuilds every compiled index from the raw tables into a fresh engine
+  // and, on success, swaps it in and invalidates cached verdicts. Called by
+  // each Set*Policy (parse-validate-SWAP-compile). Fails only on an
+  // injected kPolicyCompile fault; the caller rolls the raw table back.
+  [[nodiscard]] Result<Unit> RecompilePolicies();
 
   // Names matching `user` in a sudoers rule subject: exact name, %group
   // membership, or ALL.

@@ -39,6 +39,12 @@ struct Inode {
   // Non-null for synthetic files; reads/writes bypass `data`.
   std::shared_ptr<SyntheticOps> synthetic;
 
+  // True when this inode's `data` bytes are charged against the VFS block
+  // quota (regular non-synthetic files created through Vfs::CreateNode or
+  // written through Vfs::WriteNode). Bootstrap populators that bypass
+  // CreateNode leave it false; the first quota-aware write charges in full.
+  bool charged = false;
+
   bool IsDir() const { return IsDirMode(mode); }
   bool IsReg() const { return IsRegMode(mode); }
   bool IsSymlink() const { return IsLnkMode(mode); }

@@ -183,11 +183,33 @@ std::string Vfs::PathOf(const Vnode* node) const {
 }
 
 Result<Vnode*> Vfs::CreateNode(std::string_view path, Inode inode) {
+  // The single vnode-allocation choke point: every Create* routes through
+  // here, so one fault site models inode/dentry cache exhaustion.
+  if (faults_ != nullptr && faults_->any_enabled()) {
+    RETURN_IF_ERROR(faults_->Check(FaultSite::kVfsVnodeAlloc, "vfs vnode allocation"));
+  }
   ASSIGN_OR_RETURN(auto parent_leaf, ResolveParent(path));
   auto [parent, leaf] = parent_leaf;
+  // A regular file's initial contents are charged against the block quota;
+  // the checks run before the vnode is linked in so a refused create leaves
+  // no partial state, and the charge lands only after AddChild succeeds.
+  bool charge = inode.IsReg() && inode.synthetic == nullptr;
+  uint64_t size = charge ? inode.data.size() : 0;
+  if (charge && size > 0) {
+    if (faults_ != nullptr && faults_->any_enabled()) {
+      RETURN_IF_ERROR(faults_->Check(FaultSite::kVfsBlockAlloc, "vfs block allocation"));
+    }
+    if (block_quota_ != 0 && bytes_used_ + size > block_quota_) {
+      return Error(Errno::kENOSPC, std::string(path));
+    }
+  }
   inode.ino = NextIno();
   inode.mtime = NowMtime();
   ASSIGN_OR_RETURN(Vnode * node, parent->AddChild(leaf, std::move(inode)));
+  if (charge) {
+    bytes_used_ += size;
+    node->inode().charged = true;
+  }
   FireEvent(FsEvent::kCreated, PathOf(node));
   return node;
 }
@@ -357,10 +379,30 @@ Result<Unit> Vfs::WriteNode(Vnode* node, std::string_view data, bool append) {
       return Error(Errno::kEACCES, "synthetic file is read-only");
     }
     RETURN_IF_ERROR(inode.synthetic->write(data));
-  } else if (append) {
-    inode.data.append(data);
   } else {
-    inode.data.assign(data);
+    // Block accounting: charge growth (fault site + quota check BEFORE the
+    // data mutates — a refused write leaves the file byte-identical),
+    // release shrinkage. Files populated outside CreateNode are charged in
+    // full on their first write here.
+    uint64_t old_charged = inode.charged ? inode.data.size() : 0;
+    uint64_t new_size = append ? inode.data.size() + data.size() : data.size();
+    if (inode.IsReg() && new_size > old_charged) {
+      if (faults_ != nullptr && faults_->any_enabled()) {
+        RETURN_IF_ERROR(faults_->Check(FaultSite::kVfsBlockAlloc, "vfs block allocation"));
+      }
+      if (block_quota_ != 0 && bytes_used_ - old_charged + new_size > block_quota_) {
+        return Error(Errno::kENOSPC, PathOf(node));
+      }
+    }
+    if (inode.IsReg()) {
+      bytes_used_ = bytes_used_ - old_charged + new_size;
+      inode.charged = true;
+    }
+    if (append) {
+      inode.data.append(data);
+    } else {
+      inode.data.assign(data);
+    }
   }
   inode.mtime = NowMtime();
   FireEvent(FsEvent::kModified, PathOf(node));
@@ -426,6 +468,8 @@ Result<Unit> Vfs::RemoveMount(std::string_view mountpoint) {
   for (auto it = mounts_.begin(); it != mounts_.end(); ++it) {
     if ((*it)->mountpoint == normalized) {
       (*it)->covered->covered_by_ = nullptr;
+      // The mount's tree is destroyed with its entry; release its charges.
+      UnchargeTree((*it)->root.get());
       mounts_.erase(it);
       if (tracer_ != nullptr && tracer_->Enabled(TracepointId::kVfsMount)) {
         TraceEvent& ev = tracer_->Emit(TracepointId::kVfsMount, 0);
@@ -458,6 +502,54 @@ void Vfs::RemoveWatch(int watch_id) {
   watches_.erase(std::remove_if(watches_.begin(), watches_.end(),
                                 [&](const Watch& w) { return w.id == watch_id; }),
                  watches_.end());
+}
+
+void Vfs::UnchargeTree(Vnode* node) {
+  if (node == nullptr) {
+    return;
+  }
+  Inode& inode = node->inode();
+  if (inode.charged) {
+    bytes_used_ -= inode.data.size();
+    inode.charged = false;
+  }
+  for (auto& [name, child] : node->children_) {
+    UnchargeTree(child.get());
+  }
+}
+
+namespace {
+
+// Sums charged data bytes under `node`, descending into covering mounts'
+// trees is NOT needed here — mount trees are walked from their MountEntry.
+uint64_t ChargedBytesUnder(const Vnode* node) {
+  uint64_t total = 0;
+  if (node->inode().charged) {
+    total += node->inode().data.size();
+  }
+  for (const std::string& name : node->ListNames()) {
+    total += ChargedBytesUnder(node->Lookup(name));
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<Unit> Vfs::AuditBlockAccounting() const {
+  uint64_t recomputed = ChargedBytesUnder(root_.get());
+  for (const auto& mount : mounts_) {
+    recomputed += ChargedBytesUnder(mount->root.get());
+  }
+  for (const auto& orphan : orphans_) {
+    recomputed += ChargedBytesUnder(orphan.get());
+  }
+  if (recomputed != bytes_used_) {
+    return Error(Errno::kEIO,
+                 StrFormat("block accounting divergence: counter=%llu recomputed=%llu",
+                           (unsigned long long)bytes_used_,
+                           (unsigned long long)recomputed));
+  }
+  return OkUnit();
 }
 
 void Vfs::FireEvent(FsEvent event, const std::string& path) {

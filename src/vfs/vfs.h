@@ -18,6 +18,7 @@
 #include "src/base/clock.h"
 #include "src/base/result.h"
 #include "src/base/tracepoint.h"
+#include "src/fault/fault.h"
 #include "src/vfs/inode.h"
 
 namespace protego {
@@ -104,8 +105,36 @@ class Vfs {
   // events (stamped with the calling syscall's span).
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
+  // Attaches the fault-injection registry: vnode allocation (ENOMEM) and
+  // block allocation (ENOSPC) become injectable fault sites.
+  void set_faults(FaultRegistry* faults) { faults_ = faults; }
+
   // Path resolutions performed since boot (exported as a metric).
   uint64_t resolves() const { return resolves_; }
+
+  // --- Block accounting ------------------------------------------------------
+  //
+  // Regular-file data bytes are charged against a filesystem-wide quota
+  // (a crude but sufficient stand-in for per-fs block counts): CreateNode
+  // charges a new file's initial contents, WriteNode charges growth and
+  // releases shrinkage, and growing past the quota fails with ENOSPC.
+  // Orphaned vnodes (unlinked/renamed-over while possibly still open) KEEP
+  // their charge — as on a real filesystem, an unlinked inode's blocks are
+  // freed only when the last reference dies, which in this simulation is
+  // Vfs destruction. Files created by bootstrap populators that bypass
+  // CreateNode are charged lazily on their first quota-aware write.
+
+  // 0 = unlimited (the default; quota enforcement is opt-in).
+  void set_block_quota(uint64_t bytes) { block_quota_ = bytes; }
+  uint64_t block_quota() const { return block_quota_; }
+  uint64_t bytes_used() const { return bytes_used_; }
+  size_t orphan_count() const { return orphans_.size(); }
+
+  // Recomputes charged bytes by walking the tree, every mount, and the
+  // orphan list, and cross-checks against the incremental bytes_used()
+  // counter. EIO with a diagnostic on divergence — the fault-sweep harness
+  // runs this after every scenario.
+  Result<Unit> AuditBlockAccounting() const;
 
   // --- Path resolution -----------------------------------------------------
 
@@ -190,6 +219,9 @@ class Vfs {
   Result<Vnode*> ResolveInternal(std::string_view path, bool want_parent,
                                  std::string* leaf_out, bool follow_leaf = true) const;
   Result<Vnode*> CreateNode(std::string_view path, Inode inode);
+  // Releases the block charge of every charged inode under `node` (used
+  // when a whole mount tree is destroyed).
+  void UnchargeTree(Vnode* node);
   void FireEvent(FsEvent event, const std::string& path);
   uint64_t NextIno() { return next_ino_++; }
   uint64_t NowMtime() const { return clock_ ? clock_->Now() : 0; }
@@ -202,6 +234,9 @@ class Vfs {
 
   Clock* clock_;
   Tracer* tracer_ = nullptr;
+  FaultRegistry* faults_ = nullptr;
+  uint64_t block_quota_ = 0;  // 0 = unlimited
+  uint64_t bytes_used_ = 0;   // charged regular-file data bytes
   mutable uint64_t resolves_ = 0;  // accounting from const Resolve()
   std::unique_ptr<Vnode> root_;
   // Vnodes unlinked or displaced by rename stay alive here until the Vfs is
