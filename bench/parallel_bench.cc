@@ -1,0 +1,194 @@
+// ExecMode::kParallel throughput, emitted as BENCH_parallel.json.
+//
+// Three experiments:
+//
+//   1. Thread scaling — ONE kernel, N tasks on N real OS threads
+//      (ThreadScheduler), fixed TOTAL work split across the tasks. Each
+//      task cycles a six-syscall mix (getpid, open-create, write, close,
+//      open-read+read, stat) against a private /tmp file, so the measured
+//      contention is the sharded kernel state itself (task shards, VFS
+//      tree/stripe locks, RCU policy reads), not a shared data file.
+//      Reported: aggregate ops/sec and speedup vs the 1-thread row.
+//      NOTE: wall-clock scaling is bounded by the host's core count; the
+//      "cpus" field records it. On a 1-CPU container every row collapses
+//      to lock-handoff throughput; the >= 4x-at-8-threads target needs a
+//      host with >= 8 cores (the CI gating job's runner class).
+//
+//   2. Driver comparison — the same N-task workload driven by the
+//      deterministic token-passing scheduler (DetScheduler, one hand-off
+//      per syscall: ~microseconds) vs real threads (lock path:
+//      tens-to-hundreds of ns). This isolates what parallel mode buys per
+//      syscall even before multicore scaling: the serialized hand-off is
+//      removed from every call.
+//
+//   3. Fleet — 10,000 independent kernel instances multiplexed over a
+//      worker pool (src/conc/fleet.h), reporting aggregate boot+syscall
+//      ops/sec: the multi-tenant axis of parallelism.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/conc/fleet.h"
+#include "src/conc/scheduler.h"
+#include "src/conc/thread_sched.h"
+#include "src/kernel/kernel.h"
+#include "src/lsm/capability_module.h"
+
+namespace protego {
+namespace {
+
+// Total six-syscall rounds per configuration, split across threads so every
+// row does identical work. 24k rounds = 144k syscalls per run.
+constexpr int kTotalRounds = 24000;
+constexpr int kReps = 3;
+
+struct ScaleRow {
+  int threads = 0;
+  double parallel_ops_per_sec = 0;  // ThreadScheduler driver
+  double det_ops_per_sec = 0;       // DetScheduler round-robin driver
+  double parallel_ns_per_op = 0;
+  double det_ns_per_op = 0;
+};
+
+void MixRounds(Kernel& kernel, Task& task, const std::string& path, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    (void)kernel.GetPid(task);
+    auto fd = kernel.Open(task, path, kOWrOnly | kOCreat, 0644);
+    if (fd.ok()) {
+      (void)kernel.Write(task, fd.value(), "x");
+      (void)kernel.Close(task, fd.value());
+    }
+    auto rd = kernel.Open(task, path, kORdOnly);
+    if (rd.ok()) {
+      (void)kernel.Read(task, rd.value());
+      (void)kernel.Close(task, rd.value());
+    }
+    (void)kernel.Stat(task, path);
+  }
+}
+
+std::unique_ptr<Kernel> BootKernel() {
+  auto kernel = std::make_unique<Kernel>();
+  kernel->tracer().set_enabled(false);
+  kernel->lsm().Register(std::make_unique<CapabilityModule>());
+  (void)kernel->vfs().EnsureDirs("/tmp");
+  kernel->vfs().Resolve("/tmp").value()->inode().mode = kIfDir | 01777;
+  return kernel;
+}
+
+// Aggregate ops/sec for `threads` tasks sharing one kernel, best of kReps.
+template <typename Scheduler>
+double MeasureOpsPerSec(int threads) {
+  const int rounds_per_task = kTotalRounds / threads;
+  const double total_ops = 6.0 * rounds_per_task * threads;
+  double best = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    std::unique_ptr<Kernel> kernel = BootKernel();
+    Scheduler sched;
+    kernel->set_scheduler(&sched);
+    std::vector<Task*> tasks;
+    for (int t = 0; t < threads; ++t) {
+      tasks.push_back(&kernel->CreateTask("bench" + std::to_string(t),
+                                          Cred::ForUser(1000 + t, 1000 + t), nullptr));
+    }
+    uint64_t t0 = MonotonicNanos();
+    for (int t = 0; t < threads; ++t) {
+      Kernel* k = kernel.get();
+      Task* task = tasks[static_cast<size_t>(t)];
+      std::string path = "/tmp/bench" + std::to_string(t);
+      sched.StartTask(task->pid, [k, task, path, rounds_per_task] {
+        MixRounds(*k, *task, path, rounds_per_task);
+      });
+    }
+    if constexpr (std::is_same_v<Scheduler, conc::DetScheduler>) {
+      sched.Run();
+    } else {
+      sched.Join();
+    }
+    uint64_t t1 = MonotonicNanos();
+    kernel->set_scheduler(nullptr);
+    best = std::max(best, total_ops / ((t1 - t0) * 1e-9));
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace protego
+
+int main(int argc, char** argv) {
+  using namespace protego;
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_parallel.json";
+  const unsigned cpus = std::thread::hardware_concurrency();
+
+  std::vector<ScaleRow> rows;
+  for (int threads : {1, 2, 4, 8, 16}) {
+    ScaleRow row;
+    row.threads = threads;
+    row.parallel_ops_per_sec = MeasureOpsPerSec<conc::ThreadScheduler>(threads);
+    row.det_ops_per_sec = MeasureOpsPerSec<conc::DetScheduler>(threads);
+    row.parallel_ns_per_op = 1e9 / row.parallel_ops_per_sec;
+    row.det_ns_per_op = 1e9 / row.det_ops_per_sec;
+    rows.push_back(row);
+    std::printf("threads=%-3d parallel %10.0f ops/s (%7.1f ns/op)   det %10.0f ops/s "
+                "(%7.1f ns/op)   parallel/det %.2fx\n",
+                row.threads, row.parallel_ops_per_sec, row.parallel_ns_per_op,
+                row.det_ops_per_sec, row.det_ns_per_op,
+                row.parallel_ops_per_sec / row.det_ops_per_sec);
+  }
+  const double base = rows[0].parallel_ops_per_sec;
+
+  conc::FleetOptions fleet_opts;
+  fleet_opts.instances = 10000;
+  fleet_opts.workers = cpus > 1 ? static_cast<int>(cpus) : 4;
+  fleet_opts.ops_per_instance = 48;
+  conc::FleetReport fleet = conc::RunFleet(fleet_opts);
+  std::printf("fleet: %llu instances, %llu ops in %.2fs = %.0f ops/s\n",
+              (unsigned long long)fleet.instances_run,
+              (unsigned long long)fleet.total_ops, fleet.wall_seconds,
+              fleet.ops_per_sec);
+
+  FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"parallel\",\n  \"cpus\": %u,\n", cpus);
+  std::fprintf(f,
+               "  \"note\": \"fixed total work (%d six-syscall rounds) split across N "
+               "real threads on ONE kernel; speedup_vs_1thread is bounded by cpus — "
+               "the >=4x@8-thread target requires a >=8-core host. det rows drive the "
+               "identical workload through the serialized deterministic scheduler "
+               "(one token hand-off per syscall); parallel_over_det is the per-syscall "
+               "win of removing that hand-off, independent of core count.\",\n",
+               kTotalRounds);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ScaleRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"parallel_ops_per_sec\": %.0f, "
+                 "\"parallel_ns_per_op\": %.1f, \"speedup_vs_1thread\": %.2f, "
+                 "\"det_ops_per_sec\": %.0f, \"det_ns_per_op\": %.1f, "
+                 "\"parallel_over_det\": %.2f}%s\n",
+                 r.threads, r.parallel_ops_per_sec, r.parallel_ns_per_op,
+                 r.parallel_ops_per_sec / base, r.det_ops_per_sec, r.det_ns_per_op,
+                 r.parallel_ops_per_sec / r.det_ops_per_sec,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f,
+               "  \"fleet\": {\"instances\": %llu, \"workers\": %d, "
+               "\"total_ops\": %llu, \"wall_seconds\": %.3f, \"ops_per_sec\": %.0f}\n",
+               (unsigned long long)fleet.instances_run, fleet_opts.workers,
+               (unsigned long long)fleet.total_ops, fleet.wall_seconds,
+               fleet.ops_per_sec);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

@@ -3,10 +3,14 @@
 // trajectory of the entry path is recorded per PR.
 //
 // Configurations measured:
-//   no-gate            gate disabled: the raw body, the pre-refactor cost
-//   stats              gate on, wall-clock timing off, tracing off
-//   stats+trace        gate on, tracing on (the default boot config)
-//   stats+timing+trace gate on, everything on (profiling config)
+//   no-gate              gate disabled: the raw body, the pre-refactor cost
+//   stats                gate on, wall-clock timing off, tracing off
+//   stats+trace-filtered gate on, tracer master ON but the syscall point
+//                        filtered out — the per-point check is hoisted before
+//                        span bookkeeping and args formatting, so this must
+//                        price like `stats`, not like `stats+trace`
+//   stats+trace          gate on, tracing on (the default boot config)
+//   stats+timing+trace   gate on, everything on (profiling config)
 //
 // For scale, the same sweep runs over stat(2) — a real (path-resolving)
 // syscall — showing what the gate costs on a non-null workload.
@@ -27,19 +31,22 @@ struct GateConfig {
   bool enabled;
   bool timing;
   bool trace;
+  bool point_filtered;  // tracer master on, kSyscall point bit off
 };
 
 constexpr GateConfig kConfigs[] = {
-    {"no-gate", false, false, false},
-    {"stats", true, false, false},
-    {"stats+trace", true, false, true},
-    {"stats+timing+trace", true, true, true},
+    {"no-gate", false, false, false, false},
+    {"stats", true, false, false, false},
+    {"stats+trace-filtered", true, false, true, true},
+    {"stats+trace", true, false, true, false},
+    {"stats+timing+trace", true, true, true, false},
 };
 
-void Apply(SyscallGate& gate, const GateConfig& cfg) {
+void Apply(SyscallGate& gate, Tracer& tracer, const GateConfig& cfg) {
   gate.set_enabled(cfg.enabled);
   gate.set_wallclock_timing(cfg.timing);
   gate.set_trace_enabled(cfg.trace);
+  tracer.set_point_enabled(TracepointId::kSyscall, !cfg.point_filtered);
 }
 
 // Best-of-reps median-free timing: run `iters` calls, repeat, keep the
@@ -78,12 +85,13 @@ int main(int argc, char** argv) {
   Task& task = sys.Login("alice");
   Kernel& k = sys.kernel();
   SyscallGate& gate = sys.syscalls();
+  Tracer& tracer = k.tracer();
 
   std::vector<Row> rows;
   for (const char* which : {"getpid", "stat"}) {
     double baseline = 0;
     for (const GateConfig& cfg : kConfigs) {
-      Apply(gate, cfg);
+      Apply(gate, tracer, cfg);
       double ns;
       if (std::string(which) == "getpid") {
         volatile int sink = 0;
@@ -105,7 +113,7 @@ int main(int argc, char** argv) {
                   row.overhead_pct);
     }
   }
-  Apply(gate, kConfigs[2]);  // restore boot defaults (stats+trace)
+  Apply(gate, tracer, kConfigs[3]);  // restore boot defaults (stats+trace)
 
   FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {

@@ -7,6 +7,7 @@
 #ifndef SRC_BASE_CLOCK_H_
 #define SRC_BASE_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace protego {
@@ -23,16 +24,19 @@ class Clock {
   Clock() = default;
 
   // Current virtual time in seconds since simulation boot.
-  uint64_t Now() const { return now_; }
+  uint64_t Now() const { return now_.load(std::memory_order_relaxed); }
 
   // Advances virtual time; never goes backwards.
-  void Advance(uint64_t seconds) { now_ += seconds; }
+  void Advance(uint64_t seconds) { now_.fetch_add(seconds, std::memory_order_relaxed); }
 
   // Resets to boot time. Only tests should call this.
-  void Reset() { now_ = 0; }
+  void Reset() { now_.store(0, std::memory_order_relaxed); }
 
  private:
-  uint64_t now_ = 0;
+  // Relaxed atomic: parallel-mode tasks stamp trace events and mtimes off
+  // this clock while tests (or other tasks, via nanosleep-style advances)
+  // move it forward.
+  std::atomic<uint64_t> now_{0};
 };
 
 }  // namespace protego

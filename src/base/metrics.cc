@@ -126,7 +126,7 @@ class SnapshotBuilder : public MetricsBuilder {
 
 std::string MetricsRegistry::PrometheusText() const {
   SnapshotBuilder snapshot;
-  for (const Collector& collect : collectors_) {
+  for (const Collector& collect : SnapshotCollectors()) {
     collect(snapshot);
   }
 
@@ -167,7 +167,7 @@ std::string MetricsRegistry::PrometheusText() const {
 
 std::string MetricsRegistry::Json() const {
   SnapshotBuilder snapshot;
-  for (const Collector& collect : collectors_) {
+  for (const Collector& collect : SnapshotCollectors()) {
     collect(snapshot);
   }
 

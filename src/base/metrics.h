@@ -10,14 +10,19 @@
 // with zero extra cost on the syscall path.
 //
 // Histogram is the embeddable hot-path type: fixed power-of-two buckets
-// (0, 1, 2, 4, ..., 2^30, +Inf), one clz and three increments per Observe.
+// (0, 1, 2, 4, ..., 2^30, +Inf), one clz and three relaxed atomic
+// increments per Observe — lock-free, so parallel-mode tasks observe
+// latencies concurrently without contending on anything wider than the
+// cache line.
 
 #ifndef SRC_BASE_METRICS_H_
 #define SRC_BASE_METRICS_H_
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -25,16 +30,37 @@
 namespace protego {
 
 // Log2-bucket histogram. Upper bounds: 0, 1, 2, 4, ..., 2^30, +Inf.
+// Observe is lock-free (relaxed atomics); readers see a statistically
+// consistent view (sum/count/buckets may momentarily disagree by one
+// in-flight observation, which Prometheus scrape semantics tolerate).
 class Histogram {
  public:
   // Bucket 0 holds exact zeros; buckets 1..31 hold (2^(i-2), 2^(i-1)];
   // the last bucket is +Inf.
   static constexpr size_t kBuckets = 33;
 
+  Histogram() = default;
+  // Copying snapshots bucket-by-bucket with relaxed loads: the export path
+  // copies live histograms while hot paths keep observing, and a scrape
+  // momentarily off by an in-flight observation is fine.
+  Histogram(const Histogram& other) { *this = other; }
+  Histogram& operator=(const Histogram& other) {
+    if (this == &other) {
+      return *this;
+    }
+    for (size_t i = 0; i < kBuckets; ++i) {
+      buckets_[i].store(other.buckets_[i].load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    }
+    sum_.store(other.sum_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    count_.store(other.count_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    return *this;
+  }
+
   void Observe(uint64_t v) {
-    buckets_[BucketIndex(v)]++;
-    sum_ += v;
-    count_++;
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
   }
 
   static size_t BucketIndex(uint64_t v) {
@@ -50,22 +76,22 @@ class Histogram {
     return i == 0 ? 0 : uint64_t{1} << (i - 1);
   }
 
-  uint64_t bucket(size_t i) const { return buckets_[i]; }
-  uint64_t sum() const { return sum_; }
-  uint64_t count() const { return count_; }
+  uint64_t bucket(size_t i) const { return buckets_[i].load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
 
   void Reset() {
-    for (uint64_t& b : buckets_) {
-      b = 0;
+    for (std::atomic<uint64_t>& b : buckets_) {
+      b.store(0, std::memory_order_relaxed);
     }
-    sum_ = 0;
-    count_ = 0;
+    sum_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
   }
 
  private:
-  uint64_t buckets_[kBuckets] = {};
-  uint64_t sum_ = 0;
-  uint64_t count_ = 0;
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> count_{0};
 };
 
 // Label set, e.g. {{"syscall", "open"}}. Order is preserved in the output.
@@ -90,11 +116,17 @@ class MetricsRegistry {
   using Collector = std::function<void(MetricsBuilder&)>;
 
   // Registers a collector invoked on every export, in registration order.
+  // Thread-safe: fleet workers boot kernel instances (which register their
+  // collectors) concurrently.
   void AddCollector(Collector collector) {
+    std::lock_guard<std::mutex> lk(mu_);
     collectors_.push_back(std::move(collector));
   }
 
-  size_t collector_count() const { return collectors_.size(); }
+  size_t collector_count() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return collectors_.size();
+  }
 
   // Prometheus text exposition format: # HELP / # TYPE headers, escaped
   // label values, cumulative histogram buckets ending in le="+Inf" plus
@@ -104,7 +136,16 @@ class MetricsRegistry {
   // The same snapshot as JSON, for the bench harness.
   std::string Json() const;
 
+ protected:
+  // Snapshot for export: collectors run outside the lock (they may take
+  // subsystem locks of their own).
+  std::vector<Collector> SnapshotCollectors() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return collectors_;
+  }
+
  private:
+  mutable std::mutex mu_;
   std::vector<Collector> collectors_;
 };
 

@@ -27,7 +27,16 @@ const char* TracepointName(TracepointId tp) {
   return "?";
 }
 
+Tracer::Tracer(const Clock* clock, size_t capacity)
+    : clock_(clock), capacity_(capacity) {
+  static std::atomic<uint64_t> next_tracer_id{1};
+  id_ = next_tracer_id.fetch_add(1, std::memory_order_relaxed);
+  point_mask_.store((1u << kTracepointCount) - 1,
+                    std::memory_order_relaxed);  // all points on at boot
+}
+
 uint64_t Tracer::BeginSpan(int pid) {
+  std::lock_guard<std::mutex> lk(spans_mu_);
   std::vector<OpenSpan>& stack = open_spans_[pid];
   OpenSpan s;
   s.id = next_span_++;
@@ -37,6 +46,7 @@ uint64_t Tracer::BeginSpan(int pid) {
 }
 
 void Tracer::EndSpan(int pid, uint64_t span) {
+  std::lock_guard<std::mutex> lk(spans_mu_);
   auto it = open_spans_.find(pid);
   if (it == open_spans_.end()) {
     return;
@@ -51,6 +61,7 @@ void Tracer::EndSpan(int pid, uint64_t span) {
 }
 
 uint64_t Tracer::current_span(int pid) const {
+  std::lock_guard<std::mutex> lk(spans_mu_);
   auto it = open_spans_.find(pid);
   if (it == open_spans_.end() || it->second.empty()) {
     return 0;
@@ -58,15 +69,50 @@ uint64_t Tracer::current_span(int pid) const {
   return it->second.back().id;
 }
 
+Tracer::Shard& Tracer::MyShard() {
+  struct TlCache {
+    uint64_t tracer_id = 0;
+    Shard* shard = nullptr;
+  };
+  thread_local TlCache cache;
+  if (cache.tracer_id == id_) {
+    return *cache.shard;
+  }
+  std::lock_guard<std::mutex> lk(shards_mu_);
+  std::thread::id me = std::this_thread::get_id();
+  for (const std::unique_ptr<Shard>& s : shards_) {
+    if (s->owner == me) {
+      cache = {id_, s.get()};
+      return *s;
+    }
+  }
+  shards_.push_back(std::make_unique<Shard>());
+  Shard& shard = *shards_.back();
+  shard.owner = me;
+  shard.ring.resize(capacity_);
+  cache = {id_, &shard};
+  return shard;
+}
+
 TraceEvent& Tracer::Emit(TracepointId tp, int pid) {
-  auto it = open_spans_.find(pid);
-  const std::vector<OpenSpan>* stack =
-      it == open_spans_.end() ? nullptr : &it->second;
-  TraceEvent& ev = ring_[seq_ % capacity_];
-  ev.seq = seq_++;
+  uint64_t span = 0;
+  uint64_t parent = 0;
+  {
+    std::lock_guard<std::mutex> lk(spans_mu_);
+    auto it = open_spans_.find(pid);
+    if (it != open_spans_.end() && !it->second.empty()) {
+      span = it->second.back().id;
+      parent = it->second.back().parent;
+    }
+  }
+  Shard& shard = MyShard();
+  uint64_t emitted = shard.emitted.load(std::memory_order_relaxed);
+  TraceEvent& ev = shard.ring[emitted % capacity_];
+  shard.emitted.store(emitted + 1, std::memory_order_relaxed);
+  ev.seq = seq_.fetch_add(1, std::memory_order_relaxed);
   ev.tick = clock_->Now();
-  ev.span = stack == nullptr || stack->empty() ? 0 : stack->back().id;
-  ev.parent = stack == nullptr || stack->empty() ? 0 : stack->back().parent;
+  ev.span = span;
+  ev.parent = parent;
   ev.tp = tp;
   ev.pid = pid;
   ev.code = 0;
@@ -87,6 +133,7 @@ TraceEvent& Tracer::EmitSpanRoot(TracepointId tp, int pid, uint64_t span) {
   ev.parent = 0;
   // The span is normally still open (roots are emitted at syscall exit,
   // just before EndSpan), so its parent is on `pid`'s open stack.
+  std::lock_guard<std::mutex> lk(spans_mu_);
   auto sit = open_spans_.find(pid);
   if (sit != open_spans_.end()) {
     const std::vector<OpenSpan>& stack = sit->second;
@@ -102,20 +149,39 @@ TraceEvent& Tracer::EmitSpanRoot(TracepointId tp, int pid, uint64_t span) {
 
 std::vector<TraceEvent> Tracer::Snapshot() const {
   std::vector<TraceEvent> out;
-  size_t count = std::min<uint64_t>(seq_, capacity_);
-  out.reserve(count);
-  uint64_t first = seq_ - count;
-  for (uint64_t s = first; s < seq_; ++s) {
-    out.push_back(ring_[s % capacity_]);
+  {
+    std::lock_guard<std::mutex> lk(shards_mu_);
+    for (const std::unique_ptr<Shard>& shard : shards_) {
+      uint64_t emitted = shard->emitted.load(std::memory_order_relaxed);
+      uint64_t count = std::min<uint64_t>(emitted, capacity_);
+      for (uint64_t s = emitted - count; s < emitted; ++s) {
+        out.push_back(shard->ring[s % capacity_]);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) { return a.seq < b.seq; });
+  // Crop the merged view to the newest `capacity_` events so the single-
+  // shard case behaves exactly like the historical single ring.
+  uint64_t total = seq_.load(std::memory_order_relaxed);
+  if (total > capacity_) {
+    uint64_t first = total - capacity_;
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [first](const TraceEvent& ev) { return ev.seq < first; }),
+              out.end());
   }
   return out;
 }
 
 void Tracer::Clear() {
-  for (TraceEvent& ev : ring_) {
-    ev = TraceEvent{};
+  std::lock_guard<std::mutex> lk(shards_mu_);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (TraceEvent& ev : shard->ring) {
+      ev = TraceEvent{};
+    }
+    shard->emitted.store(0, std::memory_order_relaxed);
   }
-  seq_ = 0;
+  seq_.store(0, std::memory_order_relaxed);
   // next_span_ is NOT reset: spans may still be open (the very write(2)
   // performing the clear), and stale ids must never be reissued.
 }

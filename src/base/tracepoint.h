@@ -1,10 +1,11 @@
 // Kernel-wide tracepoints: a static registry of typed decision points with
-// per-point enable bits and one bounded structured event ring, modeled on
+// per-point enable bits and a sharded structured event ring, modeled on
 // ftrace/perf_events.
 //
 // Every instrumented site (syscall gate, LSM hook dispatch, VFS permission
 // walks, netfilter verdicts, cred transitions) emits TraceEvents into the
-// same ring, so /proc/protego/trace can interleave them in causal order.
+// same logical ring, so /proc/protego/trace can interleave them in causal
+// order.
 //
 // Causal decision spans: each syscall entry allocates a span id (a stack,
 // since syscalls nest via Spawn/Execve). Every event emitted while a span is
@@ -13,19 +14,31 @@
 // under their root, producing the full allow/deny derivation tree for one
 // call: the strace line plus the hook verdicts underneath it.
 //
+// Parallel mode: the ring is sharded per emitting thread (ftrace's per-CPU
+// buffers). Each shard has exactly one writer — the thread that owns it — so
+// the emission path takes no lock; a global atomic sequence counter gives
+// events a total order and Snapshot() merge-sorts the shards by it. Read
+// operations (Snapshot/Format/Clear) expect emitters to be quiescent, which
+// every caller guarantees by joining task threads first; the per-shard
+// emitted counters are atomic so concurrent metric reads stay clean.
+//
 // Hot-path discipline: Enabled(tp) is a master-bit AND a per-point-bit test
-// (two loads, one branch) — the only cost when tracing is off. Event slots
-// are preallocated and reused; the name/detail/value fields that always come
-// from string literals (hook names, module names, verdict names) are stored
-// as const char* so the LSM fast path allocates nothing. Only free-form
-// payloads (syscall args, paths, rule comments) use the std::string fields,
-// which reuse slot capacity.
+// (two relaxed loads, one branch) — the only cost when tracing is off. Event
+// slots are preallocated and reused; the name/detail/value fields that always
+// come from string literals (hook names, module names, verdict names) are
+// stored as const char* so the LSM fast path allocates nothing. Only
+// free-form payloads (syscall args, paths, rule comments) use the
+// std::string fields, which reuse slot capacity.
 
 #ifndef SRC_BASE_TRACEPOINT_H_
 #define SRC_BASE_TRACEPOINT_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -95,35 +108,35 @@ struct TraceFilter {
 
 class Tracer {
  public:
-  explicit Tracer(const Clock* clock, size_t capacity)
-      : clock_(clock), capacity_(capacity) {
-    ring_.resize(capacity_);
-    point_mask_ = (1u << kTracepointCount) - 1;  // all points on at boot
-  }
+  explicit Tracer(const Clock* clock, size_t capacity);
 
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
   // Master switch (the /proc/protego/trace "on"/"off" toggle).
-  bool enabled() const { return enabled_; }
-  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
 
   // Per-point enable bits.
   bool point_enabled(TracepointId tp) const {
-    return (point_mask_ & (1u << static_cast<unsigned>(tp))) != 0;
+    return (point_mask_.load(std::memory_order_relaxed) &
+            (1u << static_cast<unsigned>(tp))) != 0;
   }
   void set_point_enabled(TracepointId tp, bool on) {
     if (on) {
-      point_mask_ |= 1u << static_cast<unsigned>(tp);
+      point_mask_.fetch_or(1u << static_cast<unsigned>(tp), std::memory_order_relaxed);
     } else {
-      point_mask_ &= ~(1u << static_cast<unsigned>(tp));
+      point_mask_.fetch_and(~(1u << static_cast<unsigned>(tp)),
+                            std::memory_order_relaxed);
     }
   }
 
   // The hot-path guard every instrumented site tests before formatting
   // anything: master bit AND per-point bit.
   bool Enabled(TracepointId tp) const {
-    return enabled_ && (point_mask_ & (1u << static_cast<unsigned>(tp))) != 0;
+    return enabled_.load(std::memory_order_relaxed) &&
+           (point_mask_.load(std::memory_order_relaxed) &
+            (1u << static_cast<unsigned>(tp))) != 0;
   }
 
   // --- Decision spans --------------------------------------------------------
@@ -132,7 +145,9 @@ class Tracer {
   // syscalls interleave at yield points, and a single global stack would
   // nest task B's span under whatever task A still has open. Keying the
   // stack by pid keeps each derivation tree attached to the task that
-  // produced it regardless of the schedule.
+  // produced it regardless of the schedule. In parallel mode the pid keying
+  // doubles as thread keying (one task = one thread); the map itself is
+  // mutex-guarded.
 
   // Opens a span nested inside `pid`'s current one; returns its id (never 0).
   uint64_t BeginSpan(int pid);
@@ -144,9 +159,10 @@ class Tracer {
 
   // --- Emission --------------------------------------------------------------
 
-  // Claims the next ring slot, stamps seq/tick/pid and `pid`'s current span,
-  // and resets the payload fields. Callers fill in the rest. Callers MUST
-  // gate on Enabled(tp) themselves.
+  // Claims the calling thread's next shard slot, stamps seq/tick/pid and
+  // `pid`'s current span, and resets the payload fields. Callers fill in the
+  // rest; the slot has a single writer (this thread), so filling it after
+  // return is race-free. Callers MUST gate on Enabled(tp) themselves.
   TraceEvent& Emit(TracepointId tp, int pid);
 
   // Emission variant for span roots (syscall exit): the event is stamped
@@ -155,15 +171,23 @@ class Tracer {
   TraceEvent& EmitSpanRoot(TracepointId tp, int pid, uint64_t span);
 
   // --- Read side -------------------------------------------------------------
+  //
+  // Snapshot/Format/Clear merge the shards; emitters must be quiescent
+  // (parallel-mode callers join their task threads first).
 
-  // Retained events, oldest first.
+  // Retained events, merged across shards, oldest first.
   std::vector<TraceEvent> Snapshot() const;
   void Clear();
 
   size_t capacity() const { return capacity_; }
-  uint64_t seq() const { return seq_; }
-  // Events overwritten since the last Clear().
-  uint64_t dropped() const { return seq_ > capacity_ ? seq_ - capacity_ : 0; }
+  uint64_t seq() const { return seq_.load(std::memory_order_relaxed); }
+  // Events overwritten since the last Clear(). With multiple shards this is
+  // a lower bound (each shard retains up to `capacity_` events, but the
+  // merged view is cropped to the newest `capacity_`).
+  uint64_t dropped() const {
+    uint64_t s = seq();
+    return s > capacity_ ? s - capacity_ : 0;
+  }
 
   void set_read_filter(TraceFilter filter) { read_filter_ = std::move(filter); }
   const TraceFilter& read_filter() const { return read_filter_; }
@@ -178,13 +202,32 @@ class Tracer {
     uint64_t parent = 0;
   };
 
+  // One per-thread ring. `emitted` counts events this shard's owner wrote;
+  // it is atomic only so quiescent readers and concurrent metric exports
+  // load it cleanly — the owner is the sole writer.
+  struct Shard {
+    std::thread::id owner;
+    std::vector<TraceEvent> ring;
+    std::atomic<uint64_t> emitted{0};
+  };
+
+  // The calling thread's shard, created on first emission. A thread-local
+  // single-entry cache keyed by the tracer's unique id (NOT its address —
+  // fleet runs create and destroy thousands of tracers, and a recycled
+  // address must not hit a stale cache entry) makes the common case two
+  // loads and a compare.
+  Shard& MyShard();
+
   const Clock* clock_;
   size_t capacity_;
-  bool enabled_ = true;
-  uint32_t point_mask_ = 0;
-  std::vector<TraceEvent> ring_;  // fixed `capacity_` slots, reused
-  uint64_t seq_ = 0;              // next sequence number
-  uint64_t next_span_ = 1;        // span ids survive Clear() (spans may be open)
+  uint64_t id_;  // process-unique tracer id for the thread-local shard cache
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint32_t> point_mask_{0};
+  std::atomic<uint64_t> seq_{0};  // next global sequence number
+  mutable std::mutex shards_mu_;  // guards shards_ growth
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::mutex spans_mu_;  // guards open_spans_ and next_span_
+  uint64_t next_span_ = 1;       // span ids survive Clear() (spans may be open)
   std::unordered_map<int, std::vector<OpenSpan>> open_spans_;  // keyed by pid
   TraceFilter read_filter_;
 };

@@ -1,6 +1,7 @@
 #include "src/conc/explore.h"
 
 #include "src/base/strings.h"
+#include "src/conc/thread_sched.h"
 
 namespace protego::conc {
 
@@ -168,6 +169,29 @@ std::optional<std::string> Replay(const ScenarioFactory& factory, const Schedule
     *decisions_out = std::move(out.decisions);
   }
   return out.violation;
+}
+
+ParallelRunResult RunParallel(const ScenarioFactory& factory, int reps) {
+  ParallelRunResult result;
+  for (int i = 0; i < reps; ++i) {
+    std::unique_ptr<ScenarioRun> run = factory();
+    ThreadScheduler sched;
+    run->kernel().set_scheduler(&sched);
+    run->RegisterTasks(sched);
+    sched.Join();
+    // The invariant may still WaitPid; all tasks have exited by now, so it
+    // collects exit records without blocking, but the scheduler stays
+    // attached until it is done.
+    std::optional<std::string> violation = run->CheckInvariant();
+    run->kernel().set_scheduler(nullptr);
+    ++result.runs;
+    if (violation.has_value()) {
+      result.violation_found = true;
+      result.detail = *violation;
+      return result;
+    }
+  }
+  return result;
 }
 
 }  // namespace protego::conc

@@ -40,8 +40,10 @@ class ScenarioRun {
   virtual Kernel& kernel() = 0;
 
   // Registers the scenario's tasks with the scheduler (directly via
-  // StartTask or through Kernel::SpawnAsync). Called once, before Run().
-  virtual void RegisterTasks(DetScheduler& sched) = 0;
+  // StartTask or through Kernel::SpawnAsync). Called once, before the
+  // schedule runs. Takes the scheduler INTERFACE so the same corpus runs
+  // under DetScheduler (exploration) and ThreadScheduler (parallel mode).
+  virtual void RegisterTasks(TaskScheduler& sched) = 0;
 
   // Evaluated after all tasks finish: nullopt if the run upheld the
   // invariant, else a description of the violation.
@@ -96,6 +98,19 @@ ExploreResult Explore(const ScenarioFactory& factory, const ExploreOptions& opti
 // the run's full decision sequence (for trace inspection).
 std::optional<std::string> Replay(const ScenarioFactory& factory, const ScheduleTrace& trace,
                                   std::vector<SchedDecision>* decisions_out = nullptr);
+
+// The ExecMode::kParallel counterpart of Explore: runs the scenario `reps`
+// times with every task on its own OS thread (ThreadScheduler) — the OS
+// schedule IS the schedule, so runs are not replayable. Used to re-validate
+// scenario invariants (and, under TSan, the sharded kernel state itself)
+// with real concurrency. Stops at the first violation.
+struct ParallelRunResult {
+  uint64_t runs = 0;
+  bool violation_found = false;
+  std::string detail;  // the invariant's message (when violation_found)
+};
+
+ParallelRunResult RunParallel(const ScenarioFactory& factory, int reps);
 
 }  // namespace protego::conc
 

@@ -1,0 +1,96 @@
+#include "src/conc/fleet.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/kernel/kernel.h"
+#include "src/lsm/capability_module.h"
+
+namespace protego::conc {
+namespace {
+
+// One tenant: boot a kernel, run the op mix, tear down. Returns syscalls
+// that completed successfully.
+uint64_t RunInstance(int ops) {
+  Kernel kernel;
+  kernel.lsm().Register(std::make_unique<CapabilityModule>());
+  (void)kernel.vfs().EnsureDirs("/tmp");
+  Task& root = kernel.CreateTask("fleet-init", Cred::Root(), nullptr);
+
+  uint64_t completed = 0;
+  // The mix cycles: getpid, open(create), write, read, stat, close — six
+  // syscalls per round, weighted toward the cheap gate path the way real
+  // workloads are.
+  for (int i = 0; i < ops; i += 6) {
+    (void)kernel.GetPid(root);
+    ++completed;
+    auto fd = kernel.Open(root, "/tmp/f", kOWrOnly | kOCreat, 0644);
+    if (!fd.ok()) {
+      break;
+    }
+    ++completed;
+    if (kernel.Write(root, fd.value(), "x").ok()) {
+      ++completed;
+    }
+    if (kernel.Close(root, fd.value()).ok()) {
+      ++completed;
+    }
+    auto rd = kernel.Open(root, "/tmp/f", kORdOnly);
+    if (rd.ok()) {
+      if (kernel.Read(root, rd.value()).ok()) {
+        ++completed;
+      }
+      (void)kernel.Close(root, rd.value());
+    }
+    if (kernel.Stat(root, "/tmp/f").ok()) {
+      ++completed;
+    }
+  }
+  return completed;
+}
+
+}  // namespace
+
+FleetReport RunFleet(const FleetOptions& options) {
+  std::atomic<int> next{0};
+  std::atomic<uint64_t> total_ops{0};
+  std::atomic<uint64_t> instances_run{0};
+
+  auto worker = [&] {
+    for (;;) {
+      int index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= options.instances) {
+        return;
+      }
+      total_ops.fetch_add(RunInstance(options.ops_per_instance),
+                          std::memory_order_relaxed);
+      instances_run.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(options.workers));
+  for (int i = 0; i < options.workers; ++i) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  FleetReport report;
+  report.instances_run = instances_run.load();
+  report.total_ops = total_ops.load();
+  report.wall_seconds = wall;
+  report.ops_per_sec = wall > 0 ? static_cast<double>(report.total_ops) / wall : 0;
+  return report;
+}
+
+}  // namespace protego::conc

@@ -1,0 +1,37 @@
+// Fleet multiplexer: drives thousands of independent kernel INSTANCES over
+// a small worker pool. This is the other axis of "true parallel" — not N
+// threads inside one kernel (thread_sched.h) but N kernels sharing one
+// machine, the shape of a test farm or a per-tenant sandbox fleet. Each
+// instance is fully isolated (own VFS, LSM stack, tasks), so the only
+// shared state is the work queue; aggregate throughput measures per-kernel
+// boot + syscall cost, not lock contention.
+
+#ifndef SRC_CONC_FLEET_H_
+#define SRC_CONC_FLEET_H_
+
+#include <cstdint>
+
+namespace protego::conc {
+
+struct FleetOptions {
+  int instances = 1000;       // kernels to boot and drive
+  int workers = 4;            // pool threads pulling instances
+  int ops_per_instance = 50;  // syscalls issued per instance (beyond boot)
+};
+
+struct FleetReport {
+  uint64_t instances_run = 0;
+  uint64_t total_ops = 0;  // syscalls completed across all instances
+  double wall_seconds = 0;
+  double ops_per_sec = 0;
+};
+
+// Boots `instances` bare kernels (commoncap only), runs a fixed
+// open/write/read/close/stat/getpid mix in each, and reports aggregate
+// syscall throughput. Every op's result is checked; a failure aborts via
+// assert-equivalent logging and is excluded from the count.
+FleetReport RunFleet(const FleetOptions& options);
+
+}  // namespace protego::conc
+
+#endif  // SRC_CONC_FLEET_H_

@@ -1,0 +1,54 @@
+#include "src/conc/thread_sched.h"
+
+#include <chrono>
+
+namespace protego::conc {
+
+void ThreadScheduler::StartTask(int /*pid*/, std::function<void()> body) {
+  std::lock_guard<std::mutex> lk(mu_);
+  threads_.emplace_back(std::move(body));
+  ++started_;
+}
+
+bool ThreadScheduler::WaitOn(int /*pid*/, uint64_t resource) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const uint64_t seen = epochs_[resource];
+  cv_.wait_for(lk, std::chrono::milliseconds(2),
+               [&] { return epochs_[resource] != seen; });
+  return true;  // spurious-wakeup contract: the caller loops and re-checks
+}
+
+void ThreadScheduler::Signal(uint64_t resource) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++epochs_[resource];
+  }
+  cv_.notify_all();
+}
+
+void ThreadScheduler::Join() {
+  // A joining thread may itself StartTask (task teardown spawning a child),
+  // so drain in rounds until no new threads appear.
+  for (;;) {
+    std::vector<std::thread> batch;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (threads_.empty()) {
+        return;
+      }
+      batch.swap(threads_);
+    }
+    for (std::thread& t : batch) {
+      if (t.joinable()) {
+        t.join();
+      }
+    }
+  }
+}
+
+uint64_t ThreadScheduler::started() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return started_;
+}
+
+}  // namespace protego::conc

@@ -1,0 +1,75 @@
+// ThreadScheduler: the ExecMode::kParallel task driver. Where DetScheduler
+// (scheduler.h) advances exactly one task at a time from a seeded PRNG,
+// ThreadScheduler backs every task with a real OS thread and lets them enter
+// the kernel concurrently — throughput scales with cores, and the sharded /
+// RCU kernel state is what keeps that safe.
+//
+// Blocking semantics differ deliberately from DetScheduler:
+//   * WaitOn never reports deadlock (always returns true). A real kernel
+//     blocks indefinitely too; EDEADLK detection is a property of the
+//     deterministic mode, where the scheduler can see that no runnable task
+//     remains. Parallel harnesses must not construct guaranteed deadlocks.
+//   * Wakeups are edge-triggered per-resource epochs with a short timeout
+//     fallback: a Signal that fires between a waiter's predicate check and
+//     its sleep costs one timeout period, never a lost wakeup. This is
+//     sound because every kernel wait site loops and re-checks its
+//     predicate (see sched_iface.h).
+
+#ifndef SRC_CONC_THREAD_SCHED_H_
+#define SRC_CONC_THREAD_SCHED_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/kernel/sched_iface.h"
+
+namespace protego::conc {
+
+class ThreadScheduler : public TaskScheduler {
+ public:
+  ThreadScheduler() = default;
+  ~ThreadScheduler() override { Join(); }
+
+  ThreadScheduler(const ThreadScheduler&) = delete;
+  ThreadScheduler& operator=(const ThreadScheduler&) = delete;
+
+  // No yield points in parallel mode: the OS preempts wherever it likes,
+  // which is exactly the interleaving space TSan audits.
+  void OnSyscallEntry(int /*pid*/, Sysno /*nr*/) override {}
+
+  // Launches the task body on its own thread immediately. Safe to call from
+  // inside a running task (SpawnAsync spawns children mid-syscall).
+  void StartTask(int pid, std::function<void()> body) override;
+
+  // Blocks until `resource` is signalled or ~2ms elapse, then returns true
+  // so the caller re-checks its predicate and loops.
+  bool WaitOn(int pid, uint64_t resource) override;
+
+  void Signal(uint64_t resource) override;
+
+  // Joins every task thread, including ones started while joining (a task
+  // may spawn children on its way out). Idempotent.
+  void Join();
+
+  // Tasks ever started (not currently-live count).
+  uint64_t started() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  // Per-resource signal epochs. A waiter snapshots the epoch, then sleeps
+  // until it moves; Signal bumps it under mu_, so the snapshot-then-sleep
+  // window cannot lose a wakeup (it can only time out and retry).
+  std::map<uint64_t, uint64_t> epochs_;
+  std::vector<std::thread> threads_;
+  uint64_t started_ = 0;
+};
+
+}  // namespace protego::conc
+
+#endif  // SRC_CONC_THREAD_SCHED_H_

@@ -7,15 +7,21 @@ namespace protego {
 namespace {
 
 // Same generator as the deterministic scheduler's kRandom mode: replaying a
-// recorded seed reproduces the identical draw sequence.
-uint64_t SplitMix64(uint64_t* state) {
-  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+// recorded seed reproduces the identical draw sequence. The state advance is
+// a single atomic fetch_add (splitmix64's whole point: the stream position
+// is just state + n*gamma), so concurrent draws each get a distinct,
+// deterministic position.
+uint64_t SplitMix64(std::atomic<uint64_t>* state) {
+  uint64_t z = state->fetch_add(0x9e3779b97f4a7c15ULL, std::memory_order_relaxed) +
+               0x9e3779b97f4a7c15ULL;
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
   z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
   return z ^ (z >> 31);
 }
 
 }  // namespace
+
+thread_local FaultContext FaultRegistry::tls_context_;
 
 const char* FaultSiteName(FaultSite site) {
   switch (site) {
@@ -54,15 +60,15 @@ Result<Unit> FaultRegistry::Configure(FaultSite site, const FaultConfig& config)
   }
   SiteState& st = sites_[static_cast<size_t>(site)];
   if (st.config.enabled && !config.enabled) {
-    --enabled_count_;
+    enabled_count_.fetch_sub(1, std::memory_order_relaxed);
   } else if (!st.config.enabled && config.enabled) {
-    ++enabled_count_;
+    enabled_count_.fetch_add(1, std::memory_order_relaxed);
   }
   st.config = config;
-  st.evaluations = 0;
-  st.matched = 0;
-  st.injected = 0;
-  st.rng = config.seed;
+  st.evaluations.store(0, std::memory_order_relaxed);
+  st.matched.store(0, std::memory_order_relaxed);
+  st.injected.store(0, std::memory_order_relaxed);
+  st.rng.store(config.seed, std::memory_order_relaxed);
   return OkUnit();
 }
 
@@ -70,15 +76,19 @@ void FaultRegistry::Disable(FaultSite site) {
   SiteState& st = sites_[static_cast<size_t>(site)];
   if (st.config.enabled) {
     st.config.enabled = false;
-    --enabled_count_;
+    enabled_count_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void FaultRegistry::Reset() {
   for (SiteState& st : sites_) {
-    st = SiteState{};
+    st.config = FaultConfig{};
+    st.evaluations.store(0, std::memory_order_relaxed);
+    st.matched.store(0, std::memory_order_relaxed);
+    st.injected.store(0, std::memory_order_relaxed);
+    st.rng.store(0, std::memory_order_relaxed);
   }
-  enabled_count_ = 0;
+  enabled_count_.store(0, std::memory_order_relaxed);
 }
 
 Errno FaultRegistry::Evaluate(FaultSite site, int hook) {
@@ -90,21 +100,21 @@ Errno FaultRegistry::Evaluate(FaultSite site, int hook) {
   if (!c.enabled) {
     return Errno::kOk;
   }
-  ++st.evaluations;
-  if (c.pid >= 0 && context_.pid != c.pid) {
+  st.evaluations.fetch_add(1, std::memory_order_relaxed);
+  if (c.pid >= 0 && tls_context_.pid != c.pid) {
     return Errno::kOk;
   }
-  if (c.sysno >= 0 && context_.sysno != c.sysno) {
+  if (c.sysno >= 0 && tls_context_.sysno != c.sysno) {
     return Errno::kOk;
   }
   if (c.hook >= 0 && hook != c.hook) {
     return Errno::kOk;
   }
-  ++st.matched;
-  if (c.times != 0 && st.injected >= c.times) {
+  const uint64_t match_seq = st.matched.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (c.times != 0 && st.injected.load(std::memory_order_relaxed) >= c.times) {
     return Errno::kOk;
   }
-  if (c.interval > 1 && st.matched % c.interval != 0) {
+  if (c.interval > 1 && match_seq % c.interval != 0) {
     return Errno::kOk;
   }
   if (c.prob_num < c.prob_den) {
@@ -112,14 +122,28 @@ Errno FaultRegistry::Evaluate(FaultSite site, int hook) {
       return Errno::kOk;
     }
   }
-  ++st.injected;
+  uint64_t delivered;
+  if (c.times != 0) {
+    // Reserve a budget slot: concurrent winners CAS so the site delivers
+    // exactly `times` faults, never more.
+    uint64_t cur = st.injected.load(std::memory_order_relaxed);
+    do {
+      if (cur >= c.times) {
+        return Errno::kOk;
+      }
+    } while (!st.injected.compare_exchange_weak(cur, cur + 1,
+                                                std::memory_order_relaxed));
+    delivered = cur + 1;
+  } else {
+    delivered = st.injected.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
   if (tracer_ != nullptr && tracer_->Enabled(TracepointId::kFaultInject)) {
-    TraceEvent& ev = tracer_->Emit(TracepointId::kFaultInject, context_.pid);
+    TraceEvent& ev = tracer_->Emit(TracepointId::kFaultInject, tls_context_.pid);
     ev.sname = FaultSiteName(site);
     ev.sdetail = ErrnoName(c.error);
     ev.code = static_cast<int>(c.error);
     ev.flags = kTraceFlagDenied;
-    ev.a = st.injected;
+    ev.a = delivered;
   }
   return c.error;
 }

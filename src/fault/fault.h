@@ -26,6 +26,7 @@
 #ifndef SRC_FAULT_FAULT_H_
 #define SRC_FAULT_FAULT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -76,9 +77,11 @@ struct FaultConfig {
 };
 
 // The execution context the syscall gate stamps before running a syscall
-// body; pid/sysno filters match against it. The simulated kernel serializes
-// syscall execution (one task runs at a time under DetScheduler's token),
-// so a single current-context slot is race-free.
+// body; pid/sysno filters match against it. The slot is thread-local: under
+// DetScheduler one task runs at a time, and in parallel mode each task owns
+// an OS thread, so "the syscall currently executing on this thread" is
+// exactly the context its nested fault sites must match. Swap/restore
+// nesting (Spawn/Execve) is per-thread stack discipline either way.
 struct FaultContext {
   int pid = 0;
   int sysno = -1;
@@ -128,11 +131,11 @@ class FaultRegistry {
   // The gate stamps the context at syscall entry and restores the previous
   // one at exit (syscalls nest via Spawn/Execve).
   FaultContext SwapContext(const FaultContext& ctx) {
-    FaultContext prev = context_;
-    context_ = ctx;
+    FaultContext prev = tls_context_;
+    tls_context_ = ctx;
     return prev;
   }
-  const FaultContext& context() const { return context_; }
+  const FaultContext& context() const { return tls_context_; }
 
   // --- Read side ------------------------------------------------------------
 
@@ -153,17 +156,25 @@ class FaultRegistry {
   void CollectMetrics(MetricsBuilder& mb) const;
 
  private:
+  // Counters and the rng stream are relaxed atomics: parallel-mode tasks
+  // cross armed sites concurrently. The interval/times/probability gates
+  // stay exact under DetScheduler (fetch_adds serialize with the token) and
+  // are reserved via CAS in parallel mode so a `times` budget never
+  // over-delivers.
   struct SiteState {
     FaultConfig config;
-    uint64_t evaluations = 0;  // times Evaluate() reached this enabled site
-    uint64_t matched = 0;      // evaluations that passed the filters
-    uint64_t injected = 0;     // faults actually delivered
-    uint64_t rng = 0;          // splitmix64 state, seeded at Configure()
+    std::atomic<uint64_t> evaluations{0};  // Evaluate() reached this enabled site
+    std::atomic<uint64_t> matched{0};      // evaluations that passed the filters
+    std::atomic<uint64_t> injected{0};     // faults actually delivered
+    std::atomic<uint64_t> rng{0};          // splitmix64 state, seeded at Configure()
   };
 
   Tracer* tracer_ = nullptr;
-  FaultContext context_;
-  size_t enabled_count_ = 0;
+  // Thread-local (not per-registry): the value is only live between a
+  // gate's stamp and restore on one thread, so registries of different
+  // kernel instances on the same thread cannot observe each other's.
+  static thread_local FaultContext tls_context_;
+  std::atomic<size_t> enabled_count_{0};
   SiteState sites_[kFaultSiteCount];
 };
 

@@ -3,11 +3,16 @@
 // The audit log used to be an unbounded std::vector; on a long-lived system
 // that is a slow memory leak. This ring keeps the most recent `capacity`
 // records and counts what it overwrote, like the kernel's printk ring.
+//
+// Thread-safe: any task thread may Push while /proc readers Snapshot, so
+// the ring serializes internally on a mutex (audit volume is far too low
+// for this lock to matter; the hot syscall path never audits).
 
 #ifndef SRC_KERNEL_AUDIT_RING_H_
 #define SRC_KERNEL_AUDIT_RING_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -20,6 +25,7 @@ class AuditRing {
   }
 
   void Push(std::string record) {
+    std::lock_guard<std::mutex> lk(mu_);
     if (ring_.size() < capacity_) {
       ring_.push_back(std::move(record));
       return;
@@ -29,14 +35,21 @@ class AuditRing {
     dropped_++;
   }
 
-  size_t size() const { return ring_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return ring_.size();
+  }
   size_t capacity() const { return capacity_; }
 
   // Records overwritten because the ring was full.
-  uint64_t dropped() const { return dropped_; }
+  uint64_t dropped() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return dropped_;
+  }
 
   // Retained records, oldest first.
   std::vector<std::string> Snapshot() const {
+    std::lock_guard<std::mutex> lk(mu_);
     std::vector<std::string> out;
     out.reserve(ring_.size());
     for (size_t i = 0; i < ring_.size(); ++i) {
@@ -46,6 +59,7 @@ class AuditRing {
   }
 
  private:
+  mutable std::mutex mu_;
   size_t capacity_;
   size_t head_ = 0;  // oldest record once the ring is full
   uint64_t dropped_ = 0;

@@ -1,0 +1,24 @@
+#include "src/kernel/exec_mode.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace protego {
+
+const char* ExecModeName(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kDeterministic: return "deterministic";
+    case ExecMode::kParallel: return "parallel";
+  }
+  return "?";
+}
+
+ExecMode ExecModeFromEnv() {
+  const char* value = std::getenv("PROTEGO_EXEC_MODE");
+  if (value != nullptr && std::strcmp(value, "parallel") == 0) {
+    return ExecMode::kParallel;
+  }
+  return ExecMode::kDeterministic;
+}
+
+}  // namespace protego

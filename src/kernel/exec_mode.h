@@ -1,0 +1,35 @@
+// Execution modes for the simulated kernel.
+//
+// The kernel's shared state is locked for real concurrency either way; the
+// mode selects how tasks are DRIVEN:
+//   * kDeterministic — tasks advance one at a time under a cooperative
+//     scheduler (src/conc/scheduler.h) that picks the next runnable task at
+//     every syscall-entry yield point from a seeded PRNG. Fully
+//     reproducible; the interleaving explorer and race corpus run here.
+//   * kParallel — tasks run on real OS threads (src/conc/thread_sched.h)
+//     and enter the kernel concurrently; throughput scales with cores. The
+//     race corpus and fault sweep re-run in this mode under TSan to prove
+//     the sharded/RCU state safe, but interleavings are no longer
+//     reproducible.
+//
+// Harnesses that support both read PROTEGO_EXEC_MODE at startup.
+
+#ifndef SRC_KERNEL_EXEC_MODE_H_
+#define SRC_KERNEL_EXEC_MODE_H_
+
+namespace protego {
+
+enum class ExecMode {
+  kDeterministic,
+  kParallel,
+};
+
+const char* ExecModeName(ExecMode mode);
+
+// PROTEGO_EXEC_MODE=parallel selects kParallel; "deterministic", unset, or
+// anything unrecognized selects kDeterministic (the reproducible default).
+ExecMode ExecModeFromEnv();
+
+}  // namespace protego
+
+#endif  // SRC_KERNEL_EXEC_MODE_H_

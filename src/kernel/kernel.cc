@@ -89,41 +89,61 @@ void Kernel::CollectKernelMetrics(MetricsBuilder& b) const {
             lsm_.fail_closed_denials());
   b.Gauge("protego_open_files", "Open file descriptions across all tasks.", {},
           static_cast<double>(OpenFileCount()));
-  b.Gauge("protego_tasks", "Live tasks.", {}, static_cast<double>(tasks_.size()));
+  b.Gauge("protego_tasks", "Live tasks.", {},
+          static_cast<double>(task_count_.load(std::memory_order_relaxed)));
 }
 
 Task& Kernel::CreateTask(std::string comm, Cred cred, Terminal* terminal, int ppid) {
   auto task = std::make_unique<Task>();
-  task->pid = next_pid_++;
+  task->pid = next_pid_.fetch_add(1, std::memory_order_relaxed);
   task->ppid = ppid;
   task->comm = std::move(comm);
   task->cred = std::move(cred);
   task->terminal = terminal;
+  // Wire the fd table into the system-wide open-file counter before the
+  // task becomes visible (and thus before it can open anything).
+  task->fds.set_accounting(&open_files_);
   Task* raw = task.get();
-  tasks_.emplace(raw->pid, std::move(task));
+  TaskShard& shard = ShardFor(raw->pid);
+  {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    shard.tasks.emplace(raw->pid, std::move(task));
+  }
+  task_count_.fetch_add(1, std::memory_order_relaxed);
   return *raw;
 }
 
 Task* Kernel::FindTask(int pid) {
-  auto it = tasks_.find(pid);
-  return it == tasks_.end() ? nullptr : it->second.get();
+  TaskShard& shard = ShardFor(pid);
+  std::lock_guard<std::mutex> lk(shard.mu);
+  auto it = shard.tasks.find(pid);
+  return it == shard.tasks.end() ? nullptr : it->second.get();
 }
 
 void Kernel::ReapTask(int pid) {
-  auto it = tasks_.find(pid);
-  if (it == tasks_.end()) {
-    return;
+  TaskShard& shard = ShardFor(pid);
+  std::unique_ptr<Task> victim;
+  {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    auto it = shard.tasks.find(pid);
+    if (it == shard.tasks.end()) {
+      return;
+    }
+    victim = std::move(it->second);
+    shard.tasks.erase(it);
   }
+  task_count_.fetch_sub(1, std::memory_order_relaxed);
+  // Destruction happens outside the shard lock: closing sockets and waking
+  // flock waiters re-enter other subsystems.
   // Process exit closes its descriptors; socket endpoints (and their port
   // bindings) must not outlive the task.
-  for (const auto& [fd, entry] : it->second->fds.entries()) {
+  for (const auto& [fd, entry] : victim->fds.entries()) {
     if (entry.kind == FdEntry::Kind::kSocket) {
       net_.DestroySocket(entry.socket_id);
     }
   }
   // Exit drops any advisory file locks the task still held.
   ReleaseFileLocks(pid);
-  tasks_.erase(it);
 }
 
 Result<Unit> Kernel::InstallBinary(const std::string& path, uint32_t mode, Uid uid, Gid gid,
@@ -135,12 +155,14 @@ Result<Unit> Kernel::InstallBinary(const std::string& path, uint32_t mode, Uid u
   }
   ASSIGN_OR_RETURN(Vnode * node,
                    vfs_.CreateFile(normalized, mode, uid, gid, "\177ELF " + normalized));
-  node->inode().mode = (node->inode().mode & kIfMask) | (mode & kPermMask);
+  vfs_.SetInodeMode(node, mode);
+  std::unique_lock<std::shared_mutex> lk(registry_mu_);
   binaries_[normalized] = BinaryEntry{std::move(main), CapSet{}};
   return OkUnit();
 }
 
 void Kernel::SetFileCaps(const std::string& path, CapSet caps) {
+  std::unique_lock<std::shared_mutex> lk(registry_mu_);
   auto it = binaries_.find(Vfs::Normalize(path));
   if (it != binaries_.end()) {
     it->second.file_caps = caps;
@@ -148,6 +170,7 @@ void Kernel::SetFileCaps(const std::string& path, CapSet caps) {
 }
 
 bool Kernel::HasBinary(const std::string& path) const {
+  std::shared_lock<std::shared_mutex> lk(registry_mu_);
   return binaries_.count(Vfs::Normalize(path)) != 0;
 }
 
@@ -262,21 +285,32 @@ Result<int> Kernel::OpenImpl(Task& task, const std::string& path, int flags, uin
   // in do_sys_open), so resource exhaustion is reported before ENOENT.
   RETURN_IF_ERROR(CheckFdAvailable(task));
   std::string full = JoinPath(task, path);
-  auto resolved = vfs_.Resolve(full);
   Vnode* node = nullptr;
-  if (!resolved.ok()) {
-    if (resolved.code() != Errno::kENOENT || !(flags & kOCreat)) {
-      return resolved.error();
-    }
-    // Create: need write permission on the parent directory.
-    ASSIGN_OR_RETURN(auto parent_leaf, vfs_.ResolveParent(full));
-    auto [parent, leaf] = parent_leaf;
-    RETURN_IF_ERROR(CheckPermission(task, vfs_.PathOf(parent), parent->inode(), kMayWrite));
-    ASSIGN_OR_RETURN(node, vfs_.CreateFile(full, mode, task.cred.fsuid, task.cred.fsgid));
-  } else {
-    node = resolved.value();
-    if ((flags & kOCreat) && (flags & kOExcl)) {
-      return Error(Errno::kEEXIST, full);
+  while (node == nullptr) {
+    auto resolved = vfs_.Resolve(full);
+    if (!resolved.ok()) {
+      if (resolved.code() != Errno::kENOENT || !(flags & kOCreat)) {
+        return resolved.error();
+      }
+      // Create: need write permission on the parent directory.
+      ASSIGN_OR_RETURN(auto parent_leaf, vfs_.ResolveParent(full));
+      auto [parent, leaf] = parent_leaf;
+      RETURN_IF_ERROR(CheckPermission(task, vfs_.PathOf(parent), parent->inode(), kMayWrite));
+      auto created = vfs_.CreateFile(full, mode, task.cred.fsuid, task.cred.fsgid);
+      if (!created.ok()) {
+        if (created.code() == Errno::kEEXIST && !(flags & kOExcl)) {
+          // Lost an O_CREAT race to a concurrent creator; without O_EXCL
+          // that is not an error — go open the winner's file.
+          continue;
+        }
+        return created.error();
+      }
+      node = created.value();
+    } else {
+      node = resolved.value();
+      if ((flags & kOCreat) && (flags & kOExcl)) {
+        return Error(Errno::kEEXIST, full);
+      }
     }
   }
   if (node->inode().IsDir() && (flags & kOAccMode) != kORdOnly) {
@@ -295,7 +329,9 @@ Result<int> Kernel::OpenImpl(Task& task, const std::string& path, int flags, uin
   }
   FdEntry entry;
   entry.kind = FdEntry::Kind::kFile;
-  entry.file = std::make_shared<OpenFile>(OpenFile{node, flags, 0});
+  entry.file = std::make_shared<OpenFile>();
+  entry.file->node = node;
+  entry.file->flags = flags;
   entry.cloexec = (flags & kOCloExec) != 0;
   return task.fds.Install(std::move(entry));
 }
@@ -369,7 +405,9 @@ Result<KernelStat> Kernel::Stat(Task& task, const std::string& path) {
 Result<KernelStat> Kernel::StatImpl(Task& task, const std::string& path) {
   std::string full = JoinPath(task, path);
   ASSIGN_OR_RETURN(Vnode * node, vfs_.Resolve(full));
-  const Inode& inode = node->inode();
+  // Coherent copy under the VFS locks: a concurrent write may be growing
+  // `data` while we stat.
+  Inode inode = vfs_.SnapshotInode(node);
   KernelStat st;
   st.ino = inode.ino;
   st.mode = inode.mode;
@@ -394,7 +432,7 @@ Result<Unit> Kernel::ChmodImpl(Task& task, const std::string& path, uint32_t mod
   if (task.cred.fsuid != node->inode().uid && !Capable(task, Capability::kFowner)) {
     return Error(Errno::kEPERM, full);
   }
-  node->inode().mode = (node->inode().mode & kIfMask) | (mode & kPermMask);
+  vfs_.SetInodeMode(node, mode);
   return OkUnit();
 }
 
@@ -411,10 +449,8 @@ Result<Unit> Kernel::ChownImpl(Task& task, const std::string& path, Uid uid, Gid
   if (!Capable(task, Capability::kChown)) {
     return Error(Errno::kEPERM, full);
   }
-  node->inode().uid = uid;
-  node->inode().gid = gid;
   // Ownership change clears the setuid/setgid bits, as on Linux.
-  node->inode().mode &= ~(kSetUidBit | kSetGidBit);
+  vfs_.SetInodeOwner(node, uid, gid, /*clear_sbits=*/true);
   return OkUnit();
 }
 
@@ -497,15 +533,24 @@ Result<Unit> Kernel::FlockImpl(Task& task, int fd, int op) {
   std::string path = vfs_.PathOf(entry->file->node);
 
   if (op & kLockUn) {
-    auto it = file_locks_.find(ino);
-    if (it != file_locks_.end()) {
-      if (it->second.exclusive == task.pid) {
-        it->second.exclusive = 0;
+    bool released = false;
+    {
+      std::lock_guard<std::mutex> lk(locks_mu_);
+      auto it = file_locks_.find(ino);
+      if (it != file_locks_.end()) {
+        if (it->second.exclusive == task.pid) {
+          it->second.exclusive = 0;
+        }
+        it->second.shared.erase(task.pid);
+        if (it->second.exclusive == 0 && it->second.shared.empty()) {
+          file_locks_.erase(it);
+        }
+        released = true;
       }
-      it->second.shared.erase(task.pid);
-      if (it->second.exclusive == 0 && it->second.shared.empty()) {
-        file_locks_.erase(it);
-      }
+    }
+    // Wake waiters after dropping locks_mu_ so a woken thread can
+    // immediately re-check the lock table.
+    if (released) {
       if (TaskScheduler* sched = gate_.scheduler()) {
         sched->Signal(kWaitKeyFileLock | ino);
       }
@@ -520,28 +565,39 @@ Result<Unit> Kernel::FlockImpl(Task& task, int fd, int op) {
   }
   const char* op_name = op_base == kLockEx ? "LOCK_EX" : "LOCK_SH";
   while (true) {
-    FileLockState& state = file_locks_[ino];
-    bool other_exclusive = state.exclusive != 0 && state.exclusive != task.pid;
-    bool other_shared = false;
-    for (int holder : state.shared) {
-      if (holder != task.pid) {
-        other_shared = true;
-        break;
+    bool acquired = false;
+    bool downgraded = false;
+    {
+      std::lock_guard<std::mutex> lk(locks_mu_);
+      FileLockState& state = file_locks_[ino];
+      bool other_exclusive = state.exclusive != 0 && state.exclusive != task.pid;
+      bool other_shared = false;
+      for (int holder : state.shared) {
+        if (holder != task.pid) {
+          other_shared = true;
+          break;
+        }
+      }
+      bool conflict =
+          op_base == kLockEx ? (other_exclusive || other_shared) : other_exclusive;
+      if (!conflict) {
+        // Acquire; a holder re-locking converts its own lock (upgrade or
+        // downgrade), as flock(2) specifies.
+        if (op_base == kLockEx) {
+          state.shared.erase(task.pid);
+          state.exclusive = task.pid;
+        } else {
+          if (state.exclusive == task.pid) {
+            state.exclusive = 0;
+          }
+          state.shared.insert(task.pid);
+          downgraded = true;
+        }
+        acquired = true;
       }
     }
-    bool conflict =
-        op_base == kLockEx ? (other_exclusive || other_shared) : other_exclusive;
-    if (!conflict) {
-      // Acquire; a holder re-locking converts its own lock (upgrade or
-      // downgrade), as flock(2) specifies.
-      if (op_base == kLockEx) {
-        state.shared.erase(task.pid);
-        state.exclusive = task.pid;
-      } else {
-        if (state.exclusive == task.pid) {
-          state.exclusive = 0;
-        }
-        state.shared.insert(task.pid);
+    if (acquired) {
+      if (downgraded) {
         if (TaskScheduler* sched = gate_.scheduler()) {
           sched->Signal(kWaitKeyFileLock | ino);  // downgrade admits other readers
         }
@@ -578,22 +634,31 @@ void Kernel::EmitFileLockEvent(const Task& task, const char* op, const std::stri
 }
 
 void Kernel::ReleaseFileLocks(int pid) {
-  for (auto it = file_locks_.begin(); it != file_locks_.end();) {
-    FileLockState& state = it->second;
-    bool changed = false;
-    if (state.exclusive == pid) {
-      state.exclusive = 0;
-      changed = true;
+  std::vector<uint64_t> changed_inos;
+  {
+    std::lock_guard<std::mutex> lk(locks_mu_);
+    for (auto it = file_locks_.begin(); it != file_locks_.end();) {
+      FileLockState& state = it->second;
+      bool changed = false;
+      if (state.exclusive == pid) {
+        state.exclusive = 0;
+        changed = true;
+      }
+      changed |= state.shared.erase(pid) > 0;
+      uint64_t ino = it->first;
+      if (state.exclusive == 0 && state.shared.empty()) {
+        it = file_locks_.erase(it);
+      } else {
+        ++it;
+      }
+      if (changed) {
+        changed_inos.push_back(ino);
+      }
     }
-    changed |= state.shared.erase(pid) > 0;
-    uint64_t ino = it->first;
-    if (state.exclusive == 0 && state.shared.empty()) {
-      it = file_locks_.erase(it);
-    } else {
-      ++it;
-    }
-    if (changed) {
-      if (TaskScheduler* sched = gate_.scheduler()) {
+  }
+  if (!changed_inos.empty()) {
+    if (TaskScheduler* sched = gate_.scheduler()) {
+      for (uint64_t ino : changed_inos) {
         sched->Signal(kWaitKeyFileLock | ino);
       }
     }
@@ -613,7 +678,7 @@ Result<std::vector<std::string>> Kernel::ReadDirImpl(Task& task, const std::stri
     return Error(Errno::kENOTDIR, full);
   }
   RETURN_IF_ERROR(CheckPermission(task, full, node->inode(), kMayRead));
-  return node->ListNames();
+  return vfs_.ListDir(node);
 }
 
 Result<Unit> Kernel::Access(Task& task, const std::string& path, int may) {
@@ -650,6 +715,7 @@ Result<Unit> Kernel::WriteWholeFile(Task& task, const std::string& path, std::st
 // --- Mounts --------------------------------------------------------------------
 
 void Kernel::RegisterFsType(const std::string& fstype, FsTypeFactory factory) {
+  std::unique_lock<std::shared_mutex> lk(registry_mu_);
   fs_types_[fstype] = std::move(factory);
 }
 
@@ -677,11 +743,16 @@ Result<Unit> Kernel::MountImpl(Task& task, const std::string& source, const std:
   if (verdict == HookVerdict::kDefault && !Capable(task, Capability::kSysAdmin)) {
     return Error(Errno::kEPERM, "mount requires CAP_SYS_ADMIN");
   }
-  auto it = fs_types_.find(fstype);
-  if (it == fs_types_.end()) {
-    return Error(Errno::kENODEV, "unknown filesystem type " + fstype);
+  FsTypeFactory factory;
+  {
+    std::shared_lock<std::shared_mutex> lk(registry_mu_);
+    auto it = fs_types_.find(fstype);
+    if (it == fs_types_.end()) {
+      return Error(Errno::kENODEV, "unknown filesystem type " + fstype);
+    }
+    factory = it->second;  // copy: the factory may nest syscalls
   }
-  ASSIGN_OR_RETURN(MountPopulator populate, it->second(source));
+  ASSIGN_OR_RETURN(MountPopulator populate, factory(source));
   return vfs_.AddMount(full_target, source, fstype, std::move(options), task.cred.ruid, populate);
 }
 
@@ -736,7 +807,7 @@ Result<Unit> Kernel::UnshareImpl(Task& task, int flags) {
     return Error(Errno::kEPERM, "network namespace requires a user namespace");
   }
   if (want_user) {
-    task.ns.user_ns = next_userns_++;
+    task.ns.user_ns = next_userns_.fetch_add(1, std::memory_order_relaxed);
   }
   if (want_net) {
     task.ns.net_ns = net_.NewNetNamespace();
@@ -954,21 +1025,17 @@ Result<Unit> Kernel::CheckFdAvailable(Task& task) {
                  StrFormat("RLIMIT_NOFILE: %zu open, limit %llu", task.fds.size(),
                            (unsigned long long)task.rlimit_nofile.cur));
   }
-  if (OpenFileCount() >= file_max_) {
+  if (OpenFileCount() >= file_max()) {
     return Error(Errno::kENFILE,
                  StrFormat("file-max: %llu open system-wide, limit %llu",
                            (unsigned long long)OpenFileCount(),
-                           (unsigned long long)file_max_));
+                           (unsigned long long)file_max()));
   }
   return OkUnit();
 }
 
 uint64_t Kernel::OpenFileCount() const {
-  uint64_t total = 0;
-  for (const auto& [pid, task] : tasks_) {
-    total += task->fds.size();
-  }
-  return total;
+  return open_files_.load(std::memory_order_relaxed);
 }
 
 Result<Unit> Kernel::Setgroups(Task& task, std::vector<Gid> groups) {
@@ -1095,7 +1162,12 @@ Result<int> Kernel::SpawnAsyncImpl(Task& parent, const std::string& path,
       rec.err = status.code();
       rec.context = status.error().context();
     }
-    exit_records_[child_pid] = std::move(rec);
+    {
+      // exit_mu_ also publishes the child's stdout/stderr buffers to the
+      // parent thread that finds this record in WaitPid.
+      std::lock_guard<std::mutex> lk(exit_mu_);
+      exit_records_[child_pid] = std::move(rec);
+    }
     ReleaseFileLocks(child_pid);  // exit drops advisory locks even pre-reap
     TaskScheduler* s = gate_.scheduler();
     if (s != nullptr) {
@@ -1113,20 +1185,28 @@ Result<int> Kernel::WaitPid(Task& parent, int pid) {
 
 Result<int> Kernel::WaitPidImpl(Task& parent, int pid) {
   while (true) {
-    auto rec_it = exit_records_.find(pid);
-    if (rec_it != exit_records_.end()) {
-      ExitRecord rec = std::move(rec_it->second);
-      exit_records_.erase(rec_it);
+    std::optional<ExitRecord> rec;
+    {
+      std::lock_guard<std::mutex> lk(exit_mu_);
+      auto rec_it = exit_records_.find(pid);
+      if (rec_it != exit_records_.end()) {
+        rec = std::move(rec_it->second);
+        exit_records_.erase(rec_it);
+      }
+    }
+    if (rec.has_value()) {
       // waitpid(): surface the child's output on the parent, then reap.
+      // Safe to touch the child's buffers: it has exited (the record only
+      // exists post-exit) and exit_mu_ ordered its final writes before us.
       if (Task* child = FindTask(pid)) {
         parent.stdout_buf += child->stdout_buf;
         parent.stderr_buf += child->stderr_buf;
       }
       ReapTask(pid);
-      if (rec.err != Errno::kOk) {
-        return Error(rec.err, rec.context);
+      if (rec->err != Errno::kOk) {
+        return Error(rec->err, rec->context);
       }
-      return rec.status;
+      return rec->status;
     }
     if (FindTask(pid) == nullptr) {
       return Error(Errno::kECHILD, StrFormat("pid %d", pid));
@@ -1157,9 +1237,14 @@ Result<int> Kernel::ExecveImpl(Task& task, const std::string& path, std::vector<
     return Error(Errno::kEACCES, full);
   }
   RETURN_IF_ERROR(CheckPermission(task, full, inode, kMayExec));
-  auto bin_it = binaries_.find(full);
-  if (bin_it == binaries_.end()) {
-    return Error(Errno::kENOEXEC, full);
+  BinaryEntry bin;
+  {
+    std::shared_lock<std::shared_mutex> lk(registry_mu_);
+    auto bin_it = binaries_.find(full);
+    if (bin_it == binaries_.end()) {
+      return Error(Errno::kENOEXEC, full);
+    }
+    bin = bin_it->second;  // copy: the program main runs for a long time
   }
 
   // Provisional post-exec credentials: the setuid/setgid bits (the exact
@@ -1179,8 +1264,8 @@ Result<int> Kernel::ExecveImpl(Task& task, const std::string& path, std::vector<
     new_cred.permitted = CapSet::All();
     new_cred.effective = CapSet::All();
   } else {
-    new_cred.permitted = bin_it->second.file_caps;
-    new_cred.effective = bin_it->second.file_caps;
+    new_cred.permitted = bin.file_caps;
+    new_cred.effective = bin.file_caps;
   }
 
   ExecControl control;
@@ -1222,7 +1307,7 @@ Result<int> Kernel::ExecveImpl(Task& task, const std::string& path, std::vector<
   }
 
   ProcessContext ctx{*this, task, std::move(argv), std::move(env)};
-  return bin_it->second.main(ctx);
+  return bin.main(ctx);
 }
 
 // --- Network -----------------------------------------------------------------------
@@ -1365,6 +1450,7 @@ Result<std::optional<Packet>> Kernel::RecvCallImpl(Task& task, int fd) {
 // --- ioctl --------------------------------------------------------------------------
 
 void Kernel::RegisterIoctlHandler(uint32_t major, uint32_t minor, IoctlHandler handler) {
+  std::unique_lock<std::shared_mutex> lk(registry_mu_);
   ioctl_handlers_[(static_cast<uint64_t>(major) << 32) | minor] = std::move(handler);
 }
 
@@ -1453,12 +1539,17 @@ Result<std::string> Kernel::IoctlImpl(Task& task, int fd, uint32_t request,
   if (verdict == HookVerdict::kDeny) {
     return Error(Errno::kEPERM, "ioctl " + ireq.target);
   }
-  auto it =
-      ioctl_handlers_.find((static_cast<uint64_t>(inode.rdev_major) << 32) | inode.rdev_minor);
-  if (it == ioctl_handlers_.end()) {
-    return Error(Errno::kENOTTY, ireq.target);
+  IoctlHandler handler;
+  {
+    std::shared_lock<std::shared_mutex> lk(registry_mu_);
+    auto it = ioctl_handlers_.find((static_cast<uint64_t>(inode.rdev_major) << 32) |
+                                   inode.rdev_minor);
+    if (it == ioctl_handlers_.end()) {
+      return Error(Errno::kENOTTY, ireq.target);
+    }
+    handler = it->second;  // copy: handlers nest syscalls (pppd's ioctls do)
   }
-  return it->second(task, request, arg, verdict);
+  return handler(task, request, arg, verdict);
 }
 
 }  // namespace protego

@@ -10,11 +10,15 @@
 #ifndef SRC_KERNEL_KERNEL_H_
 #define SRC_KERNEL_KERNEL_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -231,9 +235,11 @@ class Kernel {
   // Models the kernel version: false = pre-3.8 (sandboxing utilities must
   // be setuid root), true (default) = 3.8+.
   void set_unprivileged_userns_enabled(bool enabled) {
-    unprivileged_userns_enabled_ = enabled;
+    unprivileged_userns_enabled_.store(enabled, std::memory_order_relaxed);
   }
-  bool unprivileged_userns_enabled() const { return unprivileged_userns_enabled_; }
+  bool unprivileged_userns_enabled() const {
+    return unprivileged_userns_enabled_.load(std::memory_order_relaxed);
+  }
 
   Result<Unit> Setuid(Task& task, Uid uid);
   Result<Unit> Seteuid(Task& task, Uid uid);
@@ -254,9 +260,13 @@ class Kernel {
   // System-wide open-file ceiling (/proc/sys/fs/file-max analog): when the
   // sum of all tasks' fd-table sizes reaches it, fd allocation fails with
   // ENFILE.
-  void set_file_max(uint64_t file_max) { file_max_ = file_max; }
-  uint64_t file_max() const { return file_max_; }
-  // Open file descriptions across every task (the ENFILE numerator).
+  void set_file_max(uint64_t file_max) {
+    file_max_.store(file_max, std::memory_order_relaxed);
+  }
+  uint64_t file_max() const { return file_max_.load(std::memory_order_relaxed); }
+  // Open file descriptions across every task (the ENFILE numerator). A
+  // counter maintained by every FdTable, not a walk over the task table —
+  // O(1) and safe while other task threads mutate their own tables.
   uint64_t OpenFileCount() const;
 
   // --- Seccomp ---------------------------------------------------------------
@@ -404,6 +414,20 @@ class Kernel {
     std::set<int> shared;   // shared holder pids
   };
 
+  // One shard of the process table. Sharding by pid % kTaskShards keeps
+  // task creation/lookup/reap on different pids contention-free when task
+  // threads enter the kernel concurrently (ExecMode::kParallel); a task's
+  // OWN fields (creds, fd table, cwd) are still single-writer — only the
+  // owning task thread mutates them, which is the Linux model.
+  static constexpr size_t kTaskShards = 16;
+  struct TaskShard {
+    mutable std::mutex mu;
+    std::map<int, std::unique_ptr<Task>> tasks;
+  };
+  TaskShard& ShardFor(int pid) const {
+    return task_shards_[static_cast<size_t>(pid) % kTaskShards];
+  }
+
   Clock clock_;
   // mutable so const syscalls (GetPid) and const checks (Capable) can emit
   // trace events.
@@ -415,18 +439,26 @@ class Kernel {
   mutable SyscallGate gate_;
   LsmStack lsm_;
   Network net_;
-  std::map<int, std::unique_ptr<Task>> tasks_;
+  mutable TaskShard task_shards_[kTaskShards];
+  std::atomic<uint64_t> task_count_{0};   // live tasks across all shards
+  std::atomic<uint64_t> open_files_{0};   // fd-table entries across all tasks
+  // Read-mostly registries: populated at boot (unique lock), consulted on
+  // every execve/mount/ioctl (shared lock, entry copied out so the callable
+  // runs lock-free — program mains nest further syscalls).
+  mutable std::shared_mutex registry_mu_;
   std::map<std::string, BinaryEntry> binaries_;
   std::map<std::string, FsTypeFactory> fs_types_;
   std::map<uint64_t, IoctlHandler> ioctl_handlers_;  // (major<<32)|minor
   AuthAgent auth_agent_;
+  std::mutex exit_mu_;  // guards exit_records_; also orders stdout_buf handoff
   std::map<int, ExitRecord> exit_records_;     // async children awaiting WaitPid
+  std::mutex locks_mu_;  // guards file_locks_; Signal fires after unlock
   std::map<uint64_t, FileLockState> file_locks_;  // keyed by inode number
   AuditRing audit_ring_{512};
-  int next_pid_ = 1;
-  int next_userns_ = 1;
-  bool unprivileged_userns_enabled_ = true;
-  uint64_t file_max_ = 1024;  // system-wide open-file ceiling (ENFILE)
+  std::atomic<int> next_pid_{1};
+  std::atomic<int> next_userns_{1};
+  std::atomic<bool> unprivileged_userns_enabled_{true};
+  std::atomic<uint64_t> file_max_{1024};  // system-wide open-file ceiling (ENFILE)
 };
 
 }  // namespace protego

@@ -81,16 +81,18 @@ uint64_t SyscallGate::TotalCalls() const {
 void SyscallGate::ExitSyscall(SyscallContext& ctx, Errno err) {
   uint64_t dur_ns = 0;
   uint64_t dur_ticks = clock_->Now() - ctx.start_tick;
+  // Lock-free stats path: relaxed atomic increments, no shared lock. In
+  // parallel mode every task thread retires syscalls through here.
   PerSyscall& s = stats_[static_cast<size_t>(ctx.nr)];
-  s.calls++;
+  s.calls.fetch_add(1, std::memory_order_relaxed);
   if (err != Errno::kOk) {
-    s.errors++;
+    s.errors.fetch_add(1, std::memory_order_relaxed);
   }
-  s.total_ticks += dur_ticks;
+  s.total_ticks.fetch_add(dur_ticks, std::memory_order_relaxed);
   s.lat_ticks.Observe(dur_ticks);
   if (wallclock_timing_) {
     dur_ns = MonotonicNanos() - ctx.start_ns;
-    s.total_ns += dur_ns;
+    s.total_ns.fetch_add(dur_ns, std::memory_order_relaxed);
     s.lat_ns.Observe(dur_ns);
   }
   RecordTrace(ctx, err, dur_ns, /*seccomp_denied=*/false);
@@ -100,9 +102,9 @@ void SyscallGate::RecordDenial(SyscallContext& ctx) {
   // Seccomp-killed semantic (see the header): the call is counted, but its
   // latency is not — the body never ran.
   PerSyscall& s = stats_[static_cast<size_t>(ctx.nr)];
-  s.calls++;
-  s.errors++;
-  s.seccomp_denied++;
+  s.calls.fetch_add(1, std::memory_order_relaxed);
+  s.errors.fetch_add(1, std::memory_order_relaxed);
+  s.seccomp_denied.fetch_add(1, std::memory_order_relaxed);
   RecordTrace(ctx, Errno::kEPERM, /*dur_ns=*/0, /*seccomp_denied=*/true);
   if (audit_sink_) {
     audit_sink_(StrFormat("seccomp: pid=%d comm=%s denied %s(%d)", ctx.pid,
@@ -172,7 +174,13 @@ void SyscallGate::ClearTrace() {
 
 void SyscallGate::ResetStats() {
   for (PerSyscall& s : stats_) {
-    s = PerSyscall{};
+    s.calls.store(0, std::memory_order_relaxed);
+    s.errors.store(0, std::memory_order_relaxed);
+    s.seccomp_denied.store(0, std::memory_order_relaxed);
+    s.total_ns.store(0, std::memory_order_relaxed);
+    s.total_ticks.store(0, std::memory_order_relaxed);
+    s.lat_ticks.Reset();
+    s.lat_ns.Reset();
   }
 }
 

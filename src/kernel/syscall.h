@@ -33,6 +33,7 @@
 #ifndef SRC_KERNEL_SYSCALL_H_
 #define SRC_KERNEL_SYSCALL_H_
 
+#include <atomic>
 #include <bitset>
 #include <cstdint>
 #include <functional>
@@ -131,14 +132,18 @@ class SyscallGate {
  public:
   static constexpr size_t kTraceCapacity = 256;
 
+  // All fields are relaxed atomics: in parallel mode N task threads retire
+  // syscalls concurrently, and the stats path must stay lock-free. Readers
+  // (stats export, /proc) see per-field-consistent totals, which is the same
+  // contract /proc/stat offers on SMP Linux.
   struct PerSyscall {
-    uint64_t calls = 0;
-    uint64_t errors = 0;          // calls that returned a nonzero errno
-    uint64_t seccomp_denied = 0;  // refused by the task's filter (subset of errors)
-    uint64_t total_ns = 0;        // wall-clock latency total (when timing is on)
-    uint64_t total_ticks = 0;     // virtual-clock latency total
-    Histogram lat_ticks;          // virtual-clock latency distribution
-    Histogram lat_ns;             // wall-clock distribution (when timing is on)
+    std::atomic<uint64_t> calls{0};
+    std::atomic<uint64_t> errors{0};          // calls that returned a nonzero errno
+    std::atomic<uint64_t> seccomp_denied{0};  // refused by the task's filter (subset of errors)
+    std::atomic<uint64_t> total_ns{0};        // wall-clock latency total (when timing is on)
+    std::atomic<uint64_t> total_ticks{0};     // virtual-clock latency total
+    Histogram lat_ticks;                      // virtual-clock latency distribution
+    Histogram lat_ns;                         // wall-clock distribution (when timing is on)
   };
 
   // One row of the legacy structured trace view: the span-root (syscall)
@@ -236,7 +241,11 @@ class SyscallGate {
     ctx.pid = task.pid;
     ctx.comm = &task.comm;
     ctx.start_tick = clock_->Now();
-    if (tracer_ != nullptr && tracer_->enabled()) {
+    // Span bookkeeping is gated on the SYSCALL POINT being enabled, not just
+    // the master switch: when the per-point filter has kSyscall off, no span
+    // root will ever be emitted, so opening (and map-touching) a span per
+    // call would be pure overhead on a path that records nothing.
+    if (tracer_ != nullptr && tracer_->Enabled(TracepointId::kSyscall)) {
       ctx.span = tracer_->BeginSpan(ctx.pid);
     }
     if (task.seccomp != nullptr && !task.seccomp->Allows(nr)) {

@@ -5,9 +5,12 @@
 #ifndef SRC_KERNEL_TASK_H_
 #define SRC_KERNEL_TASK_H_
 
+#include <atomic>
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -23,18 +26,36 @@ namespace protego {
 // The controlling terminal of a session. The simulated "human" queues input
 // lines (passwords, editor content); programs and the trusted authentication
 // utility read them.
+// Internally locked: several tasks can share one controlling terminal, and
+// in parallel mode they run on different threads (one reads a password
+// prompt while another writes output).
 class Terminal {
  public:
   // Authentication recency per account for this terminal session — the
   // state behind sudo's "no password if entered on this terminal within
   // the last 5 minutes" behaviour. Stamped by the trusted authentication
   // utility alongside the per-task record.
-  std::map<Uid, uint64_t> auth_times;
+  void StampAuth(Uid uid, uint64_t when) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auth_times_[uid] = when;
+  }
+  std::optional<uint64_t> AuthTimeOf(Uid uid) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = auth_times_.find(uid);
+    if (it == auth_times_.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  }
 
-  void QueueInput(std::string line) { input_.push_back(std::move(line)); }
+  void QueueInput(std::string line) {
+    std::lock_guard<std::mutex> lk(mu_);
+    input_.push_back(std::move(line));
+  }
 
   // Next queued line, or nullopt if the human has nothing more to type.
   std::optional<std::string> ReadLine() {
+    std::lock_guard<std::mutex> lk(mu_);
     if (input_.empty()) {
       return std::nullopt;
     }
@@ -43,20 +64,35 @@ class Terminal {
     return line;
   }
 
-  void Write(std::string_view text) { output_.append(text); }
-  const std::string& output() const { return output_; }
-  void ClearOutput() { output_.clear(); }
+  void Write(std::string_view text) {
+    std::lock_guard<std::mutex> lk(mu_);
+    output_.append(text);
+  }
+  // A copy: the buffer may grow on another thread while the caller scans it.
+  std::string output() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return output_;
+  }
+  void ClearOutput() {
+    std::lock_guard<std::mutex> lk(mu_);
+    output_.clear();
+  }
 
  private:
+  mutable std::mutex mu_;
+  std::map<Uid, uint64_t> auth_times_;
   std::deque<std::string> input_;
   std::string output_;
 };
 
-// One open file description (shared across dup'ed fds).
+// One open file description (shared across dup'ed fds). The offset is
+// atomic because fork shares the description: parent and child advancing
+// the same offset concurrently is the one field here that two task
+// threads legitimately touch at once.
 struct OpenFile {
   Vnode* node = nullptr;
   int flags = 0;
-  size_t offset = 0;
+  std::atomic<size_t> offset{0};
 };
 
 // A file descriptor table entry: either a VFS file or a socket handle.
@@ -70,9 +106,22 @@ struct FdEntry {
 
 class FdTable {
  public:
+  ~FdTable() { Account(-static_cast<int64_t>(table_.size())); }
+
+  // Wires this table into the kernel's system-wide open-file counter (the
+  // ENFILE numerator): every install/close adjusts it, replacing the old
+  // walk over all task tables — which was both O(tasks) per fd allocation
+  // and impossible to take safely while other task threads mutate their
+  // own tables. Set once at task creation, before the task runs.
+  void set_accounting(std::atomic<uint64_t>* counter) {
+    counter_ = counter;
+    Account(static_cast<int64_t>(table_.size()));
+  }
+
   int Install(FdEntry entry) {
     int fd = next_fd_++;
     table_.emplace(fd, std::move(entry));
+    Account(1);
     return fd;
   }
 
@@ -85,6 +134,7 @@ class FdTable {
     if (table_.erase(fd) == 0) {
       return Error(Errno::kEBADF);
     }
+    Account(-1);
     return OkUnit();
   }
 
@@ -93,19 +143,30 @@ class FdTable {
     for (auto it = table_.begin(); it != table_.end();) {
       if (it->second.cloexec) {
         it = table_.erase(it);
+        Account(-1);
       } else {
         ++it;
       }
     }
   }
 
-  void CloseAll() { table_.clear(); }
+  void CloseAll() {
+    Account(-static_cast<int64_t>(table_.size()));
+    table_.clear();
+  }
   size_t size() const { return table_.size(); }
   const std::map<int, FdEntry>& entries() const { return table_; }
 
  private:
+  void Account(int64_t delta) {
+    if (counter_ != nullptr && delta != 0) {
+      counter_->fetch_add(static_cast<uint64_t>(delta), std::memory_order_relaxed);
+    }
+  }
+
   std::map<int, FdEntry> table_;
   int next_fd_ = 3;  // 0/1/2 are the terminal
+  std::atomic<uint64_t>* counter_ = nullptr;  // kernel-wide open-file count
 };
 
 // Namespace membership (§4.6/§6: Linux >= 3.8 lets unprivileged processes
@@ -182,8 +243,8 @@ struct Task {
       return true;
     }
     if (terminal != nullptr) {
-      auto tit = terminal->auth_times.find(uid);
-      return tit != terminal->auth_times.end() && now - tit->second <= window;
+      std::optional<uint64_t> stamped = terminal->AuthTimeOf(uid);
+      return stamped.has_value() && now - *stamped <= window;
     }
     return false;
   }

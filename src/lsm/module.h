@@ -96,6 +96,10 @@ class LsmStack;
 // beyond (policy tables, request, credentials) — authentication recency,
 // mount/route state, per-object ownership, audit side effects — must clear
 // the flag. Modules may only ever clear it, never set it back to true.
+// PolicyRuleCount() return value meaning "cost unknown" — a stack with any
+// such module never engages the small-table cache bypass.
+inline constexpr size_t kPolicyRuleCountUnknown = static_cast<size_t>(-1);
+
 class SecurityModule {
  public:
   virtual ~SecurityModule() = default;
@@ -105,6 +109,14 @@ class SecurityModule {
   // Called by LsmStack::Register; lets a module invalidate stack-level
   // cached verdicts when its policy changes.
   void AttachStack(LsmStack* stack) { stack_ = stack; }
+
+  // Total installed policy rules this module consults per hook dispatch.
+  // The stack sums this across modules to decide whether caching a verdict
+  // is worth more than just re-walking the (tiny) tables; see
+  // LsmStack::kCacheBypassThreshold. Stateless modules (capability checks,
+  // hardcoded rules) are free — the default 0. Modules whose dispatch cost
+  // does not scale with a rule table should return kPolicyRuleCountUnknown.
+  virtual size_t PolicyRuleCount() const { return 0; }
 
   // security_capable(): may this task use `cap`? All stacked modules must
   // agree; the capability module implements the commoncap rule.

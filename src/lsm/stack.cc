@@ -79,14 +79,17 @@ void SecurityModule::BumpPolicyGeneration() {
 LsmStack::LsmStack() {
   // Process-wide monotonic stack id: tasks outliving one stack and being
   // consulted by another (the benchmarks do this) must never cross-hit.
-  static uint64_t next_stack_id = 1;
-  stack_id_ = next_stack_id++;
+  // Atomic: fleet workers construct kernels (and their stacks) concurrently.
+  static std::atomic<uint64_t> next_stack_id{1};
+  stack_id_ = next_stack_id.fetch_add(1, std::memory_order_relaxed);
 }
 
 void LsmStack::Register(std::unique_ptr<SecurityModule> module) {
   module->AttachStack(this);
   modules_.push_back(std::move(module));
-  module_verdicts_.push_back({});
+  module_verdicts_.emplace_back();
+  // A new module's tables change what the bypass heuristic should decide.
+  bypass_gen_.store(0, std::memory_order_relaxed);
 }
 
 SecurityModule* LsmStack::Find(const char* name) {
@@ -100,8 +103,8 @@ SecurityModule* LsmStack::Find(const char* name) {
 
 uint64_t LsmStack::TotalHookInvocations() const {
   uint64_t total = 0;
-  for (uint64_t c : hook_counts_) {
-    total += c;
+  for (const std::atomic<uint64_t>& c : hook_counts_) {
+    total += c.load(std::memory_order_relaxed);
   }
   return total;
 }
@@ -164,7 +167,7 @@ bool LsmStack::FaultDeny(LsmHook hook, int pid) const {
   }
   // Fail closed: an undecidable hook refuses. The verdict is NOT cached —
   // it reflects the injected fault, not policy.
-  ++fail_closed_;
+  fail_closed_.fetch_add(1, std::memory_order_relaxed);
   TraceDecision(hook, HookVerdict::kDeny, 0, pid);
   return true;
 }
@@ -194,30 +197,61 @@ void LsmStack::CollectMetrics(MetricsBuilder& b) const {
     }
   }
   b.Counter("protego_lsm_decision_cache_hits_total",
-            "Combined verdicts served from the per-task decision cache", {}, cache_hits_);
+            "Combined verdicts served from the per-task decision cache", {},
+            decision_cache_hits());
   b.Counter("protego_lsm_decision_cache_misses_total",
             "Decision-cache probes that fell through to module dispatch", {},
-            cache_misses_);
+            decision_cache_misses());
+  b.Counter("protego_lsm_decision_cache_bypasses_total",
+            "Cacheable dispatches that skipped the cache (small-table bypass)", {},
+            decision_cache_bypasses());
   b.Gauge("protego_policy_generation",
           "Policy generation counter (bumped on every policy swap)", {},
-          static_cast<double>(policy_generation_));
+          static_cast<double>(policy_generation()));
 }
 
 // --- Decision cache ---------------------------------------------------------------
 
-bool LsmStack::CacheLookup(const Task& task, uint64_t key, HookVerdict* verdict) const {
-  uint8_t raw = 0;
-  if (!task.lsm_cache.Lookup(key, policy_generation_, &raw)) {
-    ++cache_misses_;
+bool LsmStack::CacheBypass() const {
+  if (!bypass_enabled_.load(std::memory_order_relaxed)) {
     return false;
   }
-  ++cache_hits_;
+  uint64_t gen = policy_generation_.load(std::memory_order_acquire);
+  if (bypass_gen_.load(std::memory_order_acquire) != gen) {
+    // Recompute for this generation. Unknown-cost modules veto the bypass;
+    // a swap racing this recomputation just triggers another one.
+    size_t total = 0;
+    bool bypass = true;
+    for (const auto& m : modules_) {
+      size_t n = m->PolicyRuleCount();
+      if (n == kPolicyRuleCountUnknown) {
+        bypass = false;
+        break;
+      }
+      total += n;
+    }
+    bypass = bypass && total < kCacheBypassThreshold;
+    bypass_.store(bypass, std::memory_order_relaxed);
+    bypass_gen_.store(gen, std::memory_order_release);
+  }
+  return bypass_.load(std::memory_order_relaxed);
+}
+
+bool LsmStack::CacheLookup(const Task& task, uint64_t key, uint64_t gen,
+                           HookVerdict* verdict) const {
+  uint8_t raw = 0;
+  if (!task.lsm_cache.Lookup(key, gen, &raw)) {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  cache_hits_.fetch_add(1, std::memory_order_relaxed);
   *verdict = static_cast<HookVerdict>(raw);
   return true;
 }
 
-void LsmStack::CacheInsert(const Task& task, uint64_t key, HookVerdict verdict) const {
-  task.lsm_cache.Insert(key, policy_generation_, static_cast<uint8_t>(verdict));
+void LsmStack::CacheInsert(const Task& task, uint64_t key, uint64_t gen,
+                           HookVerdict verdict) const {
+  task.lsm_cache.Insert(key, gen, static_cast<uint8_t>(verdict));
 }
 
 uint64_t LsmStack::InodeKey(const Task& task, const std::string& path, int may) const {
@@ -272,12 +306,21 @@ HookVerdict LsmStack::InodePermission(Task& task, const std::string& path,
     return HookVerdict::kDeny;
   }
   uint64_t key = 0;
+  uint64_t gen = 0;
   HookVerdict cached;
   if (decision_cache_enabled_) {
-    key = InodeKey(task, path, may);
-    if (CacheLookup(task, key, &cached)) {
-      TraceDecision(LsmHook::kInodePermission, cached, kTraceFlagCacheHit, task.pid);
-      return cached;
+    if (CacheBypass()) {
+      cache_bypasses_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Snapshot the generation ONCE; lookup and insert both use it so a
+      // policy swap landing mid-walk can never tag a pre-swap verdict with
+      // the post-swap generation.
+      gen = policy_generation();
+      key = InodeKey(task, path, may);
+      if (CacheLookup(task, key, gen, &cached)) {
+        TraceDecision(LsmHook::kInodePermission, cached, kTraceFlagCacheHit, task.pid);
+        return cached;
+      }
     }
   }
   bool cacheable = true;
@@ -292,10 +335,10 @@ HookVerdict LsmStack::InodePermission(Task& task, const std::string& path,
     acc = Combine(acc, v);
   }
   if (key != 0 && cacheable) {
-    CacheInsert(task, key, acc);
+    CacheInsert(task, key, gen, acc);
   }
   TraceDecision(LsmHook::kInodePermission, acc,
-                decision_cache_enabled_ ? kTraceFlagCacheMiss : 0, task.pid);
+                key != 0 ? kTraceFlagCacheMiss : 0, task.pid);
   return acc;
 }
 
@@ -306,12 +349,21 @@ HookVerdict LsmStack::SbMount(const Task& task, const MountRequest& req) const {
     return HookVerdict::kDeny;
   }
   uint64_t key = 0;
+  uint64_t gen = 0;
   HookVerdict cached;
   if (decision_cache_enabled_) {
-    key = MountKey(task, req);
-    if (CacheLookup(task, key, &cached)) {
-      TraceDecision(LsmHook::kSbMount, cached, kTraceFlagCacheHit, task.pid);
-      return cached;
+    if (CacheBypass()) {
+      cache_bypasses_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Snapshot the generation ONCE; lookup and insert both use it so a
+      // policy swap landing mid-walk can never tag a pre-swap verdict with
+      // the post-swap generation.
+      gen = policy_generation();
+      key = MountKey(task, req);
+      if (CacheLookup(task, key, gen, &cached)) {
+        TraceDecision(LsmHook::kSbMount, cached, kTraceFlagCacheHit, task.pid);
+        return cached;
+      }
     }
   }
   bool cacheable = true;
@@ -326,9 +378,9 @@ HookVerdict LsmStack::SbMount(const Task& task, const MountRequest& req) const {
     acc = Combine(acc, v);
   }
   if (key != 0 && cacheable) {
-    CacheInsert(task, key, acc);
+    CacheInsert(task, key, gen, acc);
   }
-  TraceDecision(LsmHook::kSbMount, acc, decision_cache_enabled_ ? kTraceFlagCacheMiss : 0,
+  TraceDecision(LsmHook::kSbMount, acc, key != 0 ? kTraceFlagCacheMiss : 0,
                 task.pid);
   return acc;
 }
@@ -380,12 +432,21 @@ HookVerdict LsmStack::SocketBind(const Task& task, const BindRequest& req) const
     return HookVerdict::kDeny;
   }
   uint64_t key = 0;
+  uint64_t gen = 0;
   HookVerdict cached;
   if (decision_cache_enabled_) {
-    key = BindKey(task, req);
-    if (CacheLookup(task, key, &cached)) {
-      TraceDecision(LsmHook::kSocketBind, cached, kTraceFlagCacheHit, task.pid);
-      return cached;
+    if (CacheBypass()) {
+      cache_bypasses_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Snapshot the generation ONCE; lookup and insert both use it so a
+      // policy swap landing mid-walk can never tag a pre-swap verdict with
+      // the post-swap generation.
+      gen = policy_generation();
+      key = BindKey(task, req);
+      if (CacheLookup(task, key, gen, &cached)) {
+        TraceDecision(LsmHook::kSocketBind, cached, kTraceFlagCacheHit, task.pid);
+        return cached;
+      }
     }
   }
   bool cacheable = true;
@@ -400,10 +461,10 @@ HookVerdict LsmStack::SocketBind(const Task& task, const BindRequest& req) const
     acc = Combine(acc, v);
   }
   if (key != 0 && cacheable) {
-    CacheInsert(task, key, acc);
+    CacheInsert(task, key, gen, acc);
   }
   TraceDecision(LsmHook::kSocketBind, acc,
-                decision_cache_enabled_ ? kTraceFlagCacheMiss : 0, task.pid);
+                key != 0 ? kTraceFlagCacheMiss : 0, task.pid);
   return acc;
 }
 

@@ -24,7 +24,9 @@
 #define SRC_LSM_STACK_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -84,7 +86,7 @@ class LsmStack {
   // included — a hit is still a consultation). Lets the syscall gate tests
   // prove seccomp denials short-circuit BEFORE any LSM work.
   uint64_t HookInvocations(LsmHook hook) const {
-    return hook_counts_[static_cast<size_t>(hook)];
+    return hook_counts_[static_cast<size_t>(hook)].load(std::memory_order_relaxed);
   }
   uint64_t TotalHookInvocations() const;
 
@@ -105,7 +107,9 @@ class LsmStack {
   void set_faults(FaultRegistry* faults) { faults_ = faults; }
 
   // Dispatches denied because a fault was injected at the hook site.
-  uint64_t fail_closed_denials() const { return fail_closed_; }
+  uint64_t fail_closed_denials() const {
+    return fail_closed_.load(std::memory_order_relaxed);
+  }
 
   // Per-hook latency distribution in virtual clock ticks.
   const Histogram& HookLatency(LsmHook hook) const {
@@ -114,7 +118,8 @@ class LsmStack {
 
   // Combined verdicts module `i` returned, indexed by HookVerdict value.
   uint64_t ModuleVerdicts(size_t module_index, HookVerdict v) const {
-    return module_verdicts_[module_index][static_cast<size_t>(v)];
+    return module_verdicts_[module_index][static_cast<size_t>(v)].load(
+        std::memory_order_relaxed);
   }
 
   // Reports hook invocation counters, latency histograms, per-module
@@ -124,15 +129,57 @@ class LsmStack {
   // --- Decision cache ---------------------------------------------------------
 
   // Monotonic counter tagged onto every cached verdict; starts at 1 so no
-  // empty cache slot (generation 0) can ever match.
-  uint64_t policy_generation() const { return policy_generation_; }
-  void BumpPolicyGeneration() { ++policy_generation_; }
+  // empty cache slot (generation 0) can ever match. Release/acquire ordering
+  // pairs with the RCU-style engine publication in ProtegoLsm: the engine
+  // pointer is stored (release) BEFORE the generation is bumped (release),
+  // so any reader that observes generation G (acquire) also observes at
+  // least the engine published for G.
+  uint64_t policy_generation() const {
+    return policy_generation_.load(std::memory_order_acquire);
+  }
+  void BumpPolicyGeneration() {
+    policy_generation_.fetch_add(1, std::memory_order_release);
+  }
 
   void set_decision_cache_enabled(bool enabled) { decision_cache_enabled_ = enabled; }
   bool decision_cache_enabled() const { return decision_cache_enabled_; }
 
-  uint64_t decision_cache_hits() const { return cache_hits_; }
-  uint64_t decision_cache_misses() const { return cache_misses_; }
+  uint64_t decision_cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t decision_cache_misses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
+  uint64_t decision_cache_bypasses() const {
+    return cache_bypasses_.load(std::memory_order_relaxed);
+  }
+
+  // --- Adaptive small-table bypass --------------------------------------------
+  //
+  // Below this many total policy rules (summed over every module's
+  // PolicyRuleCount), the cacheable hooks skip the cache entirely. The
+  // cache's value at small sizes hinges on hit rate: a hit is cheaper than
+  // even a small indexed walk, but a miss pays key hashing + probe + insert
+  // ON TOP of the walk — pure tax. Small tables see exactly the traffic
+  // where misses dominate (boot defaults, one-shot administrative requests,
+  // working sets that churn the 64-slot per-task cache), which is how the
+  // original BENCH_policy_engine.json baseline regressed to 0.51x on
+  // inode_permission at 16-entry tables. The bench's inode_permission_miss
+  // rows price this case directly; the compiled+cache-forced rows price the
+  // hit-heavy extreme the bypass gives up. The decision is recomputed
+  // lazily whenever the policy generation changes.
+  static constexpr size_t kCacheBypassThreshold = 64;
+
+  // True when the cacheable hooks are currently bypassing the decision
+  // cache because the installed policy tables are small.
+  bool decision_cache_bypass_active() const { return CacheBypass(); }
+
+  // Forces the adaptive bypass off (cache always engages). For tests and
+  // benches that exercise cache mechanics against deliberately tiny
+  // policy tables; production code leaves it adaptive.
+  void set_cache_bypass_enabled(bool enabled) {
+    bypass_enabled_.store(enabled, std::memory_order_relaxed);
+  }
 
  private:
   static HookVerdict Combine(HookVerdict acc, HookVerdict v);
@@ -155,8 +202,15 @@ class LsmStack {
   // Probes `task`'s cache; returns true on hit. On miss the caller
   // dispatches and calls CacheInsert if every module left the request
   // cacheable. Key 0 disables caching for that request.
-  bool CacheLookup(const Task& task, uint64_t key, HookVerdict* verdict) const;
-  void CacheInsert(const Task& task, uint64_t key, HookVerdict verdict) const;
+  // `gen` is the policy generation snapshotted ONCE at dispatch entry and
+  // threaded through both calls: a policy swap that lands mid-walk must tag
+  // the inserted verdict with the generation the walk actually ran under,
+  // never the post-swap generation (a stale verdict under a fresh tag would
+  // be an unexpirable wrong answer).
+  bool CacheLookup(const Task& task, uint64_t key, uint64_t gen,
+                   HookVerdict* verdict) const;
+  void CacheInsert(const Task& task, uint64_t key, uint64_t gen,
+                   HookVerdict verdict) const;
 
   // Request-signature keys (FNV-1a over hook id, stack id, request fields,
   // and the deciding credentials). Never return 0.
@@ -164,25 +218,37 @@ class LsmStack {
   uint64_t MountKey(const Task& task, const MountRequest& req) const;
   uint64_t BindKey(const Task& task, const BindRequest& req) const;
 
+  // Recomputes (lazily, once per generation) whether the small-table bypass
+  // is in effect. Safe to race: the recomputation is idempotent.
+  bool CacheBypass() const;
+
   std::vector<std::unique_ptr<SecurityModule>> modules_;
-  // mutable: accounting from the const hook methods.
-  mutable uint64_t hook_counts_[static_cast<size_t>(LsmHook::kCount)] = {};
+  // mutable: accounting from the const hook methods. All counters are
+  // relaxed atomics — parallel-mode tasks dispatch hooks concurrently.
+  mutable std::atomic<uint64_t> hook_counts_[static_cast<size_t>(LsmHook::kCount)] = {};
   mutable Histogram hook_lat_[static_cast<size_t>(LsmHook::kCount)];
-  // Per-module verdict tallies, indexed [module][verdict].
-  mutable std::vector<std::array<uint64_t, 3>> module_verdicts_;
+  // Per-module verdict tallies, indexed [module][verdict]. A deque because
+  // arrays of atomics are pinned in place (no relocation on growth).
+  mutable std::deque<std::array<std::atomic<uint64_t>, 3>> module_verdicts_;
 
   Tracer* tracer_ = nullptr;
   const Clock* clock_ = nullptr;
   FaultRegistry* faults_ = nullptr;
-  mutable uint64_t fail_closed_ = 0;  // fault-injected dispatches denied
+  mutable std::atomic<uint64_t> fail_closed_{0};  // fault-injected dispatches denied
 
   // Salted into every cache key so a task consulted by two different stacks
   // (benchmark comparisons, tests) can never cross-hit.
   uint64_t stack_id_ = 0;
-  uint64_t policy_generation_ = 1;
+  std::atomic<uint64_t> policy_generation_{1};
   bool decision_cache_enabled_ = true;
-  mutable uint64_t cache_hits_ = 0;
-  mutable uint64_t cache_misses_ = 0;
+  mutable std::atomic<uint64_t> cache_hits_{0};
+  mutable std::atomic<uint64_t> cache_misses_{0};
+  mutable std::atomic<uint64_t> cache_bypasses_{0};
+  // Small-table bypass memo: the generation it was computed for (0 = never)
+  // and the verdict.
+  mutable std::atomic<uint64_t> bypass_gen_{0};
+  mutable std::atomic<bool> bypass_{false};
+  std::atomic<bool> bypass_enabled_{true};
 };
 
 }  // namespace protego

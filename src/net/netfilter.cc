@@ -25,11 +25,18 @@ std::string Packet::ToString() const {
                    from_raw_socket ? " raw" : "");
 }
 
-void Netfilter::Append(NfRule rule) { rules_.push_back(std::move(rule)); }
+void Netfilter::Append(NfRule rule) {
+  std::unique_lock<std::shared_mutex> lk(rules_mu_);
+  rules_.push_back(std::move(rule));
+}
 
-void Netfilter::Insert(NfRule rule) { rules_.insert(rules_.begin(), std::move(rule)); }
+void Netfilter::Insert(NfRule rule) {
+  std::unique_lock<std::shared_mutex> lk(rules_mu_);
+  rules_.insert(rules_.begin(), std::move(rule));
+}
 
 int Netfilter::DeleteByComment(const std::string& comment) {
+  std::unique_lock<std::shared_mutex> lk(rules_mu_);
   size_t before = rules_.size();
   rules_.erase(std::remove_if(rules_.begin(), rules_.end(),
                               [&](const NfRule& r) { return r.comment == comment; }),
@@ -37,9 +44,13 @@ int Netfilter::DeleteByComment(const std::string& comment) {
   return static_cast<int>(before - rules_.size());
 }
 
-void Netfilter::Flush() { rules_.clear(); }
+void Netfilter::Flush() {
+  std::unique_lock<std::shared_mutex> lk(rules_mu_);
+  rules_.clear();
+}
 
 size_t Netfilter::RuleCount(NfChain chain) const {
+  std::shared_lock<std::shared_mutex> lk(rules_mu_);
   size_t n = 0;
   for (const NfRule& r : rules_) {
     if (r.chain == chain) {
@@ -90,13 +101,13 @@ const char* Netfilter::ChainName(NfChain chain) const {
 }
 
 NfVerdict Netfilter::Evaluate(NfChain chain, const Packet& packet) const {
-  ++evaluated_;
+  evaluated_.fetch_add(1, std::memory_order_relaxed);
   // Fail closed: if chain evaluation faults, the packet is dropped — a
   // filtering layer that cannot decide must not pass traffic.
   if (faults_ != nullptr && faults_->any_enabled() &&
       faults_->Evaluate(FaultSite::kNetfilterEval) != Errno::kOk) {
-    ++dropped_;
-    ++fail_closed_drops_;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    fail_closed_drops_.fetch_add(1, std::memory_order_relaxed);
     if (tracer_ != nullptr && tracer_->Enabled(TracepointId::kNetfilter)) {
       TraceEvent& ev = tracer_->Emit(TracepointId::kNetfilter, 0);
       ev.sname = ChainName(chain);
@@ -106,13 +117,14 @@ NfVerdict Netfilter::Evaluate(NfChain chain, const Packet& packet) const {
     }
     return NfVerdict::kDrop;
   }
+  std::shared_lock<std::shared_mutex> lk(rules_mu_);
   for (const NfRule& rule : rules_) {
     if (rule.chain != chain) {
       continue;
     }
     if (Matches(rule.match, packet)) {
       if (rule.verdict == NfVerdict::kDrop) {
-        ++dropped_;
+        dropped_.fetch_add(1, std::memory_order_relaxed);
       }
       if (tracer_ != nullptr && tracer_->Enabled(TracepointId::kNetfilter)) {
         TraceEvent& ev = tracer_->Emit(TracepointId::kNetfilter, 0);
@@ -136,6 +148,7 @@ NfVerdict Netfilter::Evaluate(NfChain chain, const Packet& packet) const {
 }
 
 std::string Netfilter::ListRules() const {
+  std::shared_lock<std::shared_mutex> lk(rules_mu_);
   std::string out;
   for (const NfRule& rule : rules_) {
     out += SerializeNfRule(rule);

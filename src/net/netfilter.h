@@ -8,9 +8,12 @@
 #ifndef SRC_NET_NETFILTER_H_
 #define SRC_NET_NETFILTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -82,7 +85,12 @@ class Netfilter {
 
   void Flush();
   size_t RuleCount(NfChain chain) const;
-  const std::vector<NfRule>& rules() const { return rules_; }
+
+  // Returns a copy so callers never iterate concurrently with a rule edit.
+  std::vector<NfRule> rules() const {
+    std::shared_lock<std::shared_mutex> lk(rules_mu_);
+    return rules_;
+  }
 
   // Runs `packet` through `chain`; first matching rule decides, default
   // policy ACCEPT.
@@ -92,24 +100,33 @@ class Netfilter {
   std::string ListRules() const;
 
   // Counters for tests/benchmarks.
-  uint64_t evaluated() const { return evaluated_; }
-  uint64_t dropped() const { return dropped_; }
+  uint64_t evaluated() const { return evaluated_.load(std::memory_order_relaxed); }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
   // Packets dropped because a fault was injected mid-evaluation (subset of
   // dropped()).
-  uint64_t fail_closed_drops() const { return fail_closed_drops_; }
+  uint64_t fail_closed_drops() const {
+    return fail_closed_drops_.load(std::memory_order_relaxed);
+  }
 
  private:
   bool Matches(const NfMatch& match, const Packet& packet) const;
 
   const char* ChainName(NfChain chain) const;
 
+  // Rule edits (the iptables control path) take rules_mu_ unique; Evaluate
+  // walks the chain under a shared lock, so packet evaluation from many
+  // task threads proceeds concurrently. The port-owner callback runs with
+  // the shared lock held — it re-enters Network, whose recursive lock the
+  // calling Send() already owns; Network never calls back into rule edits,
+  // so the order Network::mu_ -> rules_mu_ is acyclic.
+  mutable std::shared_mutex rules_mu_;
   std::vector<NfRule> rules_;
   PortOwnerFn port_owner_;
   Tracer* tracer_ = nullptr;
   FaultRegistry* faults_ = nullptr;
-  mutable uint64_t evaluated_ = 0;
-  mutable uint64_t dropped_ = 0;
-  mutable uint64_t fail_closed_drops_ = 0;
+  mutable std::atomic<uint64_t> evaluated_{0};
+  mutable std::atomic<uint64_t> dropped_{0};
+  mutable std::atomic<uint64_t> fail_closed_drops_{0};
 };
 
 // Wire grammar for rules crossing the kernel boundary (the iptables

@@ -14,6 +14,7 @@ Network::Network() {
 
 Socket& Network::CreateSocket(int family, int type, int protocol, Uid owner,
                               const std::string& owner_binary, int netns) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   auto sock = std::make_unique<Socket>();
   sock->id = next_socket_id_++;
   sock->family = family;
@@ -28,11 +29,13 @@ Socket& Network::CreateSocket(int family, int type, int protocol, Uid owner,
 }
 
 Socket* Network::FindSocket(int id) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   auto it = sockets_.find(id);
   return it == sockets_.end() ? nullptr : it->second.get();
 }
 
 void Network::RefSocket(int id) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   Socket* sock = FindSocket(id);
   if (sock != nullptr) {
     ++sock->refcount;
@@ -40,6 +43,7 @@ void Network::RefSocket(int id) {
 }
 
 void Network::DestroySocket(int id) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   Socket* sock = FindSocket(id);
   if (sock != nullptr && --sock->refcount <= 0) {
     sockets_.erase(id);
@@ -47,6 +51,7 @@ void Network::DestroySocket(int id) {
 }
 
 Result<Unit> Network::Bind(Socket& sock, uint16_t port) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   if (port == 0) {
     return Error(Errno::kEINVAL, "bind to port 0");
   }
@@ -59,6 +64,7 @@ Result<Unit> Network::Bind(Socket& sock, uint16_t port) {
 }
 
 Result<Unit> Network::Listen(Socket& sock) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   if (sock.type != kSockStream) {
     return Error(Errno::kEOPNOTSUPP);
   }
@@ -70,6 +76,7 @@ Result<Unit> Network::Listen(Socket& sock) {
 }
 
 std::optional<Uid> Network::PortOwner(int proto, uint16_t port, int netns) const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   for (const auto& [id, sock] : sockets_) {
     int sock_proto = sock->type == kSockStream ? kProtoTcp : kProtoUdp;
     if (sock->netns == netns && sock->bound_port == port && sock_proto == proto &&
@@ -81,6 +88,7 @@ std::optional<Uid> Network::PortOwner(int proto, uint16_t port, int netns) const
 }
 
 Result<Unit> Network::Connect(Socket& sock, Ipv4 dst, uint16_t port) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   if (sock.type != kSockStream) {
     return Error(Errno::kEOPNOTSUPP);
   }
@@ -116,12 +124,17 @@ Result<Unit> Network::Connect(Socket& sock, Ipv4 dst, uint16_t port) {
 }
 
 bool Network::IsLocalAddress(Ipv4 ip) const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   return std::find(local_addrs_.begin(), local_addrs_.end(), ip) != local_addrs_.end();
 }
 
-void Network::AddRemoteHost(RemoteHost host) { hosts_.push_back(std::move(host)); }
+void Network::AddRemoteHost(RemoteHost host) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
+  hosts_.push_back(std::move(host));
+}
 
 const RemoteHost* Network::FindHost(Ipv4 ip) const {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   for (const RemoteHost& host : hosts_) {
     if (host.ip == ip) {
       return &host;
@@ -131,6 +144,7 @@ const RemoteHost* Network::FindHost(Ipv4 ip) const {
 }
 
 PppChannel& Network::NewPppUnit() {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   PppChannel chan;
   chan.unit = static_cast<int>(ppp_units_.size());
   ppp_units_.push_back(chan);
@@ -138,6 +152,7 @@ PppChannel& Network::NewPppUnit() {
 }
 
 PppChannel* Network::FindPppUnit(int unit) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   if (unit < 0 || static_cast<size_t>(unit) >= ppp_units_.size()) {
     return nullptr;
   }
@@ -223,18 +238,19 @@ void Network::DeliverLocal(const Packet& packet, int netns) {
     }
     if (match) {
       sock->rx_queue.push_back(packet);
-      ++packets_delivered_;
+      packets_delivered_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 }
 
 Result<Unit> Network::Send(Socket& sock, Packet packet) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   packet.sender_uid = sock.owner;
   packet.from_raw_socket = (sock.type == kSockRaw || sock.family == kAfPacket);
   if (!packet.from_raw_socket && sock.bound_port != 0) {
     packet.src_port = sock.bound_port;
   }
-  ++packets_sent_;
+  packets_sent_.fetch_add(1, std::memory_order_relaxed);
 
   // A sandbox network namespace contains only its own loopback: local
   // delivery within the namespace works, the outside world does not exist
@@ -270,13 +286,14 @@ Result<Unit> Network::Send(Socket& sock, Packet packet) {
     reply->sender_uid = 0;
     if (netfilter_.Evaluate(NfChain::kInput, *reply) == NfVerdict::kAccept) {
       sock.rx_queue.push_back(std::move(*reply));
-      ++packets_delivered_;
+      packets_delivered_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   return OkUnit();
 }
 
 std::optional<Packet> Network::Receive(Socket& sock) {
+  std::lock_guard<std::recursive_mutex> lk(mu_);
   if (sock.rx_queue.empty()) {
     return std::nullopt;
   }

@@ -5,7 +5,9 @@
 #ifndef SRC_NET_ROUTING_H_
 #define SRC_NET_ROUTING_H_
 
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -41,12 +43,25 @@ class RoutingTable {
   // Longest-prefix-match; nullopt when unroutable.
   std::optional<RouteEntry> Lookup(Ipv4 dst) const;
 
-  const std::vector<RouteEntry>& entries() const { return entries_; }
-  void Clear() { entries_.clear(); }
+  // Returns a copy: callers iterate without holding the table lock, so a
+  // concurrent route add/remove cannot invalidate their iterators.
+  std::vector<RouteEntry> entries() const {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    return entries_;
+  }
+  void Clear() {
+    std::unique_lock<std::shared_mutex> lk(mu_);
+    entries_.clear();
+  }
 
   static bool PrefixContains(Ipv4 net, int prefix_len, Ipv4 addr);
 
  private:
+  // Readers (Conflicts/Lookup/entries) take shared; mutators take unique.
+  // Note Protego's check-then-add across two acquisitions (Conflicts in the
+  // ioctl hook, Add in the handler) is itself a TOCTTOU window — that is the
+  // semantic race the corpus exercises; the lock only keeps memory safe.
+  mutable std::shared_mutex mu_;
   std::vector<RouteEntry> entries_;
 };
 

@@ -1,6 +1,7 @@
 #include "src/protego/protego_lsm.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/base/strings.h"
 #include "src/kernel/kernel.h"
@@ -25,80 +26,91 @@ bool IsSafeExtraOption(const std::string& opt) {
 
 }  // namespace
 
-Result<Unit> ProtegoLsm::RecompilePolicies() {
-  // Compile into a fresh engine so a failure part-way through (an injected
-  // kPolicyCompile fault standing in for OOM during index construction)
-  // leaves the live engine_ untouched. Two fault evaluation points — before
-  // any index is built and after half of them — so the sweep can prove that
-  // a fault at either boundary rolls back identically.
+ProtegoLsm::Policy ProtegoLsm::CloneTablesLocked() const {
+  PolicyRef cur = policy();
+  Policy next;
+  next.mount_whitelist = cur->mount_whitelist;
+  next.bind_table = cur->bind_table;
+  next.delegation = cur->delegation;
+  next.user_db = cur->user_db;
+  next.ppp_options = cur->ppp_options;
+  return next;
+}
+
+Result<Unit> ProtegoLsm::CompileAndPublish(Policy next) {
+  // Compile into the staged snapshot so a failure part-way through (an
+  // injected kPolicyCompile fault standing in for OOM during index
+  // construction) publishes nothing — the live snapshot is untouched. Two
+  // fault evaluation points — before any index is built and after half of
+  // them — so the sweep can prove that a fault at either boundary rolls
+  // back identically.
   FaultRegistry* faults = kernel_ != nullptr ? &kernel_->faults() : nullptr;
   if (faults != nullptr && faults->any_enabled()) {
     RETURN_IF_ERROR(faults->Check(FaultSite::kPolicyCompile, "policy compile (start)"));
   }
-  PolicyEngine fresh;
-  fresh.bind.Build(bind_table_);
-  fresh.mount.Build(mount_whitelist_);
+  next.engine.bind.Build(next.bind_table);
+  next.engine.mount.Build(next.mount_whitelist);
   if (faults != nullptr && faults->any_enabled()) {
     RETURN_IF_ERROR(faults->Check(FaultSite::kPolicyCompile, "policy compile (mid-swap)"));
   }
-  fresh.files.Build(delegation_);
-  fresh.sudoers.Build(delegation_, user_db_);
-  engine_ = std::move(fresh);
+  next.engine.files.Build(next.delegation);
+  next.engine.sudoers.Build(next.delegation, next.user_db);
+  // Publish-then-bump: the mutex release publishes the new snapshot before
+  // the (release) generation bump, so a hook that snapshots the generation
+  // (acquire) and sees G is guaranteed to load at least generation G's
+  // snapshot — a cached verdict tagged G can never have been computed
+  // against an older policy. The displaced snapshot is retired once the
+  // last in-flight reader drops its PolicyRef.
+  {
+    std::lock_guard<std::mutex> lk(policy_mu_);
+    policy_ = std::make_shared<const Policy>(std::move(next));
+  }
   // Any swap invalidates every cached verdict, keeping parse-validate-swap
   // atomic from the hooks' point of view. Only reached on success: a failed
-  // swap must leave cached verdicts valid (they still match engine_).
+  // swap must leave cached verdicts valid (they still match the engine).
   BumpPolicyGeneration();
   return OkUnit();
 }
 
 Result<Unit> ProtegoLsm::SetMountPolicy(std::vector<FstabEntry> whitelist) {
-  std::vector<FstabEntry> prev = std::move(mount_whitelist_);
-  mount_whitelist_ = std::move(whitelist);
-  Result<Unit> compiled = RecompilePolicies();
-  if (!compiled.ok()) {
-    mount_whitelist_ = std::move(prev);
-  }
-  return compiled;
+  std::lock_guard<std::mutex> lk(swap_mu_);
+  Policy next = CloneTablesLocked();
+  next.mount_whitelist = std::move(whitelist);
+  return CompileAndPublish(std::move(next));
 }
 
 Result<Unit> ProtegoLsm::SetBindTable(std::vector<BindConfEntry> table) {
-  std::vector<BindConfEntry> prev = std::move(bind_table_);
-  bind_table_ = std::move(table);
-  Result<Unit> compiled = RecompilePolicies();
-  if (!compiled.ok()) {
-    bind_table_ = std::move(prev);
-  }
-  return compiled;
+  std::lock_guard<std::mutex> lk(swap_mu_);
+  Policy next = CloneTablesLocked();
+  next.bind_table = std::move(table);
+  return CompileAndPublish(std::move(next));
 }
 
 Result<Unit> ProtegoLsm::SetDelegation(SudoersPolicy policy) {
-  SudoersPolicy prev = std::move(delegation_);
-  delegation_ = std::move(policy);
-  Result<Unit> compiled = RecompilePolicies();
-  if (!compiled.ok()) {
-    delegation_ = std::move(prev);
-  }
-  return compiled;
+  std::lock_guard<std::mutex> lk(swap_mu_);
+  Policy next = CloneTablesLocked();
+  next.delegation = std::move(policy);
+  return CompileAndPublish(std::move(next));
 }
 
 Result<Unit> ProtegoLsm::SetUserDb(UserDb db) {
-  UserDb prev = std::move(user_db_);
-  user_db_ = std::move(db);
-  Result<Unit> compiled = RecompilePolicies();
-  if (!compiled.ok()) {
-    user_db_ = std::move(prev);
-  }
-  return compiled;
+  std::lock_guard<std::mutex> lk(swap_mu_);
+  Policy next = CloneTablesLocked();
+  next.user_db = std::move(db);
+  return CompileAndPublish(std::move(next));
 }
 
 Result<Unit> ProtegoLsm::SetPppOptions(PppOptions options) {
-  PppOptions prev = std::move(ppp_options_);
-  ppp_options_ = std::move(options);
-  Result<Unit> compiled = RecompilePolicies();
-  if (!compiled.ok()) {
-    ppp_options_ = std::move(prev);
-  }
-  return compiled;
+  std::lock_guard<std::mutex> lk(swap_mu_);
+  Policy next = CloneTablesLocked();
+  next.ppp_options = std::move(options);
+  return CompileAndPublish(std::move(next));
+}
+
+size_t ProtegoLsm::PolicyRuleCount() const {
+  PolicyRef pol = policy();
+  return pol->mount_whitelist.size() + pol->bind_table.size() + pol->delegation.rules.size() +
+         pol->delegation.file_delegations.size() + pol->delegation.reauth_read_globs.size();
 }
 
 // --- Mount (§4.2) ---------------------------------------------------------------
@@ -132,16 +144,18 @@ HookVerdict ProtegoLsm::SbMount(const Task& task, const MountRequest& req, bool*
   if (kernel_->Capable(task, Capability::kSysAdmin)) {
     return HookVerdict::kDefault;  // administrator path is unchanged
   }
+  PolicyRef pol_ref = policy();  // ONE snapshot for the whole dispatch
+  const Policy& pol = *pol_ref;
   bool granted = false;
-  if (compiled_enabled_) {
-    engine_.mount.ForEachMatch(req.source, req.mountpoint, req.fstype,
-                               [&](const CompiledFstabRule& rule) {
-                                 granted = MountEntryGrants(rule.entry, rule.glob_mountpoint,
-                                                            task, req, cacheable);
-                                 return granted;
-                               });
+  if (compiled_engine_enabled()) {
+    pol.engine.mount.ForEachMatch(req.source, req.mountpoint, req.fstype,
+                                  [&](const CompiledFstabRule& rule) {
+                                    granted = MountEntryGrants(rule.entry, rule.glob_mountpoint,
+                                                               task, req, cacheable);
+                                    return granted;
+                                  });
   } else {
-    for (const FstabEntry& entry : mount_whitelist_) {
+    for (const FstabEntry& entry : pol.mount_whitelist) {
       // Policy entries may use globs (e.g. "fuse /home/*/mnt fuse user");
       // literal fstab entries match exactly.
       if (!entry.UserMountable() || !GlobMatch(entry.device, req.source) ||
@@ -173,16 +187,18 @@ HookVerdict ProtegoLsm::SbUmount(const Task& task, const std::string& mountpoint
   if (mount == nullptr) {
     return HookVerdict::kDefault;
   }
+  PolicyRef pol_ref = policy();
+  const Policy& pol = *pol_ref;
   // May THIS user unmount? "users" entries let anyone; "user" entries only
   // the task that mounted (live mount-table state — never cached).
   bool granted = false;
-  if (compiled_enabled_) {
-    engine_.mount.ForEachMountpointMatch(mountpoint, [&](const CompiledFstabRule& rule) {
+  if (compiled_engine_enabled()) {
+    pol.engine.mount.ForEachMountpointMatch(mountpoint, [&](const CompiledFstabRule& rule) {
       granted = rule.any_user_may_unmount || mount->mounter == task.cred.ruid;
       return granted;
     });
   } else {
-    for (const FstabEntry& entry : mount_whitelist_) {
+    for (const FstabEntry& entry : pol.mount_whitelist) {
       if (!entry.UserMountable() || !GlobMatch(entry.mountpoint, mountpoint)) {
         continue;
       }
@@ -225,12 +241,14 @@ HookVerdict ProtegoLsm::SocketBind(const Task& task, const BindRequest& req, boo
   if (req.port >= 1024) {
     return HookVerdict::kDefault;
   }
+  PolicyRef pol_ref = policy();
+  const Policy& pol = *pol_ref;
   // The port may carry several (binary, uid) allocations; EVERY entry for
   // the port must be considered before denying — denying at the first
   // non-matching entry would make later allocations of the port dead policy.
   bool allocated = false;
-  if (compiled_enabled_) {
-    const std::vector<BindConfEntry>* allocations = engine_.bind.Find(req.port);
+  if (compiled_engine_enabled()) {
+    const std::vector<BindConfEntry>* allocations = pol.engine.bind.Find(req.port);
     if (allocations != nullptr) {
       allocated = true;
       for (const BindConfEntry& entry : *allocations) {
@@ -241,7 +259,7 @@ HookVerdict ProtegoLsm::SocketBind(const Task& task, const BindRequest& req, boo
       }
     }
   } else {
-    for (const BindConfEntry& entry : bind_table_) {
+    for (const BindConfEntry& entry : pol.bind_table) {
       if (entry.port != req.port) {
         continue;
       }
@@ -267,12 +285,13 @@ HookVerdict ProtegoLsm::SocketBind(const Task& task, const BindRequest& req, boo
 
 // --- setuid/setgid delegation (§4.3) -------------------------------------------------
 
-bool ProtegoLsm::RuleSubjectMatches(const SudoRule& rule, const std::string& user_name) const {
+bool ProtegoLsm::RuleSubjectMatches(const Policy& pol, const SudoRule& rule,
+                                    const std::string& user_name) const {
   if (rule.user == "ALL" || rule.user == user_name) {
     return true;
   }
   if (!rule.user.empty() && rule.user[0] == '%') {
-    const GroupEntry* group = user_db_.FindGroup(rule.user.substr(1));
+    const GroupEntry* group = pol.user_db.FindGroup(rule.user.substr(1));
     if (group != nullptr) {
       return std::find(group->members.begin(), group->members.end(), user_name) !=
              group->members.end();
@@ -281,44 +300,49 @@ bool ProtegoLsm::RuleSubjectMatches(const SudoRule& rule, const std::string& use
   return false;
 }
 
-std::vector<const SudoRule*> ProtegoLsm::MatchingRules(Uid invoking_uid,
+std::vector<const SudoRule*> ProtegoLsm::MatchingRules(const Policy& pol, Uid invoking_uid,
                                                        const std::string& target) const {
   std::vector<const SudoRule*> matches;
-  const PasswdEntry* invoker = user_db_.FindUid(invoking_uid);
+  const PasswdEntry* invoker = pol.user_db.FindUid(invoking_uid);
   if (invoker == nullptr) {
     return matches;
   }
-  if (compiled_enabled_) {
+  if (compiled_engine_enabled()) {
     // The index pre-resolved subject matching (exact names, %group
     // membership, ALL) at build time; only runas filtering remains.
-    for (size_t i : engine_.sudoers.RulesForUser(invoker->name)) {
-      const SudoRule& rule = delegation_.rules[i];
+    for (size_t i : pol.engine.sudoers.RulesForUser(invoker->name)) {
+      const SudoRule& rule = pol.delegation.rules[i];
       if (rule.RunasMatches(target)) {
         matches.push_back(&rule);
       }
     }
     return matches;
   }
-  for (const SudoRule& rule : delegation_.rules) {
-    if (RuleSubjectMatches(rule, invoker->name) && rule.RunasMatches(target)) {
+  for (const SudoRule& rule : pol.delegation.rules) {
+    if (RuleSubjectMatches(pol, rule, invoker->name) && rule.RunasMatches(target)) {
       matches.push_back(&rule);
     }
   }
   return matches;
 }
 
-bool ProtegoLsm::RuleCommandMatches(const SudoRule* rule, const std::string& command_line) const {
-  if (compiled_enabled_ && !delegation_.rules.empty() && rule >= delegation_.rules.data() &&
-      rule < delegation_.rules.data() + delegation_.rules.size()) {
-    return engine_.sudoers.CommandMatches(static_cast<size_t>(rule - delegation_.rules.data()),
-                                          command_line);
+bool ProtegoLsm::RuleCommandMatches(const Policy& pol, const SudoRule* rule,
+                                    const std::string& command_line) const {
+  // The pointer-to-index translation requires that `rule` point into THIS
+  // snapshot's rules vector — MatchingRules and RuleCommandMatches must be
+  // handed the same PolicyRef the caller loaded at dispatch entry.
+  if (compiled_engine_enabled() && !pol.delegation.rules.empty() &&
+      rule >= pol.delegation.rules.data() &&
+      rule < pol.delegation.rules.data() + pol.delegation.rules.size()) {
+    return pol.engine.sudoers.CommandMatches(
+        static_cast<size_t>(rule - pol.delegation.rules.data()), command_line);
   }
   return rule->CommandMatches(command_line);
 }
 
-bool ProtegoLsm::EnsureAuthenticated(Task& task, Uid account) const {
+bool ProtegoLsm::EnsureAuthenticated(const Policy& pol, Task& task, Uid account) const {
   uint64_t now = kernel_->clock().Now();
-  if (task.RecentlyAuthenticated(account, now, delegation_.timestamp_timeout_sec)) {
+  if (task.RecentlyAuthenticated(account, now, pol.delegation.timestamp_timeout_sec)) {
     return true;
   }
   // The kernel launches the trusted authentication utility on the task's
@@ -328,6 +352,8 @@ bool ProtegoLsm::EnsureAuthenticated(Task& task, Uid account) const {
 
 HookVerdict ProtegoLsm::TaskFixSetuid(Task& task, const SetuidRequest& req,
                                       SetuidDisposition* disposition) {
+  PolicyRef pol_ref = policy();
+  const Policy& pol = *pol_ref;
   if (req.is_gid) {
     if (kernel_->Capable(task, Capability::kSetgid)) {
       return HookVerdict::kDefault;
@@ -335,8 +361,8 @@ HookVerdict ProtegoLsm::TaskFixSetuid(Task& task, const SetuidRequest& req,
     if (req.target_gid == task.cred.rgid || req.target_gid == task.cred.sgid) {
       return HookVerdict::kDefault;  // always legal; legacy path handles it
     }
-    const GroupEntry* group = user_db_.FindGid(req.target_gid);
-    const PasswdEntry* user = user_db_.FindUid(task.cred.ruid);
+    const GroupEntry* group = pol.user_db.FindGid(req.target_gid);
+    const PasswdEntry* user = pol.user_db.FindUid(task.cred.ruid);
     if (group == nullptr || user == nullptr) {
       return HookVerdict::kDefault;
     }
@@ -348,10 +374,10 @@ HookVerdict ProtegoLsm::TaskFixSetuid(Task& task, const SetuidRequest& req,
     }
     // Password-protected groups: authenticate against the group password.
     bool password_protected =
-        std::find(delegation_.password_groups.begin(), delegation_.password_groups.end(),
-                  group->name) != delegation_.password_groups.end();
+        std::find(pol.delegation.password_groups.begin(), pol.delegation.password_groups.end(),
+                  group->name) != pol.delegation.password_groups.end();
     if (password_protected && !group->password_hash.empty()) {
-      if (EnsureAuthenticated(task, kGroupAuthBase + req.target_gid)) {
+      if (EnsureAuthenticated(pol, task, kGroupAuthBase + req.target_gid)) {
         ++stats_.setuid_allowed;
         return HookVerdict::kAllow;
       }
@@ -368,11 +394,11 @@ HookVerdict ProtegoLsm::TaskFixSetuid(Task& task, const SetuidRequest& req,
   if (req.target_uid == task.cred.ruid || req.target_uid == task.cred.suid) {
     return HookVerdict::kDefault;  // legal under stock rules
   }
-  const PasswdEntry* target = user_db_.FindUid(req.target_uid);
+  const PasswdEntry* target = pol.user_db.FindUid(req.target_uid);
   if (target == nullptr) {
     return HookVerdict::kDefault;
   }
-  std::vector<const SudoRule*> rules = MatchingRules(task.cred.ruid, target->name);
+  std::vector<const SudoRule*> rules = MatchingRules(pol, task.cred.ruid, target->name);
   if (rules.empty()) {
     return HookVerdict::kDefault;  // no delegation: legacy EPERM
   }
@@ -423,7 +449,7 @@ HookVerdict ProtegoLsm::TaskFixSetuid(Task& task, const SetuidRequest& req,
   if (!authenticated) {
     uint64_t now = kernel_->clock().Now();
     for (Uid account : candidates) {
-      if (task.RecentlyAuthenticated(account, now, delegation_.timestamp_timeout_sec)) {
+      if (task.RecentlyAuthenticated(account, now, pol.delegation.timestamp_timeout_sec)) {
         authenticated = true;
         break;
       }
@@ -454,6 +480,8 @@ HookVerdict ProtegoLsm::BprmCheck(Task& task, const std::string& path, const Ino
   if (!task.pending_setuid.active) {
     return HookVerdict::kDefault;
   }
+  PolicyRef pol_ref = policy();
+  const Policy& pol = *pol_ref;
   const PendingSetuid& pending = task.pending_setuid;
 
   if (pending.has_gid) {
@@ -465,7 +493,7 @@ HookVerdict ProtegoLsm::BprmCheck(Task& task, const std::string& path, const Ino
     return HookVerdict::kAllow;
   }
 
-  const PasswdEntry* target = user_db_.FindUid(pending.target_uid);
+  const PasswdEntry* target = pol.user_db.FindUid(pending.target_uid);
   if (target == nullptr) {
     ++stats_.exec_denied;
     return HookVerdict::kDeny;
@@ -474,10 +502,10 @@ HookVerdict ProtegoLsm::BprmCheck(Task& task, const std::string& path, const Ino
   for (size_t i = 1; i < argv.size(); ++i) {
     command_line += " " + argv[i];
   }
-  std::vector<const SudoRule*> rules = MatchingRules(task.cred.ruid, target->name);
+  std::vector<const SudoRule*> rules = MatchingRules(pol, task.cred.ruid, target->name);
   std::vector<const SudoRule*> granting;
   for (const SudoRule* rule : rules) {
-    if (RuleCommandMatches(rule, command_line)) {
+    if (RuleCommandMatches(pol, rule, command_line)) {
       granting.push_back(rule);
     }
   }
@@ -503,7 +531,7 @@ HookVerdict ProtegoLsm::BprmCheck(Task& task, const std::string& path, const Ino
   if (!authenticated) {
     uint64_t now = kernel_->clock().Now();
     for (Uid account : candidates) {
-      if (task.RecentlyAuthenticated(account, now, delegation_.timestamp_timeout_sec)) {
+      if (task.RecentlyAuthenticated(account, now, pol.delegation.timestamp_timeout_sec)) {
         authenticated = true;
         break;
       }
@@ -534,8 +562,8 @@ HookVerdict ProtegoLsm::BprmCheck(Task& task, const std::string& path, const Ino
   // environment to the env_keep whitelist and drop non-standard fds.
   if (control->env != nullptr) {
     for (auto it = control->env->begin(); it != control->env->end();) {
-      bool keep = std::find(delegation_.env_keep.begin(), delegation_.env_keep.end(),
-                            it->first) != delegation_.env_keep.end();
+      bool keep = std::find(pol.delegation.env_keep.begin(), pol.delegation.env_keep.end(),
+                            it->first) != pol.delegation.env_keep.end();
       it = keep ? std::next(it) : control->env->erase(it);
     }
   }
@@ -552,12 +580,14 @@ HookVerdict ProtegoLsm::BprmCheck(Task& task, const std::string& path, const Ino
 HookVerdict ProtegoLsm::InodePermission(Task& task, const std::string& path, const Inode& inode,
                                         int may, bool* cacheable) {
   (void)inode;
+  PolicyRef pol_ref = policy();
+  const Policy& pol = *pol_ref;
   // Per-binary file delegations first (also how the trusted authentication
   // utility and monitoring daemon read shadow files without recursion).
   bool reauth_gated = false;
-  if (compiled_enabled_) {
+  if (compiled_engine_enabled()) {
     const std::vector<CompiledDelegation>* delegations =
-        engine_.files.FindDelegations(task.exe_path);
+        pol.engine.files.FindDelegations(task.exe_path);
     if (delegations != nullptr) {
       for (const CompiledDelegation& d : *delegations) {
         if (d.path.Matches(path) && (may & ~d.allow_may) == 0) {
@@ -566,9 +596,9 @@ HookVerdict ProtegoLsm::InodePermission(Task& task, const std::string& path, con
         }
       }
     }
-    reauth_gated = (may & kMayRead) != 0 && engine_.files.ReauthGated(path);
+    reauth_gated = (may & kMayRead) != 0 && pol.engine.files.ReauthGated(path);
   } else {
-    for (const FileDelegation& d : delegation_.file_delegations) {
+    for (const FileDelegation& d : pol.delegation.file_delegations) {
       if (d.binary == task.exe_path && GlobMatch(d.path_glob, path) &&
           (may & ~d.allow_may) == 0) {
         ++stats_.file_delegations;
@@ -576,7 +606,7 @@ HookVerdict ProtegoLsm::InodePermission(Task& task, const std::string& path, con
       }
     }
     if ((may & kMayRead) != 0) {
-      for (const std::string& glob : delegation_.reauth_read_globs) {
+      for (const std::string& glob : pol.delegation.reauth_read_globs) {
         if (GlobMatch(glob, path)) {
           reauth_gated = true;
           break;
@@ -592,7 +622,7 @@ HookVerdict ProtegoLsm::InodePermission(Task& task, const std::string& path, con
     // Paper §4.6: the reauthentication challenge is for the LOGGED-IN user
     // — the invoker proves they are still at the keyboard. Prompting for
     // the file owner's password would demand root's password of everyone.
-    if (EnsureAuthenticated(task, task.cred.ruid)) {
+    if (EnsureAuthenticated(pol, task, task.cred.ruid)) {
       return HookVerdict::kDefault;  // recency satisfied; DAC still applies
     }
     kernel_->Audit(StrFormat("protego: read of %s denied: reauthentication failed (uid=%u)",
@@ -605,13 +635,15 @@ HookVerdict ProtegoLsm::InodePermission(Task& task, const std::string& path, con
 // --- pppd ioctls: routes and modem options (§4.1.2) -----------------------------------
 
 HookVerdict ProtegoLsm::FileIoctl(const Task& task, const IoctlRequest& req) {
+  PolicyRef pol_ref = policy();
+  const Policy& pol = *pol_ref;
   if (req.target == "socket") {
     switch (req.request) {
       case kSiocAddRt: {
         if (kernel_->Capable(task, Capability::kNetAdmin)) {
           return HookVerdict::kDefault;
         }
-        if (!ppp_options_.user_routes) {
+        if (!pol.ppp_options.user_routes) {
           return HookVerdict::kDefault;  // legacy EPERM
         }
         auto route = ParseRouteSpec(req.arg);
@@ -657,7 +689,7 @@ HookVerdict ProtegoLsm::FileIoctl(const Task& task, const IoctlRequest& req) {
     if (kernel_->Capable(task, Capability::kNetAdmin)) {
       return HookVerdict::kDefault;
     }
-    if (!ppp_options_.user_dialout) {
+    if (!pol.ppp_options.user_dialout) {
       return HookVerdict::kDefault;  // legacy EPERM in the driver
     }
     // Fine-grained option/in-use checks happen in the ppp driver, which

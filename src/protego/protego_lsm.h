@@ -16,11 +16,33 @@
 // Policy tables are replaced wholesale (parse-validate-swap) through the
 // /proc/protego interface (src/protego/proc_iface.h) by the administrator
 // or the monitoring daemon.
+//
+// Concurrency (parallel mode): all policy state — the raw tables AND the
+// compiled engine built from them — lives in one immutable Policy snapshot
+// published RCU-style behind a pointer-copy mutex. Hooks take the snapshot
+// reference once at dispatch entry (the critical section is one shared_ptr
+// copy — no table work ever happens under the lock) and thread that single
+// snapshot through every helper, so a reader never blocks a swap for longer
+// than the pointer copy and never observes a half-swapped policy. (A
+// std::atomic<shared_ptr> would express the same protocol, but libstdc++'s
+// _Sp_atomic unlocks its reader spinlock with a relaxed fetch_sub, which
+// ThreadSanitizer — and a strict reading of the memory model — rejects; a
+// plain mutex costs the same and is provably clean.) Writers build a
+// complete successor snapshot off to the side and publish it with one
+// pointer swap; the old snapshot is retired when the last in-flight reader
+// drops its reference (shared_ptr refcount = the grace period). This also
+// sidesteps re-entrancy:
+// hooks nest syscalls (EnsureAuthenticated spawns the authentication
+// utility, whose syscalls re-enter the hooks), which a reader-writer lock
+// could self-deadlock on but a snapshot pointer cannot.
 
 #ifndef SRC_PROTEGO_PROTEGO_LSM_H_
 #define SRC_PROTEGO_PROTEGO_LSM_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,43 +63,61 @@ class Kernel;
 // authentications, offset so gids cannot collide with uids.
 inline constexpr Uid kGroupAuthBase = 0x40000000;
 
-// Per-hook decision counters, exported via /proc/protego/status.
+// Per-hook decision counters, exported via /proc/protego/status. Relaxed
+// atomics: parallel-mode hooks bump these concurrently; readers tolerate
+// the usual scrape-time skew.
 struct ProtegoStats {
-  uint64_t mount_allowed = 0;
-  uint64_t mount_denied = 0;
-  uint64_t umount_allowed = 0;
-  uint64_t umount_denied = 0;
-  uint64_t bind_allowed = 0;
-  uint64_t bind_denied = 0;
-  uint64_t setuid_deferred = 0;
-  uint64_t setuid_allowed = 0;
-  uint64_t setuid_denied = 0;
-  uint64_t exec_transitions = 0;
-  uint64_t exec_denied = 0;
-  uint64_t raw_sockets_allowed = 0;
-  uint64_t route_allowed = 0;
-  uint64_t route_denied = 0;
-  uint64_t file_delegations = 0;
-  uint64_t reauth_reads = 0;
+  std::atomic<uint64_t> mount_allowed{0};
+  std::atomic<uint64_t> mount_denied{0};
+  std::atomic<uint64_t> umount_allowed{0};
+  std::atomic<uint64_t> umount_denied{0};
+  std::atomic<uint64_t> bind_allowed{0};
+  std::atomic<uint64_t> bind_denied{0};
+  std::atomic<uint64_t> setuid_deferred{0};
+  std::atomic<uint64_t> setuid_allowed{0};
+  std::atomic<uint64_t> setuid_denied{0};
+  std::atomic<uint64_t> exec_transitions{0};
+  std::atomic<uint64_t> exec_denied{0};
+  std::atomic<uint64_t> raw_sockets_allowed{0};
+  std::atomic<uint64_t> route_allowed{0};
+  std::atomic<uint64_t> route_denied{0};
+  std::atomic<uint64_t> file_delegations{0};
+  std::atomic<uint64_t> reauth_reads{0};
 };
 
 class ProtegoLsm : public SecurityModule {
  public:
+  // One immutable policy snapshot: the raw tables (authoritative, still
+  // serialized back out through /proc) plus the compiled engine built from
+  // exactly these tables. The engine's indices may hold pointers into the
+  // snapshot's own vectors, which is safe because a snapshot is never
+  // mutated after publication and outlives every reader holding its ref.
+  struct Policy {
+    std::vector<FstabEntry> mount_whitelist;
+    std::vector<BindConfEntry> bind_table;
+    SudoersPolicy delegation;
+    UserDb user_db;
+    PppOptions ppp_options;
+    PolicyEngine engine;
+  };
+  using PolicyRef = std::shared_ptr<const Policy>;
+
   // `kernel` is used for mount-table lookups, routing state, and invoking
   // the trusted authentication utility. Must outlive the module.
-  explicit ProtegoLsm(Kernel* kernel) : kernel_(kernel) {}
+  explicit ProtegoLsm(Kernel* kernel)
+      : kernel_(kernel), policy_(std::make_shared<const Policy>()) {}
 
   const char* name() const override { return "protego"; }
 
   // --- Policy configuration (called by the /proc interface) -----------------
   //
-  // Each swap is transactional: the new raw table is staged, the compiled
-  // indices are rebuilt into a fresh engine, and only if compilation
-  // succeeds does the engine move into place and the policy generation
-  // bump. On failure (including an injected kPolicyCompile fault) the
-  // previous raw table is restored, engine_ and the generation are left
-  // untouched, and every cached verdict remains valid — hooks never observe
-  // a half-swapped policy.
+  // Each swap is transactional: the successor snapshot is built with the new
+  // raw table spliced in, its compiled indices are rebuilt, and only if
+  // compilation succeeds is the snapshot published and the policy generation
+  // bumped. On failure (including an injected kPolicyCompile fault) nothing
+  // is published — the live snapshot, the generation, and every cached
+  // verdict stay exactly as they were. Writers serialize on a mutex so two
+  // concurrent swaps cannot lose each other's tables; readers never block.
 
   [[nodiscard]] Result<Unit> SetMountPolicy(std::vector<FstabEntry> whitelist);
   [[nodiscard]] Result<Unit> SetBindTable(std::vector<BindConfEntry> table);
@@ -90,15 +130,35 @@ class ProtegoLsm : public SecurityModule {
   // is kept as the semantic reference — parity tests compare the two, and
   // policy_engine_bench uses it as the baseline. Both paths produce
   // identical verdicts.
-  void set_compiled_engine_enabled(bool enabled) { compiled_enabled_ = enabled; }
-  bool compiled_engine_enabled() const { return compiled_enabled_; }
+  void set_compiled_engine_enabled(bool enabled) {
+    compiled_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool compiled_engine_enabled() const {
+    return compiled_enabled_.load(std::memory_order_relaxed);
+  }
 
-  const std::vector<FstabEntry>& mount_policy() const { return mount_whitelist_; }
-  const std::vector<BindConfEntry>& bind_table() const { return bind_table_; }
-  const SudoersPolicy& delegation() const { return delegation_; }
-  const UserDb& user_db() const { return user_db_; }
-  const PppOptions& ppp_options() const { return ppp_options_; }
+  // The current snapshot. The mutex makes the publication in
+  // CompileAndPublish visible (it is released there before the generation
+  // bump), so a reader that observed generation G also observes at least
+  // generation G's engine. The critical section is one shared_ptr copy.
+  PolicyRef policy() const {
+    std::lock_guard<std::mutex> lk(policy_mu_);
+    return policy_;
+  }
+
+  // Table accessors return copies of the current snapshot's tables: a const
+  // reference into a snapshot could outlive it once a swap retires it.
+  std::vector<FstabEntry> mount_policy() const { return policy()->mount_whitelist; }
+  std::vector<BindConfEntry> bind_table() const { return policy()->bind_table; }
+  SudoersPolicy delegation() const { return policy()->delegation; }
+  UserDb user_db() const { return policy()->user_db; }
+  PppOptions ppp_options() const { return policy()->ppp_options; }
   const ProtegoStats& stats() const { return stats_; }
+
+  // Total raw-table rows across every policy table: drives the LSM stack's
+  // adaptive decision-cache bypass (tiny tables are cheaper to evaluate
+  // than to cache).
+  size_t PolicyRuleCount() const override;
 
   // --- LSM hooks -------------------------------------------------------------
 
@@ -115,21 +175,33 @@ class ProtegoLsm : public SecurityModule {
   HookVerdict FileIoctl(const Task& task, const IoctlRequest& req) override;
 
  private:
-  // Rebuilds every compiled index from the raw tables into a fresh engine
-  // and, on success, swaps it in and invalidates cached verdicts. Called by
-  // each Set*Policy (parse-validate-SWAP-compile). Fails only on an
-  // injected kPolicyCompile fault; the caller rolls the raw table back.
-  [[nodiscard]] Result<Unit> RecompilePolicies();
+  // Copies the current snapshot's raw tables into a fresh staging Policy
+  // (engine left empty — CompileAndPublish rebuilds it). Caller must hold
+  // swap_mu_.
+  Policy CloneTablesLocked() const;
+
+  // Rebuilds every compiled index inside `next` from its raw tables, then
+  // publishes the snapshot (release) and bumps the policy generation —
+  // IN THAT ORDER, so a reader observing the new generation also observes
+  // the new engine. Fails only on an injected kPolicyCompile fault, in
+  // which case nothing is published. Caller must hold swap_mu_.
+  [[nodiscard]] Result<Unit> CompileAndPublish(Policy next);
 
   // Names matching `user` in a sudoers rule subject: exact name, %group
-  // membership, or ALL.
-  bool RuleSubjectMatches(const SudoRule& rule, const std::string& user_name) const;
+  // membership, or ALL. `pol` is the snapshot the caller is evaluating.
+  bool RuleSubjectMatches(const Policy& pol, const SudoRule& rule,
+                          const std::string& user_name) const;
 
-  // All delegation rules applying to (invoking user, target user).
-  std::vector<const SudoRule*> MatchingRules(Uid invoking_uid, const std::string& target) const;
+  // All delegation rules applying to (invoking user, target user). The
+  // returned pointers point into `pol` — the caller's snapshot keeps them
+  // alive, and RuleCommandMatches must be handed the SAME snapshot (it
+  // turns the pointers back into indices into pol.delegation.rules).
+  std::vector<const SudoRule*> MatchingRules(const Policy& pol, Uid invoking_uid,
+                                             const std::string& target) const;
 
   // Command match for a rule returned by MatchingRules (compiled or scan).
-  bool RuleCommandMatches(const SudoRule* rule, const std::string& command_line) const;
+  bool RuleCommandMatches(const Policy& pol, const SudoRule* rule,
+                          const std::string& command_line) const;
 
   // Shared per-entry mount evaluation once device/mountpoint/fstype have
   // matched: option vetting plus the per-user ownership check for
@@ -140,16 +212,14 @@ class ProtegoLsm : public SecurityModule {
   // Enforces the recency requirement: recent auth of the invoking user, or
   // a fresh password exchange via the kernel-launched authentication
   // utility. Non-const task: a successful exchange stamps auth_times.
-  bool EnsureAuthenticated(Task& task, Uid account) const;
+  bool EnsureAuthenticated(const Policy& pol, Task& task, Uid account) const;
 
   Kernel* kernel_;
-  std::vector<FstabEntry> mount_whitelist_;
-  std::vector<BindConfEntry> bind_table_;
-  SudoersPolicy delegation_;
-  UserDb user_db_;
-  PppOptions ppp_options_;
-  PolicyEngine engine_;
-  bool compiled_enabled_ = true;
+  // Guards only the pointer itself; snapshots are immutable once published.
+  mutable std::mutex policy_mu_;
+  PolicyRef policy_;
+  std::mutex swap_mu_;  // serializes writers (clone → compile → publish)
+  std::atomic<bool> compiled_enabled_{true};
   mutable ProtegoStats stats_;
 };
 

@@ -120,7 +120,7 @@ std::optional<Uid> AuthService::Authenticate(Task& requester,
         // INVOKING user is still at the keyboard; target-password grants
         // (su semantics) are never cached on the terminal.
         if (c.account == requester.cred.ruid) {
-          requester.terminal->auth_times[c.account] = kernel_->clock().Now();
+          requester.terminal->StampAuth(c.account, kernel_->clock().Now());
         }
         ++successes_;
         LogAudit(StrFormat("protego-auth: uid=%u authenticated as %s", requester.cred.ruid,

@@ -362,12 +362,13 @@ void SimSystem::BootstrapDevices() {
         }
         // Unprivileged callers may only set safe session options (§4.1.2).
         if (!admin) {
-          const PppOptions* options = lsm != nullptr ? &lsm->ppp_options() : nullptr;
-          PppOptions defaults;
-          if (options == nullptr) {
-            options = &defaults;
+          // ppp_options() returns a copy of the current policy snapshot's
+          // table (RCU accessors are by-value); default options when no LSM.
+          PppOptions options;
+          if (lsm != nullptr) {
+            options = lsm->ppp_options();
           }
-          if (!options->IsSafeOption(fields[1])) {
+          if (!options.IsSafeOption(fields[1])) {
             return Error(Errno::kEPERM, "option '" + fields[1] + "' is privileged");
           }
         }

@@ -403,7 +403,8 @@ std::vector<SiteScenario> BuildScenarios() {
            out.contract_ok = false;
            out.detail += "password-hash material leaked; ";
          }
-         uint64_t granted = sys.lsm() != nullptr ? sys.lsm()->stats().setuid_allowed : 0;
+         uint64_t granted =
+             sys.lsm() != nullptr ? sys.lsm()->stats().setuid_allowed.load() : 0;
          if (granted != 0) {
            out.contract_ok = false;
            out.detail += "setuid granted under auth fault; ";
@@ -424,6 +425,9 @@ std::vector<SiteScenario> BuildScenarios() {
 std::pair<bool, std::string> CheckSwapRollback() {
   SimSystem sys(SimMode::kProtego);
   Kernel& k = sys.kernel();
+  // This check's whole point is decision-cache coherence across a rolled
+  // back swap; force the cache on despite the deliberately tiny tables.
+  k.lsm().set_cache_bypass_enabled(false);
   Task& root = sys.Login("root");
   Task& alice = sys.Login("alice");
 
@@ -513,7 +517,7 @@ class FaultReplayRun : public conc::ScenarioRun {
 
   Kernel& kernel() override { return sys_->kernel(); }
 
-  void RegisterTasks(conc::DetScheduler& /*sched*/) override {
+  void RegisterTasks(TaskScheduler& /*sched*/) override {
     pid_a_ = sys_->kernel()
                  .SpawnAsync(*session_, "/usr/bin/openloop", {"openloop"}, {})
                  .value_or(-1);

@@ -102,7 +102,7 @@ class TocttouRun : public conc::ScenarioRun {
 
   Kernel& kernel() override { return sys_->kernel(); }
 
-  void RegisterTasks(conc::DetScheduler& /*sched*/) override {
+  void RegisterTasks(TaskScheduler& /*sched*/) override {
     // SpawnAsync registers each child as a schedulable unit with the
     // attached scheduler; the interleaving of their syscalls is then
     // entirely the explorer's choice.
@@ -156,7 +156,7 @@ class PasswdLostUpdateRun : public conc::ScenarioRun {
 
   Kernel& kernel() override { return sys_->kernel(); }
 
-  void RegisterTasks(conc::DetScheduler& /*sched*/) override {
+  void RegisterTasks(TaskScheduler& /*sched*/) override {
     std::map<std::string, std::string> env;
     if (!with_flock_) {
       env["PROTEGO_NO_FLOCK"] = "1";

@@ -31,13 +31,18 @@ std::string ModeString(uint32_t mode) {
 }
 
 bool DacPermits(const Inode& inode, Uid uid, const std::function<bool(Gid)>& in_group, int may) {
+  // Snapshot once so a chmod racing this check yields coherent old-or-new
+  // bits, never a mix of the two.
+  uint32_t mode = inode.ModeRelaxed();
+  Uid owner = inode.uid.load(std::memory_order_relaxed);
+  Gid group = inode.gid.load(std::memory_order_relaxed);
   uint32_t bits;
-  if (uid == inode.uid) {
-    bits = (inode.mode >> 6) & 07;
-  } else if (in_group && in_group(inode.gid)) {
-    bits = (inode.mode >> 3) & 07;
+  if (uid == owner) {
+    bits = (mode >> 6) & 07;
+  } else if (in_group && in_group(group)) {
+    bits = (mode >> 3) & 07;
   } else {
-    bits = inode.mode & 07;
+    bits = mode & 07;
   }
   if ((may & kMayRead) && !(bits & 04)) {
     return false;

@@ -3,6 +3,7 @@
 #ifndef SRC_VFS_INODE_H_
 #define SRC_VFS_INODE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -23,11 +24,20 @@ struct SyntheticOps {
 };
 
 // A file's metadata and (for regular files) contents. Owned by a Vnode.
+//
+// mode/uid/gid are lock-free atomics: chmod/chown store new values under
+// the VFS tree lock while permission checks on other task threads read
+// them without any lock — exactly the access-check-vs-chmod TOCTTOU window
+// the race corpus exercises. The atomics keep that window a *semantic*
+// race (old-or-new value, as on Linux) rather than a data race. All other
+// fields are guarded by the VFS locks. std::atomic's operator=()/&=()/
+// implicit load keep existing call sites (`inode.mode & kIfMask`,
+// `mode &= ~kSetUidBit`) source-compatible.
 struct Inode {
   uint64_t ino = 0;
-  uint32_t mode = 0;  // type bits | permission bits (incl. setuid 04000)
-  Uid uid = kRootUid;
-  Gid gid = kRootGid;
+  std::atomic<uint32_t> mode{0};  // type bits | permission bits (incl. setuid 04000)
+  std::atomic<Uid> uid{kRootUid};
+  std::atomic<Gid> gid{kRootGid};
   uint32_t nlink = 1;
   uint64_t mtime = 0;
   std::string data;  // regular-file contents; symlink target for kIfLnk
@@ -45,13 +55,36 @@ struct Inode {
   // CreateNode leave it false; the first quota-aware write charges in full.
   bool charged = false;
 
-  bool IsDir() const { return IsDirMode(mode); }
-  bool IsReg() const { return IsRegMode(mode); }
-  bool IsSymlink() const { return IsLnkMode(mode); }
-  bool IsDevice() const { return IsDeviceMode(mode); }
-  bool IsSetUid() const { return (mode & kSetUidBit) != 0; }
-  bool IsSetGid() const { return (mode & kSetGidBit) != 0; }
-  uint32_t Perms() const { return mode & kPermMask; }
+  // Atomic members delete the implicit copy operations; Stat/snapshot
+  // paths still copy inodes by value, so restore them field-wise.
+  Inode() = default;
+  Inode(const Inode& other) { *this = other; }
+  Inode& operator=(const Inode& other) {
+    if (this == &other) {
+      return *this;
+    }
+    ino = other.ino;
+    mode.store(other.mode.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    uid.store(other.uid.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    gid.store(other.gid.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    nlink = other.nlink;
+    mtime = other.mtime;
+    data = other.data;
+    rdev_major = other.rdev_major;
+    rdev_minor = other.rdev_minor;
+    synthetic = other.synthetic;
+    charged = other.charged;
+    return *this;
+  }
+
+  uint32_t ModeRelaxed() const { return mode.load(std::memory_order_relaxed); }
+  bool IsDir() const { return IsDirMode(ModeRelaxed()); }
+  bool IsReg() const { return IsRegMode(ModeRelaxed()); }
+  bool IsSymlink() const { return IsLnkMode(ModeRelaxed()); }
+  bool IsDevice() const { return IsDeviceMode(ModeRelaxed()); }
+  bool IsSetUid() const { return (ModeRelaxed() & kSetUidBit) != 0; }
+  bool IsSetGid() const { return (ModeRelaxed() & kSetGidBit) != 0; }
+  uint32_t Perms() const { return ModeRelaxed() & kPermMask; }
 };
 
 // Pure DAC permission check against one identity. `in_group` must report

@@ -4,15 +4,42 @@
 // The VFS performs no permission checks; the kernel layer (src/kernel)
 // applies DAC + LSM policy and then calls into these primitives, exactly as
 // the Linux VFS relies on callers having passed inode_permission().
+//
+// Locking (parallel mode):
+//   * tree_mu_ (reader-writer): the directory structure — children maps,
+//     parent links, mount covers, the mount table, and the orphan list.
+//     Resolution and PathOf take it shared; create/unlink/rename/mount and
+//     chmod/chown-style metadata updates take it unique. Striped per-path
+//     dentry locks would admit more write parallelism, but structural
+//     writes are rare in every workload we model, so one tree lock with
+//     striped DATA locks (below) captures the win at a fraction of the
+//     deadlock surface.
+//   * data_mu_[ino % kDataStripes]: file contents, mtime, and the block
+//     charge flag. Reads take the stripe shared, writes unique — so N
+//     threads stream N different files without touching the tree lock's
+//     writer path. Safe without the tree lock because unlinked vnodes are
+//     kept alive on the orphan list (a Vnode* never dangles).
+//   * Watch callbacks NEVER run under a lock: mutations queue events and
+//     the public entry points dispatch them after unlocking, because
+//     watchers (the monitoring daemon) re-enter the VFS from their
+//     callbacks. Lock order is tree_mu_ before data stripe; neither is
+//     held across user callbacks (watches, synthetic file generators).
+//   * Returned Vnode* remain valid forever (orphan pinning); inode METADATA
+//     (mode/uid/gid) is guarded by tree_mu_ via the SetInode* helpers, and
+//     scalar counters are relaxed atomics.
 
 #ifndef SRC_VFS_VFS_H_
 #define SRC_VFS_VFS_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/base/clock.h"
@@ -41,10 +68,12 @@ class Vnode {
   Vnode* parent() const { return parent_; }
 
   // Child by name within this directory; nullptr if absent. Does not cross
-  // mounts — Vfs::Resolve handles mount traversal.
+  // mounts — Vfs::Resolve handles mount traversal. Caller must hold the
+  // tree lock (or be single-threaded bootstrap code).
   Vnode* Lookup(std::string_view child) const;
 
   // Adds a child entry to this directory. Fails with EEXIST/ENOTDIR.
+  // Same locking contract as Lookup.
   Result<Vnode*> AddChild(std::string name, Inode inode);
 
   // Names of all children, sorted (directories only).
@@ -110,7 +139,7 @@ class Vfs {
   void set_faults(FaultRegistry* faults) { faults_ = faults; }
 
   // Path resolutions performed since boot (exported as a metric).
-  uint64_t resolves() const { return resolves_; }
+  uint64_t resolves() const { return resolves_.load(std::memory_order_relaxed); }
 
   // --- Block accounting ------------------------------------------------------
   //
@@ -127,13 +156,13 @@ class Vfs {
   // 0 = unlimited (the default; quota enforcement is opt-in).
   void set_block_quota(uint64_t bytes) { block_quota_ = bytes; }
   uint64_t block_quota() const { return block_quota_; }
-  uint64_t bytes_used() const { return bytes_used_; }
-  size_t orphan_count() const { return orphans_.size(); }
+  uint64_t bytes_used() const { return bytes_used_.load(std::memory_order_relaxed); }
+  size_t orphan_count() const;
 
   // Recomputes charged bytes by walking the tree, every mount, and the
   // orphan list, and cross-checks against the incremental bytes_used()
   // counter. EIO with a diagnostic on divergence — the fault-sweep harness
-  // runs this after every scenario.
+  // runs this after every scenario. Expects data writers to be quiescent.
   Result<Unit> AuditBlockAccounting() const;
 
   // --- Path resolution -----------------------------------------------------
@@ -188,6 +217,17 @@ class Vfs {
   // Replaces or appends file content; fires kModified.
   Result<Unit> WriteNode(Vnode* node, std::string_view data, bool append);
 
+  // Directory listing under the tree lock (kernel getdents path).
+  Result<std::vector<std::string>> ListDir(const Vnode* node) const;
+
+  // Inode metadata snapshot/update helpers (chmod/chown/stat paths): the
+  // kernel must not poke node->inode() fields directly in parallel mode.
+  Inode SnapshotInode(const Vnode* node) const;
+  // Replaces the permission bits, preserving the file-type bits.
+  void SetInodeMode(Vnode* node, uint32_t perms);
+  // Changes ownership; clears setuid/setgid bits as on Linux when `clear_sbits`.
+  void SetInodeOwner(Vnode* node, Uid uid, Gid gid, bool clear_sbits);
+
   // Path-based conveniences used by bootstrap code and trusted services.
   Result<std::string> ReadFile(std::string_view path) const;
   Result<Unit> WriteFile(std::string_view path, std::string_view data);
@@ -210,20 +250,35 @@ class Vfs {
   // --- Watches (inotify analog) ----------------------------------------------
 
   // Invokes `cb` for events on `path` or anything beneath it. Returns a
-  // watch id for RemoveWatch.
+  // watch id for RemoveWatch. Callbacks run with no VFS lock held.
   int AddWatch(std::string path, WatchCallback cb);
   void RemoveWatch(int watch_id);
 
  private:
+  // Queued filesystem events, dispatched after the tree lock is released.
+  using PendingEvents = std::vector<std::pair<FsEvent, std::string>>;
+
+  static constexpr size_t kDataStripes = 16;
+  std::shared_mutex& DataStripe(uint64_t ino) const {
+    return data_mu_[ino % kDataStripes];
+  }
+
   Vnode* root() const { return root_.get(); }
+  // Lock-free internals; callers hold tree_mu_ (shared for resolution,
+  // unique for mutation).
   Result<Vnode*> ResolveInternal(std::string_view path, bool want_parent,
                                  std::string* leaf_out, bool follow_leaf = true) const;
-  Result<Vnode*> CreateNode(std::string_view path, Inode inode);
+  std::string PathOfLocked(const Vnode* node) const;
+  Result<Vnode*> CreateNodeLocked(std::string_view path, Inode inode, PendingEvents* events);
+  Result<Vnode*> EnsureDirsLocked(std::string_view path);
+  const MountEntry* FindMountLocked(std::string_view mountpoint) const;
   // Releases the block charge of every charged inode under `node` (used
   // when a whole mount tree is destroyed).
   void UnchargeTree(Vnode* node);
-  void FireEvent(FsEvent event, const std::string& path);
-  uint64_t NextIno() { return next_ino_++; }
+  // Runs matching watch callbacks for each queued event. MUST be called
+  // with no VFS lock held (callbacks re-enter the VFS).
+  void DispatchEvents(PendingEvents& events) const;
+  uint64_t NextIno() { return next_ino_.fetch_add(1, std::memory_order_relaxed); }
   uint64_t NowMtime() const { return clock_ ? clock_->Now() : 0; }
 
   struct Watch {
@@ -235,9 +290,12 @@ class Vfs {
   Clock* clock_;
   Tracer* tracer_ = nullptr;
   FaultRegistry* faults_ = nullptr;
-  uint64_t block_quota_ = 0;  // 0 = unlimited
-  uint64_t bytes_used_ = 0;   // charged regular-file data bytes
-  mutable uint64_t resolves_ = 0;  // accounting from const Resolve()
+  uint64_t block_quota_ = 0;  // 0 = unlimited; set at boot, read-only after
+  std::atomic<uint64_t> bytes_used_{0};     // charged regular-file data bytes
+  mutable std::atomic<uint64_t> resolves_{0};  // accounting from const Resolve()
+  mutable std::shared_mutex tree_mu_;          // directory structure + metadata
+  mutable std::shared_mutex data_mu_[kDataStripes];  // file contents by ino
+  mutable std::mutex watch_mu_;                // watch list
   std::unique_ptr<Vnode> root_;
   // Vnodes unlinked or displaced by rename stay alive here until the Vfs is
   // destroyed: open file descriptions hold raw Vnode*, and on a real system
@@ -245,8 +303,8 @@ class Vfs {
   std::vector<std::unique_ptr<Vnode>> orphans_;
   std::vector<std::unique_ptr<MountEntry>> mounts_;
   std::vector<Watch> watches_;
-  uint64_t next_ino_ = 2;  // 1 is the root inode, per ext tradition
-  int next_watch_id_ = 1;
+  std::atomic<uint64_t> next_ino_{2};  // 1 is the root inode, per ext tradition
+  std::atomic<int> next_watch_id_{1};
 };
 
 }  // namespace protego

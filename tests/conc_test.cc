@@ -34,7 +34,7 @@ class TwoTaskRun : public conc::ScenarioRun {
  public:
   Kernel& kernel() override { return kernel_; }
 
-  void RegisterTasks(DetScheduler& sched) override {
+  void RegisterTasks(TaskScheduler& sched) override {
     Task& a = kernel_.CreateTask("taska", Cred::ForUser(1000, 1000), nullptr);
     Task& b = kernel_.CreateTask("taskb", Cred::ForUser(1001, 1001), nullptr);
     sched.StartTask(a.pid, [this, &a] {

@@ -1,0 +1,329 @@
+// ExecMode::kParallel acceptance tests: real OS threads entering one kernel
+// concurrently. The assertions here are deliberately schedule-independent
+// (leak freedom, accounting balance, policy-swap coherence) — built with
+// -fsanitize=thread this file doubles as the data-race audit of the sharded
+// kernel state, and the CI gating job runs it exactly that way.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/conc/explore.h"
+#include "src/conc/fleet.h"
+#include "src/conc/thread_sched.h"
+#include "src/fault/fault.h"
+#include "src/kernel/exec_mode.h"
+#include "src/kernel/kernel.h"
+#include "src/lsm/capability_module.h"
+#include "src/sim/system.h"
+#include "src/study/races.h"
+
+namespace protego {
+namespace {
+
+using conc::RunParallel;
+using conc::ThreadScheduler;
+
+std::unique_ptr<Kernel> BootBareKernel() {
+  auto kernel = std::make_unique<Kernel>();
+  kernel->lsm().Register(std::make_unique<CapabilityModule>());
+  (void)kernel->vfs().EnsureDirs("/tmp");
+  kernel->vfs().Resolve("/tmp").value()->inode().mode = kIfDir | 01777;
+  return kernel;
+}
+
+// --- Execution mode selection ------------------------------------------------
+
+TEST(ExecModeTest, EnvSelectsParallelElseDeterministic) {
+  ::unsetenv("PROTEGO_EXEC_MODE");
+  EXPECT_EQ(ExecModeFromEnv(), ExecMode::kDeterministic);
+  ::setenv("PROTEGO_EXEC_MODE", "parallel", 1);
+  EXPECT_EQ(ExecModeFromEnv(), ExecMode::kParallel);
+  ::setenv("PROTEGO_EXEC_MODE", "bogus", 1);
+  EXPECT_EQ(ExecModeFromEnv(), ExecMode::kDeterministic);
+  ::unsetenv("PROTEGO_EXEC_MODE");
+  EXPECT_STREQ(ExecModeName(ExecMode::kParallel), "parallel");
+}
+
+// --- ThreadScheduler semantics ----------------------------------------------
+
+TEST(ThreadSchedulerTest, SignalWakesWaiterAndTimeoutRetries) {
+  ThreadScheduler sched;
+  std::atomic<bool> flag{false};
+  std::atomic<int> loops{0};
+  sched.StartTask(1, [&] {
+    // The kernel's wait idiom: loop, re-check the predicate, WaitOn.
+    while (!flag.load()) {
+      ++loops;
+      ASSERT_TRUE(sched.WaitOn(1, /*resource=*/42));
+    }
+  });
+  sched.StartTask(2, [&] {
+    flag.store(true);
+    sched.Signal(42);
+  });
+  sched.Join();
+  EXPECT_TRUE(flag.load());
+  EXPECT_EQ(sched.started(), 2u);
+  // WaitOn on a never-signalled resource still returns (timeout retry).
+  sched.StartTask(3, [&] { ASSERT_TRUE(sched.WaitOn(3, 99)); });
+  sched.Join();
+}
+
+// --- Satellite: multi-thread open/close/unlink/symlink stress ---------------
+//
+// Eight threads hammer a shared kernel: private files (open/write/close),
+// a shared file that one thread keeps unlinking and recreating while others
+// hold it open (orphan churn), and symlink create/unlink. Afterwards the
+// kernel must show zero leaked fds, a balanced VFS block audit, and a
+// quiescent-stable orphan list.
+TEST(ParallelStress, OpenCloseUnlinkSymlinkLeakFree) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  std::unique_ptr<Kernel> kernel = BootBareKernel();
+  Kernel& k = *kernel;
+  (void)k.vfs().CreateFile("/tmp/shared", 0666, kRootUid, kRootGid, "seed");
+  const uint64_t fds_before = k.OpenFileCount();
+
+  ThreadScheduler sched;
+  k.set_scheduler(&sched);
+  std::vector<Task*> tasks;
+  for (int t = 0; t < kThreads; ++t) {
+    tasks.push_back(&k.CreateTask("stress" + std::to_string(t),
+                                  Cred::ForUser(1000 + t, 1000 + t), nullptr));
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    Task* task = tasks[static_cast<size_t>(t)];
+    sched.StartTask(task->pid, [&k, task, t] {
+      const std::string mine = "/tmp/own" + std::to_string(t);
+      const std::string link = "/tmp/lnk" + std::to_string(t);
+      for (int r = 0; r < kRounds; ++r) {
+        auto fd = k.Open(*task, mine, kOWrOnly | kOCreat, 0644);
+        if (fd.ok()) {
+          (void)k.Write(*task, fd.value(), "x");
+          (void)k.Close(*task, fd.value());
+        }
+        auto sh = k.Open(*task, "/tmp/shared", kORdOnly);
+        if (sh.ok()) {
+          (void)k.Read(*task, sh.value());
+          (void)k.Close(*task, sh.value());
+        }
+        if (t == 0) {
+          // Unlink-while-open: readers holding /tmp/shared push it onto
+          // the orphan list; the recreate races their next open.
+          (void)k.Unlink(*task, "/tmp/shared");
+          auto re = k.Open(*task, "/tmp/shared", kOWrOnly | kOCreat, 0666);
+          if (re.ok()) {
+            (void)k.Close(*task, re.value());
+          }
+        } else {
+          (void)k.Symlink(*task, mine, link);
+          (void)k.Stat(*task, link);
+          (void)k.Unlink(*task, link);
+        }
+      }
+    });
+  }
+  sched.Join();
+  k.set_scheduler(nullptr);
+
+  // fd-leak freedom: every path above closes what it opens, so the
+  // system-wide open-file count must be exactly back at baseline.
+  EXPECT_EQ(k.OpenFileCount(), fds_before);
+  for (Task* task : tasks) {
+    EXPECT_EQ(task->fds.size(), 0u) << "leaked fds in task " << task->pid;
+  }
+  // VFS accounting balances and the orphan list is quiescent-stable.
+  auto audit = k.vfs().AuditBlockAccounting();
+  EXPECT_TRUE(audit.ok()) << audit.error().ToString();
+  const size_t orphans = k.vfs().orphan_count();
+  auto audit2 = k.vfs().AuditBlockAccounting();
+  EXPECT_TRUE(audit2.ok());
+  EXPECT_EQ(k.vfs().orphan_count(), orphans);
+}
+
+// --- Satellite: fault injection under parallel load --------------------------
+//
+// The PR 5 degradation contract re-checked with real threads: probabilistic
+// EIO at the fd-allocation site while four threads run open/close loops.
+// Failed opens must not leak fds or unbalance the VFS audit.
+TEST(ParallelStress, FaultInjectionLeakFreeUnderThreads) {
+  std::unique_ptr<Kernel> kernel = BootBareKernel();
+  Kernel& k = *kernel;
+  (void)k.vfs().CreateFile("/tmp/victim", 0666, kRootUid, kRootGid, "data");
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.error = Errno::kEIO;
+  cfg.prob_num = 1;
+  cfg.prob_den = 3;
+  cfg.seed = 7;
+  ASSERT_TRUE(k.faults().Configure(FaultSite::kFdAlloc, cfg).ok());
+
+  ThreadScheduler sched;
+  k.set_scheduler(&sched);
+  std::atomic<uint64_t> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    Task& task = k.CreateTask("fault" + std::to_string(t),
+                              Cred::ForUser(2000 + t, 2000 + t), nullptr);
+    sched.StartTask(task.pid, [&k, &task, &failures] {
+      for (int r = 0; r < 300; ++r) {
+        auto fd = k.Open(task, "/tmp/victim", kORdOnly);
+        if (fd.ok()) {
+          (void)k.Close(task, fd.value());
+        } else {
+          EXPECT_EQ(fd.code(), Errno::kEIO);
+          ++failures;
+        }
+      }
+    });
+  }
+  sched.Join();
+  k.set_scheduler(nullptr);
+  EXPECT_GT(k.faults().injected(FaultSite::kFdAlloc), 0u);
+  EXPECT_GT(failures.load(), 0u);
+  EXPECT_EQ(k.OpenFileCount(), 0u);
+  EXPECT_TRUE(k.vfs().AuditBlockAccounting().ok());
+}
+
+// --- Race corpus re-run with real threads ------------------------------------
+
+TEST(ParallelRaceCorpus, ProtegoTocttouCleanUnderRealThreads) {
+  for (TocttouVariant variant :
+       {TocttouVariant::kStatThenOpen, TocttouVariant::kAccessThenOpen}) {
+    auto res = RunParallel(MakeTocttouScenario(SimMode::kProtego, variant), 10);
+    EXPECT_FALSE(res.violation_found)
+        << TocttouVariantName(variant) << ": " << res.detail;
+    EXPECT_EQ(res.runs, 10u);
+  }
+}
+
+TEST(ParallelRaceCorpus, StockLinuxTocttouRunsToCompletion) {
+  // No violation assertion: with OS scheduling the swap may or may not land
+  // in the window. The value is TSan coverage of the racy victim/attacker
+  // paths against the sharded kernel.
+  auto res = RunParallel(MakeTocttouScenario(SimMode::kLinux,
+                                             TocttouVariant::kStatThenOpen), 3);
+  EXPECT_GE(res.runs, 1u);
+}
+
+TEST(ParallelRaceCorpus, FlockSerializesPasswdRewritersUnderRealThreads) {
+  // The flock-protected chfn pair must never lose an update, whatever the
+  // OS interleaving; this also exercises ThreadScheduler's WaitOn/Signal
+  // path through Kernel::Flock.
+  auto res = RunParallel(MakePasswdLostUpdateScenario(/*with_flock=*/true), 5);
+  EXPECT_FALSE(res.violation_found) << res.detail;
+}
+
+// --- RCU policy reads: swap mid-traffic --------------------------------------
+
+// A policy swap landing while reader threads are mid-lookup must never
+// produce a verdict from a half-published policy, and generation bumps must
+// invalidate, not relabel, cached verdicts. Readers hammer delegation-free
+// syscalls while the writer republishes the mount whitelist.
+TEST(ParallelPolicySwap, SwapMidTrafficIsCoherent) {
+  SimSystem sys(SimMode::kProtego);
+  Kernel& k = sys.kernel();
+  std::vector<Task*> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.push_back(&sys.Login("alice"));
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (Task* task : readers) {
+    threads.emplace_back([&k, task, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)k.Stat(*task, "/etc/passwd");
+        (void)k.Access(*task, "/etc/passwd", kMayRead);
+        (void)k.GetPid(*task);
+      }
+    });
+  }
+  const uint64_t gen_before = k.lsm().policy_generation();
+  for (int swap = 0; swap < 50; ++swap) {
+    ASSERT_TRUE(sys.lsm()->SetMountPolicy({}).ok());
+  }
+  stop.store(true);
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_GE(k.lsm().policy_generation(), gen_before + 50);
+  // Traffic after the last swap behaves identically to a fresh boot.
+  Task& probe = sys.Login("alice");
+  EXPECT_TRUE(k.Access(probe, "/etc/passwd", kMayRead).ok());
+}
+
+// --- Stale-generation regression ---------------------------------------------
+
+// A module that bumps the policy generation from INSIDE its own hook — the
+// worst-case "swap lands mid-walk" interleaving, made deterministic. The
+// dispatch must tag the cached verdict with the generation snapshotted at
+// entry (pre-bump), so the very next identical request MISSES and sees the
+// new policy. The historical bug (re-reading the generation at insert time)
+// would tag the pre-swap verdict as post-swap and serve it forever.
+class MidWalkSwapModule : public SecurityModule {
+ public:
+  const char* name() const override { return "midwalk-swap"; }
+  // Large enough that the small-table cache bypass never engages.
+  size_t PolicyRuleCount() const override { return 64; }
+
+  HookVerdict InodePermission(Task& task, const std::string& path, const Inode& inode,
+                              int may, bool* cacheable) override {
+    (void)task;
+    (void)inode;
+    (void)may;
+    (void)cacheable;
+    if (path != "/tmp/swapfile") {
+      return HookVerdict::kDefault;
+    }
+    if (denying_.load()) {
+      return HookVerdict::kDeny;
+    }
+    // First sighting: allow, then "swap the policy" before dispatch returns.
+    denying_.store(true);
+    BumpPolicyGeneration();
+    return HookVerdict::kDefault;
+  }
+
+ private:
+  std::atomic<bool> denying_{false};
+};
+
+TEST(StaleGeneration, MidWalkSwapNeverServesStaleCachedVerdict) {
+  std::unique_ptr<Kernel> kernel = BootBareKernel();
+  Kernel& k = *kernel;
+  k.lsm().Register(std::make_unique<MidWalkSwapModule>());
+  (void)k.vfs().CreateFile("/tmp/swapfile", 0666, kRootUid, kRootGid, "s");
+  Task& alice = k.CreateTask("alice", Cred::ForUser(1000, 1000), nullptr);
+
+  // First open: module allows, but flips to deny and bumps the generation
+  // mid-dispatch. The allow verdict gets cached under the OLD generation.
+  auto first = k.Open(alice, "/tmp/swapfile", kORdOnly);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(k.Close(alice, first.value()).ok());
+
+  // Second identical open: a stale-generation cache hit would allow; the
+  // correct miss re-dispatches and the new policy denies.
+  EXPECT_EQ(k.Open(alice, "/tmp/swapfile", kORdOnly).code(), Errno::kEACCES);
+}
+
+// --- Fleet smoke -------------------------------------------------------------
+
+TEST(FleetTest, MultiplexesInstancesOverWorkerPool) {
+  conc::FleetOptions opts;
+  opts.instances = 40;
+  opts.workers = 4;
+  opts.ops_per_instance = 24;
+  conc::FleetReport report = conc::RunFleet(opts);
+  EXPECT_EQ(report.instances_run, 40u);
+  // Every instance completes its full mix: 24 rounds -> 4 rounds of 6 ops.
+  EXPECT_GE(report.total_ops, 40u * 24u);
+  EXPECT_GT(report.ops_per_sec, 0.0);
+}
+
+}  // namespace
+}  // namespace protego

@@ -116,6 +116,9 @@ TEST_F(PolicyEngineTest, CompiledAndScanPathsAgreeOnDefaultPolicy) {
 TEST_F(PolicyEngineTest, RepeatedDecisionsHitTheCache) {
   Kernel& k = sys_.kernel();
   LsmStack& lsm = k.lsm();
+  // Cache mechanics under test: force the cache on despite the fixture's
+  // small policy tables (the adaptive bypass would skip it).
+  lsm.set_cache_bypass_enabled(false);
   Task& alice = sys_.Login("alice");
 
   // Identical denied mounts: first miss, then hits.

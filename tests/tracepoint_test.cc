@@ -288,6 +288,9 @@ TEST_F(TracepointGateTest, ReadFiltersSelectPidSyscallAndSpan) {
 TEST(TracepointSimTest, DeniedMountIsExplainableFromProcTrace) {
   SimSystem sys(SimMode::kProtego);
   Kernel& kernel = sys.kernel();
+  // The test asserts cache=miss/cache=hit dispositions; force the cache on
+  // despite the small policy tables (the adaptive bypass would skip it).
+  kernel.lsm().set_cache_bypass_enabled(false);
   Task& alice = sys.Login("alice");
 
   kernel.syscalls().ClearTrace();
