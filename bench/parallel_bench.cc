@@ -148,9 +148,10 @@ int main(int argc, char** argv) {
   fleet_opts.workers = cpus > 1 ? static_cast<int>(cpus) : 4;
   fleet_opts.ops_per_instance = 48;
   conc::FleetReport fleet = conc::RunFleet(fleet_opts);
-  std::printf("fleet: %llu instances, %llu ops in %.2fs = %.0f ops/s\n",
+  std::printf("fleet: %llu instances, %llu/%llu ops completed/issued in %.2fs = %.0f ops/s\n",
               (unsigned long long)fleet.instances_run,
-              (unsigned long long)fleet.total_ops, fleet.wall_seconds,
+              (unsigned long long)fleet.total_ops,
+              (unsigned long long)fleet.total_issued, fleet.wall_seconds,
               fleet.ops_per_sec);
 
   FILE* f = std::fopen(out_path, "w");
@@ -183,9 +184,11 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  ],\n");
   std::fprintf(f,
                "  \"fleet\": {\"instances\": %llu, \"workers\": %d, "
-               "\"total_ops\": %llu, \"wall_seconds\": %.3f, \"ops_per_sec\": %.0f}\n",
+               "\"total_ops\": %llu, \"total_issued\": %llu, "
+               "\"wall_seconds\": %.3f, \"ops_per_sec\": %.0f}\n",
                (unsigned long long)fleet.instances_run, fleet_opts.workers,
-               (unsigned long long)fleet.total_ops, fleet.wall_seconds,
+               (unsigned long long)fleet.total_ops,
+               (unsigned long long)fleet.total_issued, fleet.wall_seconds,
                fleet.ops_per_sec);
   std::fprintf(f, "}\n");
   std::fclose(f);

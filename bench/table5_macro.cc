@@ -1,195 +1,99 @@
 // Table 5 (macro rows): the Postal mail benchmark, the kernel-compile
-// workload, and the ApacheBench concurrency sweep — each replayed as a
-// syscall-mix workload over the simulated kernel, on both system
-// configurations.
+// workload, and the ApacheBench concurrency sweep — re-hosted on the macro
+// workload engine (src/workload), so the Table 5 reproduction and the
+// traffic-scale harness (bench/macro_bench) are the same op streams and
+// cannot drift apart.
+//
+// The engine keeps all maintenance (spool provisioning, sessions, fixture
+// writes) OUTSIDE the timed window — the old standalone rows measured
+// spool truncation, Login("root"), and ReapTask inside the Postal loop —
+// and every row is seeded and deterministic: both stacks replay the
+// identical op stream, so the overhead column compares like with like.
+//
+// Honors PROTEGO_EXEC_MODE (deterministic | parallel) like every harness.
 
-#include <chrono>
 #include <cstdio>
 
-#include "bench/harness.h"
-#include "src/userland/daemon_utils.h"
+#include "src/kernel/exec_mode.h"
+#include "src/workload/workload.h"
 
 namespace protego {
 namespace {
 
-using Clock = std::chrono::steady_clock;
+using workload::CompareStacks;
+using workload::Mix;
+using workload::OverheadRow;
+using workload::RelativeOverheadPct;
+using workload::WorkloadSpec;
 
-double SecondsSince(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-// --- Postal: exim message throughput --------------------------------------------
-
-double RunPostal(SimMode mode, int batches, int per_batch) {
-  SimSystem sys(mode);
-  Task& session = sys.Login(mode == SimMode::kLinux ? "root" : "exim");
-  std::vector<std::string> argv = {"eximd"};
-  for (int i = 0; i < per_batch; ++i) {
-    argv.push_back("--deliver=alice:benchmark message body");
-  }
-  auto start = Clock::now();
-  int delivered = 0;
-  for (int b = 0; b < batches; ++b) {
-    session.stdout_buf.clear();
-    auto code = sys.kernel().Spawn(session, "/usr/sbin/eximd", argv, {});
-    if (code.ok() && code.value() == 0) {
-      delivered += per_batch;
-    }
-    // Keep the spool bounded so later batches don't measure string growth.
-    Task& root = sys.Login("root");
-    (void)sys.kernel().WriteWholeFile(root, "/var/mail/alice", "");
-    sys.kernel().ReapTask(root.pid);
-  }
-  double seconds = SecondsSince(start);
-  return delivered / seconds * 60.0;  // messages per minute
-}
-
-// --- Kernel compile: a syscall-mix replay -----------------------------------------
-
-// One "translation unit": stat the sources, read headers, write the object
-// file, and spawn the compiler driver — the syscall profile of `make`.
-void CompileUnit(SimSystem& sys, Task& session, int unit) {
-  Kernel& k = sys.kernel();
-  for (int i = 0; i < 8; ++i) {
-    (void)k.Stat(session, "/usr/include/hdr" + std::to_string(i % 4) + ".h");
-  }
-  for (int i = 0; i < 4; ++i) {
-    (void)k.ReadWholeFile(session, "/usr/include/hdr" + std::to_string(i % 4) + ".h");
-  }
-  session.stdout_buf.clear();
-  (void)k.Spawn(session, "/bin/sh", {"sh", "-c", "cc"}, {});
-  (void)k.WriteWholeFile(session, "/tmp/obj" + std::to_string(unit % 16) + ".o",
-                         "object-code");
-}
-
-double RunCompile(SimMode mode, int units) {
-  SimSystem sys(mode);
-  Task& root = sys.Login("root");
-  for (int i = 0; i < 4; ++i) {
-    (void)sys.kernel().WriteWholeFile(root, "/usr/include/hdr" + std::to_string(i) + ".h",
-                                      std::string(512, 'h'));
-  }
-  Task& session = sys.Login("alice");
-  auto start = Clock::now();
-  for (int u = 0; u < units; ++u) {
-    CompileUnit(sys, session, u);
-  }
-  return SecondsSince(start);
-}
-
-// --- ApacheBench: request latency and transfer rate vs concurrency -----------------
-
-struct AbResult {
-  double ms_per_request = 0;
-  double transfer_kbps = 0;
-};
-
-AbResult RunApacheBench(SimMode mode, int concurrency, int total_requests) {
-  SimSystem sys(mode);
-  Kernel& k = sys.kernel();
-  // The web server binds its allocated port (as root on stock Linux,
-  // directly as www-data on Protego) and stays resident.
-  Task& server = sys.Login(mode == SimMode::kLinux ? "root" : "www-data");
-  server.exe_path = "/usr/sbin/httpd";
-  // Modeled as a datagram exchange so the request/response path flows
-  // through the full netfilter + delivery machinery in both directions.
-  int listen_fd = k.SocketCall(server, kAfInet, kSockDgram, 0).value();
-  (void)k.BindCall(server, listen_fd, 80);
-
-  // `concurrency` persistent client connections, requests round-robined.
-  Task& client = sys.Login("alice");
-  std::vector<int> conns;
-  for (int c = 0; c < concurrency; ++c) {
-    int fd = k.SocketCall(client, kAfInet, kSockDgram, 0).value();
-    (void)k.BindCall(client, fd, static_cast<uint16_t>(10000 + c));
-    conns.push_back(fd);
-  }
-  const std::string response(1024, 'R');  // 1 KB page
-
-  size_t bytes = 0;
-  auto one_request = [&](int r) {
-    int fd = conns[static_cast<size_t>(r) % conns.size()];
-    Packet request;
-    request.l4_proto = kProtoUdp;
-    request.dst_ip = kLocalhostIp;
-    request.dst_port = 80;
-    request.payload = "GET / HTTP/1.0";
-    (void)k.SendCall(client, fd, request);
-    // The server drains its queue and answers.
-    auto got = k.RecvCall(server, listen_fd);
-    if (got.ok() && got.value().has_value()) {
-      Packet reply;
-      reply.l4_proto = kProtoUdp;
-      reply.dst_ip = kLocalhostIp;
-      reply.dst_port = got.value()->src_port;
-      reply.payload = response;
-      (void)k.SendCall(server, listen_fd, reply);
-      auto answer = k.RecvCall(client, fd);
-      if (answer.ok() && answer.value().has_value()) {
-        bytes += answer.value()->payload.size();
-      }
-    }
-  };
-  for (int r = 0; r < total_requests / 4; ++r) {
-    one_request(r);  // warm-up: fills allocator pools and branch caches
-  }
-  bytes = 0;
-  auto start = Clock::now();
-  for (int r = 0; r < total_requests; ++r) {
-    one_request(r);
-  }
-  double seconds = SecondsSince(start);
-  AbResult result;
-  result.ms_per_request = seconds * 1000.0 / total_requests;
-  result.transfer_kbps = (bytes / 1024.0) / seconds;
-  return result;
-}
+constexpr uint64_t kSeed = 42;
 
 void Run() {
-  std::printf("=== Table 5 reproduction: macro benchmarks ===\n\n");
+  const ExecMode mode = ExecModeFromEnv();
+  std::printf("=== Table 5 reproduction: macro benchmarks (%s mode) ===\n\n",
+              ExecModeName(mode));
 
   {
+    // Postal drives the MTA's delivery loop; one engine unit = one message
+    // (spool write + rename + the credential transitions).
     std::printf("--- Postal benchmark for Exim server (messages/min, higher is better) ---\n");
-    double linux_mpm = RunPostal(SimMode::kLinux, 40, 25);
-    double protego_mpm = RunPostal(SimMode::kProtego, 40, 25);
-    std::printf("%-18s %12.0f %12.0f %7.2f%%  (paper: 0.04%%)\n", "Messages/min", linux_mpm,
-                protego_mpm, 100.0 * (linux_mpm - protego_mpm) / linux_mpm);
+    WorkloadSpec spec;
+    spec.mix = Mix::kMail;
+    spec.tasks = 4;
+    spec.total_ops = 64000;
+    spec.seed = kSeed;
+    spec.exec_mode = mode;
+    OverheadRow row = CompareStacks(spec);
+    const double linux_mpm = row.stock.units_per_sec * 60.0;
+    const double protego_mpm = row.protego.units_per_sec * 60.0;
+    std::printf("%-18s %12.0f %12.0f %7.2f%%  (paper: 0.04%%)\n", "Messages/min",
+                linux_mpm, protego_mpm, RelativeOverheadPct(linux_mpm, protego_mpm));
   }
 
   {
+    // One engine unit = one translation unit of the compile mix.
     std::printf("\n--- Kernel compile (seconds for the syscall-mix replay) ---\n");
-    double linux_s = RunCompile(SimMode::kLinux, 4000);
-    double protego_s = RunCompile(SimMode::kProtego, 4000);
+    WorkloadSpec spec;
+    spec.mix = Mix::kCompile;
+    spec.tasks = 4;
+    spec.total_ops = 144000;
+    spec.seed = kSeed;
+    spec.exec_mode = mode;
+    OverheadRow row = CompareStacks(spec);
     std::printf("%-18s %12.3f %12.3f %7.2f%%  (paper: 1.44%%, claim: <2%%)\n", "time(s)",
-                linux_s, protego_s, 100.0 * (protego_s - linux_s) / linux_s);
+                row.stock.wall_seconds, row.protego.wall_seconds,
+                100.0 * (row.protego.wall_seconds - row.stock.wall_seconds) /
+                    row.stock.wall_seconds);
   }
 
   {
+    // One engine unit = one request/response exchange of a 1 KB page, so
+    // units/sec IS the transfer rate in KB/s; the task count is the
+    // concurrency knob.
     std::printf("\n--- ApacheBench (1KB page; paper overheads 2.6-4.0%%) ---\n");
     std::printf("%-18s %12s %12s %8s %12s %12s %8s\n", "concurrency", "linux ms/req",
                 "prot ms/req", "%OH", "linux KB/s", "prot KB/s", "%OH");
     for (int concurrency : {25, 50, 100, 200}) {
-      // Best-of-3 per configuration to suppress allocator/layout noise.
-      AbResult linux_r, protego_r;
-      linux_r.ms_per_request = 1e9;
-      protego_r.ms_per_request = 1e9;
-      for (int rep = 0; rep < 3; ++rep) {
-        AbResult l = RunApacheBench(SimMode::kLinux, concurrency, 20000);
-        if (l.ms_per_request < linux_r.ms_per_request) {
-          linux_r = l;
-        }
-        AbResult p = RunApacheBench(SimMode::kProtego, concurrency, 20000);
-        if (p.ms_per_request < protego_r.ms_per_request) {
-          protego_r = p;
-        }
-      }
+      WorkloadSpec spec;
+      spec.mix = Mix::kWebServe;
+      spec.tasks = concurrency;
+      spec.total_ops = 40000;
+      spec.seed = kSeed;
+      spec.exec_mode = mode;
+      OverheadRow row = CompareStacks(spec);
+      const double linux_ms =
+          row.stock.units > 0
+              ? row.stock.wall_seconds * 1000.0 / static_cast<double>(row.stock.units)
+              : 0;
+      const double protego_ms =
+          row.protego.units > 0
+              ? row.protego.wall_seconds * 1000.0 / static_cast<double>(row.protego.units)
+              : 0;
       std::printf("%-18d %12.4f %12.4f %7.2f%% %12.0f %12.0f %7.2f%%\n", concurrency,
-                  linux_r.ms_per_request, protego_r.ms_per_request,
-                  100.0 * (protego_r.ms_per_request - linux_r.ms_per_request) /
-                      linux_r.ms_per_request,
-                  linux_r.transfer_kbps, protego_r.transfer_kbps,
-                  100.0 * (linux_r.transfer_kbps - protego_r.transfer_kbps) /
-                      linux_r.transfer_kbps);
+                  linux_ms, protego_ms,
+                  linux_ms > 0 ? 100.0 * (protego_ms - linux_ms) / linux_ms : 0,
+                  row.stock.units_per_sec, row.protego.units_per_sec,
+                  RelativeOverheadPct(row.stock.units_per_sec, row.protego.units_per_sec));
     }
   }
 }

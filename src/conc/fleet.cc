@@ -13,44 +13,57 @@
 namespace protego::conc {
 namespace {
 
-// One tenant: boot a kernel, run the op mix, tear down. Returns syscalls
-// that completed successfully.
-uint64_t RunInstance(int ops) {
+struct InstanceResult {
+  uint64_t issued = 0;     // syscalls the instance actually entered the gate with
+  uint64_t completed = 0;  // syscalls that returned success
+};
+
+// One tenant: boot a kernel, run the op mix, tear down.
+InstanceResult RunInstance(int ops) {
   Kernel kernel;
   kernel.lsm().Register(std::make_unique<CapabilityModule>());
   (void)kernel.vfs().EnsureDirs("/tmp");
   Task& root = kernel.CreateTask("fleet-init", Cred::Root(), nullptr);
 
-  uint64_t completed = 0;
-  // The mix cycles: getpid, open(create), write, read, stat, close — six
-  // syscalls per round, weighted toward the cheap gate path the way real
-  // workloads are.
-  for (int i = 0; i < ops; i += 6) {
+  InstanceResult result;
+  const uint64_t issued_before = kernel.syscalls().TotalCalls();
+  // The mix cycles eight syscalls per round — getpid, open(create), write,
+  // close, open(read), read, close, stat — weighted toward the cheap gate
+  // path the way real workloads are. Whole rounds only: an instance never
+  // issues more than `ops` syscalls.
+  for (int i = 0; i + 8 <= ops; i += 8) {
     (void)kernel.GetPid(root);
-    ++completed;
+    ++result.completed;
     auto fd = kernel.Open(root, "/tmp/f", kOWrOnly | kOCreat, 0644);
     if (!fd.ok()) {
       break;
     }
-    ++completed;
+    ++result.completed;
     if (kernel.Write(root, fd.value(), "x").ok()) {
-      ++completed;
+      ++result.completed;
     }
     if (kernel.Close(root, fd.value()).ok()) {
-      ++completed;
+      ++result.completed;
     }
     auto rd = kernel.Open(root, "/tmp/f", kORdOnly);
     if (rd.ok()) {
+      ++result.completed;
       if (kernel.Read(root, rd.value()).ok()) {
-        ++completed;
+        ++result.completed;
       }
-      (void)kernel.Close(root, rd.value());
+      if (kernel.Close(root, rd.value()).ok()) {
+        ++result.completed;
+      }
     }
     if (kernel.Stat(root, "/tmp/f").ok()) {
-      ++completed;
+      ++result.completed;
     }
   }
-  return completed;
+  // Issued is measured at the gate, not hand-counted: the two must agree
+  // (minus short-circuited ops after a failure), which the regression test
+  // in tests/parallel_test.cc asserts.
+  result.issued = kernel.syscalls().TotalCalls() - issued_before;
+  return result;
 }
 
 }  // namespace
@@ -58,6 +71,7 @@ uint64_t RunInstance(int ops) {
 FleetReport RunFleet(const FleetOptions& options) {
   std::atomic<int> next{0};
   std::atomic<uint64_t> total_ops{0};
+  std::atomic<uint64_t> total_issued{0};
   std::atomic<uint64_t> instances_run{0};
 
   auto worker = [&] {
@@ -66,8 +80,9 @@ FleetReport RunFleet(const FleetOptions& options) {
       if (index >= options.instances) {
         return;
       }
-      total_ops.fetch_add(RunInstance(options.ops_per_instance),
-                          std::memory_order_relaxed);
+      InstanceResult r = RunInstance(options.ops_per_instance);
+      total_ops.fetch_add(r.completed, std::memory_order_relaxed);
+      total_issued.fetch_add(r.issued, std::memory_order_relaxed);
       instances_run.fetch_add(1, std::memory_order_relaxed);
     }
   };
@@ -88,6 +103,7 @@ FleetReport RunFleet(const FleetOptions& options) {
   FleetReport report;
   report.instances_run = instances_run.load();
   report.total_ops = total_ops.load();
+  report.total_issued = total_issued.load();
   report.wall_seconds = wall;
   report.ops_per_sec = wall > 0 ? static_cast<double>(report.total_ops) / wall : 0;
   return report;

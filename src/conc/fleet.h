@@ -16,20 +16,24 @@ namespace protego::conc {
 struct FleetOptions {
   int instances = 1000;       // kernels to boot and drive
   int workers = 4;            // pool threads pulling instances
-  int ops_per_instance = 50;  // syscalls issued per instance (beyond boot)
+  int ops_per_instance = 50;  // syscall budget per instance (whole 8-op
+                              // rounds; beyond boot)
 };
 
 struct FleetReport {
   uint64_t instances_run = 0;
-  uint64_t total_ops = 0;  // syscalls completed across all instances
+  uint64_t total_ops = 0;     // syscalls completed across all instances
+  uint64_t total_issued = 0;  // syscalls entered at the gate (measured from
+                              // per-kernel gate counters, not hand-counted)
   double wall_seconds = 0;
   double ops_per_sec = 0;
 };
 
 // Boots `instances` bare kernels (commoncap only), runs a fixed
-// open/write/read/close/stat/getpid mix in each, and reports aggregate
-// syscall throughput. Every op's result is checked; a failure aborts via
-// assert-equivalent logging and is excluded from the count.
+// getpid/open/write/close/open/read/close/stat mix in each (whole rounds,
+// never exceeding ops_per_instance), and reports aggregate syscall
+// throughput. Every op's result is checked; failures are excluded from
+// total_ops but still show up in total_issued.
 FleetReport RunFleet(const FleetOptions& options);
 
 }  // namespace protego::conc

@@ -19,9 +19,48 @@ uint64_t SplitMix64(std::atomic<uint64_t>* state) {
   return z ^ (z >> 31);
 }
 
+// Process-unique registry ids: a TlsArm cached for a destroyed registry can
+// never validate against a new registry allocated at the same address.
+std::atomic<uint32_t> g_next_registry_id{1};
+
 }  // namespace
 
 thread_local FaultContext FaultRegistry::tls_context_;
+thread_local FaultRegistry::TlsArm FaultRegistry::tls_arm_;
+
+FaultRegistry::FaultRegistry()
+    : id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+void FaultRegistry::InvalidateArmMasks() {
+  // Release pairs with the acquire in ArmKey(): a thread that sees the new
+  // generation recomputes from the new configuration.
+  arm_gen_.fetch_add(1, std::memory_order_release);
+  tls_arm_.key = 0;  // this thread re-derives immediately
+}
+
+void FaultRegistry::RecomputeArmMask() {
+  // Snapshot the key BEFORE reading configs: if a concurrent Configure()
+  // bumps the generation mid-recompute, we store the pre-bump key with a
+  // possibly mixed mask, the next Evaluate() sees a mismatch, and the work
+  // is redone against the settled configuration.
+  const uint64_t key = ArmKey();
+  uint32_t mask = 0;
+  uint32_t ctx_mask = 0;
+  for (size_t i = 0; i < kFaultSiteCount; ++i) {
+    const FaultConfig& c = sites_[i].config;
+    if (!c.enabled) {
+      continue;
+    }
+    if (c.pid >= 0 || c.sysno >= 0) {
+      ctx_mask |= 1u << i;  // armed, but gated on the live context
+    } else {
+      mask |= 1u << i;
+    }
+  }
+  tls_arm_.mask = mask;
+  tls_arm_.ctx_mask = ctx_mask;
+  tls_arm_.key = key;
+}
 
 const char* FaultSiteName(FaultSite site) {
   switch (site) {
@@ -69,6 +108,7 @@ Result<Unit> FaultRegistry::Configure(FaultSite site, const FaultConfig& config)
   st.matched.store(0, std::memory_order_relaxed);
   st.injected.store(0, std::memory_order_relaxed);
   st.rng.store(config.seed, std::memory_order_relaxed);
+  InvalidateArmMasks();
   return OkUnit();
 }
 
@@ -77,6 +117,7 @@ void FaultRegistry::Disable(FaultSite site) {
   if (st.config.enabled) {
     st.config.enabled = false;
     enabled_count_.fetch_sub(1, std::memory_order_relaxed);
+    InvalidateArmMasks();
   }
 }
 
@@ -89,28 +130,46 @@ void FaultRegistry::Reset() {
     st.rng.store(0, std::memory_order_relaxed);
   }
   enabled_count_.store(0, std::memory_order_relaxed);
+  InvalidateArmMasks();
 }
 
 Errno FaultRegistry::Evaluate(FaultSite site, int hook) {
   if (enabled_count_ == 0) {
     return Errno::kOk;  // the only cost with injection off: one load+branch
   }
+  // Armed registry: one thread-local mask test decides whether this site can
+  // inject. Sites that are not enabled return here without touching the
+  // (shared, contended) site state; armed sites carrying a pid/sysno filter
+  // re-check the live context and likewise decline untallied on a miss.
+  if (tls_arm_.key != ArmKey()) {
+    RecomputeArmMask();
+  }
+  const uint32_t bit = 1u << static_cast<size_t>(site);
   SiteState& st = sites_[static_cast<size_t>(site)];
   const FaultConfig& c = st.config;
-  if (!c.enabled) {
-    return Errno::kOk;
+  if ((tls_arm_.mask & bit) == 0) {
+    if ((tls_arm_.ctx_mask & bit) == 0) {
+      return Errno::kOk;
+    }
+    if (c.pid >= 0 && tls_context_.pid != c.pid) {
+      return Errno::kOk;
+    }
+    if (c.sysno >= 0 && tls_context_.sysno != c.sysno) {
+      return Errno::kOk;
+    }
   }
-  st.evaluations.fetch_add(1, std::memory_order_relaxed);
-  if (c.pid >= 0 && tls_context_.pid != c.pid) {
-    return Errno::kOk;
+  const uint64_t eval_seq =
+      st.evaluations.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t match_seq = eval_seq;
+  if (c.hook >= 0) {
+    // The hook id is per-call (not per-context), so it cannot be folded
+    // into the mask; sites without a hook filter skip the `matched` counter
+    // entirely (it would always equal `evaluations`).
+    if (hook != c.hook) {
+      return Errno::kOk;
+    }
+    match_seq = st.matched.fetch_add(1, std::memory_order_relaxed) + 1;
   }
-  if (c.sysno >= 0 && tls_context_.sysno != c.sysno) {
-    return Errno::kOk;
-  }
-  if (c.hook >= 0 && hook != c.hook) {
-    return Errno::kOk;
-  }
-  const uint64_t match_seq = st.matched.fetch_add(1, std::memory_order_relaxed) + 1;
   if (c.times != 0 && st.injected.load(std::memory_order_relaxed) >= c.times) {
     return Errno::kOk;
   }
@@ -193,9 +252,13 @@ std::string FaultRegistry::Format() const {
     if (st.evaluations == 0 && st.injected == 0) {
       continue;
     }
+    // Sites without a hook filter don't maintain `matched` (it always
+    // equals `evaluations`); reconstruct it for the report.
+    const uint64_t matched =
+        st.config.hook >= 0 ? st.matched.load() : st.evaluations.load();
     out += StrFormat("# %s: evaluations=%llu matched=%llu injected=%llu\n",
                      FaultSiteName(static_cast<FaultSite>(i)),
-                     (unsigned long long)st.evaluations, (unsigned long long)st.matched,
+                     (unsigned long long)st.evaluations, (unsigned long long)matched,
                      (unsigned long long)st.injected);
   }
   if (out.empty()) {

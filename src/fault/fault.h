@@ -21,7 +21,16 @@
 //
 // Hot-path discipline: when no site is enabled, Evaluate() is one counter
 // load and one branch (`enabled_count_ == 0`), so the disabled-site overhead
-// on the syscall path is ≈ 0 (see bench/fault_bench).
+// on the syscall path is ≈ 0. When sites ARE armed, evaluations of sites
+// that are not enabled cost one thread-local mask test: each thread caches
+// two per-site bitmasks keyed on (registry id, arm generation) — armed
+// context-free sites, and armed sites carrying pid/sysno filters. The masks
+// depend only on the configuration (never on the syscall context), so they
+// stay valid across context swaps and are recomputed only after
+// Configure/Disable/Reset. A context-free hit proceeds straight to the
+// injection gates; a filtered hit re-checks pid/sysno against the current
+// context and declines without touching shared site state on a miss (see
+// bench/fault_bench).
 
 #ifndef SRC_FAULT_FAULT_H_
 #define SRC_FAULT_FAULT_H_
@@ -89,7 +98,7 @@ struct FaultContext {
 
 class FaultRegistry {
  public:
-  FaultRegistry() = default;
+  FaultRegistry();
   FaultRegistry(const FaultRegistry&) = delete;
   FaultRegistry& operator=(const FaultRegistry&) = delete;
 
@@ -129,7 +138,9 @@ class FaultRegistry {
   Result<Unit> Check(FaultSite site, const char* what, int hook = -1);
 
   // The gate stamps the context at syscall entry and restores the previous
-  // one at exit (syscalls nest via Spawn/Execve).
+  // one at exit (syscalls nest via Spawn/Execve). The cached armed masks
+  // depend only on the configuration — filtered sites re-check pid/sysno
+  // per evaluation — so a swap never invalidates them.
   FaultContext SwapContext(const FaultContext& ctx) {
     FaultContext prev = tls_context_;
     tls_context_ = ctx;
@@ -139,6 +150,9 @@ class FaultRegistry {
 
   // --- Read side ------------------------------------------------------------
 
+  // Evaluations that reached the site while it was enabled AND its
+  // pid/sysno filters matched the context (filter-excluded calls return at
+  // the armed-mask test without touching the site's counters).
   uint64_t evaluations(FaultSite site) const {
     return sites_[static_cast<size_t>(site)].evaluations;
   }
@@ -163,17 +177,46 @@ class FaultRegistry {
   // over-delivers.
   struct SiteState {
     FaultConfig config;
-    std::atomic<uint64_t> evaluations{0};  // Evaluate() reached this enabled site
-    std::atomic<uint64_t> matched{0};      // evaluations that passed the filters
+    std::atomic<uint64_t> evaluations{0};  // passed the armed mask (see above)
+    std::atomic<uint64_t> matched{0};      // ...and passed the hook filter too
     std::atomic<uint64_t> injected{0};     // faults actually delivered
     std::atomic<uint64_t> rng{0};          // splitmix64 state, seeded at Configure()
   };
+
+  static_assert(kFaultSiteCount <= 32, "armed mask is a uint32_t bitset");
+
+  // Per-thread cache of "which sites are armed for this (registry,
+  // configuration)". `key` packs the owning registry's unique id with its
+  // arm generation; a configuration change bumps the generation, and a key
+  // mismatch is the only recompute trigger. `mask` holds armed context-free
+  // sites (one bit test admits them); `ctx_mask` holds armed sites with a
+  // pid/sysno filter, which Evaluate() re-checks against the live context.
+  struct TlsArm {
+    uint64_t key = 0;  // (registry id << 32) | arm generation; 0 = invalid
+    uint32_t mask = 0;
+    uint32_t ctx_mask = 0;
+  };
+
+  uint64_t ArmKey() const {
+    return (static_cast<uint64_t>(id_) << 32) |
+           arm_gen_.load(std::memory_order_acquire);
+  }
+  // Re-derives tls_arm_ for this registry from the current configuration;
+  // called only on a key mismatch.
+  void RecomputeArmMask();
+  // Bumps the arm generation after any configuration change
+  // (Configure/Disable/Reset).
+  void InvalidateArmMasks();
 
   Tracer* tracer_ = nullptr;
   // Thread-local (not per-registry): the value is only live between a
   // gate's stamp and restore on one thread, so registries of different
   // kernel instances on the same thread cannot observe each other's.
   static thread_local FaultContext tls_context_;
+  static thread_local TlsArm tls_arm_;
+  const uint32_t id_;  // process-unique, so a stale TlsArm from a destroyed
+                       // registry at the same address can never validate
+  std::atomic<uint32_t> arm_gen_{1};
   std::atomic<size_t> enabled_count_{0};
   SiteState sites_[kFaultSiteCount];
 };

@@ -1,5 +1,6 @@
 #include "src/kernel/exec_mode.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -15,10 +16,21 @@ const char* ExecModeName(ExecMode mode) {
 
 ExecMode ExecModeFromEnv() {
   const char* value = std::getenv("PROTEGO_EXEC_MODE");
-  if (value != nullptr && std::strcmp(value, "parallel") == 0) {
+  if (value == nullptr || *value == '\0' ||
+      std::strcmp(value, "deterministic") == 0) {
+    return ExecMode::kDeterministic;
+  }
+  if (std::strcmp(value, "parallel") == 0) {
     return ExecMode::kParallel;
   }
-  return ExecMode::kDeterministic;
+  // A typo like PROTEGO_EXEC_MODE=parallell must not silently green-light
+  // the deterministic driver: the caller asked for a specific mode and
+  // would otherwise run (and gate CI on) the wrong one.
+  std::fprintf(stderr,
+               "protego: unrecognized PROTEGO_EXEC_MODE value \"%s\" "
+               "(expected \"deterministic\" or \"parallel\")\n",
+               value);
+  std::abort();
 }
 
 }  // namespace protego

@@ -27,7 +27,9 @@ enum class ExecMode {
 const char* ExecModeName(ExecMode mode);
 
 // PROTEGO_EXEC_MODE=parallel selects kParallel; "deterministic", unset, or
-// anything unrecognized selects kDeterministic (the reproducible default).
+// empty selects kDeterministic (the reproducible default). Any other value
+// is a fatal error (stderr + abort): a typo must not silently select the
+// wrong driver.
 ExecMode ExecModeFromEnv();
 
 }  // namespace protego

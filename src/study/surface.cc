@@ -1,0 +1,43 @@
+#include "src/study/surface.h"
+
+#include "src/base/strings.h"
+
+namespace protego {
+
+SurfaceProfile SurfaceFromProfile(std::string workload,
+                                  const workload::SyscallProfile& profile) {
+  SurfaceProfile out;
+  out.workload = std::move(workload);
+  for (Sysno nr : AllSysnos()) {
+    const uint64_t calls = profile.calls[static_cast<size_t>(nr)];
+    if (calls == 0) {
+      continue;
+    }
+    out.reached.push_back(nr);
+    out.total_calls += calls;
+  }
+  const size_t dispatchable = AllSysnos().size();
+  out.surface_fraction =
+      dispatchable > 0 ? static_cast<double>(out.reached.size()) / dispatchable : 0;
+  return out;
+}
+
+std::string FormatSurfaceTable(const std::vector<SurfaceProfile>& profiles) {
+  std::string out = StrFormat("%-14s %8s %12s %8s  %s\n", "workload", "reached",
+                              "calls", "surface", "allow-list");
+  for (const SurfaceProfile& p : profiles) {
+    std::string allow;
+    for (Sysno nr : p.reached) {
+      if (!allow.empty()) {
+        allow += ',';
+      }
+      allow += SysnoName(nr);
+    }
+    out += StrFormat("%-14s %8zu %12llu %7.0f%%  %s\n", p.workload.c_str(),
+                     p.reached.size(), (unsigned long long)p.total_calls,
+                     p.surface_fraction * 100.0, allow.c_str());
+  }
+  return out;
+}
+
+}  // namespace protego

@@ -1,0 +1,36 @@
+// Reached-syscall-surface summaries over macro-workload profiles — the seed
+// of the KASR-style attack-surface-reduction study (ROADMAP item 4): which
+// slice of the syscall table does each workload actually exercise, and how
+// much smaller is it than the gate's full dispatch surface?
+
+#ifndef SRC_STUDY_SURFACE_H_
+#define SRC_STUDY_SURFACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/kernel/syscall.h"
+#include "src/workload/workload.h"
+
+namespace protego {
+
+// One workload's reached surface, reduced from its gate histogram.
+struct SurfaceProfile {
+  std::string workload;
+  std::vector<Sysno> reached;  // ascending syscall numbers with calls > 0
+  uint64_t total_calls = 0;
+  // reached / dispatchable: the fraction of the gate's syscall surface a
+  // deny-by-default filter synthesized from this profile would keep open.
+  double surface_fraction = 0;
+};
+
+SurfaceProfile SurfaceFromProfile(std::string workload,
+                                  const workload::SyscallProfile& profile);
+
+// Fixed-width table: one row per profile with the reached count, total
+// calls, surface fraction, and the allow-list itself.
+std::string FormatSurfaceTable(const std::vector<SurfaceProfile>& profiles);
+
+}  // namespace protego
+
+#endif  // SRC_STUDY_SURFACE_H_

@@ -42,12 +42,27 @@ std::unique_ptr<Kernel> BootBareKernel() {
 TEST(ExecModeTest, EnvSelectsParallelElseDeterministic) {
   ::unsetenv("PROTEGO_EXEC_MODE");
   EXPECT_EQ(ExecModeFromEnv(), ExecMode::kDeterministic);
+  ::setenv("PROTEGO_EXEC_MODE", "", 1);
+  EXPECT_EQ(ExecModeFromEnv(), ExecMode::kDeterministic);
+  ::setenv("PROTEGO_EXEC_MODE", "deterministic", 1);
+  EXPECT_EQ(ExecModeFromEnv(), ExecMode::kDeterministic);
   ::setenv("PROTEGO_EXEC_MODE", "parallel", 1);
   EXPECT_EQ(ExecModeFromEnv(), ExecMode::kParallel);
-  ::setenv("PROTEGO_EXEC_MODE", "bogus", 1);
-  EXPECT_EQ(ExecModeFromEnv(), ExecMode::kDeterministic);
   ::unsetenv("PROTEGO_EXEC_MODE");
   EXPECT_STREQ(ExecModeName(ExecMode::kParallel), "parallel");
+}
+
+// Regression: a typo such as "parallell" used to silently fall back to the
+// deterministic driver, green-lighting the wrong mode in CI. Unknown values
+// must abort with the offending string.
+TEST(ExecModeDeathTest, UnknownValueAbortsLoudly) {
+  EXPECT_DEATH(
+      {
+        ::setenv("PROTEGO_EXEC_MODE", "parallell", 1);
+        (void)ExecModeFromEnv();
+      },
+      "unrecognized PROTEGO_EXEC_MODE value \"parallell\"");
+  ::unsetenv("PROTEGO_EXEC_MODE");
 }
 
 // --- ThreadScheduler semantics ----------------------------------------------
@@ -320,9 +335,29 @@ TEST(FleetTest, MultiplexesInstancesOverWorkerPool) {
   opts.ops_per_instance = 24;
   conc::FleetReport report = conc::RunFleet(opts);
   EXPECT_EQ(report.instances_run, 40u);
-  // Every instance completes its full mix: 24 rounds -> 4 rounds of 6 ops.
-  EXPECT_GE(report.total_ops, 40u * 24u);
+  // Every instance completes its full mix: 24 ops -> 3 whole rounds of 8.
+  EXPECT_EQ(report.total_ops, 40u * 24u);
   EXPECT_GT(report.ops_per_sec, 0.0);
+}
+
+// Regression: RunInstance used to issue 8 syscalls per round while
+// advancing its loop by 6 and counting 6 — every instance overran its op
+// budget by a third and the fleet ops/sec was computed from the undercount.
+// total_issued is measured from each instance's gate counters, so it cannot
+// lie about what was actually dispatched.
+TEST(FleetTest, IssuedMatchesCountedAndRespectsBudget) {
+  conc::FleetOptions opts;
+  opts.instances = 8;
+  opts.workers = 2;
+  opts.ops_per_instance = 48;
+  conc::FleetReport report = conc::RunFleet(opts);
+  EXPECT_EQ(report.instances_run, 8u);
+  // Parity: on a healthy run every issued syscall succeeds, so the gate
+  // view and the hand count must agree exactly.
+  EXPECT_EQ(report.total_issued, report.total_ops);
+  // Budget: no instance may dispatch more syscalls than it was asked to.
+  EXPECT_LE(report.total_issued, 8u * 48u);
+  EXPECT_EQ(report.total_issued, 8u * 48u);  // 48 = 6 whole rounds, no remainder
 }
 
 }  // namespace

@@ -1,0 +1,171 @@
+// Macro workload engine acceptance: exact op bookkeeping, seed determinism
+// across repeated runs and both stacks, overhead-report math, the parallel
+// driver, and the reached-surface reduction the profiles feed.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/study/surface.h"
+#include "src/workload/workload.h"
+
+namespace protego {
+namespace {
+
+using workload::CompareStacks;
+using workload::Mix;
+using workload::MixFromName;
+using workload::MixName;
+using workload::MixReport;
+using workload::OpsPerUnit;
+using workload::OverheadRow;
+using workload::RelativeOverheadPct;
+using workload::RunWorkload;
+using workload::SyscallProfile;
+using workload::WorkloadSpec;
+
+WorkloadSpec SmallSpec(Mix mix) {
+  WorkloadSpec spec;
+  spec.mix = mix;
+  spec.tasks = 2;
+  spec.total_ops = 2000;
+  spec.seed = 11;
+  return spec;
+}
+
+TEST(MacroWorkload, MixNamesRoundTrip) {
+  for (int i = 0; i < workload::kMixCount; ++i) {
+    Mix mix = static_cast<Mix>(i);
+    EXPECT_EQ(MixFromName(MixName(mix)), mix);
+    EXPECT_GT(OpsPerUnit(mix), 0u);
+  }
+  EXPECT_FALSE(MixFromName("postal").has_value());
+}
+
+// Every unit issues exactly OpsPerUnit syscalls — failures never
+// short-circuit an op — so the budget arithmetic is exact on both stacks.
+TEST(MacroWorkload, OpBookkeepingIsExactOnBothStacks) {
+  for (int i = 0; i < workload::kMixCount; ++i) {
+    for (SimMode mode : {SimMode::kLinux, SimMode::kProtego}) {
+      MixReport r = RunWorkload(SmallSpec(static_cast<Mix>(i)), mode);
+      EXPECT_GT(r.units, 0u) << MixName(r.mix);
+      EXPECT_EQ(r.ops_issued, r.units * OpsPerUnit(r.mix))
+          << MixName(r.mix) << " on " << SimModeName(mode);
+      // The gate saw at least every issued op (plus nested Spawn syscalls).
+      EXPECT_GE(r.profile.total(), r.ops_issued)
+          << MixName(r.mix) << " on " << SimModeName(mode);
+    }
+  }
+}
+
+// The determinism contract: a fixed (spec, seed) replays to identical
+// units, op counts, failure counts, and syscall profile — twice in a row.
+TEST(MacroWorkload, SameSeedReplaysIdenticalMixAndMetrics) {
+  for (Mix mix : {Mix::kCompile, Mix::kWebServe, Mix::kMail}) {
+    WorkloadSpec spec = SmallSpec(mix);
+    MixReport a = RunWorkload(spec, SimMode::kProtego);
+    MixReport b = RunWorkload(spec, SimMode::kProtego);
+    EXPECT_EQ(a.units, b.units) << MixName(mix);
+    EXPECT_EQ(a.ops_issued, b.ops_issued) << MixName(mix);
+    EXPECT_EQ(a.ops_failed, b.ops_failed) << MixName(mix);
+    EXPECT_TRUE(a.profile == b.profile) << MixName(mix);
+  }
+}
+
+// Both stacks replay the identical op stream, which is what makes the
+// overhead column a like-for-like comparison.
+TEST(MacroWorkload, StockAndProtegoIssueIdenticalOpStreams) {
+  OverheadRow row = CompareStacks(SmallSpec(Mix::kWebServe));
+  EXPECT_EQ(row.stock.units, row.protego.units);
+  EXPECT_EQ(row.stock.ops_issued, row.protego.ops_issued);
+  EXPECT_GT(row.stock.ops_per_sec, 0.0);
+  EXPECT_GT(row.protego.ops_per_sec, 0.0);
+}
+
+// The mail mix is the paper's story in miniature: on stock Linux the
+// delivery loop seteuid()s into each recipient; under Protego the session
+// is the unprivileged exim user and both per-delivery transitions fail
+// EPERM (the obviated transition), counted as failed ops.
+TEST(MacroWorkload, MailMixObviatesSetuidTransitionsUnderProtego) {
+  WorkloadSpec spec = SmallSpec(Mix::kMail);
+  MixReport stock = RunWorkload(spec, SimMode::kLinux);
+  MixReport protego = RunWorkload(spec, SimMode::kProtego);
+  EXPECT_EQ(stock.ops_failed, 0u);
+  EXPECT_EQ(protego.ops_failed, 2 * protego.units);
+}
+
+TEST(MacroWorkload, ParallelModeRunsTheSameDeterministicBudget) {
+  WorkloadSpec spec = SmallSpec(Mix::kMail);
+  spec.tasks = 4;
+  MixReport det = RunWorkload(spec, SimMode::kProtego);
+  spec.exec_mode = ExecMode::kParallel;
+  MixReport par = RunWorkload(spec, SimMode::kProtego);
+  // Budgets are per-task, resources task-private: even under free-running
+  // threads the op stream and profile must match the deterministic run.
+  EXPECT_EQ(par.units, det.units);
+  EXPECT_EQ(par.ops_issued, det.ops_issued);
+  EXPECT_EQ(par.ops_failed, det.ops_failed);
+  EXPECT_TRUE(par.profile == det.profile);
+}
+
+// Honors PROTEGO_EXEC_MODE the way every harness does — under the CI
+// parallel job this runs the engine on real OS threads.
+TEST(MacroWorkload, RunsUnderAmbientExecMode) {
+  WorkloadSpec spec = SmallSpec(Mix::kCompile);
+  spec.exec_mode = ExecModeFromEnv();
+  MixReport r = RunWorkload(spec, SimMode::kProtego);
+  EXPECT_EQ(r.exec_mode, ExecModeFromEnv());
+  EXPECT_EQ(r.ops_issued, r.units * OpsPerUnit(Mix::kCompile));
+}
+
+// --- Overhead-report math ----------------------------------------------------
+
+TEST(OverheadMath, RelativeOverheadPct) {
+  EXPECT_DOUBLE_EQ(RelativeOverheadPct(100.0, 80.0), 20.0);   // protego slower
+  EXPECT_DOUBLE_EQ(RelativeOverheadPct(100.0, 125.0), -25.0); // protego faster
+  EXPECT_DOUBLE_EQ(RelativeOverheadPct(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeOverheadPct(0.0, 50.0), 0.0);      // degenerate base
+}
+
+TEST(OverheadMath, CompareStacksUsesOpsPerSec) {
+  OverheadRow row = CompareStacks(SmallSpec(Mix::kSetuidBurst));
+  EXPECT_DOUBLE_EQ(
+      row.overhead_pct,
+      RelativeOverheadPct(row.stock.ops_per_sec, row.protego.ops_per_sec));
+}
+
+// --- Profiles and the reached-surface reduction ------------------------------
+
+TEST(SyscallProfileTest, FormatsAndCounts) {
+  SyscallProfile p;
+  p.calls[static_cast<size_t>(Sysno::kOpen)] = 3;
+  p.calls[static_cast<size_t>(Sysno::kStat)] = 8;
+  EXPECT_EQ(p.total(), 11u);
+  EXPECT_EQ(p.distinct(), 2u);
+  EXPECT_EQ(p.Format(), "stat:8 open:3");
+  EXPECT_EQ(p.FormatJson(), "{\"open\": 3, \"stat\": 8}");
+  SyscallProfile q;
+  q.calls[static_cast<size_t>(Sysno::kOpen)] = 1;
+  p.Merge(q);
+  EXPECT_EQ(p.calls[static_cast<size_t>(Sysno::kOpen)], 4u);
+}
+
+TEST(SurfaceStudy, WorkloadProfilesReduceTheSyscallSurface) {
+  MixReport burst = RunWorkload(SmallSpec(Mix::kSetuidBurst), SimMode::kProtego);
+  MixReport compile = RunWorkload(SmallSpec(Mix::kCompile), SimMode::kProtego);
+  SurfaceProfile b = SurfaceFromProfile("setuid-burst", burst.profile);
+  SurfaceProfile c = SurfaceFromProfile("compile", compile.profile);
+  // The microburst touches a strictly smaller surface than the compile mix
+  // (which execs children), and both are well below the full gate table —
+  // the KASR-style reduction a deny-by-default filter would enforce.
+  EXPECT_GT(b.reached.size(), 0u);
+  EXPECT_LT(b.reached.size(), c.reached.size());
+  EXPECT_LT(c.surface_fraction, 1.0);
+  EXPECT_EQ(b.total_calls, burst.profile.total());
+  std::string table = FormatSurfaceTable({b, c});
+  EXPECT_NE(table.find("setuid-burst"), std::string::npos);
+  EXPECT_NE(table.find("getpid"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace protego
