@@ -24,6 +24,7 @@ struct Sample {
   MetricLabels labels;
   double value = 0;       // counter/gauge
   Histogram histogram;    // histogram
+  std::vector<MetricExemplar> exemplars;  // histogram tail exemplars
 };
 
 struct Family {
@@ -106,6 +107,15 @@ class SnapshotBuilder : public MetricsBuilder {
     Add(name, help, FamilyType::kHistogram, std::move(s));
   }
 
+  void HistoEx(const std::string& name, const std::string& help, MetricLabels labels,
+               const Histogram& h, std::vector<MetricExemplar> exemplars) override {
+    Sample s;
+    s.labels = std::move(labels);
+    s.histogram = h;
+    s.exemplars = std::move(exemplars);
+    Add(name, help, FamilyType::kHistogram, std::move(s));
+  }
+
   const std::map<std::string, Family>& families() const { return families_; }
 
  private:
@@ -152,9 +162,26 @@ std::string MetricsRegistry::PrometheusText() const {
         }
         std::string le =
             last ? "+Inf" : StrFormat("%llu", (unsigned long long)Histogram::BucketBound(i));
-        out += StrFormat("%s_bucket%s %llu\n", name.c_str(),
+        out += StrFormat("%s_bucket%s %llu", name.c_str(),
                          FormatLabelsWith(s.labels, "le", le).c_str(),
                          (unsigned long long)cumulative);
+        // OpenMetrics-style exemplar on the bucket the observation fell
+        // into: " # {labels} value". At most one per bucket line (the
+        // largest value that maps there), per the exposition contract.
+        const MetricExemplar* pick = nullptr;
+        for (const MetricExemplar& ex : s.exemplars) {
+          if (Histogram::BucketIndex(ex.value) != i) {
+            continue;
+          }
+          if (pick == nullptr || ex.value > pick->value) {
+            pick = &ex;
+          }
+        }
+        if (pick != nullptr) {
+          std::string exl = pick->labels.empty() ? "{}" : FormatLabels(pick->labels);
+          out += StrFormat(" # %s %llu", exl.c_str(), (unsigned long long)pick->value);
+        }
+        out += "\n";
       }
       out += StrFormat("%s_sum%s %llu\n", name.c_str(), FormatLabels(s.labels).c_str(),
                        (unsigned long long)h.sum());
@@ -233,9 +260,96 @@ std::string MetricsRegistry::Json() const {
         out += StrFormat("{\"le\":%s,\"n\":%llu}", le.c_str(),
                          (unsigned long long)h.bucket(b));
       }
-      out += "]}";
+      out += "]";
+      if (!s.exemplars.empty()) {
+        out += ",\"exemplars\":[";
+        for (size_t e = 0; e < s.exemplars.size(); ++e) {
+          if (e > 0) {
+            out += ",";
+          }
+          out += StrFormat("{\"labels\":%s,\"value\":%llu}",
+                           labels_json(s.exemplars[e].labels).c_str(),
+                           (unsigned long long)s.exemplars[e].value);
+        }
+        out += "]";
+      }
+      out += "}";
     }
     out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string MetricsRegistry::JsonExcerpt(size_t max_samples_per_family) const {
+  SnapshotBuilder snapshot;
+  for (const Collector& collect : SnapshotCollectors()) {
+    collect(snapshot);
+  }
+
+  auto json_escape = [](const std::string& v) {
+    std::string out;
+    for (char c : v) {
+      switch (c) {
+        case '\\': out += "\\\\"; break;
+        case '"': out += "\\\""; break;
+        case '\n': out += "\\n"; break;
+        default: out += c;
+      }
+    }
+    return out;
+  };
+  auto labels_json = [&](const MetricLabels& labels) {
+    std::string out = "{";
+    for (size_t i = 0; i < labels.size(); ++i) {
+      if (i > 0) {
+        out += ",";
+      }
+      out += StrFormat("\"%s\":\"%s\"", json_escape(labels[i].first).c_str(),
+                       json_escape(labels[i].second).c_str());
+    }
+    return out + "}";
+  };
+
+  std::string out = "{\"families\":[";
+  bool first_family = true;
+  for (const auto& [name, family] : snapshot.families()) {
+    if (!first_family) {
+      out += ",";
+    }
+    first_family = false;
+    // Serialize each sample, sort by the serialized form (deterministic
+    // regardless of collector emission order), then bound the count.
+    std::vector<std::string> rendered;
+    rendered.reserve(family.samples.size());
+    for (const Sample& s : family.samples) {
+      if (family.type != FamilyType::kHistogram) {
+        rendered.push_back(StrFormat("{\"labels\":%s,\"value\":%s}",
+                                     labels_json(s.labels).c_str(),
+                                     FormatValue(s.value).c_str()));
+      } else {
+        rendered.push_back(StrFormat("{\"labels\":%s,\"count\":%llu,\"sum\":%llu}",
+                                     labels_json(s.labels).c_str(),
+                                     (unsigned long long)s.histogram.count(),
+                                     (unsigned long long)s.histogram.sum()));
+      }
+    }
+    std::sort(rendered.begin(), rendered.end());
+    size_t keep = std::min(rendered.size(), max_samples_per_family);
+    out += StrFormat("{\"name\":\"%s\",\"type\":\"%s\",\"samples\":[", name.c_str(),
+                     FamilyTypeName(family.type));
+    for (size_t i = 0; i < keep; ++i) {
+      if (i > 0) {
+        out += ",";
+      }
+      out += rendered[i];
+    }
+    out += "]";
+    if (keep < rendered.size()) {
+      out += StrFormat(",\"omitted\":%llu",
+                       (unsigned long long)(rendered.size() - keep));
+    }
+    out += "}";
   }
   out += "]}";
   return out;

@@ -88,6 +88,21 @@ class Histogram {
     count_.store(0, std::memory_order_relaxed);
   }
 
+  // Adds `other`'s buckets/sum/count into this histogram (relaxed loads on
+  // both sides: used by sharded collectors merging per-thread histograms on
+  // the read path).
+  void Merge(const Histogram& other) {
+    for (size_t i = 0; i < kBuckets; ++i) {
+      uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+      if (n != 0) {
+        buckets_[i].fetch_add(n, std::memory_order_relaxed);
+      }
+    }
+    sum_.fetch_add(other.sum_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  }
+
  private:
   std::atomic<uint64_t> buckets_[kBuckets] = {};
   std::atomic<uint64_t> sum_{0};
@@ -96,6 +111,18 @@ class Histogram {
 
 // Label set, e.g. {{"syscall", "open"}}. Order is preserved in the output.
 using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+// One exemplar attached to a histogram sample: a concrete observation
+// (value) with identifying labels (span id, pid), rendered OpenMetrics-
+// style after the bucket line its value falls into:
+//   name_bucket{...,le="64"} 12 # {span="17",pid="3"} 41
+// The tail-exemplar reservoir uses this to pin the K slowest spans per
+// syscall to their latency buckets, so a rare slow path stays explainable
+// even when head sampling dropped its trace.
+struct MetricExemplar {
+  MetricLabels labels;
+  uint64_t value = 0;
+};
 
 // Collectors report samples through this interface; the registry assembles
 // them into families. Repeated calls with the same name append samples to
@@ -109,6 +136,14 @@ class MetricsBuilder {
                      MetricLabels labels, double value) = 0;
   virtual void Histo(const std::string& name, const std::string& help,
                      MetricLabels labels, const Histogram& h) = 0;
+  // Histogram with exemplars. Default implementation drops the exemplars so
+  // existing MetricsBuilder implementations keep compiling unchanged.
+  virtual void HistoEx(const std::string& name, const std::string& help,
+                       MetricLabels labels, const Histogram& h,
+                       std::vector<MetricExemplar> exemplars) {
+    (void)exemplars;
+    Histo(name, help, std::move(labels), h);
+  }
 };
 
 class MetricsRegistry {
@@ -135,6 +170,13 @@ class MetricsRegistry {
 
   // The same snapshot as JSON, for the bench harness.
   std::string Json() const;
+
+  // A stable, sorted, size-bounded JSON excerpt for embedding in bench
+  // artifacts: families sorted by name, samples sorted by serialized
+  // labels, at most `max_samples_per_family` samples each (with an
+  // "omitted" count when truncated), and histograms reduced to
+  // {count, sum} — so the blob diffs reviewably run to run.
+  std::string JsonExcerpt(size_t max_samples_per_family) const;
 
  protected:
   // Snapshot for export: collectors run outside the lock (they may take

@@ -9,6 +9,8 @@
 
 namespace protego {
 
+thread_local bool Tracer::tls_muted_ = false;
+
 const char* TracepointName(TracepointId tp) {
   switch (tp) {
     case TracepointId::kSyscall: return "syscall";
@@ -33,6 +35,59 @@ Tracer::Tracer(const Clock* clock, size_t capacity)
   id_ = next_tracer_id.fetch_add(1, std::memory_order_relaxed);
   point_mask_.store((1u << kTracepointCount) - 1,
                     std::memory_order_relaxed);  // all points on at boot
+  for (std::atomic<uint32_t>& rate : sample_rate_) {
+    rate.store(1, std::memory_order_relaxed);  // sampling off at boot
+  }
+}
+
+namespace {
+
+// splitmix64 (same generator as the fault registry and the deterministic
+// scheduler): tiny, platform-identical, and each call advances the state by
+// a fixed gamma — the per-thread stream position IS the draw count.
+uint64_t SampleMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void Tracer::set_all_sample_rates(uint32_t rate) {
+  for (std::atomic<uint32_t>& r : sample_rate_) {
+    r.store(rate == 0 ? 1 : rate, std::memory_order_relaxed);
+  }
+  sample_gen_.fetch_add(1, std::memory_order_relaxed);
+  BumpConfigGen();
+}
+
+bool Tracer::SampleKeep(TracepointId tp) {
+  uint32_t rate = sample_rate_[static_cast<size_t>(tp)].load(std::memory_order_relaxed);
+  if (rate <= 1) {
+    return true;
+  }
+  Shard& shard = MyShard();
+  uint64_t gen = sample_gen_.load(std::memory_order_relaxed);
+  if (shard.sample_key != gen) {
+    // Lazy (re)seed: every thread starts the identical stream from the
+    // recorded seed, so replays line up per thread.
+    shard.sample_state = sample_seed_.load(std::memory_order_relaxed);
+    shard.sample_key = gen;
+  }
+  if (SampleMix64(&shard.sample_state) % rate == 0) {
+    return true;
+  }
+  sampled_out_[static_cast<size_t>(tp)].fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+uint64_t Tracer::total_sampled_out() const {
+  uint64_t total = 0;
+  for (const std::atomic<uint64_t>& n : sampled_out_) {
+    total += n.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 uint64_t Tracer::BeginSpan(int pid) {
@@ -331,15 +386,27 @@ std::string Tracer::Format() const {
     if (f.span != 0 && ev.span != f.span) {
       continue;
     }
+    // The `since` cursor applies to top-level entries only: a root that
+    // completed at/after the cursor renders its FULL subtree (its children
+    // predate the root's seq by construction — trees would otherwise be
+    // torn across polls).
+    if (f.since != 0 && ev.seq < f.since) {
+      continue;
+    }
     render(render, i, 0);
   }
   if (dropped() > 0) {
     out += StrFormat("# dropped: %llu\n", (unsigned long long)dropped());
   }
   if (f.active()) {
-    out += StrFormat("# filter: pid=%d syscall=%s span=%llu\n", f.pid,
+    out += StrFormat("# filter: pid=%d syscall=%s span=%llu since=%llu\n", f.pid,
                      f.syscall.empty() ? "*" : f.syscall.c_str(),
-                     (unsigned long long)f.span);
+                     (unsigned long long)f.span, (unsigned long long)f.since);
+  }
+  if (f.since != 0) {
+    // The cursor a poller writes back (as ?since=N) to fetch only what
+    // lands after this read.
+    out += StrFormat("# next: %llu\n", (unsigned long long)seq());
   }
   return out;
 }

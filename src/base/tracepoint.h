@@ -97,13 +97,21 @@ struct TraceEvent {
 };
 
 // Read-side filter for Format(), set via /proc/protego/trace writes
-// ("?pid=N&syscall=name&span=N"). Default-constructed = match everything.
+// ("?pid=N&syscall=name&span=N&since=N"). Default-constructed = match
+// everything.
 struct TraceFilter {
   int pid = -1;         // -1 = any
   std::string syscall;  // empty = any (matches the span root's name)
   uint64_t span = 0;    // 0 = any
+  // Cursor for incremental polls: only top-level entries whose own seq is
+  // >= since are rendered (a qualifying root still renders its whole
+  // subtree, including child events emitted before the cursor). Pollers
+  // chase the "# next:" trailer. 0 = no cursor.
+  uint64_t since = 0;
 
-  bool active() const { return pid >= 0 || !syscall.empty() || span != 0; }
+  bool active() const {
+    return pid >= 0 || !syscall.empty() || span != 0 || since != 0;
+  }
 };
 
 class Tracer {
@@ -115,7 +123,10 @@ class Tracer {
 
   // Master switch (the /proc/protego/trace "on"/"off" toggle).
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
-  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+    BumpConfigGen();
+  }
 
   // Per-point enable bits.
   bool point_enabled(TracepointId tp) const {
@@ -129,6 +140,7 @@ class Tracer {
       point_mask_.fetch_and(~(1u << static_cast<unsigned>(tp)),
                             std::memory_order_relaxed);
     }
+    BumpConfigGen();
   }
 
   // The hot-path guard every instrumented site tests before formatting
@@ -138,6 +150,83 @@ class Tracer {
            (point_mask_.load(std::memory_order_relaxed) &
             (1u << static_cast<unsigned>(tp))) != 0;
   }
+
+  // Bumped by every enable/sampling configuration change. Consumers that
+  // precompute dispatch state from the tracer config (the syscall gate's
+  // per-syscall dispatch table) cache this and rebuild lazily on mismatch.
+  uint64_t config_gen() const { return config_gen_.load(std::memory_order_relaxed); }
+
+  // --- Seeded sampling -------------------------------------------------------
+  //
+  // 1-in-N head sampling per tracepoint. Decisions come from per-shard
+  // (per-thread) splitmix64 streams, all seeded from one recorded seed — so
+  // a run is replayable exactly like the fault registry: one task = one OS
+  // thread in both exec modes, each thread's draw sequence is a pure
+  // function of (seed, that thread's event sequence), and the same seed
+  // reproduces the identical keep/drop decisions run after run. A rate or
+  // seed change reseeds every stream at its next draw.
+
+  uint32_t sample_rate(TracepointId tp) const {
+    return sample_rate_[static_cast<size_t>(tp)].load(std::memory_order_relaxed);
+  }
+  // rate <= 1 keeps every event (sampling off for that point).
+  void set_sample_rate(TracepointId tp, uint32_t rate) {
+    sample_rate_[static_cast<size_t>(tp)].store(rate == 0 ? 1 : rate,
+                                                std::memory_order_relaxed);
+    sample_gen_.fetch_add(1, std::memory_order_relaxed);
+    BumpConfigGen();
+  }
+  void set_all_sample_rates(uint32_t rate);
+
+  uint64_t sample_seed() const { return sample_seed_.load(std::memory_order_relaxed); }
+  void set_sample_seed(uint64_t seed) {
+    sample_seed_.store(seed, std::memory_order_relaxed);
+    sample_gen_.fetch_add(1, std::memory_order_relaxed);
+    BumpConfigGen();
+  }
+
+  // Draws this thread's next sampling decision for `tp`. True = keep. A
+  // dropped event is tallied in sampled_out(tp). rate <= 1 is a single
+  // relaxed load. NOTE: the draw is consumed even for points the caller
+  // later decides not to emit — callers gate on Enabled() FIRST (ShouldEmit
+  // does) so disabled points never consume stream positions.
+  bool SampleKeep(TracepointId tp);
+
+  // The emission guard for sampled sites: Enabled(tp) && SampleKeep(tp).
+  bool ShouldEmit(TracepointId tp) {
+    if (!Enabled(tp)) {
+      return false;
+    }
+    if (tls_muted_ && tp != TracepointId::kContextSwitch &&
+        tp != TracepointId::kFaultInject) {
+      return false;
+    }
+    return SampleKeep(tp);
+  }
+
+  // --- Thread mute (per-syscall dispatch) ------------------------------------
+  //
+  // An untraced syscall (dispatch word with the trace bit clear) mutes the
+  // span-scoped decision points on its thread for its duration: nested
+  // hook/permission/netfilter events belong to the enclosing span, and with
+  // no span open they would render as orphan noise while still paying a
+  // sampling draw apiece — exactly the cost per-syscall dispatch exists to
+  // avoid. Ambient points that legitimately fire outside spans (context
+  // switches, fault injections) are exempt. The flag is a plain
+  // thread_local — only one gate window is open on a thread at a time —
+  // and nested syscalls (Spawn/Execve) save/restore the previous value.
+  static bool SwapThreadMute(bool muted) {
+    bool prev = tls_muted_;
+    tls_muted_ = muted;
+    return prev;
+  }
+  static bool ThreadMuted() { return tls_muted_; }
+
+  // Events suppressed by sampling since boot (per tracepoint).
+  uint64_t sampled_out(TracepointId tp) const {
+    return sampled_out_[static_cast<size_t>(tp)].load(std::memory_order_relaxed);
+  }
+  uint64_t total_sampled_out() const;
 
   // --- Decision spans --------------------------------------------------------
   //
@@ -204,11 +293,15 @@ class Tracer {
 
   // One per-thread ring. `emitted` counts events this shard's owner wrote;
   // it is atomic only so quiescent readers and concurrent metric exports
-  // load it cleanly — the owner is the sole writer.
+  // load it cleanly — the owner is the sole writer. `sample_state` is the
+  // thread's private splitmix64 stream, lazily (re)seeded when its
+  // `sample_key` no longer matches the tracer's sampling generation.
   struct Shard {
     std::thread::id owner;
     std::vector<TraceEvent> ring;
     std::atomic<uint64_t> emitted{0};
+    uint64_t sample_state = 0;
+    uint64_t sample_key = 0;  // sampling generation the state was seeded for
   };
 
   // The calling thread's shard, created on first emission. A thread-local
@@ -218,11 +311,19 @@ class Tracer {
   // loads and a compare.
   Shard& MyShard();
 
+  void BumpConfigGen() { config_gen_.fetch_add(1, std::memory_order_relaxed); }
+
   const Clock* clock_;
   size_t capacity_;
   uint64_t id_;  // process-unique tracer id for the thread-local shard cache
   std::atomic<bool> enabled_{true};
   std::atomic<uint32_t> point_mask_{0};
+  std::atomic<uint64_t> config_gen_{1};  // any enable/sampling config change
+  std::atomic<uint64_t> sample_gen_{1};  // sampling rate/seed changes only
+  std::atomic<uint64_t> sample_seed_{1};
+  static thread_local bool tls_muted_;
+  std::atomic<uint32_t> sample_rate_[kTracepointCount] = {};
+  std::atomic<uint64_t> sampled_out_[kTracepointCount] = {};
   std::atomic<uint64_t> seq_{0};  // next global sequence number
   mutable std::mutex shards_mu_;  // guards shards_ growth
   std::vector<std::unique_ptr<Shard>> shards_;

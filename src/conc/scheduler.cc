@@ -169,7 +169,7 @@ DetScheduler::Unit* DetScheduler::ChooseNext(Unit* self, bool self_runnable) {
 
 void DetScheduler::Activate(Unit* next, int from_pid) {
   ++steps_;
-  if (tracer_ != nullptr && tracer_->Enabled(TracepointId::kContextSwitch)) {
+  if (tracer_ != nullptr && tracer_->ShouldEmit(TracepointId::kContextSwitch)) {
     TraceEvent& ev = tracer_->Emit(TracepointId::kContextSwitch, next->pid);
     ev.comm = SchedModeName(mode_);
     ev.a = steps_;

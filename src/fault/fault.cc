@@ -137,6 +137,9 @@ Errno FaultRegistry::Evaluate(FaultSite site, int hook) {
   if (enabled_count_ == 0) {
     return Errno::kOk;  // the only cost with injection off: one load+branch
   }
+  // Attribution starts after the disabled fast path so a registry with no
+  // enabled sites keeps paying exactly one load+branch.
+  LayerScope fault_scope(profiler_, Layer::kFaultRegistry);
   // Armed registry: one thread-local mask test decides whether this site can
   // inject. Sites that are not enabled return here without touching the
   // (shared, contended) site state; armed sites carrying a pid/sysno filter
@@ -196,7 +199,7 @@ Errno FaultRegistry::Evaluate(FaultSite site, int hook) {
   } else {
     delivered = st.injected.fetch_add(1, std::memory_order_relaxed) + 1;
   }
-  if (tracer_ != nullptr && tracer_->Enabled(TracepointId::kFaultInject)) {
+  if (tracer_ != nullptr && tracer_->ShouldEmit(TracepointId::kFaultInject)) {
     TraceEvent& ev = tracer_->Emit(TracepointId::kFaultInject, tls_context_.pid);
     ev.sname = FaultSiteName(site);
     ev.sdetail = ErrnoName(c.error);

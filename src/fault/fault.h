@@ -41,6 +41,7 @@
 #include <string>
 #include <string_view>
 
+#include "src/base/attribution.h"
 #include "src/base/metrics.h"
 #include "src/base/result.h"
 #include "src/base/tracepoint.h"
@@ -104,6 +105,10 @@ class FaultRegistry {
 
   // Injections are stamped into the kernel-wide decision trace.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  // Per-layer latency attribution: armed evaluations run under a
+  // `fault_registry` frame (the disabled fast path stays scope-free).
+  void set_profiler(LayerProfiler* profiler) { profiler_ = profiler; }
 
   // --- Configuration (the /proc/protego/fault_inject write side) ----------
 
@@ -209,6 +214,7 @@ class FaultRegistry {
   void InvalidateArmMasks();
 
   Tracer* tracer_ = nullptr;
+  LayerProfiler* profiler_ = nullptr;
   // Thread-local (not per-registry): the value is only live between a
   // gate's stamp and restore on one thread, so registries of different
   // kernel instances on the same thread cannot observe each other's.

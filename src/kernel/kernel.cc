@@ -61,10 +61,19 @@ Kernel::Kernel() : vfs_(&clock_), gate_(&clock_) {
   vfs_.set_faults(&faults_);
   lsm_.set_faults(&faults_);
   net_.netfilter().set_faults(&faults_);
+  // One kernel-wide layer profiler: the gate opens the root frame, every
+  // subsystem nests its own layer inside it, and /proc/protego/profile
+  // renders the folded result.
+  gate_.set_profiler(&profiler_);
+  lsm_.set_profiler(&profiler_);
+  vfs_.set_profiler(&profiler_);
+  net_.netfilter().set_profiler(&profiler_);
+  faults_.set_profiler(&profiler_);
   metrics_.AddCollector([this](MetricsBuilder& b) {
     gate_.CollectMetrics(b);
     lsm_.CollectMetrics(b);
     faults_.CollectMetrics(b);
+    profiler_.CollectMetrics(b);
     CollectKernelMetrics(b);
   });
 }
@@ -84,6 +93,16 @@ void Kernel::CollectKernelMetrics(MetricsBuilder& b) const {
             tracer_.seq());
   b.Counter("protego_trace_dropped_total", "Trace events overwritten in the ring.", {},
             tracer_.dropped());
+  for (size_t i = 0; i < kTracepointCount; ++i) {
+    TracepointId tp = static_cast<TracepointId>(i);
+    uint64_t n = tracer_.sampled_out(tp);
+    if (n == 0) {
+      continue;
+    }
+    b.Counter("protego_trace_sampled_out_total",
+              "Trace emissions dropped by head sampling, per tracepoint.",
+              {{"point", TracepointName(tp)}}, n);
+  }
   b.Counter("protego_lsm_fail_closed_total",
             "LSM hook dispatches denied because a fault was injected.", {},
             lsm_.fail_closed_denials());
@@ -182,8 +201,9 @@ std::string Kernel::JoinPath(const Task& task, const std::string& path) {
 }
 
 bool Kernel::Capable(const Task& task, Capability cap) const {
+  LayerScope lsm_scope(&profiler_, Layer::kLsm);
   bool ok = lsm_.Capable(task, cap);
-  if (tracer_.Enabled(TracepointId::kCapable)) {
+  if (tracer_.ShouldEmit(TracepointId::kCapable)) {
     TraceEvent& ev = tracer_.Emit(TracepointId::kCapable, task.pid);
     ev.sname = CapabilityName(cap);
     ev.a = static_cast<uint64_t>(cap);
@@ -223,7 +243,7 @@ std::optional<Uid> Kernel::AuthenticateAny(Task& task, const std::vector<Uid>& a
 Result<Unit> Kernel::CheckPermission(Task& task, const std::string& path, const Inode& inode,
                                      int may) {
   Result<Unit> r = CheckPermissionImpl(task, path, inode, may);
-  if (tracer_.Enabled(TracepointId::kVfsPermission)) {
+  if (tracer_.ShouldEmit(TracepointId::kVfsPermission)) {
     TraceEvent& ev = tracer_.Emit(TracepointId::kVfsPermission, task.pid);
     ev.detail = path;
     ev.a = static_cast<uint64_t>(may);
@@ -250,6 +270,7 @@ Result<Unit> Kernel::CheckPermissionImpl(Task& task, const std::string& path, co
   if (verdict == HookVerdict::kAllow) {
     return OkUnit();  // delegation rule bypasses DAC (e.g. ssh-keysign host key)
   }
+  LayerScope dac_scope(&profiler_, Layer::kDac);
   const Cred& cred = task.cred;
   auto in_group = [&cred](Gid gid) { return cred.InGroup(gid); };
   if (DacPermits(inode, cred.fsuid, in_group, may)) {
@@ -622,7 +643,7 @@ Result<Unit> Kernel::FlockImpl(Task& task, int fd, int op) {
 
 void Kernel::EmitFileLockEvent(const Task& task, const char* op, const std::string& path,
                                uint64_t ino, const char* outcome) {
-  if (!tracer_.Enabled(TracepointId::kFileLock)) {
+  if (!tracer_.ShouldEmit(TracepointId::kFileLock)) {
     return;
   }
   TraceEvent& ev = tracer_.Emit(TracepointId::kFileLock, task.pid);

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/attribution.h"
 #include "src/base/clock.h"
 #include "src/base/metrics.h"
 #include "src/base/result.h"
@@ -121,6 +122,12 @@ class Kernel {
   // shared by the gate, the LSM stack, the VFS, and netfilter.
   Tracer& tracer() { return tracer_; }
   const Tracer& tracer() const { return tracer_; }
+
+  // The per-layer latency profiler (/proc/protego/profile). Disabled by
+  // default; enabling it attributes self time to gate/seccomp/dac/lsm/...
+  // frames on every syscall.
+  LayerProfiler& profiler() { return profiler_; }
+  const LayerProfiler& profiler() const { return profiler_; }
 
   // The metrics registry exported at /proc/protego/metrics. The kernel
   // registers a collector for its own subsystems at construction; trusted
@@ -336,7 +343,7 @@ class Kernel {
   // Emits a kCredChange event (callers gate on the tracepoint being on, so
   // the detail string is only built when traced).
   void EmitCredChange(const Task& task, const char* what, std::string detail);
-  bool TraceCredOn() const { return tracer_.Enabled(TracepointId::kCredChange); }
+  bool TraceCredOn() const { return tracer_.ShouldEmit(TracepointId::kCredChange); }
 
   // Registers the kernel-side metrics collector (gate, LSM, VFS, netfilter,
   // audit, tracer) on metrics_.
@@ -432,6 +439,8 @@ class Kernel {
   // mutable so const syscalls (GetPid) and const checks (Capable) can emit
   // trace events.
   mutable Tracer tracer_{&clock_, SyscallGate::kTraceCapacity};
+  // mutable for the same reason: const checks (Capable) open layer frames.
+  mutable LayerProfiler profiler_;
   MetricsRegistry metrics_;
   FaultRegistry faults_;
   Vfs vfs_;

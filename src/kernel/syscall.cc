@@ -70,6 +70,48 @@ SeccompFilter SeccompFilter::AllowList(const std::vector<Sysno>& allowed) {
   return f;
 }
 
+SyscallGate::SyscallGate(const Clock* clock) : clock_(clock) {
+  static std::atomic<uint64_t> next_gate_id{1};
+  id_ = next_gate_id.fetch_add(1, std::memory_order_relaxed);
+  // Default all-set: with no explicit syscall filter, the global toggles
+  // alone decide, which is exactly the pre-dispatch behavior.
+  traced_syscalls_.set();
+  timed_syscalls_.set();
+}
+
+void SyscallGate::RebuildDispatch(uint64_t tracer_gen) {
+  std::lock_guard<std::mutex> lk(dispatch_mu_);
+  uint64_t local_gen = local_gen_.load(std::memory_order_relaxed);
+  bool tracing = tracer_ != nullptr && tracer_->enabled() &&
+                 tracer_->point_enabled(TracepointId::kSyscall);
+  bool sampled = tracing && tracer_->sample_rate(TracepointId::kSyscall) > 1;
+  // Exemplars ride the tracer master switch (not the kSyscall point or the
+  // traced set): the reservoir annotates the latency HISTOGRAMS, which
+  // cover every syscall, and must keep catching tails for calls whose
+  // trace is filtered or sampled away.
+  bool exemplars = exemplars_enabled_ && tracer_ != nullptr && tracer_->enabled();
+  for (size_t i = 0; i < kSysnoSlots; ++i) {
+    uint8_t word = 0;
+    if (tracing && traced_syscalls_[i]) {
+      word |= kDispatchTrace;
+      if (sampled) {
+        word |= kDispatchSampled;
+      }
+    }
+    if (exemplars) {
+      word |= kDispatchExemplar;
+    }
+    if (wallclock_timing_ && timed_syscalls_[i]) {
+      word |= kDispatchTimed;
+    }
+    dispatch_[i].store(word, std::memory_order_relaxed);
+  }
+  // Publish the generations the table was built from LAST: a racing reader
+  // that sees them early at worst rebuilds once more.
+  built_local_gen_.store(local_gen, std::memory_order_relaxed);
+  built_tracer_gen_.store(tracer_gen, std::memory_order_relaxed);
+}
+
 uint64_t SyscallGate::TotalCalls() const {
   uint64_t total = 0;
   for (Sysno nr : AllSysnos()) {
@@ -90,22 +132,41 @@ void SyscallGate::ExitSyscall(SyscallContext& ctx, Errno err) {
   }
   s.total_ticks.fetch_add(dur_ticks, std::memory_order_relaxed);
   s.lat_ticks.Observe(dur_ticks);
-  if (wallclock_timing_) {
+  if ((ctx.dispatch & kDispatchTimed) != 0) {
     dur_ns = MonotonicNanos() - ctx.start_ns;
     s.total_ns.fetch_add(dur_ns, std::memory_order_relaxed);
     s.lat_ns.Observe(dur_ns);
   }
-  RecordTrace(ctx, err, dur_ns, /*seccomp_denied=*/false);
+  if ((ctx.dispatch & kDispatchTrace) != 0) {
+    // Self-accounting: the trace emission and reservoir update are the
+    // observability pipeline's own cost, metered under the observer layer.
+    LayerScope observer_scope(profiler_, Layer::kObserver);
+    if ((ctx.dispatch & kDispatchExemplar) != 0) {
+      RecordExemplar(ctx.nr, dur_ticks, dur_ns, ctx.span, ctx.pid);
+    }
+    RecordTrace(ctx, err, dur_ns, /*seccomp_denied=*/false);
+  } else if ((ctx.dispatch & kDispatchExemplar) != 0) {
+    // Untraced call, exemplars still armed: the budgeted always-on path.
+    // No span to close and no root event to emit, so skip RecordTrace
+    // entirely — the reservoir compare is the only observer work.
+    LayerScope observer_scope(profiler_, Layer::kObserver);
+    RecordExemplar(ctx.nr, dur_ticks, dur_ns, ctx.span, ctx.pid);
+  }
+  Tracer::SwapThreadMute(ctx.prev_muted);
 }
 
 void SyscallGate::RecordDenial(SyscallContext& ctx) {
   // Seccomp-killed semantic (see the header): the call is counted, but its
-  // latency is not — the body never ran.
+  // latency is not — the body never ran. Same reasoning excludes it from
+  // the tail-exemplar reservoir.
   PerSyscall& s = stats_[static_cast<size_t>(ctx.nr)];
   s.calls.fetch_add(1, std::memory_order_relaxed);
   s.errors.fetch_add(1, std::memory_order_relaxed);
   s.seccomp_denied.fetch_add(1, std::memory_order_relaxed);
-  RecordTrace(ctx, Errno::kEPERM, /*dur_ns=*/0, /*seccomp_denied=*/true);
+  {
+    LayerScope observer_scope(profiler_, Layer::kObserver);
+    RecordTrace(ctx, Errno::kEPERM, /*dur_ns=*/0, /*seccomp_denied=*/true);
+  }
   if (audit_sink_) {
     audit_sink_(StrFormat("seccomp: pid=%d comm=%s denied %s(%d)", ctx.pid,
                           ctx.comm ? ctx.comm->c_str() : "?", SysnoName(ctx.nr),
@@ -118,7 +179,7 @@ void SyscallGate::RecordTrace(SyscallContext& ctx, Errno err, uint64_t dur_ns,
   if (tracer_ == nullptr) {
     return;
   }
-  if (tracer_->Enabled(TracepointId::kSyscall)) {
+  if ((ctx.dispatch & kDispatchTrace) != 0) {
     TraceEvent& ev = tracer_->EmitSpanRoot(TracepointId::kSyscall, ctx.pid, ctx.span);
     ev.a = static_cast<uint64_t>(ctx.nr);
     ev.code = static_cast<int>(err);
@@ -140,6 +201,100 @@ void SyscallGate::RecordTrace(SyscallContext& ctx, Errno err, uint64_t dur_ns,
   if (ctx.span != 0) {
     tracer_->EndSpan(ctx.pid, ctx.span);
   }
+}
+
+SyscallGate::ExemplarShard& SyscallGate::MyExemplarShard() {
+  struct TlCache {
+    uint64_t gate_id = 0;
+    ExemplarShard* shard = nullptr;
+  };
+  thread_local TlCache cache;
+  if (cache.gate_id == id_) {
+    return *cache.shard;
+  }
+  std::lock_guard<std::mutex> lk(exemplar_mu_);
+  std::thread::id me = std::this_thread::get_id();
+  for (const std::unique_ptr<ExemplarShard>& s : exemplar_shards_) {
+    if (s->owner == me) {
+      cache = {id_, s.get()};
+      return *s;
+    }
+  }
+  exemplar_shards_.push_back(std::make_unique<ExemplarShard>());
+  ExemplarShard& shard = *exemplar_shards_.back();
+  shard.owner = me;
+  cache = {id_, &shard};
+  return shard;
+}
+
+void SyscallGate::RecordExemplar(Sysno nr, uint64_t dur_ticks, uint64_t dur_ns,
+                                 uint64_t span, int pid) {
+  ExemplarShard& shard = MyExemplarShard();
+  std::unique_ptr<SysnoExemplars>& slot = shard.per_sysno[static_cast<size_t>(nr)];
+  if (slot == nullptr) {
+    slot = std::make_unique<SysnoExemplars>();
+  }
+  SysnoExemplars& res = *slot;
+  if (res.used < kExemplarSlots) {
+    res.slots[res.used++] = {dur_ticks, dur_ns, span, pid};
+  } else {
+    // Warm-reservoir fast path: STRICTLY slower than the cached minimum
+    // replaces it; ties keep the incumbent (earliest call wins), which is
+    // what makes the kept set deterministic under a deterministic clock.
+    if (dur_ticks < res.min_ticks ||
+        (dur_ticks == res.min_ticks && dur_ns <= res.min_ns)) {
+      return;
+    }
+    size_t min_idx = 0;
+    for (size_t i = 1; i < kExemplarSlots; ++i) {
+      const ExemplarRecord& a = res.slots[i];
+      const ExemplarRecord& b = res.slots[min_idx];
+      if (a.dur_ticks < b.dur_ticks ||
+          (a.dur_ticks == b.dur_ticks && a.dur_ns < b.dur_ns)) {
+        min_idx = i;
+      }
+    }
+    res.slots[min_idx] = {dur_ticks, dur_ns, span, pid};
+  }
+  if (res.used < kExemplarSlots) {
+    return;  // min cache only matters once the reservoir is full
+  }
+  res.min_ticks = res.slots[0].dur_ticks;
+  res.min_ns = res.slots[0].dur_ns;
+  for (size_t i = 1; i < kExemplarSlots; ++i) {
+    const ExemplarRecord& a = res.slots[i];
+    if (a.dur_ticks < res.min_ticks ||
+        (a.dur_ticks == res.min_ticks && a.dur_ns < res.min_ns)) {
+      res.min_ticks = a.dur_ticks;
+      res.min_ns = a.dur_ns;
+    }
+  }
+}
+
+std::vector<SyscallGate::ExemplarRecord> SyscallGate::ExemplarsFor(Sysno nr) const {
+  std::vector<ExemplarRecord> all;
+  {
+    std::lock_guard<std::mutex> lk(exemplar_mu_);
+    for (const std::unique_ptr<ExemplarShard>& shard : exemplar_shards_) {
+      const std::unique_ptr<SysnoExemplars>& res = shard->per_sysno[static_cast<size_t>(nr)];
+      if (res == nullptr) {
+        continue;
+      }
+      for (size_t i = 0; i < res->used; ++i) {
+        all.push_back(res->slots[i]);
+      }
+    }
+  }
+  // Slowest first; span breaks ties so the merged top-K is stable.
+  std::sort(all.begin(), all.end(), [](const ExemplarRecord& a, const ExemplarRecord& b) {
+    if (a.dur_ticks != b.dur_ticks) return a.dur_ticks > b.dur_ticks;
+    if (a.dur_ns != b.dur_ns) return a.dur_ns > b.dur_ns;
+    return a.span < b.span;
+  });
+  if (all.size() > kExemplarSlots) {
+    all.resize(kExemplarSlots);
+  }
+  return all;
 }
 
 std::vector<SyscallGate::TraceRecord> SyscallGate::TraceSnapshot() const {
@@ -181,6 +336,12 @@ void SyscallGate::ResetStats() {
     s.total_ticks.store(0, std::memory_order_relaxed);
     s.lat_ticks.Reset();
     s.lat_ns.Reset();
+  }
+  std::lock_guard<std::mutex> lk(exemplar_mu_);
+  for (const std::unique_ptr<ExemplarShard>& shard : exemplar_shards_) {
+    for (std::unique_ptr<SysnoExemplars>& res : shard->per_sysno) {
+      res.reset();
+    }
   }
 }
 
@@ -227,8 +388,19 @@ void SyscallGate::CollectMetrics(MetricsBuilder& b) const {
     b.Counter("protego_syscall_seccomp_denied_total",
               "Syscalls killed by the task seccomp filter at entry", labels,
               s.seccomp_denied);
-    b.Histo("protego_syscall_latency_ticks",
-            "Per-syscall latency in virtual clock ticks", labels, s.lat_ticks);
+    // The tick histogram carries the tail exemplars: each kept slowest-call
+    // record renders on the bucket line its duration falls into, with span
+    // and pid labels for cross-referencing the trace.
+    std::vector<MetricExemplar> exemplars;
+    for (const ExemplarRecord& ex : ExemplarsFor(nr)) {
+      exemplars.push_back(MetricExemplar{
+          {{"span", StrFormat("%llu", (unsigned long long)ex.span)},
+           {"pid", StrFormat("%d", ex.pid)}},
+          ex.dur_ticks});
+    }
+    b.HistoEx("protego_syscall_latency_ticks",
+              "Per-syscall latency in virtual clock ticks", labels, s.lat_ticks,
+              std::move(exemplars));
     if (s.lat_ns.count() > 0) {
       b.Histo("protego_syscall_latency_ns",
               "Per-syscall wall-clock latency in nanoseconds (profiling runs)", labels,

@@ -29,6 +29,29 @@
 // The gate is deliberately cheap: counters are flat arrays indexed by
 // syscall number, trace slots are preallocated and reused, and argument
 // strings are only materialized when the syscall tracepoint is enabled.
+//
+// Per-syscall dispatch: instead of re-deriving "is tracing on? is this
+// syscall in the traced set? is timing on?" from scattered flags on every
+// call, the gate folds the whole observability configuration into one
+// uint8_t dispatch word per syscall number (dispatch_[nr]), rebuilt lazily
+// whenever the tracer's config generation or the gate's own local
+// generation moves. The hot path then pays TWO relaxed generation loads
+// plus ONE indexed byte load to learn everything it needs:
+//
+//   kDispatchTrace    — emit a span root for this call (set only when the
+//                       master switch, the kSyscall point, AND the
+//                       per-syscall traced bitset all agree);
+//   kDispatchSampled  — tracing is head-sampled (rate > 1): draw from the
+//                       per-thread seeded stream once at entry and, on a
+//                       "drop" draw, clear kDispatchTrace before any span
+//                       or argument work happens;
+//   kDispatchTimed    — take the two monotonic clock reads (wallclock
+//                       timing on AND this syscall in the timed bitset);
+//   kDispatchExemplar — feed the tail-exemplar reservoir. Deliberately
+//                       NOT affected by sampling: the reservoir's whole
+//                       point is that the K slowest calls per syscall stay
+//                       explainable even when head sampling dropped their
+//                       trace.
 
 #ifndef SRC_KERNEL_SYSCALL_H_
 #define SRC_KERNEL_SYSCALL_H_
@@ -37,9 +60,13 @@
 #include <bitset>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/base/attribution.h"
 #include "src/base/clock.h"
 #include "src/base/metrics.h"
 #include "src/base/result.h"
@@ -125,12 +152,23 @@ struct SyscallContext {
   uint64_t start_tick = 0;            // virtual clock at entry
   uint64_t start_ns = 0;              // monotonic wall clock at entry (if timed)
   uint64_t span = 0;                  // decision span opened at entry (0 = untraced)
-  std::string args;                   // formatted only when tracing is enabled
+  uint8_t dispatch = 0;               // resolved dispatch word (kDispatch* bits)
+  bool prev_muted = false;            // thread-mute state saved at entry
+  std::string args;                   // formatted only when this call traces
 };
 
 class SyscallGate {
  public:
   static constexpr size_t kTraceCapacity = 256;
+
+  // Dispatch-word bits (see the file comment). Resolved once per call.
+  static constexpr uint8_t kDispatchTrace = 1 << 0;
+  static constexpr uint8_t kDispatchExemplar = 1 << 1;
+  static constexpr uint8_t kDispatchTimed = 1 << 2;
+  static constexpr uint8_t kDispatchSampled = 1 << 3;
+
+  // Tail-exemplar reservoir depth: the K slowest calls kept per syscall.
+  static constexpr size_t kExemplarSlots = 4;
 
   // All fields are relaxed atomics: in parallel mode N task threads retire
   // syscalls concurrently, and the stats path must stay lock-free. Readers
@@ -161,12 +199,20 @@ class SyscallGate {
     std::string args;
   };
 
-  explicit SyscallGate(const Clock* clock) : clock_(clock) {}
+  explicit SyscallGate(const Clock* clock);
 
   // Attaches the kernel-wide tracer (the Kernel does this at boot). Without
   // one, the gate still filters and accounts but emits no trace events.
-  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  void set_tracer(Tracer* tracer) {
+    tracer_ = tracer;
+    BumpLocalGen();
+  }
   Tracer* tracer() { return tracer_; }
+
+  // Attaches the per-layer latency profiler. Detached (nullptr) or disabled,
+  // every LayerScope on the entry path stays inert.
+  void set_profiler(LayerProfiler* profiler) { profiler_ = profiler; }
+  LayerProfiler* profiler() { return profiler_; }
 
   // Attaches the fault-injection registry: the gate stamps the per-call
   // {pid, sysno} fault context and evaluates the syscall_entry site before
@@ -200,7 +246,90 @@ class SyscallGate {
   // Off by default — latency totals normally come from the free virtual
   // clock; profiling sessions opt in to nanosecond timing.
   bool wallclock_timing() const { return wallclock_timing_; }
-  void set_wallclock_timing(bool on) { wallclock_timing_ = on; }
+  void set_wallclock_timing(bool on) {
+    wallclock_timing_ = on;
+    BumpLocalGen();
+  }
+
+  // --- Per-syscall traced/timed sets -----------------------------------------
+  //
+  // Both default to all-set, so the pre-existing global toggles behave
+  // unchanged; /proc/protego/trace "?syscalls=mount,execve" narrows the
+  // traced set to the control-plane calls the operator cares about, which
+  // is what makes "always-on" affordable: untraced syscalls resolve a
+  // dispatch word with the trace bit clear and never touch the span map.
+
+  bool syscall_traced(Sysno nr) const {
+    std::lock_guard<std::mutex> lk(dispatch_mu_);
+    return traced_syscalls_[static_cast<size_t>(nr)];
+  }
+  void SetSyscallTraced(Sysno nr, bool traced) {
+    std::lock_guard<std::mutex> lk(dispatch_mu_);
+    traced_syscalls_[static_cast<size_t>(nr)] = traced;
+    BumpLocalGen();
+  }
+  void SetAllSyscallsTraced(bool traced) {
+    std::lock_guard<std::mutex> lk(dispatch_mu_);
+    if (traced) {
+      traced_syscalls_.set();
+    } else {
+      traced_syscalls_.reset();
+    }
+    BumpLocalGen();
+  }
+
+  bool syscall_timed(Sysno nr) const {
+    std::lock_guard<std::mutex> lk(dispatch_mu_);
+    return timed_syscalls_[static_cast<size_t>(nr)];
+  }
+  void SetSyscallTimed(Sysno nr, bool timed) {
+    std::lock_guard<std::mutex> lk(dispatch_mu_);
+    timed_syscalls_[static_cast<size_t>(nr)] = timed;
+    BumpLocalGen();
+  }
+  void SetAllSyscallsTimed(bool timed) {
+    std::lock_guard<std::mutex> lk(dispatch_mu_);
+    if (timed) {
+      timed_syscalls_.set();
+    } else {
+      timed_syscalls_.reset();
+    }
+    BumpLocalGen();
+  }
+
+  // Tail-exemplar reservoir toggle (on by default; costs one compare per
+  // call once a syscall's reservoir is warm). Requires a tracer (exemplars
+  // ride the tracer's master switch so a fully-off tracer pays nothing).
+  bool exemplars_enabled() const { return exemplars_enabled_; }
+  void set_exemplars_enabled(bool on) {
+    exemplars_enabled_ = on;
+    BumpLocalGen();
+  }
+
+  // One kept tail exemplar: the slowest calls per syscall, with enough
+  // identity (span, pid) to cross-reference the trace.
+  struct ExemplarRecord {
+    uint64_t dur_ticks = 0;
+    uint64_t dur_ns = 0;
+    uint64_t span = 0;
+    int pid = 0;
+  };
+  // Top-K exemplars for one syscall, slowest first (merged across thread
+  // shards; exact when emitters are quiescent, like TraceSnapshot).
+  std::vector<ExemplarRecord> ExemplarsFor(Sysno nr) const;
+
+  // Resolves the dispatch word for one syscall number, rebuilding the table
+  // first if either generation moved. Hot path: two relaxed loads and one
+  // indexed byte load.
+  uint8_t Dispatch(Sysno nr) {
+    uint64_t tracer_gen = tracer_ != nullptr ? tracer_->config_gen() : 0;
+    if (built_tracer_gen_.load(std::memory_order_relaxed) != tracer_gen ||
+        built_local_gen_.load(std::memory_order_relaxed) !=
+            local_gen_.load(std::memory_order_relaxed)) {
+      RebuildDispatch(tracer_gen);
+    }
+    return dispatch_[static_cast<size_t>(nr)].load(std::memory_order_relaxed);
+  }
 
   // Seccomp denials are forwarded here (the kernel wires this to Audit).
   void set_audit_sink(std::function<void(std::string)> sink) {
@@ -231,28 +360,52 @@ class SyscallGate {
   // Templated on the task type only to avoid a header cycle (task.h includes
   // this header for SeccompFilter); the single instantiation is Task.
 
+  // Resolves the dispatch word for this call, applying the head-sampling
+  // decision: when the syscall point is sampled (rate > 1), one draw from
+  // the calling thread's seeded stream decides — a "drop" clears the trace
+  // bit BEFORE any span or argument work, so sampled-out calls pay only the
+  // draw. The exemplar bit survives sampling by design.
+  uint8_t ResolveDispatch(Sysno nr) {
+    uint8_t dispatch = Dispatch(nr);
+    if ((dispatch & (kDispatchTrace | kDispatchSampled)) ==
+            (kDispatchTrace | kDispatchSampled) &&
+        !tracer_->SampleKeep(TracepointId::kSyscall)) {
+      dispatch &= static_cast<uint8_t>(~kDispatchTrace);
+    }
+    return dispatch;
+  }
+
   // Stamps the context, opens the decision span, and consults the task's
   // seccomp filter. Returns false (after recording the denial) if the filter
   // refuses the syscall — the caller must fail with EPERM without touching
-  // DAC or the LSM stack.
+  // DAC or the LSM stack. ctx.dispatch must already be resolved
+  // (ResolveDispatch) — span bookkeeping keys off the trace bit, so calls
+  // whose dispatch word says "no trace" never touch the span map.
   template <typename TaskT>
   bool EnterSyscall(SyscallContext& ctx, const TaskT& task, Sysno nr) {
     ctx.nr = nr;
     ctx.pid = task.pid;
     ctx.comm = &task.comm;
     ctx.start_tick = clock_->Now();
-    // Span bookkeeping is gated on the SYSCALL POINT being enabled, not just
-    // the master switch: when the per-point filter has kSyscall off, no span
-    // root will ever be emitted, so opening (and map-touching) a span per
-    // call would be pure overhead on a path that records nothing.
-    if (tracer_ != nullptr && tracer_->Enabled(TracepointId::kSyscall)) {
+    if ((ctx.dispatch & kDispatchTrace) != 0) {
       ctx.span = tracer_->BeginSpan(ctx.pid);
     }
-    if (task.seccomp != nullptr && !task.seccomp->Allows(nr)) {
+    // An untraced call mutes the span-scoped decision points for its
+    // duration (they would be orphan noise and still pay sampling draws);
+    // ExitSyscall / the denial path restore the saved state, so nested
+    // syscalls compose.
+    ctx.prev_muted = Tracer::SwapThreadMute((ctx.dispatch & kDispatchTrace) == 0);
+    bool denied = false;
+    if (task.seccomp != nullptr) {
+      LayerScope seccomp_scope(profiler_, Layer::kSeccomp);
+      denied = !task.seccomp->Allows(nr);
+    }
+    if (denied) {
       RecordDenial(ctx);
+      Tracer::SwapThreadMute(ctx.prev_muted);
       return false;
     }
-    if (wallclock_timing_) {
+    if ((ctx.dispatch & kDispatchTimed) != 0) {
       ctx.start_ns = MonotonicNanos();
     }
     return true;
@@ -277,8 +430,14 @@ class SyscallGate {
     if (!enabled_) {
       return body();
     }
+    // The gate frame is the attribution ROOT: everything the syscall does
+    // (seccomp, DAC, LSM, VFS, netfilter, the body, and the observability
+    // pipeline itself) nests inside it, so summed per-layer self time
+    // telescopes back to this frame's inclusive time.
+    LayerScope gate_scope(profiler_, Layer::kGate);
     SyscallContext ctx;
-    if (tracer_ != nullptr && tracer_->Enabled(TracepointId::kSyscall)) {
+    ctx.dispatch = ResolveDispatch(nr);
+    if ((ctx.dispatch & kDispatchTrace) != 0) {
       ctx.args = args_fn();
     }
     if (!EnterSyscall(ctx, task, nr)) {
@@ -318,7 +477,9 @@ class SyscallGate {
     if (!enabled_) {
       return task.pid;
     }
+    LayerScope gate_scope(profiler_, Layer::kGate);
     SyscallContext ctx;
+    ctx.dispatch = ResolveDispatch(Sysno::kGetPid);
     if (!EnterSyscall(ctx, task, Sysno::kGetPid)) {
       return -1;
     }
@@ -327,19 +488,63 @@ class SyscallGate {
   }
 
  private:
+  // One syscall's tail reservoir: the K slowest calls seen by one thread.
+  // min_* cache the smallest kept key so a warm reservoir rejects a typical
+  // call with one compare.
+  struct SysnoExemplars {
+    ExemplarRecord slots[kExemplarSlots];
+    size_t used = 0;
+    uint64_t min_ticks = 0;
+    uint64_t min_ns = 0;
+  };
+  // Per-thread exemplar shard (single writer, same discipline as the
+  // Tracer's ring shards): per-sysno reservoirs allocated lazily, so a
+  // thread that never calls mount never pays for a mount reservoir.
+  struct ExemplarShard {
+    std::thread::id owner;
+    std::unique_ptr<SysnoExemplars> per_sysno[kSysnoSlots];
+  };
+
   void RecordDenial(SyscallContext& ctx);
   // Emits the span-root event for the completed call (consumes ctx.args)
   // and closes the span.
   void RecordTrace(SyscallContext& ctx, Errno err, uint64_t dur_ns, bool seccomp_denied);
+  // Offers one completed call to the calling thread's tail reservoir.
+  void RecordExemplar(Sysno nr, uint64_t dur_ticks, uint64_t dur_ns, uint64_t span,
+                      int pid);
+  ExemplarShard& MyExemplarShard();
+
+  void BumpLocalGen() { local_gen_.fetch_add(1, std::memory_order_relaxed); }
+  void RebuildDispatch(uint64_t tracer_gen);
 
   const Clock* clock_;
   Tracer* tracer_ = nullptr;
   FaultRegistry* faults_ = nullptr;
   TaskScheduler* scheduler_ = nullptr;
+  LayerProfiler* profiler_ = nullptr;
   bool enabled_ = true;
   bool wallclock_timing_ = false;
+  bool exemplars_enabled_ = true;
   PerSyscall stats_[kSysnoSlots] = {};
   std::function<void(std::string)> audit_sink_;
+
+  // --- Dispatch table ---------------------------------------------------------
+  // dispatch_[nr] is the resolved word; the two built_* generations record
+  // the configuration it was built from. local_gen_ covers gate-local knobs
+  // (bitsets, timing, exemplars); the tracer's config_gen covers the master
+  // switch, the point mask, and sample rates.
+  std::atomic<uint8_t> dispatch_[kSysnoSlots] = {};
+  std::atomic<uint64_t> local_gen_{1};
+  std::atomic<uint64_t> built_local_gen_{0};
+  std::atomic<uint64_t> built_tracer_gen_{~uint64_t{0}};
+  mutable std::mutex dispatch_mu_;  // guards the bitsets and rebuilds
+  std::bitset<kSysnoSlots> traced_syscalls_;
+  std::bitset<kSysnoSlots> timed_syscalls_;
+
+  // --- Exemplar reservoir -----------------------------------------------------
+  uint64_t id_;  // process-unique, for the thread-local shard cache
+  mutable std::mutex exemplar_mu_;  // guards exemplar_shards_ growth + reads
+  std::vector<std::unique_ptr<ExemplarShard>> exemplar_shards_;
 };
 
 }  // namespace protego

@@ -132,6 +132,11 @@ HookVerdict LsmStack::Combine(HookVerdict acc, HookVerdict v) {
 
 void LsmStack::TraceModule(LsmHook hook, const SecurityModule& module, HookVerdict v,
                            int pid) const {
+  // The caller hoisted the Enabled() check; the head-sampling draw stays
+  // per-emission so each module event is an independent sampling decision.
+  if (!tracer_->SampleKeep(TracepointId::kLsmHook)) {
+    return;
+  }
   TraceEvent& ev = tracer_->Emit(TracepointId::kLsmHook, pid);
   ev.a = static_cast<uint64_t>(hook);
   ev.sname = LsmHookName(hook);
@@ -144,7 +149,7 @@ void LsmStack::TraceModule(LsmHook hook, const SecurityModule& module, HookVerdi
 
 void LsmStack::TraceDecision(LsmHook hook, HookVerdict combined, uint32_t cache_flags,
                              int pid) const {
-  if (tracer_ == nullptr || !tracer_->Enabled(TracepointId::kLsmDecision)) {
+  if (tracer_ == nullptr || !tracer_->ShouldEmit(TracepointId::kLsmDecision)) {
     return;
   }
   TraceEvent& ev = tracer_->Emit(TracepointId::kLsmDecision, pid);
@@ -300,6 +305,7 @@ uint64_t LsmStack::BindKey(const Task& task, const BindRequest& req) const {
 
 HookVerdict LsmStack::InodePermission(Task& task, const std::string& path,
                                       const Inode& inode, int may) const {
+  LayerScope lsm_scope(profiler_, Layer::kLsm);
   Count(LsmHook::kInodePermission);
   HookTimer timer(clock_, &hook_lat_[static_cast<size_t>(LsmHook::kInodePermission)]);
   if (FaultDeny(LsmHook::kInodePermission, task.pid)) {
@@ -309,6 +315,7 @@ HookVerdict LsmStack::InodePermission(Task& task, const std::string& path,
   uint64_t gen = 0;
   HookVerdict cached;
   if (decision_cache_enabled_) {
+    LayerScope cache_scope(profiler_, Layer::kDecisionCache);
     if (CacheBypass()) {
       cache_bypasses_.fetch_add(1, std::memory_order_relaxed);
     } else {
@@ -343,6 +350,7 @@ HookVerdict LsmStack::InodePermission(Task& task, const std::string& path,
 }
 
 HookVerdict LsmStack::SbMount(const Task& task, const MountRequest& req) const {
+  LayerScope lsm_scope(profiler_, Layer::kLsm);
   Count(LsmHook::kSbMount);
   HookTimer timer(clock_, &hook_lat_[static_cast<size_t>(LsmHook::kSbMount)]);
   if (FaultDeny(LsmHook::kSbMount, task.pid)) {
@@ -352,6 +360,7 @@ HookVerdict LsmStack::SbMount(const Task& task, const MountRequest& req) const {
   uint64_t gen = 0;
   HookVerdict cached;
   if (decision_cache_enabled_) {
+    LayerScope cache_scope(profiler_, Layer::kDecisionCache);
     if (CacheBypass()) {
       cache_bypasses_.fetch_add(1, std::memory_order_relaxed);
     } else {
@@ -386,6 +395,7 @@ HookVerdict LsmStack::SbMount(const Task& task, const MountRequest& req) const {
 }
 
 HookVerdict LsmStack::SbUmount(const Task& task, const std::string& mountpoint) const {
+  LayerScope lsm_scope(profiler_, Layer::kLsm);
   Count(LsmHook::kSbUmount);
   HookTimer timer(clock_, &hook_lat_[static_cast<size_t>(LsmHook::kSbUmount)]);
   if (FaultDeny(LsmHook::kSbUmount, task.pid)) {
@@ -406,6 +416,7 @@ HookVerdict LsmStack::SbUmount(const Task& task, const std::string& mountpoint) 
 }
 
 HookVerdict LsmStack::SocketCreate(const Task& task, const SocketRequest& req) const {
+  LayerScope lsm_scope(profiler_, Layer::kLsm);
   Count(LsmHook::kSocketCreate);
   HookTimer timer(clock_, &hook_lat_[static_cast<size_t>(LsmHook::kSocketCreate)]);
   if (FaultDeny(LsmHook::kSocketCreate, task.pid)) {
@@ -426,6 +437,7 @@ HookVerdict LsmStack::SocketCreate(const Task& task, const SocketRequest& req) c
 }
 
 HookVerdict LsmStack::SocketBind(const Task& task, const BindRequest& req) const {
+  LayerScope lsm_scope(profiler_, Layer::kLsm);
   Count(LsmHook::kSocketBind);
   HookTimer timer(clock_, &hook_lat_[static_cast<size_t>(LsmHook::kSocketBind)]);
   if (FaultDeny(LsmHook::kSocketBind, task.pid)) {
@@ -435,6 +447,7 @@ HookVerdict LsmStack::SocketBind(const Task& task, const BindRequest& req) const
   uint64_t gen = 0;
   HookVerdict cached;
   if (decision_cache_enabled_) {
+    LayerScope cache_scope(profiler_, Layer::kDecisionCache);
     if (CacheBypass()) {
       cache_bypasses_.fetch_add(1, std::memory_order_relaxed);
     } else {
@@ -470,6 +483,7 @@ HookVerdict LsmStack::SocketBind(const Task& task, const BindRequest& req) const
 
 HookVerdict LsmStack::TaskFixSetuid(Task& task, const SetuidRequest& req,
                                     SetuidDisposition* disposition) const {
+  LayerScope lsm_scope(profiler_, Layer::kLsm);
   Count(LsmHook::kTaskFixSetuid);
   HookTimer timer(clock_, &hook_lat_[static_cast<size_t>(LsmHook::kTaskFixSetuid)]);
   if (FaultDeny(LsmHook::kTaskFixSetuid, task.pid)) {
@@ -491,6 +505,7 @@ HookVerdict LsmStack::TaskFixSetuid(Task& task, const SetuidRequest& req,
 
 HookVerdict LsmStack::BprmCheck(Task& task, const std::string& path, const Inode& inode,
                                 const std::vector<std::string>& argv, ExecControl* control) const {
+  LayerScope lsm_scope(profiler_, Layer::kLsm);
   Count(LsmHook::kBprmCheck);
   HookTimer timer(clock_, &hook_lat_[static_cast<size_t>(LsmHook::kBprmCheck)]);
   if (FaultDeny(LsmHook::kBprmCheck, task.pid)) {
@@ -511,6 +526,7 @@ HookVerdict LsmStack::BprmCheck(Task& task, const std::string& path, const Inode
 }
 
 HookVerdict LsmStack::FileIoctl(const Task& task, const IoctlRequest& req) const {
+  LayerScope lsm_scope(profiler_, Layer::kLsm);
   Count(LsmHook::kFileIoctl);
   HookTimer timer(clock_, &hook_lat_[static_cast<size_t>(LsmHook::kFileIoctl)]);
   if (FaultDeny(LsmHook::kFileIoctl, task.pid)) {

@@ -30,6 +30,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/base/attribution.h"
 #include "src/base/clock.h"
 #include "src/base/metrics.h"
 #include "src/base/tracepoint.h"
@@ -98,6 +99,11 @@ class LsmStack {
     tracer_ = tracer;
     clock_ = clock;
   }
+
+  // Attaches the per-layer latency profiler: each dispatch runs under an
+  // `lsm` frame, with the decision-cache probe nested as its own
+  // `decision_cache` frame.
+  void set_profiler(LayerProfiler* profiler) { profiler_ = profiler; }
 
   // Attaches the fault-injection registry. A fault injected at the kLsmHook
   // site makes the dispatch fail CLOSED — the combined verdict is kDeny, no
@@ -233,6 +239,7 @@ class LsmStack {
 
   Tracer* tracer_ = nullptr;
   const Clock* clock_ = nullptr;
+  LayerProfiler* profiler_ = nullptr;
   FaultRegistry* faults_ = nullptr;
   mutable std::atomic<uint64_t> fail_closed_{0};  // fault-injected dispatches denied
 

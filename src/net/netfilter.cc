@@ -101,6 +101,7 @@ const char* Netfilter::ChainName(NfChain chain) const {
 }
 
 NfVerdict Netfilter::Evaluate(NfChain chain, const Packet& packet) const {
+  LayerScope netfilter_scope(profiler_, Layer::kNetfilter);
   evaluated_.fetch_add(1, std::memory_order_relaxed);
   // Fail closed: if chain evaluation faults, the packet is dropped — a
   // filtering layer that cannot decide must not pass traffic.
@@ -108,7 +109,7 @@ NfVerdict Netfilter::Evaluate(NfChain chain, const Packet& packet) const {
       faults_->Evaluate(FaultSite::kNetfilterEval) != Errno::kOk) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     fail_closed_drops_.fetch_add(1, std::memory_order_relaxed);
-    if (tracer_ != nullptr && tracer_->Enabled(TracepointId::kNetfilter)) {
+    if (tracer_ != nullptr && tracer_->ShouldEmit(TracepointId::kNetfilter)) {
       TraceEvent& ev = tracer_->Emit(TracepointId::kNetfilter, 0);
       ev.sname = ChainName(chain);
       ev.sdetail = "DROP";
@@ -126,7 +127,7 @@ NfVerdict Netfilter::Evaluate(NfChain chain, const Packet& packet) const {
       if (rule.verdict == NfVerdict::kDrop) {
         dropped_.fetch_add(1, std::memory_order_relaxed);
       }
-      if (tracer_ != nullptr && tracer_->Enabled(TracepointId::kNetfilter)) {
+      if (tracer_ != nullptr && tracer_->ShouldEmit(TracepointId::kNetfilter)) {
         TraceEvent& ev = tracer_->Emit(TracepointId::kNetfilter, 0);
         ev.sname = ChainName(chain);
         ev.sdetail = rule.verdict == NfVerdict::kDrop ? "DROP" : "ACCEPT";
@@ -138,7 +139,7 @@ NfVerdict Netfilter::Evaluate(NfChain chain, const Packet& packet) const {
       return rule.verdict;
     }
   }
-  if (tracer_ != nullptr && tracer_->Enabled(TracepointId::kNetfilter)) {
+  if (tracer_ != nullptr && tracer_->ShouldEmit(TracepointId::kNetfilter)) {
     TraceEvent& ev = tracer_->Emit(TracepointId::kNetfilter, 0);
     ev.sname = ChainName(chain);
     ev.sdetail = "ACCEPT";

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/base/result.h"
+#include "src/base/attribution.h"
 #include "src/base/tracepoint.h"
 #include "src/fault/fault.h"
 #include "src/net/packet.h"
@@ -68,6 +69,10 @@ class Netfilter {
   // Attaches the kernel-wide tracer: every Evaluate() emits a kNetfilter
   // event (chain, verdict, matched rule) under the calling syscall's span.
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  // Per-layer latency attribution: chain evaluation runs under a
+  // `netfilter` frame.
+  void set_profiler(LayerProfiler* profiler) { profiler_ = profiler; }
 
   // Attaches the fault-injection registry. A fault at the netfilter_eval
   // site makes the chain fail CLOSED: the packet is dropped without
@@ -123,6 +128,7 @@ class Netfilter {
   std::vector<NfRule> rules_;
   PortOwnerFn port_owner_;
   Tracer* tracer_ = nullptr;
+  LayerProfiler* profiler_ = nullptr;
   FaultRegistry* faults_ = nullptr;
   mutable std::atomic<uint64_t> evaluated_{0};
   mutable std::atomic<uint64_t> dropped_{0};

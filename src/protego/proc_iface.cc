@@ -196,6 +196,10 @@ Result<TraceFilter> ParseTraceQuery(std::string_view query) {
     return filter;  // "?" resets to match-everything
   }
   for (const std::string& pair : Split(rest, '&')) {
+    if (pair == "since") {
+      filter.since = 0;  // bare "since" resets the cursor
+      continue;
+    }
     size_t eq = pair.find('=');
     if (eq == std::string::npos) {
       return Error(Errno::kEINVAL, "trace filter token: " + pair);
@@ -219,12 +223,71 @@ Result<TraceFilter> ParseTraceQuery(std::string_view query) {
         return Error(Errno::kEINVAL, "trace filter span: " + value);
       }
       filter.span = *v;
+    } else if (key == "since") {
+      auto v = ParseUint(value);
+      if (!v) {
+        return Error(Errno::kEINVAL, "trace filter since: " + value);
+      }
+      filter.since = *v;
     } else {
       return Error(Errno::kEINVAL, "trace filter key: " + key);
     }
   }
   return filter;
 }
+
+namespace {
+
+// "syscall" | "lsm_hook" | ... -> TracepointId, for the trace file's
+// sample= command.
+std::optional<TracepointId> TracepointFromName(std::string_view name) {
+  for (size_t i = 0; i < kTracepointCount; ++i) {
+    TracepointId tp = static_cast<TracepointId>(i);
+    if (name == TracepointName(tp)) {
+      return tp;
+    }
+  }
+  return std::nullopt;
+}
+
+// Parses the value of a `syscalls=` / `timed=` trace command:
+// "all" | "none" | comma-separated syscall names. EINVAL names the first
+// unknown syscall; nothing is applied until the whole list validates.
+struct SyscallSetSpec {
+  bool all = false;             // "all"
+  std::vector<Sysno> members;   // explicit list ("none" = empty)
+};
+
+Result<SyscallSetSpec> ParseSyscallSet(const char* what, std::string_view value) {
+  SyscallSetSpec spec;
+  if (value == "all") {
+    spec.all = true;
+    return spec;
+  }
+  if (value == "none") {
+    return spec;
+  }
+  if (value.empty()) {
+    return Error(Errno::kEINVAL, StrFormat("trace %s: expected all|none|name,...", what));
+  }
+  for (const std::string& name : Split(value, ',')) {
+    bool found = false;
+    for (Sysno nr : AllSysnos()) {
+      if (name == SysnoName(nr)) {
+        spec.members.push_back(nr);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Error(Errno::kEINVAL, StrFormat("trace %s: unknown syscall: %s", what,
+                                             name.c_str()));
+    }
+  }
+  return spec;
+}
+
+}  // namespace
 
 Result<Unit> InstallProtegoProcFiles(Kernel* kernel, ProtegoLsm* lsm) {
   Vfs& vfs = kernel->vfs();
@@ -331,8 +394,13 @@ Result<Unit> InstallProtegoProcFiles(Kernel* kernel, ProtegoLsm* lsm) {
 
   // Recent-event trace ring. Root-only (it exposes other tasks' activity);
   // writing "clear" drops the ring, "on"/"off" toggle tracing, and a query
-  // string ("?pid=12&syscall=mount&span=3", any subset) sets the read-side
-  // filter applied by subsequent reads. Writing "?" alone clears the filter.
+  // string ("?pid=12&syscall=mount&span=3&since=100", any subset) sets the
+  // read-side filter applied by subsequent reads. Writing "?" alone clears
+  // the filter; a bare "since" inside a query resets just the cursor.
+  // Control commands: "sample=<point|all>:<rate>" sets 1-in-N head sampling,
+  // "seed=N" reseeds the sampling streams (replayable, like fault_inject),
+  // and "syscalls=..." / "timed=..." (all|none|name,name) set the
+  // per-syscall trace/timing dispatch sets.
   SyntheticOps trace_ops;
   trace_ops.read = [kernel]() { return kernel->syscalls().FormatTrace(); };
   trace_ops.write = [kernel](std::string_view data) -> Result<Unit> {
@@ -346,12 +414,81 @@ Result<Unit> InstallProtegoProcFiles(Kernel* kernel, ProtegoLsm* lsm) {
     } else if (!cmd.empty() && cmd[0] == '?') {
       ASSIGN_OR_RETURN(TraceFilter filter, ParseTraceQuery(cmd));
       kernel->tracer().set_read_filter(std::move(filter));
+    } else if (StartsWith(cmd, "sample=")) {
+      // sample=<point>:<rate> or sample=all:<rate> — head-sampling rate
+      // (1-in-N; 0/1 = keep everything).
+      std::string_view spec = cmd.substr(7);
+      size_t colon = spec.find(':');
+      if (colon == std::string_view::npos) {
+        return Error(Errno::kEINVAL, "trace sample: expected <point|all>:<rate>");
+      }
+      std::string_view point = spec.substr(0, colon);
+      auto rate = ParseUint(spec.substr(colon + 1));
+      if (!rate || *rate > UINT32_MAX) {
+        return Error(Errno::kEINVAL,
+                     "trace sample rate: " + std::string(spec.substr(colon + 1)));
+      }
+      if (point == "all") {
+        kernel->tracer().set_all_sample_rates(static_cast<uint32_t>(*rate));
+      } else {
+        auto tp = TracepointFromName(point);
+        if (!tp) {
+          return Error(Errno::kEINVAL, "trace sample point: " + std::string(point));
+        }
+        kernel->tracer().set_sample_rate(*tp, static_cast<uint32_t>(*rate));
+      }
+    } else if (StartsWith(cmd, "seed=")) {
+      auto seed = ParseUint(cmd.substr(5));
+      if (!seed) {
+        return Error(Errno::kEINVAL, "trace seed: " + std::string(cmd.substr(5)));
+      }
+      kernel->tracer().set_sample_seed(*seed);
+    } else if (StartsWith(cmd, "syscalls=")) {
+      // Per-syscall trace dispatch set: which syscalls may open spans and
+      // emit kSyscall roots. Validated in full before anything is applied.
+      ASSIGN_OR_RETURN(SyscallSetSpec spec, ParseSyscallSet("syscalls", cmd.substr(9)));
+      SyscallGate& gate = kernel->syscalls();
+      gate.SetAllSyscallsTraced(spec.all);
+      for (Sysno nr : spec.members) {
+        gate.SetSyscallTraced(nr, true);
+      }
+    } else if (StartsWith(cmd, "timed=")) {
+      // Per-syscall wall-clock timing set (only consulted when wallclock
+      // timing is enabled).
+      ASSIGN_OR_RETURN(SyscallSetSpec spec, ParseSyscallSet("timed", cmd.substr(6)));
+      SyscallGate& gate = kernel->syscalls();
+      gate.SetAllSyscallsTimed(spec.all);
+      for (Sysno nr : spec.members) {
+        gate.SetSyscallTimed(nr, true);
+      }
     } else {
-      return Error(Errno::kEINVAL, "trace: expected clear|on|off|?k=v&...");
+      return Error(Errno::kEINVAL,
+                   "trace: expected clear|on|off|sample=|seed=|syscalls=|timed=|?k=v&...");
     }
     return OkUnit();
   };
   RETURN_IF_ERROR(vfs.CreateSynthetic("/proc/protego/trace", 0600, std::move(trace_ops)));
+
+  // Per-layer latency attribution: a folded-stack profile of where decision
+  // time is spent (gate / seccomp / lsm / decision_cache / dac / vfs /
+  // netfilter / fault_registry / observer). Off by default; "on" arms the
+  // profiler, "clear" zeroes accumulated frames.
+  SyntheticOps profile_ops;
+  profile_ops.read = [kernel]() { return kernel->profiler().FormatProfile(); };
+  profile_ops.write = [kernel](std::string_view data) -> Result<Unit> {
+    std::string_view cmd = Trim(data);
+    if (cmd == "on") {
+      kernel->profiler().set_enabled(true);
+    } else if (cmd == "off") {
+      kernel->profiler().set_enabled(false);
+    } else if (cmd == "clear") {
+      kernel->profiler().Reset();
+    } else {
+      return Error(Errno::kEINVAL, "profile: expected on|off|clear");
+    }
+    return OkUnit();
+  };
+  RETURN_IF_ERROR(vfs.CreateSynthetic("/proc/protego/profile", 0600, std::move(profile_ops)));
 
   // Fault-injection control file, root-only. Reads render the enabled
   // sites as re-writable directive lines (the recorded {seed, site-config}

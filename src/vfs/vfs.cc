@@ -72,6 +72,7 @@ std::string Vfs::Normalize(std::string_view path) {
 
 Result<Vnode*> Vfs::ResolveInternal(std::string_view path, bool want_parent,
                                     std::string* leaf_out, bool follow_leaf) const {
+  LayerScope vfs_scope(profiler_, Layer::kVfs);
   if (path.empty() || path[0] != '/') {
     return Error(Errno::kEINVAL, "path must be absolute: " + std::string(path));
   }
@@ -574,7 +575,7 @@ Result<Unit> Vfs::AddMount(std::string_view mountpoint, std::string source, std:
                              entry->mountpoint.c_str(), entry->fstype.c_str());
     mounts_.push_back(std::move(entry));
   }
-  if (tracer_ != nullptr && tracer_->Enabled(TracepointId::kVfsMount)) {
+  if (tracer_ != nullptr && tracer_->ShouldEmit(TracepointId::kVfsMount)) {
     TraceEvent& ev = tracer_->Emit(TracepointId::kVfsMount, 0);
     ev.sname = "mount";
     ev.detail = trace_detail;
@@ -601,7 +602,7 @@ Result<Unit> Vfs::RemoveMount(std::string_view mountpoint) {
   if (!removed) {
     return Error(Errno::kEINVAL, "not mounted: " + normalized);
   }
-  if (tracer_ != nullptr && tracer_->Enabled(TracepointId::kVfsMount)) {
+  if (tracer_ != nullptr && tracer_->ShouldEmit(TracepointId::kVfsMount)) {
     TraceEvent& ev = tracer_->Emit(TracepointId::kVfsMount, 0);
     ev.sname = "umount";
     ev.detail = normalized;

@@ -44,6 +44,7 @@
 
 #include "src/base/clock.h"
 #include "src/base/result.h"
+#include "src/base/attribution.h"
 #include "src/base/tracepoint.h"
 #include "src/fault/fault.h"
 #include "src/vfs/inode.h"
@@ -133,6 +134,10 @@ class Vfs {
   // Attaches the kernel-wide tracer: mount-table changes emit kVfsMount
   // events (stamped with the calling syscall's span).
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+  // Per-layer latency attribution: path resolution runs under a `vfs`
+  // frame. Detached or disabled, resolution pays a pointer test.
+  void set_profiler(LayerProfiler* profiler) { profiler_ = profiler; }
 
   // Attaches the fault-injection registry: vnode allocation (ENOMEM) and
   // block allocation (ENOSPC) become injectable fault sites.
@@ -289,6 +294,7 @@ class Vfs {
 
   Clock* clock_;
   Tracer* tracer_ = nullptr;
+  LayerProfiler* profiler_ = nullptr;
   FaultRegistry* faults_ = nullptr;
   uint64_t block_quota_ = 0;  // 0 = unlimited; set at boot, read-only after
   std::atomic<uint64_t> bytes_used_{0};     // charged regular-file data bytes

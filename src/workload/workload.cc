@@ -358,7 +358,17 @@ MixReport RunWorkload(const WorkloadSpec& spec, SimMode sim_mode) {
   Kernel& k = sys.kernel();
   // The engine measures the syscall machinery, not trace-string formatting;
   // the tracer's enable-check cost is already priced by BENCH_syscall_gate.
-  k.tracer().set_enabled(false);
+  // With spec.trace the tracer instead runs live under head sampling seeded
+  // from the workload seed, so the sampled event stream replays exactly.
+  if (spec.trace) {
+    k.tracer().set_sample_seed(spec.seed);
+    k.tracer().set_all_sample_rates(spec.sample_rate);
+  } else {
+    k.tracer().set_enabled(false);
+  }
+  if (spec.profile) {
+    k.profiler().set_enabled(true);
+  }
 
   const int tasks = spec.tasks > 0 ? spec.tasks : 1;
   const uint64_t per_unit = OpsPerUnit(spec.mix);
@@ -433,6 +443,20 @@ MixReport RunWorkload(const WorkloadSpec& spec, SimMode sim_mode) {
   for (Sysno nr : AllSysnos()) {
     report.profile.calls[static_cast<size_t>(nr)] =
         k.syscalls().stats(nr).calls.load(std::memory_order_relaxed);
+  }
+  if (spec.trace) {
+    report.trace_sampled_out = k.tracer().total_sampled_out();
+  }
+  if (spec.profile) {
+    report.attrib_root_ns = k.profiler().root_ns();
+    for (size_t i = 0; i < kLayerCount; ++i) {
+      report.attrib_self_ns += k.profiler().Totals(static_cast<Layer>(i)).self_ns;
+    }
+  }
+  if (spec.trace || spec.profile) {
+    // Captured after the timed region: the export itself (and its linting
+    // in tests) never perturbs the measured throughput.
+    report.metrics_text = k.metrics().PrometheusText();
   }
   return report;
 }

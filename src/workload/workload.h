@@ -76,6 +76,18 @@ struct WorkloadSpec {
                                 // per task (tasks * units * OpsPerUnit)
   uint64_t seed = 1;          // parameter streams + DetScheduler seed
   ExecMode exec_mode = ExecMode::kDeterministic;
+
+  // --- Observability knobs ----------------------------------------------------
+  // Default: tracer fully off during the measured region (the engine prices
+  // the syscall machinery, not trace formatting). With `trace` on, the
+  // tracer stays enabled with every point's head-sampling rate set to
+  // `sample_rate` (0 = keep everything) and its streams seeded from `seed`,
+  // so sampling decisions replay run to run.
+  bool trace = false;
+  uint32_t sample_rate = 0;
+  // Arms the per-layer latency profiler over the measured region; the
+  // report's attrib_* fields are filled from it.
+  bool profile = false;
 };
 
 // Per-syscall call counts harvested from the gate over the timed region.
@@ -108,6 +120,13 @@ struct MixReport {
   double ops_per_sec = 0;    // ops_issued / wall_seconds
   double units_per_sec = 0;  // units / wall_seconds
   SyscallProfile profile;
+
+  // Observability capture (meaningful when the spec's knobs were on).
+  std::string metrics_text;        // full Prometheus export, post-run (trace||profile)
+  uint64_t trace_sampled_out = 0;  // events dropped by head sampling
+  uint64_t attrib_self_ns = 0;     // summed per-layer self time
+  uint64_t attrib_root_ns = 0;     // inclusive time of gate-root frames;
+                                   // telescoping: self ≈ root when profiled
 };
 
 // Boots SimSystem(sim_mode), provisions the mix's fixtures untimed (spool

@@ -6,6 +6,10 @@
 // sample syntax) and the histogram contract: every histogram family must
 // emit cumulative, non-decreasing buckets ending in le="+Inf", plus _sum
 // and _count samples with _count equal to the +Inf bucket.
+//
+// OpenMetrics-style exemplars (" # {span=\"17\",pid=\"3\"} 41" after a
+// bucket sample) are accepted ONLY on _bucket lines of histogram families,
+// and the exemplar value must fit the bucket it annotates (value <= le).
 
 #ifndef TESTS_PROMETHEUS_LINT_H_
 #define TESTS_PROMETHEUS_LINT_H_
@@ -50,7 +54,67 @@ struct Sample {
   std::string le;          // value of the "le" label, if present
   std::string label_key;   // serialized labels minus "le" (bucket grouping)
   double value = 0;
+  bool has_exemplar = false;
+  double exemplar_value = 0;
+  std::string exemplar_labels;  // serialized exemplar labels
 };
+
+// Parses a {k="v",...} label set starting at `*i` (which must point at '{');
+// advances *i past the closing '}'. `le` may be nullptr (exemplar label
+// sets have no special le handling).
+inline std::optional<std::string> ParseLabelSet(const std::string& line, size_t* i,
+                                                std::string* key, std::string* le) {
+  ++*i;  // past '{'
+  while (*i < line.size() && line[*i] != '}') {
+    size_t eq = line.find('=', *i);
+    if (eq == std::string::npos) {
+      return "label without '=' in: " + line;
+    }
+    std::string lname = line.substr(*i, eq - *i);
+    if (!ValidLabelName(lname)) {
+      return "bad label name '" + lname + "' in: " + line;
+    }
+    if (eq + 1 >= line.size() || line[eq + 1] != '"') {
+      return "unquoted label value in: " + line;
+    }
+    std::string lvalue;
+    size_t j = eq + 2;
+    for (; j < line.size() && line[j] != '"'; ++j) {
+      if (line[j] == '\\') {
+        if (j + 1 >= line.size()) {
+          return "dangling escape in: " + line;
+        }
+        char esc = line[j + 1];
+        if (esc != '\\' && esc != '"' && esc != 'n') {
+          return "bad escape in: " + line;
+        }
+        lvalue.push_back(esc == 'n' ? '\n' : esc);
+        ++j;
+      } else {
+        lvalue.push_back(line[j]);
+      }
+    }
+    if (j >= line.size()) {
+      return "unterminated label value in: " + line;
+    }
+    *i = j + 1;  // past closing quote
+    if (le != nullptr && lname == "le") {
+      *le = lvalue;
+    } else {
+      *key += lname + "=" + lvalue + ";";
+    }
+    if (*i < line.size() && line[*i] == ',') {
+      ++*i;
+    } else if (*i < line.size() && line[*i] != '}') {
+      return "expected ',' or '}' in: " + line;
+    }
+  }
+  if (*i >= line.size() || line[*i] != '}') {
+    return "unterminated label set in: " + line;
+  }
+  ++*i;
+  return std::nullopt;
+}
 
 // Parses one sample line into `out`; returns an error message on failure.
 inline std::optional<std::string> ParseSampleLine(const std::string& line, Sample* out) {
@@ -63,60 +127,38 @@ inline std::optional<std::string> ParseSampleLine(const std::string& line, Sampl
     return "bad metric name in: " + line;
   }
   if (i < line.size() && line[i] == '{') {
-    ++i;
-    while (i < line.size() && line[i] != '}') {
-      size_t eq = line.find('=', i);
-      if (eq == std::string::npos) {
-        return "label without '=' in: " + line;
-      }
-      std::string lname = line.substr(i, eq - i);
-      if (!ValidLabelName(lname)) {
-        return "bad label name '" + lname + "' in: " + line;
-      }
-      if (eq + 1 >= line.size() || line[eq + 1] != '"') {
-        return "unquoted label value in: " + line;
-      }
-      std::string lvalue;
-      size_t j = eq + 2;
-      for (; j < line.size() && line[j] != '"'; ++j) {
-        if (line[j] == '\\') {
-          if (j + 1 >= line.size()) {
-            return "dangling escape in: " + line;
-          }
-          char esc = line[j + 1];
-          if (esc != '\\' && esc != '"' && esc != 'n') {
-            return "bad escape in: " + line;
-          }
-          lvalue.push_back(esc == 'n' ? '\n' : esc);
-          ++j;
-        } else {
-          lvalue.push_back(line[j]);
-        }
-      }
-      if (j >= line.size()) {
-        return "unterminated label value in: " + line;
-      }
-      i = j + 1;  // past closing quote
-      if (lname == "le") {
-        out->le = lvalue;
-      } else {
-        out->label_key += lname + "=" + lvalue + ";";
-      }
-      if (i < line.size() && line[i] == ',') {
-        ++i;
-      } else if (i < line.size() && line[i] != '}') {
-        return "expected ',' or '}' in: " + line;
-      }
+    if (auto err = ParseLabelSet(line, &i, &out->label_key, &out->le)) {
+      return err;
     }
-    if (i >= line.size() || line[i] != '}') {
-      return "unterminated label set in: " + line;
-    }
-    ++i;
   }
   if (i >= line.size() || line[i] != ' ') {
     return "missing value separator in: " + line;
   }
-  std::string value_str = line.substr(i + 1);
+  std::string rest = line.substr(i + 1);
+  // Split off an OpenMetrics exemplar: "<value> # {labels} <exemplar value>".
+  std::string value_str = rest;
+  size_t hash = rest.find(" # ");
+  if (hash != std::string::npos) {
+    value_str = rest.substr(0, hash);
+    std::string ex = rest.substr(hash + 3);
+    if (ex.empty() || ex[0] != '{') {
+      return "exemplar without label set in: " + line;
+    }
+    size_t k = 0;
+    if (auto err = ParseLabelSet(ex, &k, &out->exemplar_labels, nullptr)) {
+      return err;
+    }
+    if (k >= ex.size() || ex[k] != ' ') {
+      return "exemplar missing value in: " + line;
+    }
+    std::string exval = ex.substr(k + 1);
+    char* exend = nullptr;
+    out->exemplar_value = std::strtod(exval.c_str(), &exend);
+    if (exend == exval.c_str() || *exend != '\0') {
+      return "unparseable exemplar value '" + exval + "' in: " + line;
+    }
+    out->has_exemplar = true;
+  }
   if (value_str == "+Inf") {
     out->value = HUGE_VAL;
     return std::nullopt;
@@ -178,6 +220,24 @@ inline std::optional<std::string> LintPrometheusText(std::string_view text) {
       return err;
     }
     samples.push_back(std::move(s));
+  }
+
+  // Exemplars are only meaningful on histogram bucket lines, and must fit
+  // the bucket they annotate.
+  for (const Sample& s : samples) {
+    if (!s.has_exemplar) {
+      continue;
+    }
+    if (s.name.size() < 8 || s.name.substr(s.name.size() - 7) != "_bucket") {
+      return "exemplar on non-bucket sample: " + s.name;
+    }
+    if (s.le.empty()) {
+      return "exemplar on bucket without le label: " + s.name;
+    }
+    double le = s.le == "+Inf" ? HUGE_VAL : std::strtod(s.le.c_str(), nullptr);
+    if (s.exemplar_value > le) {
+      return "exemplar value exceeds bucket bound in " + s.name;
+    }
   }
 
   // Histogram contract per (family, non-le label set).
