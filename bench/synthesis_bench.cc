@@ -1,0 +1,99 @@
+// Cost of the closed synthesis loop, emitted as BENCH_synthesis.json:
+//
+//   collect      run the traced workload and gather observation streams
+//   synthesize   collapse a collected corpus into filters + policy tables
+//   end_to_end   CollectTraces + ReferenceContext + Synthesize (the
+//                SynthesizePolicy path the study and the CLI use)
+//   install      apply a synthesized policy to a fresh Protego boot
+//
+// Synthesis is an offline/deploy-time activity, so the bar here is "cheap
+// enough to run in CI on every change", not nanoseconds — times are ms/op.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/study/synth_study.h"
+
+namespace protego {
+namespace {
+
+template <typename Fn>
+double MsPerOp(Fn&& fn, int reps) {
+  double best = 1e18;
+  for (int r = 0; r < reps; ++r) {
+    uint64_t t0 = MonotonicNanos();
+    fn();
+    uint64_t t1 = MonotonicNanos();
+    best = std::min(best, static_cast<double>(t1 - t0) / 1e6);
+  }
+  return best;
+}
+
+}  // namespace
+}  // namespace protego
+
+int main(int argc, char** argv) {
+  using namespace protego;
+  using namespace protego::synth;
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_synthesis.json";
+  constexpr uint64_t kSeed = 42;
+  constexpr int kReps = 3;
+
+  struct Row {
+    std::string stage;
+    double ms_per_op = 0;
+  };
+  std::vector<Row> rows;
+  auto bench = [&](const char* stage, auto&& fn) {
+    double ms = MsPerOp(fn, kReps);
+    rows.push_back({stage, ms});
+    std::printf("%-12s %8.2f ms/op\n", stage, ms);
+  };
+
+  TraceCorpus corpus = CollectTraces(kSeed, ExecMode::kDeterministic);
+  SynthContext ctx = ReferenceContext();
+  SynthesizedPolicy policy = Synthesize(corpus, ctx);
+
+  bench("collect", [&] { (void)CollectTraces(kSeed, ExecMode::kDeterministic); });
+  bench("synthesize", [&] { (void)Synthesize(corpus, ctx); });
+  bench("end_to_end", [&] { (void)SynthesizePolicy(kSeed, ExecMode::kDeterministic); });
+  bench("install", [&] {
+    SimSystem sys(SimMode::kProtego);
+    if (!InstallSynthesized(sys, policy).ok()) {
+      std::fprintf(stderr, "install failed\n");
+      std::exit(1);
+    }
+  });
+
+  size_t total_rules = 0;
+  for (const UtilityFilter& f : policy.filters) {
+    for (const auto& [nr, rules] : f.spec.rules) {
+      total_rules += rules.size();
+    }
+  }
+
+  FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"synthesis\",\n  \"unit\": \"ms/op\",\n");
+  std::fprintf(f, "  \"seed\": %llu,\n  \"reps\": %d,\n", (unsigned long long)kSeed, kReps);
+  std::fprintf(f, "  \"scenarios\": %zu,\n  \"events\": %zu,\n", corpus.streams.size(),
+               corpus.TotalEvents());
+  std::fprintf(f, "  \"filters\": %zu,\n  \"predicate_rules\": %zu,\n",
+               policy.filters.size(), total_rules);
+  std::fprintf(f, "  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f, "    {\"stage\": \"%s\", \"ms_per_op\": %.2f}%s\n",
+                 rows[i].stage.c_str(), rows[i].ms_per_op,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

@@ -113,6 +113,90 @@ int main(int argc, char** argv) {
                   row.overhead_pct);
     }
   }
+  // Filter sweep: what does the task's seccomp filter itself cost on stat(2)?
+  //   filter:none        no filter installed (the stats config above)
+  //   filter:flat-bitset classic allow-list: one bitset test per call
+  //   filter:predicate-miss  argument-aware filter whose rules target OTHER
+  //                      syscalls — stat's has_rules bit is clear, so the
+  //                      check must collapse to the same single bitset test
+  //                      (the acceptance bar: within a few % of flat-bitset)
+  //   filter:predicate-hit   rules ON stat: longest-prefix path classing
+  //                      plus rule evaluation on every call, the worst case
+  Apply(gate, tracer, kConfigs[1]);  // stats only: isolate filter cost
+  const std::vector<Sysno> kStatSet = {Sysno::kStat,  Sysno::kOpen,  Sysno::kRead,
+                                       Sysno::kClose, Sysno::kWrite, Sysno::kGetPid,
+                                       Sysno::kSeccomp};
+  auto predicate_spec = [&](bool rules_on_stat) {
+    SeccompFilter::Spec spec;
+    for (Sysno nr : kStatSet) {
+      spec.allowed.set(static_cast<size_t>(nr));
+    }
+    spec.path_classes = {{"/etc", 1}, {"/tmp", 2}};
+    Sysno target = rules_on_stat ? Sysno::kStat : Sysno::kOpen;
+    spec.rules[static_cast<uint16_t>(target)] = {
+        {{{kSeccompArgPath, SeccompCmp::kEq, 1, 0}}},
+        {{{kSeccompArgPath, SeccompCmp::kEq, 2, 0}}},
+    };
+    return spec;
+  };
+  struct FilterConfig {
+    const char* name;
+    int kind;  // 0 = none, 1 = flat bitset, 2 = predicate miss, 3 = predicate hit
+    Task* task = nullptr;
+    double best_ns = 1e18;
+  };
+  std::vector<FilterConfig> filter_cfgs = {{"filter:none", 0},
+                                           {"filter:flat-bitset", 1},
+                                           {"filter:predicate-miss", 2},
+                                           {"filter:predicate-hit", 3}};
+  // Filters latch one-way, so every configuration measures a fresh task.
+  for (FilterConfig& cfg : filter_cfgs) {
+    cfg.task = &sys.Login("alice");
+    bool installed = true;
+    switch (cfg.kind) {
+      case 1:
+        installed = k.SeccompSetFilter(*cfg.task, kStatSet).ok();
+        break;
+      case 2:
+        installed = k.SeccompSetFilterSpec(*cfg.task, predicate_spec(false)).ok();
+        break;
+      case 3:
+        installed = k.SeccompSetFilterSpec(*cfg.task, predicate_spec(true)).ok();
+        break;
+      default:
+        break;
+    }
+    if (!installed) {
+      std::fprintf(stderr, "filter install failed for %s\n", cfg.name);
+      return 1;
+    }
+  }
+  // Interleave the configs inside each rep (observability_bench style): the
+  // overhead ratios below compare measurements taken milliseconds apart, so
+  // runner frequency drift cancels instead of landing on one config.
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (FilterConfig& cfg : filter_cfgs) {
+      Task& t = *cfg.task;
+      cfg.best_ns =
+          std::min(cfg.best_ns,
+                   NsPerOp([&] { (void)k.Stat(t, "/etc/hosts"); }, kIters / 10, 1));
+    }
+  }
+  double flat_ns = 0;
+  for (const FilterConfig& cfg : filter_cfgs) {
+    if (cfg.kind == 1) {
+      flat_ns = cfg.best_ns;
+    }
+    Row row;
+    row.syscall = "stat";
+    row.config = cfg.name;
+    row.ns_per_op = cfg.best_ns;
+    row.overhead_pct = flat_ns > 0 ? (cfg.best_ns - flat_ns) / flat_ns * 100.0 : 0;
+    rows.push_back(row);
+    std::printf("%-8s %-22s %8.2f ns/op  %+7.1f%% vs flat-bitset\n", "stat", cfg.name,
+                cfg.best_ns, row.overhead_pct);
+  }
+
   Apply(gate, tracer, kConfigs[3]);  // restore boot defaults (stats+trace)
 
   FILE* f = std::fopen(out_path, "w");

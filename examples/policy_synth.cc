@@ -1,0 +1,69 @@
+// Quickstart for the trace-driven policy synthesizer (DESIGN.md §14):
+//
+//   policy_synth                    synthesize everything, print the policy
+//   policy_synth /usr/bin/passwd    print one binary's argument-aware filter
+//                                   and re-run the functional suite under
+//                                   the synthesized-only policy
+//   policy_synth --study            run the full gating study (determinism,
+//                                   functional equivalence, CVE containment)
+//
+// Exit status is nonzero when a requested check fails, so the binary
+// doubles as a CI smoke test.
+
+#include <cstdio>
+#include <string>
+
+#include "src/study/synth_study.h"
+
+using namespace protego;
+using namespace protego::synth;
+
+int main(int argc, char** argv) {
+  const std::string arg = argc > 1 ? argv[1] : "";
+  constexpr uint64_t kSeed = 42;
+
+  if (arg == "--study") {
+    SynthStudyResult result = RunSynthStudy(kSeed);
+    std::printf("%s", result.report.c_str());
+    return result.ok() ? 0 : 1;
+  }
+
+  SynthesizedPolicy policy = SynthesizePolicy(kSeed, ExecMode::kDeterministic);
+  if (arg.empty()) {
+    std::printf("%s", policy.Render().c_str());
+    return 0;
+  }
+
+  const UtilityFilter* filter = policy.FilterFor(arg);
+  if (filter == nullptr) {
+    std::printf("no observations for %s — traced binaries:\n", arg.c_str());
+    for (const UtilityFilter& f : policy.filters) {
+      std::printf("  %s\n", f.exe.c_str());
+    }
+    return 1;
+  }
+  std::printf("# synthesized filter for %s\n%s\n", arg.c_str(), filter->text.c_str());
+
+  // Close the loop: the functional suite must still pass with ONLY the
+  // synthesized policy installed.
+  int mismatches = 0;
+  for (const FunctionalScenario& scenario : SynthWorkload()) {
+    std::string linux_transcript;
+    {
+      SimSystem linux_sys(SimMode::kLinux);
+      linux_transcript = NormalizeTranscript(scenario.run(linux_sys));
+    }
+    SimSystem protego_sys(SimMode::kProtego);
+    if (!InstallSynthesized(protego_sys, policy).ok()) {
+      std::printf("install failed\n");
+      return 1;
+    }
+    std::string protego_transcript = NormalizeTranscript(scenario.run(protego_sys));
+    bool same = linux_transcript == protego_transcript;
+    std::printf("%-28s %s\n", scenario.name.c_str(), same ? "ok" : "MISMATCH");
+    if (!same) {
+      ++mismatches;
+    }
+  }
+  return mismatches == 0 ? 0 : 1;
+}

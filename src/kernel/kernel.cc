@@ -237,7 +237,20 @@ std::optional<Uid> Kernel::AuthenticateAny(Task& task, const std::vector<Uid>& a
                     task.pid));
     return std::nullopt;
   }
-  return auth_agent_(task, accounts);
+  std::optional<Uid> who = auth_agent_(task, accounts);
+  if (auth_observer_) {
+    auth_observer_(task.pid, accounts, who);
+  }
+  return who;
+}
+
+void Kernel::ForEachTask(const std::function<void(const Task&)>& fn) const {
+  for (size_t s = 0; s < kTaskShards; ++s) {
+    std::lock_guard<std::mutex> lk(task_shards_[s].mu);
+    for (const auto& [pid, t] : task_shards_[s].tasks) {
+      fn(*t);
+    }
+  }
 }
 
 Result<Unit> Kernel::CheckPermission(Task& task, const std::string& path, const Inode& inode,
@@ -295,8 +308,12 @@ Result<Unit> Kernel::CheckPermissionImpl(Task& task, const std::string& path, co
 // stats/trace accounting. The args lambda is only evaluated when tracing.
 
 Result<int> Kernel::Open(Task& task, const std::string& path, int flags, uint32_t mode) {
+  SyscallArgs sargs;
+  sargs.path = &path;
+  sargs.a[1] = static_cast<uint64_t>(static_cast<uint32_t>(flags));
+  sargs.a[2] = mode;
   return gate_.Run<int>(
-      task, Sysno::kOpen,
+      task, Sysno::kOpen, sargs,
       [&] { return StrFormat("\"%s\", 0x%x, 0%o", path.c_str(), flags, mode); },
       [&] { return OpenImpl(task, path, flags, mode); });
 }
@@ -358,8 +375,10 @@ Result<int> Kernel::OpenImpl(Task& task, const std::string& path, int flags, uin
 }
 
 Result<Unit> Kernel::Close(Task& task, int fd) {
+  SyscallArgs sargs;
+  sargs.a[0] = static_cast<uint64_t>(fd);
   return gate_.Run<Unit>(
-      task, Sysno::kClose, [&] { return StrFormat("%d", fd); },
+      task, Sysno::kClose, sargs, [&] { return StrFormat("%d", fd); },
       [&] { return CloseImpl(task, fd); });
 }
 
@@ -375,8 +394,10 @@ Result<Unit> Kernel::CloseImpl(Task& task, int fd) {
 }
 
 Result<std::string> Kernel::Read(Task& task, int fd) {
+  SyscallArgs sargs;
+  sargs.a[0] = static_cast<uint64_t>(fd);
   return gate_.Run<std::string>(
-      task, Sysno::kRead, [&] { return StrFormat("%d", fd); },
+      task, Sysno::kRead, sargs, [&] { return StrFormat("%d", fd); },
       [&] { return ReadImpl(task, fd); });
 }
 
@@ -398,8 +419,12 @@ Result<std::string> Kernel::ReadImpl(Task& task, int fd) {
 }
 
 Result<Unit> Kernel::Write(Task& task, int fd, std::string_view data) {
+  SyscallArgs sargs;
+  sargs.a[0] = static_cast<uint64_t>(fd);
+  sargs.a[2] = data.size();
   return gate_.Run<Unit>(
-      task, Sysno::kWrite, [&] { return StrFormat("%d, %zu bytes", fd, data.size()); },
+      task, Sysno::kWrite, sargs,
+      [&] { return StrFormat("%d, %zu bytes", fd, data.size()); },
       [&] { return WriteImpl(task, fd, data); });
 }
 
@@ -418,8 +443,10 @@ Result<Unit> Kernel::WriteImpl(Task& task, int fd, std::string_view data) {
 }
 
 Result<KernelStat> Kernel::Stat(Task& task, const std::string& path) {
+  SyscallArgs sargs;
+  sargs.path = &path;
   return gate_.Run<KernelStat>(
-      task, Sysno::kStat, [&]() -> std::string { return path; },
+      task, Sysno::kStat, sargs, [&]() -> std::string { return path; },
       [&] { return StatImpl(task, path); });
 }
 
@@ -442,8 +469,12 @@ Result<KernelStat> Kernel::StatImpl(Task& task, const std::string& path) {
 }
 
 Result<Unit> Kernel::Chmod(Task& task, const std::string& path, uint32_t mode) {
+  SyscallArgs sargs;
+  sargs.path = &path;
+  sargs.a[1] = mode;
   return gate_.Run<Unit>(
-      task, Sysno::kChmod, [&] { return StrFormat("\"%s\", 0%o", path.c_str(), mode); },
+      task, Sysno::kChmod, sargs,
+      [&] { return StrFormat("\"%s\", 0%o", path.c_str(), mode); },
       [&] { return ChmodImpl(task, path, mode); });
 }
 
@@ -458,8 +489,12 @@ Result<Unit> Kernel::ChmodImpl(Task& task, const std::string& path, uint32_t mod
 }
 
 Result<Unit> Kernel::Chown(Task& task, const std::string& path, Uid uid, Gid gid) {
+  SyscallArgs sargs;
+  sargs.path = &path;
+  sargs.a[1] = uid;
+  sargs.a[2] = gid;
   return gate_.Run<Unit>(
-      task, Sysno::kChown,
+      task, Sysno::kChown, sargs,
       [&] { return StrFormat("\"%s\", %u, %u", path.c_str(), uid, gid); },
       [&] { return ChownImpl(task, path, uid, gid); });
 }
@@ -476,8 +511,12 @@ Result<Unit> Kernel::ChownImpl(Task& task, const std::string& path, Uid uid, Gid
 }
 
 Result<Unit> Kernel::Mkdir(Task& task, const std::string& path, uint32_t mode) {
+  SyscallArgs sargs;
+  sargs.path = &path;
+  sargs.a[1] = mode;
   return gate_.Run<Unit>(
-      task, Sysno::kMkdir, [&] { return StrFormat("\"%s\", 0%o", path.c_str(), mode); },
+      task, Sysno::kMkdir, sargs,
+      [&] { return StrFormat("\"%s\", 0%o", path.c_str(), mode); },
       [&] { return MkdirImpl(task, path, mode); });
 }
 
@@ -491,8 +530,10 @@ Result<Unit> Kernel::MkdirImpl(Task& task, const std::string& path, uint32_t mod
 }
 
 Result<Unit> Kernel::Unlink(Task& task, const std::string& path) {
+  SyscallArgs sargs;
+  sargs.path = &path;
   return gate_.Run<Unit>(
-      task, Sysno::kUnlink, [&]() -> std::string { return path; },
+      task, Sysno::kUnlink, sargs, [&]() -> std::string { return path; },
       [&] { return UnlinkImpl(task, path); });
 }
 
@@ -505,8 +546,11 @@ Result<Unit> Kernel::UnlinkImpl(Task& task, const std::string& path) {
 }
 
 Result<Unit> Kernel::Rename(Task& task, const std::string& from, const std::string& to) {
+  SyscallArgs sargs;
+  sargs.path = &from;
+  sargs.str1 = &to;
   return gate_.Run<Unit>(
-      task, Sysno::kRename,
+      task, Sysno::kRename, sargs,
       [&] { return StrFormat("\"%s\", \"%s\"", from.c_str(), to.c_str()); },
       [&] { return RenameImpl(task, from, to); });
 }
@@ -523,8 +567,11 @@ Result<Unit> Kernel::RenameImpl(Task& task, const std::string& from, const std::
 }
 
 Result<Unit> Kernel::Symlink(Task& task, const std::string& target, const std::string& linkpath) {
+  SyscallArgs sargs;
+  sargs.path = &linkpath;
+  sargs.str1 = &target;
   return gate_.Run<Unit>(
-      task, Sysno::kSymlink,
+      task, Sysno::kSymlink, sargs,
       [&] { return StrFormat("\"%s\", \"%s\"", target.c_str(), linkpath.c_str()); },
       [&] { return SymlinkImpl(task, target, linkpath); });
 }
@@ -540,8 +587,11 @@ Result<Unit> Kernel::SymlinkImpl(Task& task, const std::string& target,
 }
 
 Result<Unit> Kernel::Flock(Task& task, int fd, int op) {
+  SyscallArgs sargs;
+  sargs.a[0] = static_cast<uint64_t>(fd);
+  sargs.a[1] = static_cast<uint64_t>(static_cast<uint32_t>(op));
   return gate_.Run<Unit>(
-      task, Sysno::kFlock, [&] { return StrFormat("%d, %d", fd, op); },
+      task, Sysno::kFlock, sargs, [&] { return StrFormat("%d, %d", fd, op); },
       [&] { return FlockImpl(task, fd, op); });
 }
 
@@ -687,8 +737,10 @@ void Kernel::ReleaseFileLocks(int pid) {
 }
 
 Result<std::vector<std::string>> Kernel::ReadDir(Task& task, const std::string& path) {
+  SyscallArgs sargs;
+  sargs.path = &path;
   return gate_.Run<std::vector<std::string>>(
-      task, Sysno::kGetDents, [&]() -> std::string { return path; },
+      task, Sysno::kGetDents, sargs, [&]() -> std::string { return path; },
       [&] { return ReadDirImpl(task, path); });
 }
 
@@ -703,8 +755,12 @@ Result<std::vector<std::string>> Kernel::ReadDirImpl(Task& task, const std::stri
 }
 
 Result<Unit> Kernel::Access(Task& task, const std::string& path, int may) {
+  SyscallArgs sargs;
+  sargs.path = &path;
+  sargs.a[1] = static_cast<uint64_t>(static_cast<uint32_t>(may));
   return gate_.Run<Unit>(
-      task, Sysno::kAccess, [&] { return StrFormat("\"%s\", %d", path.c_str(), may); },
+      task, Sysno::kAccess, sargs,
+      [&] { return StrFormat("\"%s\", %d", path.c_str(), may); },
       [&] { return AccessImpl(task, path, may); });
 }
 
@@ -742,13 +798,20 @@ void Kernel::RegisterFsType(const std::string& fstype, FsTypeFactory factory) {
 
 Result<Unit> Kernel::Mount(Task& task, const std::string& source, const std::string& target,
                            const std::string& fstype, std::vector<std::string> options) {
+  SyscallArgs sargs;
+  sargs.str1 = &source;
+  sargs.path = &target;
+  sargs.str2 = &fstype;
+  sargs.list = &options;
   return gate_.Run<Unit>(
-      task, Sysno::kMount,
+      task, Sysno::kMount, sargs,
       [&] {
         return StrFormat("\"%s\", \"%s\", \"%s\"", source.c_str(), target.c_str(),
                          fstype.c_str());
       },
-      [&] { return MountImpl(task, source, target, fstype, std::move(options)); });
+      // Copied, not moved: sargs.list aliases `options`, and the gate reads
+      // it after the body when a trace recorder is attached.
+      [&] { return MountImpl(task, source, target, fstype, options); });
 }
 
 Result<Unit> Kernel::MountImpl(Task& task, const std::string& source, const std::string& target,
@@ -778,8 +841,10 @@ Result<Unit> Kernel::MountImpl(Task& task, const std::string& source, const std:
 }
 
 Result<Unit> Kernel::Umount(Task& task, const std::string& target) {
+  SyscallArgs sargs;
+  sargs.path = &target;
   return gate_.Run<Unit>(
-      task, Sysno::kUmount2, [&]() -> std::string { return target; },
+      task, Sysno::kUmount2, sargs, [&]() -> std::string { return target; },
       [&] { return UmountImpl(task, target); });
 }
 
@@ -801,8 +866,10 @@ Result<Unit> Kernel::UmountImpl(Task& task, const std::string& target) {
 // --- Namespaces --------------------------------------------------------------------
 
 Result<Unit> Kernel::Unshare(Task& task, int flags) {
+  SyscallArgs sargs;
+  sargs.a[0] = static_cast<uint64_t>(static_cast<uint32_t>(flags));
   return gate_.Run<Unit>(
-      task, Sysno::kUnshare, [&] { return StrFormat("0x%x", flags); },
+      task, Sysno::kUnshare, sargs, [&] { return StrFormat("0x%x", flags); },
       [&] { return UnshareImpl(task, flags); });
 }
 
@@ -853,8 +920,10 @@ void Kernel::RecomputeCapsAfterSetuid(Cred& cred, Uid old_euid) {
 }
 
 Result<Unit> Kernel::Setuid(Task& task, Uid uid) {
+  SyscallArgs sargs;
+  sargs.a[0] = uid;
   return gate_.Run<Unit>(
-      task, Sysno::kSetuid, [&] { return StrFormat("%u", uid); },
+      task, Sysno::kSetuid, sargs, [&] { return StrFormat("%u", uid); },
       [&] { return SetuidImpl(task, uid); });
 }
 
@@ -922,8 +991,11 @@ Result<Unit> Kernel::SetuidImpl(Task& task, Uid uid) {
 }
 
 Result<Unit> Kernel::Seteuid(Task& task, Uid uid) {
+  SyscallArgs sargs;
+  sargs.a[0] = static_cast<uint64_t>(-1);
+  sargs.a[1] = uid;
   return gate_.Run<Unit>(
-      task, Sysno::kSetreuid, [&] { return StrFormat("-1, %u", uid); },
+      task, Sysno::kSetreuid, sargs, [&] { return StrFormat("-1, %u", uid); },
       [&] { return SeteuidImpl(task, uid); });
 }
 
@@ -942,8 +1014,10 @@ Result<Unit> Kernel::SeteuidImpl(Task& task, Uid uid) {
 }
 
 Result<Unit> Kernel::Setgid(Task& task, Gid gid) {
+  SyscallArgs sargs;
+  sargs.a[0] = gid;
   return gate_.Run<Unit>(
-      task, Sysno::kSetgid, [&] { return StrFormat("%u", gid); },
+      task, Sysno::kSetgid, sargs, [&] { return StrFormat("%u", gid); },
       [&] { return SetgidImpl(task, gid); });
 }
 
@@ -1001,8 +1075,10 @@ Result<Unit> Kernel::SetgidImpl(Task& task, Gid gid) {
 // --- Resource limits -------------------------------------------------------------
 
 Result<RLimit> Kernel::GetRlimit(Task& task, int resource) {
+  SyscallArgs sargs;
+  sargs.a[0] = static_cast<uint64_t>(static_cast<uint32_t>(resource));
   return gate_.Run<RLimit>(
-      task, Sysno::kGetRlimit, [&] { return StrFormat("%d", resource); },
+      task, Sysno::kGetRlimit, sargs, [&] { return StrFormat("%d", resource); },
       [&] { return GetRlimitImpl(task, resource); });
 }
 
@@ -1014,8 +1090,12 @@ Result<RLimit> Kernel::GetRlimitImpl(Task& task, int resource) {
 }
 
 Result<Unit> Kernel::SetRlimit(Task& task, int resource, RLimit limit) {
+  SyscallArgs sargs;
+  sargs.a[0] = static_cast<uint64_t>(static_cast<uint32_t>(resource));
+  sargs.a[1] = limit.cur;
+  sargs.a[2] = limit.max;
   return gate_.Run<Unit>(
-      task, Sysno::kSetRlimit,
+      task, Sysno::kSetRlimit, sargs,
       [&] {
         return StrFormat("%d, {cur=%llu, max=%llu}", resource,
                          (unsigned long long)limit.cur, (unsigned long long)limit.max);
@@ -1060,8 +1140,11 @@ uint64_t Kernel::OpenFileCount() const {
 }
 
 Result<Unit> Kernel::Setgroups(Task& task, std::vector<Gid> groups) {
+  SyscallArgs sargs;
+  sargs.a[0] = groups.size();
   return gate_.Run<Unit>(
-      task, Sysno::kSetgroups, [&] { return StrFormat("%zu groups", groups.size()); },
+      task, Sysno::kSetgroups, sargs,
+      [&] { return StrFormat("%zu groups", groups.size()); },
       [&] { return SetgroupsImpl(task, std::move(groups)); });
 }
 
@@ -1082,29 +1165,66 @@ Result<Unit> Kernel::SetgroupsImpl(Task& task, std::vector<Gid> groups) {
 Result<Unit> Kernel::SeccompSetFilter(Task& task, const std::vector<Sysno>& allowed) {
   // Gated under its own number: a filter that omits Sysno::kSeccomp makes
   // this very call fail with EPERM next time — the latch locks itself.
+  SyscallArgs sargs;
+  sargs.a[0] = allowed.size();
   return gate_.Run<Unit>(
-      task, Sysno::kSeccomp, [&] { return StrFormat("%zu syscalls allowed", allowed.size()); },
-      [&] { return SeccompSetFilterImpl(task, allowed); });
+      task, Sysno::kSeccomp, sargs,
+      [&] { return StrFormat("%zu syscalls allowed", allowed.size()); },
+      [&] { return SeccompSetFilterImpl(task, SeccompFilter::AllowList(allowed)); });
 }
 
-Result<Unit> Kernel::SeccompSetFilterImpl(Task& task, const std::vector<Sysno>& allowed) {
-  SeccompFilter filter = SeccompFilter::AllowList(allowed);
+Result<Unit> Kernel::SeccompSetFilterSpec(Task& task, const SeccompFilter::Spec& spec) {
+  SyscallArgs sargs;
+  sargs.a[0] = spec.allowed.count();
+  return gate_.Run<Unit>(
+      task, Sysno::kSeccomp, sargs,
+      [&] {
+        return StrFormat("%zu syscalls allowed (predicate spec)", spec.allowed.count());
+      },
+      [&]() -> Result<Unit> {
+        ASSIGN_OR_RETURN(SeccompFilter filter, SeccompFilter::FromSpec(spec));
+        return SeccompSetFilterImpl(task, std::move(filter));
+      });
+}
+
+Result<Unit> Kernel::SeccompSetFilterImpl(Task& task, SeccompFilter filter) {
   if (task.seccomp != nullptr) {
     // One-way latch: the new filter can only narrow the existing one.
     filter.IntersectWith(*task.seccomp);
   }
   task.seccomp = std::make_shared<const SeccompFilter>(std::move(filter));
-  Audit(StrFormat("seccomp: pid=%d comm=%s filter installed (%zu syscalls allowed)", task.pid,
-                  task.comm.c_str(), task.seccomp->allowed_count()));
+  Audit(StrFormat("seccomp: pid=%d comm=%s filter installed (%zu syscalls allowed, %zu rules)",
+                  task.pid, task.comm.c_str(), task.seccomp->allowed_count(),
+                  task.seccomp->rule_count()));
   return OkUnit();
+}
+
+void Kernel::RegisterBinaryFilter(const std::string& path, SeccompFilter filter) {
+  std::unique_lock<std::shared_mutex> lk(registry_mu_);
+  binary_filters_[Vfs::Normalize(path)] =
+      std::make_shared<const SeccompFilter>(std::move(filter));
+}
+
+void Kernel::ClearBinaryFilters() {
+  std::unique_lock<std::shared_mutex> lk(registry_mu_);
+  binary_filters_.clear();
 }
 
 // --- exec ------------------------------------------------------------------------
 
 Result<int> Kernel::Spawn(Task& parent, const std::string& path, std::vector<std::string> argv,
                           std::map<std::string, std::string> env) {
+  SyscallArgs sargs;
+  sargs.path = &path;
+  // The body moves argv; observation needs its own copy, taken only when a
+  // recorder is actually attached (synthesis runs, not the hot path).
+  std::vector<std::string> argv_copy;
+  if (gate_.recorder_attached()) {
+    argv_copy = argv;
+    sargs.list = &argv_copy;
+  }
   return gate_.Run<int>(
-      parent, Sysno::kClone, [&]() -> std::string { return path; },
+      parent, Sysno::kClone, sargs, [&]() -> std::string { return path; },
       [&] { return SpawnImpl(parent, path, std::move(argv), std::move(env)); });
 }
 
@@ -1151,8 +1271,15 @@ Result<int> Kernel::SpawnImpl(Task& parent, const std::string& path, std::vector
 Result<int> Kernel::SpawnAsync(Task& parent, const std::string& path,
                                std::vector<std::string> argv,
                                std::map<std::string, std::string> env) {
+  SyscallArgs sargs;
+  sargs.path = &path;
+  std::vector<std::string> argv_copy;
+  if (gate_.recorder_attached()) {
+    argv_copy = argv;
+    sargs.list = &argv_copy;
+  }
   return gate_.Run<int>(
-      parent, Sysno::kClone, [&] { return path + " [async]"; },
+      parent, Sysno::kClone, sargs, [&] { return path + " [async]"; },
       [&] { return SpawnAsyncImpl(parent, path, std::move(argv), std::move(env)); });
 }
 
@@ -1199,8 +1326,10 @@ Result<int> Kernel::SpawnAsyncImpl(Task& parent, const std::string& path,
 }
 
 Result<int> Kernel::WaitPid(Task& parent, int pid) {
+  SyscallArgs sargs;
+  sargs.a[0] = static_cast<uint64_t>(pid);
   return gate_.Run<int>(
-      parent, Sysno::kWait4, [&] { return StrFormat("%d", pid); },
+      parent, Sysno::kWait4, sargs, [&] { return StrFormat("%d", pid); },
       [&] { return WaitPidImpl(parent, pid); });
 }
 
@@ -1244,8 +1373,15 @@ Result<int> Kernel::WaitPidImpl(Task& parent, int pid) {
 
 Result<int> Kernel::Execve(Task& task, const std::string& path, std::vector<std::string> argv,
                            std::map<std::string, std::string> env) {
+  SyscallArgs sargs;
+  sargs.path = &path;
+  std::vector<std::string> argv_copy;
+  if (gate_.recorder_attached()) {
+    argv_copy = argv;
+    sargs.list = &argv_copy;
+  }
   return gate_.Run<int>(
-      task, Sysno::kExecve, [&]() -> std::string { return path; },
+      task, Sysno::kExecve, sargs, [&]() -> std::string { return path; },
       [&] { return ExecveImpl(task, path, std::move(argv), std::move(env)); });
 }
 
@@ -1306,6 +1442,19 @@ Result<int> Kernel::ExecveImpl(Task& task, const std::string& path, std::vector<
   Gid old_exec_egid = task.cred.egid;
   task.cred = new_cred;
   task.exe_path = full;
+  // Per-binary synthesized filter: an AppArmor-style profile TRANSITION —
+  // the registered filter replaces the inherited one (sudo's filter must not
+  // strangle the target it execs). Self-installs via SeccompSetFilter keep
+  // the one-way intersection latch.
+  {
+    std::shared_lock<std::shared_mutex> lk(registry_mu_);
+    if (!binary_filters_.empty()) {
+      auto fit = binary_filters_.find(full);
+      if (fit != binary_filters_.end()) {
+        task.seccomp = fit->second;
+      }
+    }
+  }
   if (TraceCredOn()) {
     EmitCredChange(task, "execve",
                    StrFormat("%s euid %u->%u egid %u->%u", full.c_str(), old_exec_euid,
@@ -1334,8 +1483,12 @@ Result<int> Kernel::ExecveImpl(Task& task, const std::string& path, std::vector<
 // --- Network -----------------------------------------------------------------------
 
 Result<int> Kernel::SocketCall(Task& task, int family, int type, int protocol) {
+  SyscallArgs sargs;
+  sargs.a[0] = static_cast<uint64_t>(static_cast<uint32_t>(family));
+  sargs.a[1] = static_cast<uint64_t>(static_cast<uint32_t>(type));
+  sargs.a[2] = static_cast<uint64_t>(static_cast<uint32_t>(protocol));
   return gate_.Run<int>(
-      task, Sysno::kSocket,
+      task, Sysno::kSocket, sargs,
       [&] { return StrFormat("%d, %d, %d", family, type, protocol); },
       [&] { return SocketCallImpl(task, family, type, protocol); });
 }
@@ -1365,8 +1518,11 @@ Result<int> Kernel::SocketCallImpl(Task& task, int family, int type, int protoco
 }
 
 Result<Unit> Kernel::BindCall(Task& task, int fd, uint16_t port) {
+  SyscallArgs sargs;
+  sargs.a[0] = static_cast<uint64_t>(fd);
+  sargs.a[1] = port;
   return gate_.Run<Unit>(
-      task, Sysno::kBind, [&] { return StrFormat("%d, port=%u", fd, port); },
+      task, Sysno::kBind, sargs, [&] { return StrFormat("%d, port=%u", fd, port); },
       [&] { return BindCallImpl(task, fd, port); });
 }
 
@@ -1397,8 +1553,10 @@ Result<Unit> Kernel::BindCallImpl(Task& task, int fd, uint16_t port) {
 }
 
 Result<Unit> Kernel::ListenCall(Task& task, int fd) {
+  SyscallArgs sargs;
+  sargs.a[0] = static_cast<uint64_t>(fd);
   return gate_.Run<Unit>(
-      task, Sysno::kListen, [&] { return StrFormat("%d", fd); },
+      task, Sysno::kListen, sargs, [&] { return StrFormat("%d", fd); },
       [&] { return ListenCallImpl(task, fd); });
 }
 
@@ -1415,8 +1573,12 @@ Result<Unit> Kernel::ListenCallImpl(Task& task, int fd) {
 }
 
 Result<Unit> Kernel::ConnectCall(Task& task, int fd, Ipv4 ip, uint16_t port) {
+  SyscallArgs sargs;
+  sargs.a[0] = static_cast<uint64_t>(fd);
+  sargs.a[1] = port;
+  sargs.a[2] = ip;
   return gate_.Run<Unit>(
-      task, Sysno::kConnect, [&] { return StrFormat("%d, port=%u", fd, port); },
+      task, Sysno::kConnect, sargs, [&] { return StrFormat("%d, port=%u", fd, port); },
       [&] { return ConnectCallImpl(task, fd, ip, port); });
 }
 
@@ -1433,8 +1595,10 @@ Result<Unit> Kernel::ConnectCallImpl(Task& task, int fd, Ipv4 ip, uint16_t port)
 }
 
 Result<Unit> Kernel::SendCall(Task& task, int fd, Packet packet) {
+  SyscallArgs sargs;
+  sargs.a[0] = static_cast<uint64_t>(fd);
   return gate_.Run<Unit>(
-      task, Sysno::kSendTo, [&] { return StrFormat("%d", fd); },
+      task, Sysno::kSendTo, sargs, [&] { return StrFormat("%d", fd); },
       [&] { return SendCallImpl(task, fd, std::move(packet)); });
 }
 
@@ -1451,8 +1615,10 @@ Result<Unit> Kernel::SendCallImpl(Task& task, int fd, Packet packet) {
 }
 
 Result<std::optional<Packet>> Kernel::RecvCall(Task& task, int fd) {
+  SyscallArgs sargs;
+  sargs.a[0] = static_cast<uint64_t>(fd);
   return gate_.Run<std::optional<Packet>>(
-      task, Sysno::kRecvFrom, [&] { return StrFormat("%d", fd); },
+      task, Sysno::kRecvFrom, sargs, [&] { return StrFormat("%d", fd); },
       [&] { return RecvCallImpl(task, fd); });
 }
 
@@ -1476,8 +1642,12 @@ void Kernel::RegisterIoctlHandler(uint32_t major, uint32_t minor, IoctlHandler h
 }
 
 Result<std::string> Kernel::Ioctl(Task& task, int fd, uint32_t request, const std::string& arg) {
+  SyscallArgs sargs;
+  sargs.a[0] = static_cast<uint64_t>(fd);
+  sargs.a[1] = request;
+  sargs.str1 = &arg;
   return gate_.Run<std::string>(
-      task, Sysno::kIoctl,
+      task, Sysno::kIoctl, sargs,
       [&] { return StrFormat("%d, %s", fd, IoctlName(request)); },
       [&] { return IoctlImpl(task, fd, request, arg); });
 }

@@ -95,6 +95,13 @@ using FsTypeFactory = std::function<Result<MountPopulator>(const std::string& so
 using AuthAgent =
     std::function<std::optional<Uid>(Task& task, const std::vector<Uid>& accounts)>;
 
+// Observer of authentication attempts (candidate accounts and outcome),
+// used by the policy synthesizer to correlate password prompts with the
+// credential transitions that follow them. Called after every agent round
+// trip, success or failure.
+using AuthObserver = std::function<void(int pid, const std::vector<Uid>& accounts,
+                                        std::optional<Uid> authenticated)>;
+
 class Kernel {
  public:
   Kernel();
@@ -285,6 +292,17 @@ class Kernel {
   // are inherited across Spawn and kept across Execve.
   Result<Unit> SeccompSetFilter(Task& task, const std::vector<Sysno>& allowed);
 
+  // Argument-aware variant: installs a predicate filter built from `spec`
+  // (per-syscall OR-of-AND rule lists + path-class prefix table). Same
+  // one-way latch: intersects with any existing filter.
+  Result<Unit> SeccompSetFilterSpec(Task& task, const SeccompFilter::Spec& spec);
+
+  // Registers a synthesized per-binary filter, attached at execve of `path`
+  // as a profile TRANSITION (replaces the inherited filter, AppArmor-style —
+  // the latch applies to self-installs, not registry attachment).
+  void RegisterBinaryFilter(const std::string& path, SeccompFilter filter);
+  void ClearBinaryFilters();
+
   // --- Network ---------------------------------------------------------------
 
   Result<int> SocketCall(Task& task, int family, int type, int protocol);
@@ -311,6 +329,11 @@ class Kernel {
   // candidate; returns the account that matched.
   std::optional<Uid> AuthenticateAny(Task& task, const std::vector<Uid>& accounts);
   void SetAuthAgent(AuthAgent agent) { auth_agent_ = std::move(agent); }
+  void SetAuthObserver(AuthObserver observer) { auth_observer_ = std::move(observer); }
+
+  // Visits every live task (all shards, under their locks). `fn` must not
+  // call back into the kernel.
+  void ForEachTask(const std::function<void(const Task&)>& fn) const;
 
   // Appends a security-audit record to the kernel's ring buffer (also
   // forwarded to the process logger). Exposed at /proc/protego/audit.
@@ -395,7 +418,7 @@ class Kernel {
   // file-max (ENFILE), and the fd_alloc fault site, checked before a new fd
   // is installed in `task`'s table.
   Result<Unit> CheckFdAvailable(Task& task);
-  Result<Unit> SeccompSetFilterImpl(Task& task, const std::vector<Sysno>& allowed);
+  Result<Unit> SeccompSetFilterImpl(Task& task, SeccompFilter filter);
   Result<int> SocketCallImpl(Task& task, int family, int type, int protocol);
   Result<Unit> BindCallImpl(Task& task, int fd, uint16_t port);
   Result<Unit> ListenCallImpl(Task& task, int fd);
@@ -458,7 +481,10 @@ class Kernel {
   std::map<std::string, BinaryEntry> binaries_;
   std::map<std::string, FsTypeFactory> fs_types_;
   std::map<uint64_t, IoctlHandler> ioctl_handlers_;  // (major<<32)|minor
+  // Synthesized per-binary filters attached at execve (profile transition).
+  std::map<std::string, std::shared_ptr<const SeccompFilter>> binary_filters_;
   AuthAgent auth_agent_;
+  AuthObserver auth_observer_;
   std::mutex exit_mu_;  // guards exit_records_; also orders stdout_buf handoff
   std::map<int, ExitRecord> exit_records_;     // async children awaiting WaitPid
   std::mutex locks_mu_;  // guards file_locks_; Signal fires after unlock

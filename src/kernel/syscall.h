@@ -6,10 +6,19 @@
 // pair around the body. The gate is where cross-cutting policy and
 // observability live, in this order:
 //
-//   1. seccomp-style filtering — a per-task allow bitset, consulted BEFORE
-//      any DAC or LSM work (as on Linux, where seccomp runs at syscall
-//      entry, ahead of the security hooks). Installation is a one-way
-//      latch: filters can only ever be narrowed, never widened or removed.
+//   1. seccomp-style filtering — a per-task filter, consulted BEFORE any
+//      DAC or LSM work (as on Linux, where seccomp runs at syscall entry,
+//      ahead of the security hooks). A filter is an allow bitset over
+//      syscall numbers, optionally refined by per-syscall ARGUMENT RULES:
+//      each rule is a conjunction of libseccomp-style predicates
+//      (EQ/NE/LT/GE/MASKED_EQ on args 0-2, plus a pre-resolved path-class
+//      comparison driven by a per-filter prefix table), and a syscall with
+//      rules is allowed iff ANY rule matches. The number-only bitset test
+//      stays the hot path; rule evaluation only runs for syscalls that
+//      actually carry rules. Installation is a one-way latch: filters can
+//      only ever be narrowed, never widened or removed — intersecting two
+//      predicate filters conjoins their rule lists (cross product), so the
+//      result admits only calls both filters admitted.
 //   2. accounting — per-syscall hit/error counters, latency totals, and
 //      log2-bucket latency histograms (exported at /proc/protego/metrics).
 //   3. tracing — each call opens a decision span on the kernel-wide Tracer;
@@ -60,10 +69,14 @@
 #include <bitset>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/base/attribution.h"
@@ -125,23 +138,152 @@ inline constexpr size_t kSysnoSlots = 320;
 // "open", "mount", ... — the strace-style name.
 const char* SysnoName(Sysno nr);
 
+// Reverse lookup for filter text and /proc command grammars.
+std::optional<Sysno> SysnoFromName(std::string_view name);
+
 // Every syscall number the gate dispatches, ascending (for serialization).
 const std::vector<Sysno>& AllSysnos();
 
-// A per-task seccomp-style allow list over syscall numbers. Tasks start
-// with no filter (everything allowed); Kernel::SeccompSetFilter installs
-// one, and reinstallation intersects with the existing filter so privilege
-// can only ever shrink (the prctl-style one-way latch).
+// Comparison operators for one argument predicate, mirroring libseccomp's
+// SCMP_CMP_* set (SNIPPETS §1: SCMP_A0(SCMP_CMP_EQ, 3)).
+enum class SeccompCmp : uint8_t {
+  kEq,        // arg == value
+  kNe,        // arg != value
+  kLt,        // arg <  value
+  kGe,        // arg >= value
+  kMaskedEq,  // (arg & mask) == value
+};
+
+const char* SeccompCmpName(SeccompCmp cmp);
+
+// The virtual argument slot holding the pre-resolved path class: the
+// syscall's primary path argument mapped through the filter's prefix table
+// (longest match wins; 0 = no prefix matched). Path-class predicates must
+// use kEq — equality survives filter intersection (a merged prefix table
+// can only steal matches, never create them), the other comparators would
+// not.
+inline constexpr uint8_t kSeccompArgPath = 3;
+
+// One predicate over one argument slot.
+struct SeccompPredicate {
+  uint8_t arg = 0;  // 0..2 = raw args; kSeccompArgPath = path class
+  SeccompCmp cmp = SeccompCmp::kEq;
+  uint64_t value = 0;
+  uint64_t mask = 0;  // kMaskedEq only
+
+  bool operator==(const SeccompPredicate& o) const {
+    return arg == o.arg && cmp == o.cmp && value == o.value && mask == o.mask;
+  }
+};
+
+// A conjunction of predicates: the rule matches when every predicate holds.
+// A syscall's rule list is a disjunction — any matching rule allows the call.
+struct SeccompRule {
+  std::vector<SeccompPredicate> preds;
+
+  bool operator==(const SeccompRule& o) const { return preds == o.preds; }
+};
+
+// The raw argument view of one syscall, threaded from the Kernel wrappers
+// through the gate so predicate filters (and the synthesis recorder) see
+// the call the way strace would. All pointers borrow from the caller's
+// frame and are only dereferenced on slow paths (rule evaluation against a
+// path class, trace recording).
+struct SyscallArgs {
+  uint64_t a[3] = {0, 0, 0};
+  const std::string* path = nullptr;  // primary path argument (possibly relative)
+  const std::string* cwd = nullptr;   // resolution base for a relative path
+  const std::string* str1 = nullptr;  // secondary string (mount source, rename dest, ...)
+  const std::string* str2 = nullptr;  // tertiary string (mount fstype)
+  const std::vector<std::string>* list = nullptr;  // argv / mount options
+};
+
+// A per-task seccomp-style filter: an allow bitset over syscall numbers,
+// optionally refined with per-syscall argument rules. Tasks start with no
+// filter (everything allowed); Kernel::SeccompSetFilter installs one, and
+// reinstallation intersects with the existing filter so privilege can only
+// ever shrink (the prctl-style one-way latch).
 class SeccompFilter {
  public:
+  // Conservative ceiling on the per-syscall rule list after intersection:
+  // if the cross product of two rule lists exceeds this, the syscall is
+  // denied outright (clearing the bit tightens, never widens).
+  static constexpr size_t kMaxRulesPerSysno = 64;
+
+  // The installable description of a filter. `rules` maps syscall number to
+  // its OR-of-AND rule list; `path_classes` maps path prefixes to the class
+  // ids path predicates compare against.
+  struct Spec {
+    std::bitset<kSysnoSlots> allowed;
+    std::map<uint16_t, std::vector<SeccompRule>> rules;
+    std::vector<std::pair<std::string, uint64_t>> path_classes;
+  };
+
+  SeccompFilter() = default;
+
   static SeccompFilter AllowList(const std::vector<Sysno>& allowed);
 
+  // Validates and builds: rule sysnos must be allowed and in range, arg
+  // indices 0..2 or kSeccompArgPath, path-class predicates kEq-only with a
+  // class id present in `path_classes`, class ids nonzero and unique.
+  static Result<SeccompFilter> FromSpec(const Spec& spec);
+
+  // Parses the re-installable text rendering (see Render). Grammar:
+  //   class <id> <prefix>
+  //   allow <syscall>
+  //   allow <syscall> if <pred> [&& <pred>]...
+  //   <pred> := arg0|arg1|arg2|path eq|ne|lt|ge <uint>
+  //           | arg0|arg1|arg2 masked_eq <mask> <value>
+  // '#' starts a comment; values accept decimal or 0x-hex.
+  static Result<Spec> ParseSpec(std::string_view text);
+
+  // Number-only check (ignores argument rules): is the syscall admissible
+  // for at least some arguments?
   bool Allows(Sysno nr) const { return allowed_[static_cast<size_t>(nr)]; }
-  void IntersectWith(const SeccompFilter& other) { allowed_ &= other.allowed_; }
+
+  // Full check. For syscalls without rules this is the same single bitset
+  // test as Allows(nr); otherwise evaluates the rule list and adds the
+  // number of rules inspected to *rule_evals.
+  bool AllowsArgs(Sysno nr, const SyscallArgs& args, uint32_t* rule_evals) const {
+    size_t i = static_cast<size_t>(nr);
+    if (!allowed_[i]) {
+      return false;
+    }
+    if (!has_rules_[i]) {
+      return true;
+    }
+    return EvalRules(static_cast<uint16_t>(i), args, rule_evals);
+  }
+
+  // The one-way latch: narrows this filter to the conjunction of both.
+  // Bitsets intersect; where both sides carry rules for a syscall the rule
+  // lists cross-multiply (every kept rule implies a rule of EACH side), and
+  // prefix tables merge by prefix string with class ids remapped.
+  void IntersectWith(const SeccompFilter& other);
+
   size_t allowed_count() const { return allowed_.count(); }
+  bool has_any_rules() const { return has_rules_.any(); }
+  size_t rule_count() const;
+  const std::vector<std::pair<std::string, uint64_t>>& path_classes() const {
+    return path_classes_;
+  }
+
+  // Renders the filter as re-installable policy text (ParseSpec-compatible,
+  // byte-stable for identical filters).
+  std::string Render() const;
 
  private:
+  bool EvalRules(uint16_t nr, const SyscallArgs& args, uint32_t* rule_evals) const;
+  // Longest-prefix match of the call's (absolutized) path argument against
+  // the class table; 0 when there is no path or no prefix matches.
+  uint64_t PathClassOf(const SyscallArgs& args) const;
+
   std::bitset<kSysnoSlots> allowed_;
+  std::bitset<kSysnoSlots> has_rules_;
+  std::map<uint16_t, std::vector<SeccompRule>> rules_;
+  // Sorted by descending prefix length (then lexicographic) so the first
+  // match is the longest.
+  std::vector<std::pair<std::string, uint64_t>> path_classes_;
 };
 
 // Per-call state carried from EnterSyscall to ExitSyscall.
@@ -178,11 +320,32 @@ class SyscallGate {
     std::atomic<uint64_t> calls{0};
     std::atomic<uint64_t> errors{0};          // calls that returned a nonzero errno
     std::atomic<uint64_t> seccomp_denied{0};  // refused by the task's filter (subset of errors)
+    std::atomic<uint64_t> rule_evals{0};      // argument rules inspected by predicate filters
     std::atomic<uint64_t> total_ns{0};        // wall-clock latency total (when timing is on)
     std::atomic<uint64_t> total_ticks{0};     // virtual-clock latency total
     Histogram lat_ticks;                      // virtual-clock latency distribution
     Histogram lat_ns;                         // wall-clock distribution (when timing is on)
   };
+
+  // One syscall as the trace-driven synthesizer sees it: the caller's
+  // identity, the raw argument words, and the string arguments copied out
+  // (path absolutized against the task's cwd). Built only when a recorder
+  // is attached.
+  struct SyscallObservation {
+    int pid = 0;
+    Sysno nr{};
+    Errno err = Errno::kOk;
+    uint32_t ruid = 0;
+    uint32_t euid = 0;
+    uint64_t a0 = 0, a1 = 0, a2 = 0;
+    std::string exe;   // task.exe_path at the time of the call
+    std::string comm;
+    std::string path;  // absolutized primary path argument ("" = none)
+    std::string str1;
+    std::string str2;
+    std::vector<std::string> list;
+  };
+  using SyscallRecorder = std::function<void(const SyscallObservation&)>;
 
   // One row of the legacy structured trace view: the span-root (syscall)
   // events of the shared Tracer ring, reprojected into the pre-tracepoint
@@ -336,6 +499,21 @@ class SyscallGate {
     audit_sink_ = std::move(sink);
   }
 
+  // Attaches the trace-driven synthesis recorder: every retired syscall
+  // (including seccomp denials) is mirrored to it as a SyscallObservation.
+  // Detached (the default) the entry path pays one relaxed flag load. Must
+  // only be swapped while no task threads are inside the gate; the recorder
+  // itself must be thread-safe in parallel mode.
+  void set_recorder(SyscallRecorder recorder) {
+    recorder_ = std::move(recorder);
+    has_recorder_.store(static_cast<bool>(recorder_), std::memory_order_release);
+  }
+  // Lets wrappers whose bodies consume their argument containers (execve
+  // moves argv) make a recording copy only when someone is listening.
+  bool recorder_attached() const {
+    return has_recorder_.load(std::memory_order_relaxed);
+  }
+
   const PerSyscall& stats(Sysno nr) const { return stats_[static_cast<size_t>(nr)]; }
   uint64_t TotalCalls() const;
 
@@ -382,7 +560,8 @@ class SyscallGate {
   // (ResolveDispatch) — span bookkeeping keys off the trace bit, so calls
   // whose dispatch word says "no trace" never touch the span map.
   template <typename TaskT>
-  bool EnterSyscall(SyscallContext& ctx, const TaskT& task, Sysno nr) {
+  bool EnterSyscall(SyscallContext& ctx, const TaskT& task, Sysno nr,
+                    const SyscallArgs& sargs) {
     ctx.nr = nr;
     ctx.pid = task.pid;
     ctx.comm = &task.comm;
@@ -398,7 +577,12 @@ class SyscallGate {
     bool denied = false;
     if (task.seccomp != nullptr) {
       LayerScope seccomp_scope(profiler_, Layer::kSeccomp);
-      denied = !task.seccomp->Allows(nr);
+      uint32_t evals = 0;
+      denied = !task.seccomp->AllowsArgs(nr, sargs, &evals);
+      if (evals != 0) {
+        stats_[static_cast<size_t>(nr)].rule_evals.fetch_add(evals,
+                                                             std::memory_order_relaxed);
+      }
     }
     if (denied) {
       RecordDenial(ctx);
@@ -415,11 +599,14 @@ class SyscallGate {
   // closes the span.
   void ExitSyscall(SyscallContext& ctx, Errno err);
 
-  // Wraps one syscall body. `args_fn() -> std::string` is only invoked when
-  // the syscall tracepoint is enabled; `body() -> Result<T>` is the
-  // pre-existing syscall implementation (DAC + LSM + work).
+  // Wraps one syscall body. `sargs` is the raw argument view consumed by
+  // predicate filters and the synthesis recorder; `args_fn() -> std::string`
+  // is only invoked when the syscall tracepoint is enabled; `body() ->
+  // Result<T>` is the pre-existing syscall implementation (DAC + LSM +
+  // work).
   template <typename T, typename TaskT, typename ArgsFn, typename BodyFn>
-  Result<T> Run(TaskT& task, Sysno nr, ArgsFn&& args_fn, BodyFn&& body) {
+  Result<T> Run(TaskT& task, Sysno nr, SyscallArgs sargs, ArgsFn&& args_fn,
+                BodyFn&& body) {
     if (scheduler_ != nullptr) {
       // The yield point: under the deterministic scheduler every syscall
       // entry is a potential context switch, BEFORE any gate work, so the
@@ -440,7 +627,19 @@ class SyscallGate {
     if ((ctx.dispatch & kDispatchTrace) != 0) {
       ctx.args = args_fn();
     }
-    if (!EnterSyscall(ctx, task, nr)) {
+    sargs.cwd = &task.cwd;
+    // Identity is captured at ENTRY: an execve must be attributed to the
+    // image that issued it (whose filter admitted the call), not the image
+    // it becomes, and a setuid to the credentials it held when it asked.
+    EntrySnapshot snap;
+    const bool recording = has_recorder_.load(std::memory_order_relaxed);
+    if (recording) {
+      snap = SnapshotTask(task);
+    }
+    if (!EnterSyscall(ctx, task, nr, sargs)) {
+      if (recording) {
+        RecordObservation(snap, nr, sargs, Errno::kEPERM);
+      }
       return Error(Errno::kEPERM, std::string("seccomp: ") + SysnoName(nr));
     }
     if (faults_ != nullptr && faults_->any_enabled()) {
@@ -460,10 +659,16 @@ class SyscallGate {
       Result<T> r = body();
       ExitSyscall(ctx, r.code());
       faults_->SwapContext(prev);
+      if (recording) {
+        RecordObservation(snap, nr, sargs, r.code());
+      }
       return r;
     }
     Result<T> r = body();
     ExitSyscall(ctx, r.code());
+    if (recording) {
+      RecordObservation(snap, nr, sargs, r.code());
+    }
     return r;
   }
 
@@ -480,10 +685,22 @@ class SyscallGate {
     LayerScope gate_scope(profiler_, Layer::kGate);
     SyscallContext ctx;
     ctx.dispatch = ResolveDispatch(Sysno::kGetPid);
-    if (!EnterSyscall(ctx, task, Sysno::kGetPid)) {
+    SyscallArgs sargs;
+    EntrySnapshot snap;
+    const bool recording = has_recorder_.load(std::memory_order_relaxed);
+    if (recording) {
+      snap = SnapshotTask(task);
+    }
+    if (!EnterSyscall(ctx, task, Sysno::kGetPid, sargs)) {
+      if (recording) {
+        RecordObservation(snap, Sysno::kGetPid, sargs, Errno::kEPERM);
+      }
       return -1;
     }
     ExitSyscall(ctx, Errno::kOk);
+    if (recording) {
+      RecordObservation(snap, Sysno::kGetPid, sargs, Errno::kOk);
+    }
     return task.pid;
   }
 
@@ -504,6 +721,63 @@ class SyscallGate {
     std::thread::id owner;
     std::unique_ptr<SysnoExemplars> per_sysno[kSysnoSlots];
   };
+
+  // The caller-side identity of one syscall, captured at entry (see Run).
+  struct EntrySnapshot {
+    int pid = 0;
+    uint32_t ruid = 0;
+    uint32_t euid = 0;
+    std::string exe;
+    std::string comm;
+    std::string cwd;
+  };
+  template <typename TaskT>
+  static EntrySnapshot SnapshotTask(const TaskT& task) {
+    EntrySnapshot snap;
+    snap.pid = task.pid;
+    snap.ruid = task.cred.ruid;
+    snap.euid = task.cred.euid;
+    snap.exe = task.exe_path;
+    snap.comm = task.comm;
+    snap.cwd = task.cwd;
+    return snap;
+  }
+
+  // Mirrors one retired call to the synthesis recorder. String arguments
+  // are copied out here — the observation must outlive the caller's frame —
+  // and a relative path is absolutized against the entry-time cwd so
+  // enforcement and synthesis agree on path classes.
+  void RecordObservation(const EntrySnapshot& snap, Sysno nr, const SyscallArgs& sargs,
+                         Errno err) {
+    SyscallObservation ob;
+    ob.pid = snap.pid;
+    ob.nr = nr;
+    ob.err = err;
+    ob.ruid = snap.ruid;
+    ob.euid = snap.euid;
+    ob.a0 = sargs.a[0];
+    ob.a1 = sargs.a[1];
+    ob.a2 = sargs.a[2];
+    ob.exe = snap.exe;
+    ob.comm = snap.comm;
+    if (sargs.path != nullptr) {
+      if (!sargs.path->empty() && (*sargs.path)[0] == '/') {
+        ob.path = *sargs.path;
+      } else {
+        ob.path = snap.cwd + "/" + *sargs.path;
+      }
+    }
+    if (sargs.str1 != nullptr) {
+      ob.str1 = *sargs.str1;
+    }
+    if (sargs.str2 != nullptr) {
+      ob.str2 = *sargs.str2;
+    }
+    if (sargs.list != nullptr) {
+      ob.list = *sargs.list;
+    }
+    recorder_(ob);
+  }
 
   void RecordDenial(SyscallContext& ctx);
   // Emits the span-root event for the completed call (consumes ctx.args)
@@ -527,6 +801,8 @@ class SyscallGate {
   bool exemplars_enabled_ = true;
   PerSyscall stats_[kSysnoSlots] = {};
   std::function<void(std::string)> audit_sink_;
+  SyscallRecorder recorder_;
+  std::atomic<bool> has_recorder_{false};
 
   // --- Dispatch table ---------------------------------------------------------
   // dispatch_[nr] is the resolved word; the two built_* generations record

@@ -11,15 +11,6 @@ namespace protego {
 
 namespace {
 
-std::optional<int> SysnoFromName(std::string_view name) {
-  for (Sysno nr : AllSysnos()) {
-    if (name == SysnoName(nr)) {
-      return static_cast<int>(nr);
-    }
-  }
-  return std::nullopt;
-}
-
 std::optional<int> LsmHookFromName(std::string_view name) {
   for (size_t i = 0; i < static_cast<size_t>(LsmHook::kCount); ++i) {
     if (name == LsmHookName(static_cast<LsmHook>(i))) {
@@ -108,7 +99,10 @@ Result<std::vector<FaultDirective>> ParseFaultDirectives(std::string_view conten
       } else if (key == "syscall" || key == "sysno") {
         // By name ("open") or by number ("2") — Format() emits the numeric
         // form, so the read body must parse back.
-        std::optional<int> nr = SysnoFromName(value);
+        std::optional<int> nr;
+        if (std::optional<Sysno> parsed = SysnoFromName(value)) {
+          nr = static_cast<int>(*parsed);
+        }
         if (!nr) {
           std::optional<uint64_t> v = ParseUint(value);
           if (!v) {
@@ -519,6 +513,47 @@ Result<Unit> InstallProtegoProcFiles(Kernel* kernel, ProtegoLsm* lsm) {
   };
   RETURN_IF_ERROR(
       vfs.CreateSynthetic("/proc/protego/fault_inject", 0600, std::move(fault_ops)));
+
+  // Per-task seccomp filters, root-only: one section per live task that
+  // carries a filter, rendered in the same installable text form
+  // SeccompFilter::ParseSpec accepts. Writing "?pid=N" narrows subsequent
+  // reads to that pid ("?" clears the filter); anything else is EINVAL.
+  auto seccomp_read_pid = std::make_shared<std::atomic<int>>(-1);
+  SyntheticOps seccomp_ops;
+  seccomp_ops.read = [kernel, seccomp_read_pid]() {
+    const int want = seccomp_read_pid->load(std::memory_order_relaxed);
+    std::string out;
+    kernel->ForEachTask([&](const Task& task) {
+      if (task.seccomp == nullptr || (want >= 0 && task.pid != want)) {
+        return;
+      }
+      out += StrFormat("# pid=%d comm=%s exe=%s\n", task.pid, task.comm.c_str(),
+                       task.exe_path.c_str());
+      out += task.seccomp->Render();
+    });
+    return out;
+  };
+  seccomp_ops.write = [seccomp_read_pid](std::string_view data) -> Result<Unit> {
+    std::string_view cmd = Trim(data);
+    if (cmd == "?") {
+      seccomp_read_pid->store(-1, std::memory_order_relaxed);
+      return OkUnit();
+    }
+    if (StartsWith(cmd, "?pid=")) {
+      std::string_view value = cmd.substr(5);
+      int pid = 0;
+      if (!value.empty() && value.find_first_not_of("0123456789") == std::string_view::npos) {
+        for (char c : value) {
+          pid = pid * 10 + (c - '0');
+        }
+        seccomp_read_pid->store(pid, std::memory_order_relaxed);
+        return OkUnit();
+      }
+      return Error(Errno::kEINVAL, "seccomp: pid must be a nonnegative integer");
+    }
+    return Error(Errno::kEINVAL, "seccomp: expected ? or ?pid=N");
+  };
+  RETURN_IF_ERROR(vfs.CreateSynthetic("/proc/protego/seccomp", 0600, std::move(seccomp_ops)));
 
   // Metrics registry in Prometheus text exposition format, world-readable
   // like /proc/stat. The JSON form is reached programmatically

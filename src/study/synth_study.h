@@ -1,0 +1,53 @@
+// The trace-driven synthesis study (the closed loop): trace the utilities
+// under stock Protego policy, synthesize policy from the traces alone,
+// install the synthesized policy on FRESH systems, and gate on three
+// claims:
+//
+//   1. determinism — the same seed renders byte-identical policy text
+//      across repeated runs and across ExecMode::kDeterministic /
+//      ExecMode::kParallel collection;
+//   2. functionality — every functional scenario produces the same
+//      normalized transcript on stock Linux and on Protego running ONLY
+//      the synthesized policy (tables swapped through /proc/protego,
+//      argument filters attached per binary);
+//   3. containment — the 40-CVE corpus replayed under the synthesized
+//      policy escalates nowhere.
+
+#ifndef SRC_STUDY_SYNTH_STUDY_H_
+#define SRC_STUDY_SYNTH_STUDY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/synth/install.h"
+#include "src/synth/synthesizer.h"
+#include "src/synth/trace_recorder.h"
+
+namespace protego::synth {
+
+// Trace + synthesize in one step.
+SynthesizedPolicy SynthesizePolicy(uint64_t seed, ExecMode mode);
+
+struct SynthStudyResult {
+  bool determinism_ok = false;
+  bool functional_ok = false;
+  bool cves_contained = false;
+
+  std::string policy_text;  // canonical render of the synthesized policy
+  std::vector<std::string> functional_mismatches;  // scenario names
+  int cve_total = 0;
+  int cve_escalated = 0;
+  std::vector<std::string> escalated_cves;
+
+  std::string report;  // paper-style summary table
+
+  bool ok() const { return determinism_ok && functional_ok && cves_contained; }
+};
+
+// `determinism_reps` controls how many deterministic-mode re-collections
+// feed the byte-identity check (a parallel-mode collection is always added).
+SynthStudyResult RunSynthStudy(uint64_t seed, int determinism_reps = 3);
+
+}  // namespace protego::synth
+
+#endif  // SRC_STUDY_SYNTH_STUDY_H_

@@ -1,0 +1,28 @@
+#include "src/synth/install.h"
+
+namespace protego::synth {
+
+Result<Unit> InstallSynthesized(SimSystem& sys, const SynthesizedPolicy& policy,
+                                const InstallOptions& options) {
+  if (sys.mode() != SimMode::kProtego) {
+    return Error(Errno::kEINVAL, "synthesized policy requires a Protego system");
+  }
+  Kernel& kernel = sys.kernel();
+  if (options.policies) {
+    Task& root = sys.Login("root");
+    RETURN_IF_ERROR(
+        kernel.WriteWholeFile(root, "/proc/protego/mounts", policy.mounts_text));
+    RETURN_IF_ERROR(kernel.WriteWholeFile(root, "/proc/protego/ports", policy.ports_text));
+    RETURN_IF_ERROR(
+        kernel.WriteWholeFile(root, "/proc/protego/sudoers", policy.sudoers_text));
+  }
+  if (options.filters) {
+    for (const UtilityFilter& f : policy.filters) {
+      ASSIGN_OR_RETURN(SeccompFilter filter, SeccompFilter::FromSpec(f.spec));
+      kernel.RegisterBinaryFilter(f.exe, std::move(filter));
+    }
+  }
+  return OkUnit();
+}
+
+}  // namespace protego::synth

@@ -1,0 +1,30 @@
+// Installs a synthesized policy into a live system through the same
+// surfaces an administrator would use: the /proc/protego policy files
+// (parse-validate-swap) for the mount whitelist, bind table, and delegation
+// policy, and Kernel::RegisterBinaryFilter for the per-binary argument
+// filters (attached on the next exec of each binary, AppArmor-style).
+//
+// Nothing is written to /etc: the point of the synthesized-only studies is
+// that the KERNEL policy in force came from traces alone, while the shared
+// configuration both stacks read stays stock.
+
+#ifndef SRC_SYNTH_INSTALL_H_
+#define SRC_SYNTH_INSTALL_H_
+
+#include "src/base/result.h"
+#include "src/sim/system.h"
+#include "src/synth/synthesizer.h"
+
+namespace protego::synth {
+
+struct InstallOptions {
+  bool filters = true;   // register per-binary seccomp filters
+  bool policies = true;  // swap in mounts/ports/sudoers tables
+};
+
+Result<Unit> InstallSynthesized(SimSystem& sys, const SynthesizedPolicy& policy,
+                                const InstallOptions& options = {});
+
+}  // namespace protego::synth
+
+#endif  // SRC_SYNTH_INSTALL_H_

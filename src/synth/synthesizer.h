@@ -1,0 +1,113 @@
+// The closed-loop policy synthesizer: TraceCorpus in, installable policy
+// out. No hand-written policy flows through this module — every emitted
+// row is justified by an observation in the corpus.
+//
+// Outputs, mirroring the four Protego policy surfaces:
+//   * per-binary argument-aware seccomp filters (text in the
+//     /proc/protego/seccomp grammar, installable via
+//     Kernel::RegisterBinaryFilter),
+//   * the mount whitelist   (/proc/protego/mounts payload),
+//   * the bind table        (/proc/protego/ports payload),
+//   * the delegation policy (/proc/protego/sudoers payload).
+//
+// Minimization rules (DESIGN.md §14):
+//   filters  — a syscall never observed for a binary is denied outright;
+//              an observed one is admitted only under predicates covering
+//              the observed argument shapes (path classes, flag masks, fd
+//              bounds, exact ids/ports). Predicate synthesis degrades to a
+//              plain allow only when the shape set is too large to encode.
+//   mounts   — only (device, mountpoint) pairs somebody successfully
+//              mounted, with the options they mounted with.
+//   ports    — only (port, binary, uid) rows somebody successfully bound.
+//   sudoers  — rules reconstructed from authentication round trips
+//              correlated with the credential transitions they unlocked;
+//              NOPASSWD only when no authentication was observed, TARGETPW
+//              only when target-account authentication was observed.
+//
+// Determinism: synthesis is a pure function of the corpus (all internal
+// containers are ordered), so the same corpus renders byte-identical text.
+
+#ifndef SRC_SYNTH_SYNTHESIZER_H_
+#define SRC_SYNTH_SYNTHESIZER_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/base/metrics.h"
+#include "src/config/bindconf.h"
+#include "src/config/fstab.h"
+#include "src/config/sudoers.h"
+#include "src/kernel/syscall.h"
+#include "src/synth/trace_recorder.h"
+
+namespace protego::synth {
+
+// What the synthesizer may know about the system besides the traces: name
+// databases (to render uids/gids as sudoers principals) and a stat probe
+// against a PRISTINE system (to recognize reads that plain DAC cannot
+// explain — those become File_Delegate rules).
+struct SynthContext {
+  struct FileMeta {
+    Uid uid = 0;
+    uint32_t mode = 0;
+  };
+  std::map<Uid, std::string> user_names;
+  std::map<Gid, std::string> group_names;
+  std::function<std::optional<FileMeta>(const std::string&)> stat;
+
+  std::string UserName(Uid uid) const;
+  std::string GroupName(Gid gid) const;
+};
+
+// Builds a SynthContext from a freshly booted Protego system (the closure
+// keeps the system alive).
+SynthContext ReferenceContext();
+
+// One binary's synthesized argument-aware filter.
+struct UtilityFilter {
+  std::string exe;
+  SeccompFilter::Spec spec;
+  std::string text;  // SeccompFilter::Render(), re-parseable
+};
+
+struct SynthesizedPolicy {
+  uint64_t seed = 0;
+  std::vector<UtilityFilter> filters;  // sorted by exe
+  std::vector<FstabEntry> mounts;
+  std::vector<BindConfEntry> ports;
+  SudoersPolicy sudoers;
+
+  // Installable payloads (config-grammar serializations).
+  std::string mounts_text;
+  std::string ports_text;
+  std::string sudoers_text;
+
+  const UtilityFilter* FilterFor(const std::string& exe) const;
+
+  // The whole policy as one normative document; the determinism gate
+  // compares these byte-for-byte across runs and exec modes.
+  std::string Render() const;
+};
+
+SynthesizedPolicy Synthesize(const TraceCorpus& corpus, const SynthContext& ctx);
+
+// Process-wide synthesis counters, exported as protego_synth_* families.
+struct SynthStats {
+  std::atomic<uint64_t> runs{0};
+  std::atomic<uint64_t> observations{0};
+  std::atomic<uint64_t> filters{0};
+  std::atomic<uint64_t> filter_rules{0};
+  std::atomic<uint64_t> path_classes{0};
+  std::atomic<uint64_t> policy_rows{0};
+
+  void CollectMetrics(MetricsBuilder& b) const;
+  void Reset();
+};
+SynthStats& GlobalSynthStats();
+
+}  // namespace protego::synth
+
+#endif  // SRC_SYNTH_SYNTHESIZER_H_

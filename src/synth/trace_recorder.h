@@ -1,0 +1,74 @@
+// Trace collection for policy synthesis (§6 of the reproduction's DESIGN).
+//
+// The synthesizer never reads hand-written policy: its only input is what
+// the utilities were OBSERVED to do. This module drives every functional
+// scenario — plus the daemon/delegation drivers the functional suite does
+// not cover — on a fresh Protego system with the syscall-gate recorder and
+// the kernel authentication observer attached, and folds the per-scenario
+// event streams into a TraceCorpus.
+//
+// Determinism contract: each scenario runs on its OWN SimSystem, so its
+// event stream is a pure function of the scenario. The corpus keys streams
+// by scenario name (sorted map); collecting under the deterministic driver
+// and collecting with one OS thread per scenario therefore yield identical
+// corpora, which is what makes synthesized policy text byte-identical
+// across ExecMode::kDeterministic and ExecMode::kParallel.
+
+#ifndef SRC_SYNTH_TRACE_RECORDER_H_
+#define SRC_SYNTH_TRACE_RECORDER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/kernel/exec_mode.h"
+#include "src/kernel/syscall.h"
+#include "src/study/functional.h"
+
+namespace protego::synth {
+
+// One recorded event: a syscall entry/exit observation, or one
+// authentication round trip through the trusted agent.
+struct SynthEvent {
+  enum class Kind { kSyscall, kAuth };
+  Kind kind = Kind::kSyscall;
+
+  // kind == kSyscall
+  SyscallGate::SyscallObservation sys;
+
+  // kind == kAuth: the kernel asked the agent to authenticate `auth_pid`
+  // against `auth_accounts`; `auth_ok` reports the outcome.
+  int auth_pid = 0;
+  std::vector<Uid> auth_accounts;
+  bool auth_ok = false;
+  Uid auth_as = 0;  // the account that authenticated (valid when auth_ok)
+};
+
+// Per-scenario event streams from one full tracing run.
+struct TraceCorpus {
+  uint64_t seed = 0;
+  // Scenario name -> ordered event stream. std::map so iteration (and
+  // therefore synthesis) is independent of collection order.
+  std::map<std::string, std::vector<SynthEvent>> streams;
+
+  size_t TotalEvents() const;
+};
+
+// The drivers the synthesizer needs beyond FunctionalSuite(): privileged
+// daemons binding low ports (eximd, httpd) and the file-delegation client
+// (ssh-keysign). Each scenario picks the invoker per mode the same way the
+// CVE corpus does: daemons launch as root on stock Linux and as their
+// service account under Protego.
+const std::vector<FunctionalScenario>& SynthExtraScenarios();
+
+// FunctionalSuite() + SynthExtraScenarios(), the full tracing workload.
+std::vector<FunctionalScenario> SynthWorkload();
+
+// Runs every workload scenario on a fresh SimSystem(kProtego) with the
+// recorder attached and returns the folded corpus. kDeterministic collects
+// sequentially; kParallel runs one OS thread per scenario.
+TraceCorpus CollectTraces(uint64_t seed, ExecMode mode);
+
+}  // namespace protego::synth
+
+#endif  // SRC_SYNTH_TRACE_RECORDER_H_

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
+#include "src/base/strings.h"
 #include "src/kernel/kernel.h"
 #include "src/lsm/capability_module.h"
 #include "src/sim/system.h"
@@ -212,6 +216,197 @@ TEST_F(SyscallGateTest, AuditRingCountsDrops) {
   EXPECT_EQ(kernel_.audit_dropped(), 600u - 512u);
 }
 
+// --- Argument-aware predicate filters ----------------------------------------
+
+// A filter spec equivalent to what the synthesizer emits for a small
+// utility: open restricted to two path classes (one with a flags mask),
+// read/write/close fd-bounded, plus the plumbing syscalls.
+SeccompFilter::Spec PredicateSpec() {
+  SeccompFilter::Spec spec;
+  for (Sysno nr : {Sysno::kOpen, Sysno::kRead, Sysno::kWrite, Sysno::kClose,
+                   Sysno::kGetPid, Sysno::kSeccomp, Sysno::kClone, Sysno::kExecve}) {
+    spec.allowed.set(static_cast<size_t>(nr));
+  }
+  spec.path_classes = {{"/tmp", 1}, {"/etc/motd", 2}};
+  spec.rules[static_cast<uint16_t>(Sysno::kOpen)] = {
+      // /tmp/* with any flags; /etc/motd read-only.
+      {{{kSeccompArgPath, SeccompCmp::kEq, 1, 0}}},
+      {{{kSeccompArgPath, SeccompCmp::kEq, 2, 0},
+        {1, SeccompCmp::kMaskedEq, static_cast<uint64_t>(kORdOnly),
+         static_cast<uint64_t>(kOAccMode)}}},
+  };
+  spec.rules[static_cast<uint16_t>(Sysno::kWrite)] = {{{{0, SeccompCmp::kLt, 8, 0}}}};
+  return spec;
+}
+
+TEST(SeccompPredicateTest, SpecRoundTripsThroughRenderAndParse) {
+  auto filter = SeccompFilter::FromSpec(PredicateSpec());
+  ASSERT_TRUE(filter.ok());
+  std::string text = filter.value().Render();
+  auto reparsed = SeccompFilter::ParseSpec(text);
+  ASSERT_TRUE(reparsed.ok());
+  auto rebuilt = SeccompFilter::FromSpec(reparsed.value());
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt.value().Render(), text);  // byte-stable fixed point
+}
+
+TEST_F(SyscallGateTest, PredicateFilterEnforcesPathClassesAndFlags) {
+  (void)kernel_.vfs().CreateFile("/etc/motd", 0644, kRootUid, kRootGid, "hi");
+  Task& alice = User(1000);
+  ASSERT_TRUE(kernel_.SeccompSetFilterSpec(alice, PredicateSpec()).ok());
+
+  ASSERT_TRUE(kernel_.Open(alice, "/tmp/scratch", kOWrOnly | kOCreat).ok());
+  ASSERT_TRUE(kernel_.Open(alice, "/etc/motd", kORdOnly).ok());
+  // Write-open of the read-only class and any open outside both classes are
+  // refused at the gate, before DAC/LSM ever see the call.
+  int spy_before = spy_->inode_permission_calls;
+  EXPECT_EQ(kernel_.Open(alice, "/etc/motd", kORdWr).code(), Errno::kEPERM);
+  EXPECT_EQ(kernel_.Open(alice, "/etc/secret", kORdOnly).code(), Errno::kEPERM);
+  EXPECT_EQ(spy_->inode_permission_calls, spy_before);
+  // Predicate evaluation is visible in the per-syscall rule-eval counter.
+  EXPECT_GT(kernel_.syscalls().stats(Sysno::kOpen).rule_evals, 0u);
+}
+
+TEST_F(SyscallGateTest, PredicateLatchTightensAndNeverWidens) {
+  Task& alice = User(1000);
+  ASSERT_TRUE(kernel_.SeccompSetFilterSpec(alice, PredicateSpec()).ok());
+  ASSERT_TRUE(kernel_.Open(alice, "/tmp/a", kOWrOnly | kOCreat).ok());
+
+  // Second install claims open of anything read-only. The latch intersects:
+  // only the conjunction (in /tmp AND read-only, or /etc/motd read-only)
+  // survives.
+  SeccompFilter::Spec narrower;
+  for (Sysno nr : {Sysno::kOpen, Sysno::kRead, Sysno::kClose, Sysno::kGetPid,
+                   Sysno::kSeccomp}) {
+    narrower.allowed.set(static_cast<size_t>(nr));
+  }
+  narrower.rules[static_cast<uint16_t>(Sysno::kOpen)] = {
+      {{{1, SeccompCmp::kMaskedEq, static_cast<uint64_t>(kORdOnly),
+         static_cast<uint64_t>(kOAccMode)}}}};
+  ASSERT_TRUE(kernel_.SeccompSetFilterSpec(alice, narrower).ok());
+
+  EXPECT_TRUE(kernel_.Open(alice, "/tmp/a", kORdOnly).ok());
+  EXPECT_EQ(kernel_.Open(alice, "/tmp/b", kOWrOnly | kOCreat).code(), Errno::kEPERM);
+  // write was dropped from the second allow-list: gone despite rules on the
+  // first install.
+  EXPECT_EQ(kernel_.Write(alice, 0, "x").code(), Errno::kEPERM);
+}
+
+TEST_F(SyscallGateTest, IntersectionRuleExplosionFailsClosed) {
+  // Two 9-rule disjunctions over DIFFERENT argument slots cross-multiply to
+  // 81 satisfiable conjunctions > kMaxRulesPerSysno (64) — the latch must
+  // deny the syscall outright rather than silently truncate the rule list.
+  // (Same-slot eq rules would be pruned as contradictions and stay small.)
+  auto many_rules = [](uint8_t arg) {
+    SeccompFilter::Spec spec;
+    spec.allowed.set(static_cast<size_t>(Sysno::kIoctl));
+    spec.allowed.set(static_cast<size_t>(Sysno::kSeccomp));
+    spec.allowed.set(static_cast<size_t>(Sysno::kGetPid));
+    std::vector<SeccompRule> rules;
+    for (uint64_t i = 0; i < 9; ++i) {
+      rules.push_back({{{arg, SeccompCmp::kEq, i, 0}}});
+    }
+    spec.rules[static_cast<uint16_t>(Sysno::kIoctl)] = rules;
+    return spec;
+  };
+  Task& alice = User(1000);
+  ASSERT_TRUE(kernel_.SeccompSetFilterSpec(alice, many_rules(0)).ok());
+  ASSERT_TRUE(kernel_.SeccompSetFilterSpec(alice, many_rules(1)).ok());
+  // (arg0=4, arg1=4) would survive a true intersection, but the capped
+  // cross product fails closed.
+  EXPECT_EQ(kernel_.Ioctl(alice, 4, 4, "").code(), Errno::kEPERM);
+  EXPECT_EQ(kernel_.GetPid(alice), alice.pid);  // untouched syscalls still work
+}
+
+TEST_F(SyscallGateTest, PredicateFilterInheritedAcrossSpawn) {
+  ASSERT_TRUE(kernel_
+                  .InstallBinary("/bin/probe", 0755, kRootUid, kRootGid,
+                                 [](ProcessContext& ctx) -> int {
+                                   // Inherited predicates: /tmp writable,
+                                   // everything else EPERM at the gate.
+                                   auto ok = ctx.kernel.Open(ctx.task, "/tmp/child",
+                                                             kOWrOnly | kOCreat);
+                                   auto denied =
+                                       ctx.kernel.Open(ctx.task, "/etc/secret", kORdOnly);
+                                   return ok.ok() && denied.code() == Errno::kEPERM ? 42 : 0;
+                                 })
+                  .ok());
+  Task& alice = User(1000);
+  ASSERT_TRUE(kernel_.SeccompSetFilterSpec(alice, PredicateSpec()).ok());
+  auto status = kernel_.Spawn(alice, "/bin/probe", {"probe"}, {});
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status.value(), 42);
+}
+
+TEST_F(SyscallGateTest, RegisteredBinaryFilterReplacesOnExec) {
+  // Exec into a registered binary REPLACES the task's filter (AppArmor-style
+  // profile transition) — the latch only governs self-installs. The probe
+  // can open /etc/motd even though the parent's filter cannot, and the
+  // parent's own filter is untouched afterwards.
+  (void)kernel_.vfs().CreateFile("/etc/motd", 0644, kRootUid, kRootGid, "hi");
+  SeccompFilter::Spec probe_spec;
+  for (Sysno nr : {Sysno::kOpen, Sysno::kRead, Sysno::kClose}) {
+    probe_spec.allowed.set(static_cast<size_t>(nr));
+  }
+  auto probe_filter = SeccompFilter::FromSpec(probe_spec);
+  ASSERT_TRUE(probe_filter.ok());
+  kernel_.RegisterBinaryFilter("/bin/probe", probe_filter.value());
+  ASSERT_TRUE(kernel_
+                  .InstallBinary("/bin/probe", 0755, kRootUid, kRootGid,
+                                 [](ProcessContext& ctx) -> int {
+                                   auto open = ctx.kernel.Open(ctx.task, "/etc/motd",
+                                                               kORdOnly);
+                                   auto sock = ctx.kernel.SocketCall(ctx.task, kAfInet,
+                                                                     kSockStream, 0);
+                                   return open.ok() && sock.code() == Errno::kEPERM ? 42
+                                                                                    : 0;
+                                 })
+                  .ok());
+  Task& alice = User(1000);
+  SeccompFilter::Spec parent_spec = PredicateSpec();  // denies /etc/motd rw, no socket
+  ASSERT_TRUE(kernel_.SeccompSetFilterSpec(alice, parent_spec).ok());
+  auto status = kernel_.Spawn(alice, "/bin/probe", {"probe"}, {});
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status.value(), 42);
+  // Parent still constrained by its own (unreplaced) filter.
+  EXPECT_EQ(kernel_.Open(alice, "/etc/motd", kORdWr).code(), Errno::kEPERM);
+  EXPECT_TRUE(kernel_.Open(alice, "/tmp/parent", kOWrOnly | kOCreat).ok());
+}
+
+TEST_F(SyscallGateTest, PredicateEnforcementIsThreadSafeUnderRealThreads) {
+  // kParallel-shaped regression: several tasks, each with the predicate
+  // filter, hammer allowed and denied paths from real OS threads. Verdicts
+  // must stay per-task correct (no cross-task filter bleed) and TSan-clean.
+  std::vector<Task*> tasks;
+  for (int t = 0; t < 4; ++t) {
+    Task& task = User(1000 + t);
+    ASSERT_TRUE(kernel_.SeccompSetFilterSpec(task, PredicateSpec()).ok());
+    tasks.push_back(&task);
+  }
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  for (Task* task : tasks) {
+    threads.emplace_back([this, task, &wrong] {
+      for (int i = 0; i < 200; ++i) {
+        auto ok = kernel_.Open(*task, StrFormat("/tmp/t%d", task->pid), kOWrOnly | kOCreat);
+        if (!ok.ok() && ok.code() != Errno::kEEXIST) {
+          ++wrong;
+        }
+        if (ok.ok()) {
+          (void)kernel_.Close(*task, ok.value());
+        }
+        if (kernel_.Open(*task, "/etc/secret", kORdOnly).code() != Errno::kEPERM) {
+          ++wrong;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(wrong.load(), 0);
+}
+
 TEST(SyscallGateProcTest, StatsAndTraceExposedUnderProc) {
   SimSystem sim(SimMode::kProtego);
   Task& alice = sim.Login("alice");
@@ -234,6 +429,50 @@ TEST(SyscallGateProcTest, StatsAndTraceExposedUnderProc) {
   // path itself.
   ASSERT_TRUE(sim.kernel().WriteWholeFile(root, "/proc/protego/trace", "clear").ok());
   EXPECT_TRUE(sim.syscalls().TraceSnapshot().size() < 10);
+}
+
+TEST(SyscallGateProcTest, SeccompFiltersExposedUnderProcWithPidFilter) {
+  SimSystem sim(SimMode::kProtego);
+  Task& alice = sim.Login("alice");
+  Task& bob = sim.Login("bob");
+  // Root-only (checked before either task carries a gate filter of its own).
+  EXPECT_EQ(sim.kernel().ReadWholeFile(alice, "/proc/protego/seccomp").code(),
+            Errno::kEACCES);
+  SeccompFilter::Spec spec;
+  for (Sysno nr : {Sysno::kRead, Sysno::kWrite, Sysno::kClose}) {
+    spec.allowed.set(static_cast<size_t>(nr));
+  }
+  ASSERT_TRUE(sim.kernel().SeccompSetFilterSpec(alice, spec).ok());
+  spec.allowed.set(static_cast<size_t>(Sysno::kGetPid));
+  ASSERT_TRUE(sim.kernel().SeccompSetFilterSpec(bob, spec).ok());
+
+  // One section per filtered task, rendered re-installable.
+  Task& root = sim.kernel().CreateTask("sh", Cred::Root(), alice.terminal);
+  auto all = sim.kernel().ReadWholeFile(root, "/proc/protego/seccomp");
+  ASSERT_TRUE(all.ok());
+  EXPECT_NE(all.value().find(StrFormat("# pid=%d", alice.pid)), std::string::npos);
+  EXPECT_NE(all.value().find(StrFormat("# pid=%d", bob.pid)), std::string::npos);
+  EXPECT_NE(all.value().find("allow read"), std::string::npos);
+
+  // "?pid=N" narrows reads to one task; "?" clears the filter again.
+  ASSERT_TRUE(sim.kernel()
+                  .WriteWholeFile(root, "/proc/protego/seccomp",
+                                  StrFormat("?pid=%d", alice.pid))
+                  .ok());
+  auto one = sim.kernel().ReadWholeFile(root, "/proc/protego/seccomp");
+  ASSERT_TRUE(one.ok());
+  EXPECT_NE(one.value().find(StrFormat("# pid=%d", alice.pid)), std::string::npos);
+  EXPECT_EQ(one.value().find(StrFormat("# pid=%d", bob.pid)), std::string::npos);
+  ASSERT_TRUE(sim.kernel().WriteWholeFile(root, "/proc/protego/seccomp", "?").ok());
+  auto again = sim.kernel().ReadWholeFile(root, "/proc/protego/seccomp");
+  ASSERT_TRUE(again.ok());
+  EXPECT_NE(again.value().find(StrFormat("# pid=%d", bob.pid)), std::string::npos);
+
+  // Junk writes are EINVAL and leave the read filter untouched.
+  EXPECT_EQ(sim.kernel().WriteWholeFile(root, "/proc/protego/seccomp", "?pid=abc").code(),
+            Errno::kEINVAL);
+  EXPECT_EQ(sim.kernel().WriteWholeFile(root, "/proc/protego/seccomp", "gibberish").code(),
+            Errno::kEINVAL);
 }
 
 TEST(SyscallGateSandboxTest, SandboxDropsSocketAfterSeccomp) {
